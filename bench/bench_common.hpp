@@ -1,0 +1,44 @@
+#pragma once
+
+// Shared CLI plumbing for the figure benches: every binary accepts
+//   --reps N    repetitions (default 5, like the paper)
+//   --seed S    base seed (default 2007)
+//   --threads T worker threads (default: hardware)
+// and prints a paper-style table plus shape verdicts. Exit code 0 only
+// if every shape check passes.
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "peerlab/experiments/figures.hpp"
+#include "peerlab/experiments/reporter.hpp"
+
+namespace peerlab::bench {
+
+inline experiments::RunOptions parse_options(int argc, char** argv) {
+  experiments::RunOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = std::string(argv[i]);
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : "";
+    };
+    if (arg == "--reps") {
+      options.repetitions = std::atoi(next());
+    } else if (arg == "--seed") {
+      options.base_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(std::atoi(next()));
+    }
+  }
+  if (options.repetitions <= 0) options.repetitions = 5;
+  return options;
+}
+
+/// Names of the SimpleClient peers, SC1..SC8.
+inline const char* sc_name(int i) {
+  static const char* kNames[8] = {"SC1", "SC2", "SC3", "SC4", "SC5", "SC6", "SC7", "SC8"};
+  return kNames[i];
+}
+
+}  // namespace peerlab::bench

@@ -1,0 +1,40 @@
+// Figure 3 — transmission time for a file of 50 MB, per SimpleClient.
+// The paper plots per-peer times with SC7 "the latest in completing
+// the file transmission".
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace peerlab;
+  using namespace peerlab::experiments;
+  const auto options = bench::parse_options(argc, argv);
+
+  print_figure_header("Figure 3", "Transmission time for a file of 50 MB");
+  const PerPeer result = run_fig3_transfer50(options);
+
+  Table table("50 MB transfer time (mean of " + std::to_string(options.repetitions) +
+                  " runs)",
+              {"peer", "seconds", "minutes", "stddev (s)"});
+  for (int i = 0; i < 8; ++i) {
+    const auto& summary = result[static_cast<std::size_t>(i)];
+    table.add_row({bench::sc_name(i), cell(summary.mean(), 1),
+                   cell(to_minutes(summary.mean()), 2), cell(summary.stddev(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  table.write_csv("bench_fig3_transfer50.csv");
+
+  bool ok = true;
+  std::size_t slowest = 0;
+  double others_sum = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (result[i].mean() > result[slowest].mean()) slowest = i;
+    if (i != 6) others_sum += result[i].mean();
+  }
+  const double others_mean = others_sum / 7.0;
+  ok &= shape_check("SC7 is the latest in completing the transmission", slowest == 6);
+  ok &= shape_check("SC7 is at least 2x slower than the average of the rest",
+                    result[6].mean() > 2.0 * others_mean);
+  ok &= shape_check("healthy peers finish a 50 MB single-part transfer in minutes",
+                    result[1].mean() > 60.0 && result[1].mean() < 1800.0);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Figure 4 — transmission time of the last MB. The paper: "the time in
+// completing the reception of the last Mb for peer SC7 is from 2 to 4
+// times slower than the rest of the peers".
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace peerlab;
+  using namespace peerlab::experiments;
+  const auto options = bench::parse_options(argc, argv);
+
+  print_figure_header("Figure 4", "Transmission time of the last MB");
+  const PerPeer result = run_fig4_last_mb(options);
+
+  Table table("Last-MB completion time (seconds, mean of " +
+                  std::to_string(options.repetitions) + " runs)",
+              {"peer", "seconds", "stddev"});
+  for (int i = 0; i < 8; ++i) {
+    const auto& summary = result[static_cast<std::size_t>(i)];
+    table.add_row({bench::sc_name(i), cell(summary.mean(), 2), cell(summary.stddev(), 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  table.write_csv("bench_fig4_lastmb.csv");
+
+  bool ok = true;
+  double others_sum = 0.0;
+  std::size_t slowest = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (result[i].mean() > result[slowest].mean()) slowest = i;
+    if (i != 6) others_sum += result[i].mean();
+  }
+  const double ratio = result[6].mean() / (others_sum / 7.0);
+  ok &= shape_check("SC7 has the slowest last MB", slowest == 6);
+  ok &= shape_check("SC7's last MB is roughly 2-4x the rest (measured " +
+                        cell(ratio, 1) + "x, accept 2-8x)",
+                    ratio >= 2.0 && ratio <= 8.0);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Figure 7 — just execution vs transmission & execution, per
+// SimpleClient. The validating workload: processing a large (100 MB)
+// virtual-campus file on the selected peer. Peer SC7 is the
+// bottleneck on both axes.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace peerlab;
+  using namespace peerlab::experiments;
+  const auto options = bench::parse_options(argc, argv);
+
+  print_figure_header("Figure 7", "Just execution vs transmission & execution");
+  const Fig7Result result = run_fig7_execution(options);
+
+  Table table("Task completion (minutes, mean of " +
+                  std::to_string(options.repetitions) + " runs)",
+              {"peer", "just execution", "transmission & execution", "transfer share"});
+  for (int i = 0; i < 8; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double just = to_minutes(result.just_execution[idx].mean());
+    const double both = to_minutes(result.transmission_execution[idx].mean());
+    table.add_row({bench::sc_name(i), cell(just, 1), cell(both, 1),
+                   cell(100.0 * (both - just) / both, 0) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  table.write_csv("bench_fig7_execution.csv");
+
+  bool ok = true;
+  bool additive = true;
+  std::size_t slowest_exec = 0, slowest_both = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    additive &= result.transmission_execution[i].mean() > result.just_execution[i].mean();
+    if (result.just_execution[i].mean() > result.just_execution[slowest_exec].mean()) {
+      slowest_exec = i;
+    }
+    if (result.transmission_execution[i].mean() >
+        result.transmission_execution[slowest_both].mean()) {
+      slowest_both = i;
+    }
+  }
+  ok &= shape_check("transmission & execution exceeds just execution on every peer",
+                    additive);
+  ok &= shape_check("SC7 is the execution bottleneck", slowest_exec == 6);
+  ok &= shape_check("SC7 is also the transmission+execution bottleneck",
+                    slowest_both == 6);
+  const double sc7 = to_minutes(result.transmission_execution[6].mean());
+  ok &= shape_check("SC7's combined time lands in the paper's tens-of-minutes range "
+                    "(measured " + cell(sc7, 1) + " min)",
+                    sc7 > 10.0 && sc7 < 60.0);
+  const double sc2_just = to_minutes(result.just_execution[1].mean());
+  ok &= shape_check("healthy peers execute in a few minutes (SC2 " +
+                        cell(sc2_just, 1) + " min)",
+                    sc2_just > 1.0 && sc2_just < 10.0);
+  return ok ? 0 : 1;
+}

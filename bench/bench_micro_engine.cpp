@@ -1,0 +1,97 @@
+// Engine microbenchmarks (google-benchmark): event queue, simulator
+// loop, RNG draws, fluid flow scheduler recomputation — the hot paths
+// every figure experiment runs through.
+
+#include <benchmark/benchmark.h>
+
+#include "peerlab/net/flow_scheduler.hpp"
+#include "peerlab/sim/simulator.hpp"
+
+namespace {
+
+using namespace peerlab;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < n; ++i) {
+      queue.push(static_cast<double>((i * 7919) % 1000), [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop().time);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  const auto hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    int remaining = hops;
+    std::function<void()> hop = [&] {
+      if (--remaining > 0) sim.schedule(0.001, hop);
+    };
+    sim.schedule(0.001, hop);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_SimulatorEventChain)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_RngLognormal(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal_mean(12.86, 0.25));
+  }
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_RngFork(benchmark::State& state) {
+  sim::Rng rng(42);
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    sim::Rng forked = rng.fork(++stream);
+    benchmark::DoNotOptimize(forked.uniform());
+  }
+}
+BENCHMARK(BM_RngFork);
+
+void BM_FlowSchedulerChurn(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim(1);
+    net::Topology topo(sim.rng().fork(1));
+    std::vector<NodeId> nodes;
+    for (int i = 0; i <= flows; ++i) {
+      net::NodeProfile p;
+      p.hostname = "n" + std::to_string(i);
+      p.uplink_mbps = 100.0;
+      p.downlink_mbps = 10.0;
+      nodes.push_back(topo.add_node(p));
+    }
+    net::FlowScheduler scheduler(sim, topo);
+    state.ResumeTiming();
+    // One source fanning out to `flows` sinks: every start triggers a
+    // full max-min recomputation over the active set.
+    for (int i = 0; i < flows; ++i) {
+      net::FlowSpec spec;
+      spec.src = nodes[0];
+      spec.dst = nodes[static_cast<std::size_t>(i + 1)];
+      spec.size = megabytes(1.0);
+      spec.on_complete = [](Seconds) {};
+      benchmark::DoNotOptimize(scheduler.start(std::move(spec)));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowSchedulerChurn)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Overlay-scale microbenchmarks (google-benchmark): wall-clock cost of
+// standing up deployments and pushing workloads through the full stack
+// — the simulator's events-per-second throughput, which bounds how
+// many repetitions the figure benches can afford.
+
+#include <benchmark/benchmark.h>
+
+#include "peerlab/core/economic.hpp"
+#include "peerlab/planetlab/deployment.hpp"
+
+namespace {
+
+using namespace peerlab;
+
+void BM_DeploymentBoot(benchmark::State& state) {
+  const bool full = state.range(0) != 0;
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    planetlab::DeploymentOptions opts;
+    opts.full_slice = full;
+    opts.boot_time = full ? 90.0 : 60.0;
+    planetlab::Deployment dep(sim, opts);
+    dep.boot();
+    benchmark::DoNotOptimize(dep.broker().registered_clients().size());
+  }
+}
+BENCHMARK(BM_DeploymentBoot)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_FileTransferRoundTrip(benchmark::State& state) {
+  const auto parts = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    planetlab::Deployment dep(sim);
+    transport::FileTransferConfig cfg;
+    cfg.file_size = megabytes(10.0);
+    cfg.parts = parts;
+    bool done = false;
+    dep.control().files().send_file(dep.sc_peer(2), cfg,
+                                    [&](const transport::TransferResult& r) {
+                                      done = r.complete;
+                                    });
+    sim.run();
+    benchmark::DoNotOptimize(done);
+    events += sim.executed_events();
+  }
+  state.counters["sim_events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FileTransferRoundTrip)->Arg(1)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_TaskRoundTripThroughOverlay(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    planetlab::Deployment dep(sim);
+    dep.boot();
+    dep.broker().set_selection_model(std::make_unique<core::EconomicSchedulingModel>());
+    overlay::Primitives api(dep.control());
+    bool ok = false;
+    api.submit_task_auto(30.0, 0, [&](const overlay::TaskOutcome& o) { ok = o.ok; });
+    sim.run();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_TaskRoundTripThroughOverlay)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedHourOfHeartbeats(benchmark::State& state) {
+  // Pure liveness machinery: how cheap is one simulated hour of an
+  // idle 8-peer deployment (heartbeats + stats reports only)?
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    planetlab::Deployment dep(sim);
+    dep.boot();
+    sim.run_until(sim.now() + 3600.0);
+    events += sim.executed_events();
+  }
+  state.counters["sim_events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedHourOfHeartbeats)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

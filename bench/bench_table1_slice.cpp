@@ -1,0 +1,44 @@
+// Table 1 — the PlanetLab slice. Regenerates the paper's node listing
+// and reports the calibrated profile of each node in our substrate.
+
+#include "bench_common.hpp"
+#include "peerlab/planetlab/profiles.hpp"
+
+int main(int, char**) {
+  using namespace peerlab;
+  using namespace peerlab::experiments;
+
+  print_figure_header("Table 1", "Nodes added to the PlanetLab slice");
+
+  Table table("25 slice nodes + broker host (calibrated substrate profiles)",
+              {"hostname", "site", "country", "role", "cpu GHz", "bw Mbit/s",
+               "petition s"});
+  int ordinal = 0;
+  for (const auto& entry : planetlab::table1()) {
+    const net::NodeProfile profile =
+        entry.simple_client_index > 0
+            ? planetlab::simple_client_profile(entry.simple_client_index)
+            : planetlab::slice_node_profile(entry, ordinal);
+    const std::string role = entry.simple_client_index > 0
+                                 ? "SC" + std::to_string(entry.simple_client_index)
+                                 : "slice";
+    table.add_row({entry.hostname, entry.site, entry.country, role,
+                   cell(profile.cpu_ghz, 1), cell(profile.uplink_mbps, 1),
+                   cell(profile.control_delay_mean, 2)});
+    ++ordinal;
+  }
+  const auto broker = planetlab::broker_profile();
+  table.add_row({broker.hostname, broker.site, broker.country, "broker",
+                 cell(broker.cpu_ghz, 1), cell(broker.uplink_mbps, 1),
+                 cell(broker.control_delay_mean, 2)});
+  std::printf("%s\n", table.render().c_str());
+  table.write_csv("bench_table1_slice.csv");
+
+  bool ok = true;
+  ok &= shape_check("slice has the paper's 25 nodes", planetlab::table1().size() == 25);
+  ok &= shape_check("eight SimpleClients SC1..SC8 present",
+                    planetlab::simple_clients().size() == 8);
+  ok &= shape_check("broker is nozomi.lsi.upc.edu",
+                    planetlab::broker_host().hostname == "nozomi.lsi.upc.edu");
+  return ok ? 0 : 1;
+}

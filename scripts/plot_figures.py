@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Plot the figure benches' CSV artifacts as paper-style bar charts.
+
+Usage:
+    # after running the benches (they drop bench_*.csv in the cwd)
+    python3 scripts/plot_figures.py [--dir DIR] [--out DIR]
+
+Produces one PNG per recognized CSV. Requires matplotlib; prints a
+skip notice per missing file instead of failing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path: str) -> tuple[list[str], list[list[str]]]:
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    return rows[0], rows[1:]
+
+
+def numeric(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def plot_grouped_bars(plt, header, rows, title, ylabel, out_path,
+                      value_columns=None, log=False):
+    labels = [r[0] for r in rows]
+    columns = value_columns or list(range(1, len(header)))
+    width = 0.8 / len(columns)
+    fig, ax = plt.subplots(figsize=(9, 4.5))
+    for i, col in enumerate(columns):
+        values = [numeric(r[col]) for r in rows]
+        offsets = [x + i * width for x in range(len(labels))]
+        ax.bar(offsets, values, width=width, label=header[col])
+    ax.set_xticks([x + 0.4 - width / 2 for x in range(len(labels))])
+    ax.set_xticklabels(labels, rotation=20, ha="right")
+    ax.set_title(title)
+    ax.set_ylabel(ylabel)
+    if log:
+        ax.set_yscale("log")
+    if len(columns) > 1:
+        ax.legend()
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+PLOTS = {
+    "bench_fig2_petition.csv": ("Figure 2: petition reception time", "seconds", [2], False),
+    "bench_fig3_transfer50.csv": ("Figure 3: 50 MB transmission time", "seconds", [1], False),
+    "bench_fig4_lastmb.csv": ("Figure 4: last-MB completion time", "seconds", [1], False),
+    "bench_fig5_granularity.csv": ("Figure 5: 100 MB by granularity", "minutes", None, True),
+    "bench_fig6_models.csv": ("Figure 6: per-part overhead by model", "seconds", [1, 2], False),
+    "bench_fig7_execution.csv": ("Figure 7: execution vs transfer+execution", "minutes",
+                                 [1, 2], False),
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dir", default=".", help="directory holding the bench CSVs")
+    parser.add_argument("--out", default=".", help="directory for the PNGs")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; nothing plotted", file=sys.stderr)
+        return 1
+
+    plotted = 0
+    for name, (title, ylabel, cols, log) in PLOTS.items():
+        path = os.path.join(args.dir, name)
+        if not os.path.exists(path):
+            print(f"skip {name} (not found; run the bench first)")
+            continue
+        header, rows = read_csv(path)
+        out_path = os.path.join(args.out, name.replace(".csv", ".png"))
+        plot_grouped_bars(plt, header, rows, title, ylabel, out_path, cols, log)
+        plotted += 1
+    return 0 if plotted else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

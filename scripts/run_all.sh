@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full verification: build, test, regenerate every table/figure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j "$(nproc)" --timeout 180
+for b in build/bench/*; do
+  [ -x "$b" ] && "$b"
+done
+echo "peerlab: all tests and benches passed"

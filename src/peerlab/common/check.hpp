@@ -1,0 +1,58 @@
+#pragma once
+
+// Invariant checking. PEERLAB_CHECK is always on (simulation correctness
+// beats the nanoseconds saved); PEERLAB_DCHECK compiles out in NDEBUG
+// builds. Failures throw InvariantError so tests can assert on them and
+// long experiment sweeps fail loudly instead of corrupting statistics.
+
+#include <stdexcept>
+#include <string>
+
+namespace peerlab {
+
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+  std::string what = "invariant violated: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!message.empty()) {
+    what += " (";
+    what += message;
+    what += ")";
+  }
+  throw InvariantError(what);
+}
+}  // namespace detail
+
+}  // namespace peerlab
+
+#define PEERLAB_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::peerlab::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                    \
+  } while (false)
+
+#define PEERLAB_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::peerlab::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define PEERLAB_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define PEERLAB_DCHECK(expr) PEERLAB_CHECK(expr)
+#endif

@@ -1,0 +1,55 @@
+#include "peerlab/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace peerlab::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_sink_mutex;
+Sink g_sink;  // guarded by g_sink_mutex
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void write(Level level, std::string_view module, std::string_view message) {
+  if (level < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    std::string line;
+    line.reserve(module.size() + message.size() + 16);
+    line.append("[").append(level_name(level)).append("] ");
+    line.append(module).append(": ").append(message);
+    g_sink(level, line);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(module.size()), module.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace peerlab::log

@@ -1,0 +1,57 @@
+#pragma once
+
+// Minimal leveled logger. Logging in a discrete-event simulator must be
+// cheap when disabled (the common case in benchmarks), so level checks
+// happen before any formatting. Output is line-buffered to stderr; tests
+// can redirect through set_sink().
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace peerlab::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are dropped before formatting.
+void set_level(Level level) noexcept;
+[[nodiscard]] Level level() noexcept;
+
+/// Redirects log lines (tests). Pass nullptr to restore stderr.
+using Sink = std::function<void(Level, std::string_view)>;
+void set_sink(Sink sink);
+
+/// Emits one formatted line; used by the PEERLAB_LOG macro below.
+void write(Level level, std::string_view module, std::string_view message);
+
+[[nodiscard]] const char* level_name(Level level) noexcept;
+
+namespace detail {
+class LineBuilder {
+ public:
+  LineBuilder(Level level, std::string_view module) : level_(level), module_(module) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { write(level_, module_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::string_view module_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace peerlab::log
+
+/// Usage: PEERLAB_LOG(kInfo, "overlay") << "peer " << id << " joined";
+#define PEERLAB_LOG(lvl, module)                                    \
+  if (::peerlab::log::Level::lvl < ::peerlab::log::level()) {       \
+  } else                                                            \
+    ::peerlab::log::detail::LineBuilder(::peerlab::log::Level::lvl, module)

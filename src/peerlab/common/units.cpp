@@ -1,0 +1,23 @@
+#include "peerlab/common/units.hpp"
+
+#include <limits>
+
+namespace peerlab {
+
+Seconds wire_time(Bytes size, MbitPerSec rate) noexcept {
+  if (rate <= 0.0) {
+    return std::numeric_limits<Seconds>::infinity();
+  }
+  const double bits = static_cast<double>(size) * 8.0;
+  return bits / (rate * 1e6);
+}
+
+MbitPerSec rate_for(Bytes size, Seconds elapsed) noexcept {
+  if (elapsed <= 0.0) {
+    return std::numeric_limits<MbitPerSec>::infinity();
+  }
+  const double bits = static_cast<double>(size) * 8.0;
+  return bits / (elapsed * 1e6);
+}
+
+}  // namespace peerlab

@@ -1,0 +1,54 @@
+#pragma once
+
+// Unit conventions for peerlab, in one place so magnitudes stay honest.
+//
+//   * Simulated time is `Seconds` (double). The simulation epoch is 0.
+//   * Data sizes are `Bytes` (64-bit). The 2007 paper writes "Mb" for what
+//     its workloads treat as megabytes, so helper constructors accept
+//     megabytes (1e6 bytes) and map onto Bytes.
+//   * Bandwidth is `MbitPerSec` (double, 1e6 bits per second), the unit
+//     PlanetLab-era access links were quoted in.
+//   * Compute work is `GigaCycles`; node speed is `GigaHertz`, so
+//     work / speed yields Seconds directly.
+
+#include <cstdint>
+
+namespace peerlab {
+
+using Seconds = double;
+using Bytes = std::int64_t;
+using MbitPerSec = double;
+using GigaCycles = double;
+using GigaHertz = double;
+
+inline constexpr Bytes kKilobyte = 1'000;
+inline constexpr Bytes kMegabyte = 1'000'000;
+inline constexpr Bytes kGigabyte = 1'000'000'000;
+
+/// Megabytes -> bytes (1 MB = 1e6 B, the paper's convention).
+constexpr Bytes megabytes(double mb) noexcept {
+  return static_cast<Bytes>(mb * static_cast<double>(kMegabyte));
+}
+
+/// Kilobytes -> bytes.
+constexpr Bytes kilobytes(double kb) noexcept {
+  return static_cast<Bytes>(kb * static_cast<double>(kKilobyte));
+}
+
+/// Bytes -> megabytes as a double, for reporting.
+constexpr double to_megabytes(Bytes b) noexcept {
+  return static_cast<double>(b) / static_cast<double>(kMegabyte);
+}
+
+/// Ideal wire time for `size` at `rate`, ignoring propagation.
+/// Returns +inf-ish large value for non-positive rates (caller guards).
+Seconds wire_time(Bytes size, MbitPerSec rate) noexcept;
+
+/// Rate that moves `size` bytes in `elapsed` seconds.
+MbitPerSec rate_for(Bytes size, Seconds elapsed) noexcept;
+
+/// Minutes/seconds helpers for reporting parity with the paper's figures.
+constexpr double to_minutes(Seconds s) noexcept { return s / 60.0; }
+constexpr Seconds minutes(double m) noexcept { return m * 60.0; }
+
+}  // namespace peerlab

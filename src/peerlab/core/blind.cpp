@@ -1,0 +1,24 @@
+#include "peerlab/core/blind.hpp"
+
+#include <algorithm>
+
+namespace peerlab::core {
+
+std::vector<PeerId> BlindModel::rank(std::span<const PeerSnapshot> candidates,
+                                     const SelectionContext& /*context*/) {
+  std::vector<PeerId> online;
+  online.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    if (c.online) online.push_back(c.peer);
+  }
+  if (online.empty()) return {};
+  std::sort(online.begin(), online.end());
+  if (mode_ == Mode::kRoundRobin) {
+    const std::size_t start = static_cast<std::size_t>(next_++ % online.size());
+    std::rotate(online.begin(), online.begin() + static_cast<std::ptrdiff_t>(start),
+                online.end());
+  }
+  return online;
+}
+
+}  // namespace peerlab::core

@@ -1,0 +1,32 @@
+#pragma once
+
+// Blind selection — the paper's baseline: "all peers were equally
+// considered, that is no peer selection is done". Two flavours:
+// round-robin (spread work uniformly) and first-available (what a
+// naive application does). Both ignore every signal about the peers,
+// which is exactly what makes SC7-class stragglers dominate the
+// figures' tails.
+
+#include "peerlab/core/selection_model.hpp"
+
+namespace peerlab::core {
+
+class BlindModel final : public SelectionModel {
+ public:
+  enum class Mode : std::uint8_t { kRoundRobin, kFirstAvailable };
+
+  explicit BlindModel(Mode mode = Mode::kRoundRobin) : mode_(mode) {}
+
+  [[nodiscard]] std::string name() const override { return "blind"; }
+
+  [[nodiscard]] std::vector<PeerId> rank(std::span<const PeerSnapshot> candidates,
+                                         const SelectionContext& context) override;
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+ private:
+  Mode mode_;
+  std::uint64_t next_ = 0;  // round-robin cursor
+};
+
+}  // namespace peerlab::core

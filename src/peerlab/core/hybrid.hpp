@@ -1,0 +1,47 @@
+#pragma once
+
+// Hybrid selection model — peerlab extension beyond the paper.
+//
+// The paper's conclusion is that the right model depends on the
+// application; a natural follow-up (in the spirit of its future work)
+// is to *blend* the two informed models: the economic scheduler's
+// forward-looking completion/cost estimate with the data evaluator's
+// backward-looking reliability record. The hybrid cost is
+//
+//     cost = alpha * economic_utility + (1 - alpha) * evaluator_cost
+//
+// with both terms normalized to [0, 1] over the candidate set. At
+// alpha = 1 it degenerates to the economic model's ordering; at
+// alpha = 0 to the data evaluator's.
+
+#include "peerlab/core/data_evaluator.hpp"
+#include "peerlab/core/economic.hpp"
+
+namespace peerlab::core {
+
+struct HybridConfig {
+  /// Blend factor in [0, 1]: weight of the economic term.
+  double alpha = 0.5;
+  EconomicConfig economic{};
+  /// Weights for the evaluator term (defaults to same-priority).
+  std::vector<CriterionWeight> evaluator_weights{};
+};
+
+class HybridModel final : public SelectionModel {
+ public:
+  explicit HybridModel(HybridConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "hybrid"; }
+
+  [[nodiscard]] std::vector<PeerId> rank(std::span<const PeerSnapshot> candidates,
+                                         const SelectionContext& context) override;
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  EconomicSchedulingModel economic_;
+  DataEvaluatorModel evaluator_;
+};
+
+}  // namespace peerlab::core

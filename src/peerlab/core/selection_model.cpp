@@ -1,0 +1,31 @@
+#include "peerlab/core/selection_model.hpp"
+
+#include <algorithm>
+
+namespace peerlab::core {
+
+PeerId SelectionModel::select(std::span<const PeerSnapshot> candidates,
+                              const SelectionContext& context) {
+  const auto ranking = rank(candidates, context);
+  return ranking.empty() ? PeerId{} : ranking.front();
+}
+
+std::vector<PeerId> SelectionModel::select_k(std::span<const PeerSnapshot> candidates,
+                                             const SelectionContext& context, std::size_t k) {
+  auto ranking = rank(candidates, context);
+  if (ranking.size() > k) ranking.resize(k);
+  return ranking;
+}
+
+std::vector<PeerId> ranked_by_cost(std::vector<ScoredPeer> scored) {
+  std::stable_sort(scored.begin(), scored.end(), [](const ScoredPeer& a, const ScoredPeer& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.peer < b.peer;
+  });
+  std::vector<PeerId> out;
+  out.reserve(scored.size());
+  for (const auto& s : scored) out.push_back(s.peer);
+  return out;
+}
+
+}  // namespace peerlab::core

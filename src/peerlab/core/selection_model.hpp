@@ -1,0 +1,47 @@
+#pragma once
+
+// SelectionModel: the interface the paper's three peer-selection models
+// implement (plus the blind baseline). A model ranks candidate peers
+// best-first; select() returns the winner. Models must be deterministic
+// functions of (candidates, context) and their own configuration — all
+// stochastic behaviour lives in the network, never in the policy.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "peerlab/core/snapshot.hpp"
+
+namespace peerlab::core {
+
+class SelectionModel {
+ public:
+  virtual ~SelectionModel() = default;
+
+  /// Human-readable model name ("economic", "data-evaluator", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Ranks eligible candidates best-first. Offline peers are never
+  /// returned. An empty result means no eligible candidate.
+  [[nodiscard]] virtual std::vector<PeerId> rank(std::span<const PeerSnapshot> candidates,
+                                                 const SelectionContext& context) = 0;
+
+  /// The best candidate, or an invalid id when none is eligible.
+  [[nodiscard]] PeerId select(std::span<const PeerSnapshot> candidates,
+                              const SelectionContext& context);
+
+  /// The best min(k, eligible) candidates, best-first.
+  [[nodiscard]] std::vector<PeerId> select_k(std::span<const PeerSnapshot> candidates,
+                                             const SelectionContext& context, std::size_t k);
+};
+
+/// Scored ranking helper shared by the models: sorts by ascending cost
+/// with peer id as the deterministic tiebreak.
+struct ScoredPeer {
+  PeerId peer;
+  double cost = 0.0;
+};
+[[nodiscard]] std::vector<PeerId> ranked_by_cost(std::vector<ScoredPeer> scored);
+
+}  // namespace peerlab::core

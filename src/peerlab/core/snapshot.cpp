@@ -1,0 +1,14 @@
+#include "peerlab/core/snapshot.hpp"
+
+namespace peerlab::core {
+
+const char* to_string(SelectionContext::Purpose purpose) noexcept {
+  switch (purpose) {
+    case SelectionContext::Purpose::kFileTransfer: return "file-transfer";
+    case SelectionContext::Purpose::kTaskExecution: return "task-execution";
+    case SelectionContext::Purpose::kGeneric: return "generic";
+  }
+  return "?";
+}
+
+}  // namespace peerlab::core

@@ -1,0 +1,61 @@
+#pragma once
+
+// PeerSnapshot: everything a selection model may know about a candidate
+// peer at decision time. The broker materializes snapshots from its
+// registry, statistics and history; models stay decoupled from the
+// overlay and are unit-testable on synthetic snapshots.
+
+#include <string>
+#include <vector>
+
+#include "peerlab/common/ids.hpp"
+#include "peerlab/common/units.hpp"
+#include "peerlab/stats/history.hpp"
+#include "peerlab/stats/peer_statistics.hpp"
+
+namespace peerlab::core {
+
+struct PeerSnapshot {
+  PeerId peer;
+  NodeId node;
+  std::string hostname;
+
+  // Advertised/static properties.
+  GigaHertz cpu_ghz = 1.0;
+  double price_per_cpu_second = 1.0;
+
+  // Broker-observed dynamic state.
+  bool online = true;
+  /// True when the peer is not executing anything right now.
+  bool idle = true;
+  /// Tasks queued (including running) at the peer.
+  int queued_tasks = 0;
+  /// File transfers currently inbound to the peer.
+  int active_transfers = 0;
+
+  // Read-only views of broker-kept data. May be null (models must
+  // degrade gracefully — a brand-new peergroup has no history).
+  const stats::PeerStatistics* statistics = nullptr;
+  const stats::HistoryStore* history = nullptr;
+};
+
+/// What the requester is about to do with the selected peer; models
+/// weigh signals differently for a 100 MB file push than for a task.
+struct SelectionContext {
+  enum class Purpose : std::uint8_t { kFileTransfer, kTaskExecution, kGeneric };
+
+  Seconds now = 0.0;
+  Purpose purpose = Purpose::kGeneric;
+  /// File size for transfers (0 when not applicable).
+  Bytes payload_size = 0;
+  /// Compute work for task execution (0 when not applicable).
+  GigaCycles work = 0.0;
+  /// Economic model inputs: absolute completion deadline and maximum
+  /// budget; 0 disables the respective constraint.
+  Seconds deadline = 0.0;
+  double budget = 0.0;
+};
+
+[[nodiscard]] const char* to_string(SelectionContext::Purpose purpose) noexcept;
+
+}  // namespace peerlab::core

@@ -1,0 +1,72 @@
+#include "peerlab/core/user_preference.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::core {
+
+UserPreferenceModel::UserPreferenceModel(std::vector<PeerId> preference_order)
+    : preference_(std::move(preference_order)) {
+  for (const auto id : preference_) {
+    PEERLAB_CHECK_MSG(id.valid(), "preference order contains an invalid peer");
+  }
+}
+
+UserPreferenceModel UserPreferenceModel::quick_peer(const stats::HistoryStore& history,
+                                                    const std::vector<PeerId>& known_peers) {
+  // The user's impression of "quick": historical petition response
+  // time, refined by achieved transfer rate when available.
+  struct Impression {
+    PeerId peer;
+    double quickness = std::numeric_limits<double>::infinity();
+  };
+  std::vector<Impression> impressions;
+  impressions.reserve(known_peers.size());
+  for (const auto peer : known_peers) {
+    Impression imp;
+    imp.peer = peer;
+    const auto response = history.mean_response_time(peer);
+    const auto rate = history.mean_transfer_rate(peer);
+    if (response || rate) {
+      const double response_s = response.value_or(1.0);
+      // Express rate as seconds-per-megabyte so both terms are "time".
+      const double rate_cost = rate ? wire_time(kMegabyte, *rate) : 0.0;
+      imp.quickness = response_s + rate_cost;
+    }
+    impressions.push_back(imp);
+  }
+  std::stable_sort(impressions.begin(), impressions.end(),
+                   [](const Impression& a, const Impression& b) {
+                     if (a.quickness != b.quickness) return a.quickness < b.quickness;
+                     return a.peer < b.peer;
+                   });
+  std::vector<PeerId> order;
+  order.reserve(impressions.size());
+  for (const auto& imp : impressions) order.push_back(imp.peer);
+  return UserPreferenceModel(std::move(order));
+}
+
+std::vector<PeerId> UserPreferenceModel::rank(std::span<const PeerSnapshot> candidates,
+                                              const SelectionContext& /*context*/) {
+  std::unordered_map<PeerId, std::size_t> position;
+  for (std::size_t i = 0; i < preference_.size(); ++i) {
+    position.emplace(preference_[i], i);
+  }
+  std::vector<ScoredPeer> scored;
+  scored.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    if (!c.online) continue;
+    const auto it = position.find(c.peer);
+    const double cost = it != position.end()
+                            ? static_cast<double>(it->second)
+                            : static_cast<double>(preference_.size()) +
+                                  static_cast<double>(c.peer.value());
+    scored.push_back(ScoredPeer{c.peer, cost});
+  }
+  return ranked_by_cost(std::move(scored));
+}
+
+}  // namespace peerlab::core

@@ -1,0 +1,17 @@
+#include "peerlab/experiments/harness.hpp"
+
+namespace peerlab::experiments {
+
+std::uint64_t repetition_seed(const RunOptions& options, int rep) {
+  // Wide spacing so forked per-component streams of adjacent
+  // repetitions never collide.
+  return options.base_seed + 0x9E3779B9ull * static_cast<std::uint64_t>(rep + 1);
+}
+
+sim::Summary summarize(const std::vector<double>& samples) {
+  sim::Summary summary;
+  for (const double x : samples) summary.add(x);
+  return summary;
+}
+
+}  // namespace peerlab::experiments

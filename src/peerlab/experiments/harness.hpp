@@ -1,0 +1,82 @@
+#pragma once
+
+// Experiment harness: repetition management with thread-level
+// parallelism. The paper repeats each experiment 5 times and averages;
+// we do the same (configurable), running independent repetitions —
+// each with its own Simulator and deployment — on a thread pool.
+// Results are collected by repetition index, so parallel and serial
+// execution produce byte-identical statistics.
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/sim/histogram.hpp"
+
+namespace peerlab::experiments {
+
+struct RunOptions {
+  int repetitions = 5;
+  std::uint64_t base_seed = 2007;  // the paper's year
+  /// 0 = one thread per repetition, capped at hardware concurrency.
+  unsigned threads = 0;
+};
+
+/// Seed for repetition `rep` under `options`.
+[[nodiscard]] std::uint64_t repetition_seed(const RunOptions& options, int rep);
+
+/// Runs `body(seed, rep)` once per repetition across a thread pool and
+/// returns the results ordered by repetition index. `Result` must be
+/// movable; `body` must be thread-safe with respect to *shared* state
+/// (each repetition should build its own world).
+template <typename Result>
+std::vector<Result> run_repetitions(const RunOptions& options,
+                                    const std::function<Result(std::uint64_t, int)>& body) {
+  PEERLAB_CHECK_MSG(options.repetitions > 0, "need at least one repetition");
+  const int reps = options.repetitions;
+  std::vector<Result> results(static_cast<std::size_t>(reps));
+
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::min<unsigned>(static_cast<unsigned>(reps),
+                                 std::max(1u, std::thread::hardware_concurrency()));
+  }
+  threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(reps)));
+
+  if (threads == 1) {
+    for (int rep = 0; rep < reps; ++rep) {
+      results[static_cast<std::size_t>(rep)] = body(repetition_seed(options, rep), rep);
+    }
+    return results;
+  }
+
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  std::vector<std::exception_ptr> errors(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        while (true) {
+          const int rep = next.fetch_add(1);
+          if (rep >= reps) break;
+          results[static_cast<std::size_t>(rep)] = body(repetition_seed(options, rep), rep);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+/// Collapses per-repetition samples of one metric into a Summary.
+[[nodiscard]] sim::Summary summarize(const std::vector<double>& samples);
+
+}  // namespace peerlab::experiments

@@ -1,0 +1,83 @@
+#include "peerlab/experiments/reporter.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::experiments {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  PEERLAB_CHECK_MSG(!columns_.empty(), "table needs columns");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PEERLAB_CHECK_MSG(cells.size() == columns_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  out << title_ << "\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : ",") << row[c];
+    }
+    out << "\n";
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  PEERLAB_CHECK_MSG(file.good(), "cannot open " + path);
+  file << csv();
+}
+
+std::string cell(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+bool shape_check(const std::string& description, bool pass) {
+  std::printf("  [%s] %s\n", pass ? "PASS" : "FAIL", description.c_str());
+  return pass;
+}
+
+void print_figure_header(const std::string& figure, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace peerlab::experiments

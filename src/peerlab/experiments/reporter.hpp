@@ -1,0 +1,45 @@
+#pragma once
+
+// Table/CSV reporting for the figure benches. Each bench prints a
+// paper-style table (peers as rows, series as columns), the paper's
+// reference numbers where available, and a shape verdict the harness
+// can grep.
+
+#include <string>
+#include <vector>
+
+namespace peerlab::experiments {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned ASCII rendering (title, header, separator, rows).
+  [[nodiscard]] std::string render() const;
+
+  /// Comma-separated rendering (header + rows).
+  [[nodiscard]] std::string csv() const;
+
+  /// Writes the CSV next to the binary's working directory.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision numeric cell.
+[[nodiscard]] std::string cell(double value, int precision = 2);
+
+/// A shape assertion with a printed PASS/FAIL verdict. Returns `pass`.
+bool shape_check(const std::string& description, bool pass);
+
+/// Banner for a figure bench.
+void print_figure_header(const std::string& figure, const std::string& what);
+
+}  // namespace peerlab::experiments

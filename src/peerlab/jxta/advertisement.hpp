@@ -1,0 +1,60 @@
+#pragma once
+
+// JXTA advertisements.
+//
+// In JXTA every discoverable entity — peer, pipe, peergroup, shared
+// content — announces itself with an XML advertisement carrying a
+// lifetime. peerlab keeps the same shape (kind + name + attribute map +
+// expiry) without the XML: the selection experiments only care about
+// what can be discovered and when it expires.
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "peerlab/common/ids.hpp"
+#include "peerlab/common/units.hpp"
+
+namespace peerlab::jxta {
+
+enum class AdvertisementKind : std::uint8_t {
+  kPeer,       // a live peer (node + capabilities)
+  kPipe,       // an input pipe another peer can bind to
+  kPeerGroup,  // a peergroup that can be joined
+  kContent,    // shared file/data
+  kModule,     // a service implementation (task executor etc.)
+};
+
+[[nodiscard]] const char* to_string(AdvertisementKind kind) noexcept;
+
+struct Advertisement {
+  AdvertisementId id;
+  AdvertisementKind kind = AdvertisementKind::kPeer;
+  /// The peer that published this advertisement.
+  PeerId publisher;
+  /// The node the publisher lives on (resolution target).
+  NodeId home;
+  /// Human-meaningful name, e.g. a hostname or pipe name.
+  std::string name;
+  /// Free-form typed attributes ("cpu_ghz" -> "1.2", ...).
+  std::map<std::string, std::string> attributes;
+  Seconds published_at = 0.0;
+  Seconds expires_at = 0.0;
+
+  [[nodiscard]] bool expired(Seconds now) const noexcept { return now >= expires_at; }
+
+  [[nodiscard]] std::optional<std::string> attribute(const std::string& key) const;
+  [[nodiscard]] double numeric_attribute(const std::string& key, double fallback) const;
+};
+
+/// Query predicate: kind always matches exactly; empty name matches any.
+struct AdvertisementQuery {
+  AdvertisementKind kind = AdvertisementKind::kPeer;
+  std::string name;  // exact match when non-empty
+  /// Attribute constraints that must all be present and equal.
+  std::map<std::string, std::string> attribute_equals;
+
+  [[nodiscard]] bool matches(const Advertisement& adv, Seconds now) const;
+};
+
+}  // namespace peerlab::jxta

@@ -1,0 +1,130 @@
+#include "peerlab/jxta/peergroup.hpp"
+
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::jxta {
+
+GroupId PeerGroupRegistry::create(const std::string& name, PeerId creator) {
+  PEERLAB_CHECK_MSG(!name.empty(), "group needs a name");
+  PEERLAB_CHECK_MSG(creator.valid(), "group needs a creator");
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  const GroupId id = ids_.next();
+  Group group;
+  group.name = name;
+  group.creator = creator;
+  group.members.insert(creator);
+  groups_.emplace(id, std::move(group));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+std::optional<GroupId> PeerGroupRegistry::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool PeerGroupRegistry::exists(GroupId id) const noexcept { return groups_.count(id) > 0; }
+
+bool PeerGroupRegistry::join(GroupId id, PeerId peer) {
+  const auto it = groups_.find(id);
+  if (it == groups_.end()) return false;
+  it->second.members.insert(peer);
+  return true;
+}
+
+bool PeerGroupRegistry::leave(GroupId id, PeerId peer) {
+  const auto it = groups_.find(id);
+  if (it == groups_.end()) return false;
+  return it->second.members.erase(peer) > 0;
+}
+
+std::size_t PeerGroupRegistry::evict(PeerId peer) {
+  std::size_t removed = 0;
+  for (auto& [id, group] : groups_) {
+    removed += group.members.erase(peer);
+  }
+  return removed;
+}
+
+std::vector<PeerId> PeerGroupRegistry::members(GroupId id) const {
+  const auto it = groups_.find(id);
+  if (it == groups_.end()) return {};
+  return {it->second.members.begin(), it->second.members.end()};
+}
+
+bool PeerGroupRegistry::is_member(GroupId id, PeerId peer) const noexcept {
+  const auto it = groups_.find(id);
+  return it != groups_.end() && it->second.members.count(peer) > 0;
+}
+
+void PeerGroupDirectory::enroll(NodeId node, PeerGroupRegistry& registry) {
+  registries_[node] = &registry;
+}
+
+void PeerGroupDirectory::withdraw(NodeId node) { registries_.erase(node); }
+
+PeerGroupRegistry* PeerGroupDirectory::find(NodeId node) const noexcept {
+  const auto it = registries_.find(node);
+  return it == registries_.end() ? nullptr : it->second;
+}
+
+namespace {
+transport::RetryPolicy join_retry() {
+  transport::RetryPolicy p;
+  p.initial_timeout = 10.0;
+  p.backoff = 1.5;
+  p.max_attempts = 4;
+  return p;
+}
+}  // namespace
+
+GroupMembership::GroupMembership(transport::Endpoint& endpoint, PeerGroupDirectory& directory,
+                                 PeerId self, NodeId broker)
+    : endpoint_(endpoint),
+      directory_(directory),
+      self_(self),
+      broker_(broker),
+      join_channel_(endpoint, transport::MessageType::kGroupJoin,
+                    transport::MessageType::kGroupJoinAck, join_retry()) {
+  PEERLAB_CHECK_MSG(self_.valid(), "membership needs a peer identity");
+  endpoint_.set_handler(transport::MessageType::kGroupLeave, [this](const transport::Message& m) {
+    if (PeerGroupRegistry* registry = directory_.find(endpoint_.node())) {
+      registry->leave(GroupId(m.correlation), PeerId(static_cast<std::uint64_t>(m.arg)));
+    }
+  });
+}
+
+GroupMembership::~GroupMembership() {
+  endpoint_.clear_handler(transport::MessageType::kGroupLeave);
+}
+
+void GroupMembership::join(GroupId group, JoinCallback done) {
+  PEERLAB_CHECK_MSG(static_cast<bool>(done), "join callback required");
+  join_channel_.request(broker_, group.value(), static_cast<std::int64_t>(self_.value()),
+                        [group, done = std::move(done)](const transport::RequestOutcome& o) {
+                          done(o.ok && o.response.arg != 0, group);
+                        });
+}
+
+void GroupMembership::leave(GroupId group) {
+  endpoint_.send(broker_, transport::MessageType::kGroupLeave, group.value(), 0,
+                 static_cast<std::int64_t>(self_.value()));
+}
+
+void GroupMembership::serve_registry() {
+  join_channel_.serve([this](const transport::Message& m) {
+    bool ok = false;
+    if (PeerGroupRegistry* registry = directory_.find(endpoint_.node())) {
+      ok = registry->join(GroupId(m.correlation), PeerId(static_cast<std::uint64_t>(m.arg)));
+    }
+    endpoint_.reply(m, transport::MessageType::kGroupJoinAck, ok ? 1 : 0);
+  });
+}
+
+}  // namespace peerlab::jxta

@@ -1,0 +1,99 @@
+#pragma once
+
+// Peergroup functionality: JXTA scopes discovery and services inside
+// peergroups. The broker (rendezvous) hosts the authoritative
+// membership registry; edge peers join/leave over the control plane
+// with a reliable handshake. Groups are advertised through discovery
+// so peers can find them by name.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "peerlab/jxta/discovery.hpp"
+#include "peerlab/transport/reliable_channel.hpp"
+
+namespace peerlab::jxta {
+
+/// Broker-side registry of groups and members.
+class PeerGroupRegistry {
+ public:
+  /// Creates a group; names are unique — creating an existing name
+  /// returns the existing id (idempotent for retried requests).
+  GroupId create(const std::string& name, PeerId creator);
+
+  [[nodiscard]] std::optional<GroupId> find(const std::string& name) const;
+  [[nodiscard]] bool exists(GroupId id) const noexcept;
+
+  /// Adds a member; returns false for unknown groups. Idempotent.
+  bool join(GroupId id, PeerId peer);
+  /// Removes a member; returns true when the peer was present.
+  bool leave(GroupId id, PeerId peer);
+  /// Removes a peer from every group (churn).
+  std::size_t evict(PeerId peer);
+
+  [[nodiscard]] std::vector<PeerId> members(GroupId id) const;
+  [[nodiscard]] bool is_member(GroupId id, PeerId peer) const noexcept;
+  [[nodiscard]] std::size_t group_count() const noexcept { return groups_.size(); }
+
+ private:
+  struct Group {
+    std::string name;
+    PeerId creator;
+    std::set<PeerId> members;
+  };
+  std::map<GroupId, Group> groups_;
+  std::map<std::string, GroupId> by_name_;
+  IdAllocator<GroupId> ids_;
+};
+
+/// In-process locator for registries (which node hosts which registry).
+class PeerGroupDirectory {
+ public:
+  void enroll(NodeId node, PeerGroupRegistry& registry);
+  void withdraw(NodeId node);
+  [[nodiscard]] PeerGroupRegistry* find(NodeId node) const noexcept;
+
+ private:
+  std::unordered_map<NodeId, PeerGroupRegistry*> registries_;
+};
+
+/// Edge-peer membership operations against a broker-hosted registry.
+class GroupMembership {
+ public:
+  GroupMembership(transport::Endpoint& endpoint, PeerGroupDirectory& directory, PeerId self,
+                  NodeId broker);
+  ~GroupMembership();
+
+  GroupMembership(const GroupMembership&) = delete;
+  GroupMembership& operator=(const GroupMembership&) = delete;
+
+  using JoinCallback = std::function<void(bool ok, GroupId group)>;
+
+  /// Joins a group by id (resolve the id via discovery first).
+  /// Retried on loss; the broker-side join is idempotent.
+  void join(GroupId group, JoinCallback done);
+
+  /// Leaves a group (fire-and-forget, like JXTA's best-effort leave).
+  void leave(GroupId group);
+
+  /// Installs the broker-side responder. Call once on the broker.
+  void serve_registry();
+
+  /// Re-points membership operations at a different broker.
+  void set_broker(NodeId broker) noexcept { broker_ = broker; }
+  [[nodiscard]] NodeId broker() const noexcept { return broker_; }
+  [[nodiscard]] PeerId self() const noexcept { return self_; }
+
+ private:
+  transport::Endpoint& endpoint_;
+  PeerGroupDirectory& directory_;
+  PeerId self_;
+  NodeId broker_;
+  transport::ReliableChannel join_channel_;
+};
+
+}  // namespace peerlab::jxta

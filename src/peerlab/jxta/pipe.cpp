@@ -1,0 +1,109 @@
+#include "peerlab/jxta/pipe.hpp"
+
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::jxta {
+
+PipeId PipeDirectory::create(NodeId host) {
+  const PipeId id = ids_.next();
+  hosts_.emplace(id, host);
+  return id;
+}
+
+void PipeDirectory::destroy(PipeId id) { hosts_.erase(id); }
+
+NodeId PipeDirectory::host_of(PipeId id) const noexcept {
+  const auto it = hosts_.find(id);
+  return it == hosts_.end() ? NodeId{} : it->second;
+}
+
+PipeService::PipeService(transport::Endpoint& endpoint, DiscoveryService& discovery,
+                         PipeDirectory& directory)
+    : endpoint_(endpoint), discovery_(discovery), directory_(directory) {
+  endpoint_.set_handler(transport::MessageType::kPipeData,
+                        [this](const transport::Message& m) { on_pipe_data(m); });
+}
+
+PipeService::~PipeService() {
+  endpoint_.clear_handler(transport::MessageType::kPipeData);
+  for (const auto& [id, listener] : inputs_) {
+    directory_.destroy(id);
+  }
+}
+
+PipeId PipeService::create_input_pipe(const std::string& name, Listener listener,
+                                      Seconds adv_lifetime) {
+  PEERLAB_CHECK_MSG(!name.empty(), "pipe needs a name");
+  PEERLAB_CHECK_MSG(static_cast<bool>(listener), "input pipe needs a listener");
+  const PipeId id = directory_.create(endpoint_.node());
+  inputs_.emplace(id, std::move(listener));
+
+  Advertisement adv;
+  adv.kind = AdvertisementKind::kPipe;
+  adv.name = name;
+  adv.home = endpoint_.node();
+  adv.attributes["pipe_id"] = std::to_string(id.value());
+  discovery_.publish(std::move(adv), adv_lifetime);
+  return id;
+}
+
+void PipeService::close_input_pipe(PipeId id) {
+  inputs_.erase(id);
+  directory_.destroy(id);
+}
+
+void PipeService::bind_output(const std::string& name, BindCallback done) {
+  PEERLAB_CHECK_MSG(static_cast<bool>(done), "bind callback required");
+  AdvertisementQuery query;
+  query.kind = AdvertisementKind::kPipe;
+  query.name = name;
+  discovery_.query_remote(query, [this, done = std::move(done)](
+                                     std::vector<Advertisement> matches) {
+    if (matches.empty()) {
+      done(false, PipeId{});
+      return;
+    }
+    const Advertisement& adv = matches.front();
+    const PipeId pipe(
+        static_cast<std::uint64_t>(adv.numeric_attribute("pipe_id", 0.0)));
+    const NodeId host = directory_.host_of(pipe);
+    if (!host.valid()) {
+      done(false, PipeId{});  // advert outlived the pipe
+      return;
+    }
+    outputs_[pipe] = host;
+    done(true, pipe);
+  });
+}
+
+void PipeService::send(PipeId pipe, Bytes size, std::int64_t tag) {
+  const auto it = outputs_.find(pipe);
+  PEERLAB_CHECK_MSG(it != outputs_.end(), "pipe not bound: " + to_string(pipe));
+  transport::Message m;
+  m.src = endpoint_.node();
+  m.dst = it->second;
+  m.type = transport::MessageType::kPipeData;
+  m.size = size > 0 ? size : transport::nominal_size(transport::MessageType::kPipeData);
+  m.correlation = pipe.value();
+  m.arg = tag;
+  endpoint_.fabric().route(std::move(m));
+}
+
+void PipeService::on_pipe_data(const transport::Message& m) {
+  const PipeId pipe(m.correlation);
+  const auto it = inputs_.find(pipe);
+  if (it == inputs_.end()) {
+    return;  // pipe closed while the message was in flight
+  }
+  ++received_;
+  PipeMessage pm;
+  pm.pipe = pipe;
+  pm.from = m.src;
+  pm.size = m.size;
+  pm.tag = m.arg;
+  it->second(pm);
+}
+
+}  // namespace peerlab::jxta

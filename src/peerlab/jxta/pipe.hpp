@@ -1,0 +1,82 @@
+#pragma once
+
+// JXTA pipe service: named, unidirectional message conduits. A peer
+// creates an *input pipe* (publishing a pipe advertisement through
+// discovery); other peers *bind* an output pipe by resolving that
+// advertisement and can then push small messages which arrive at the
+// input pipe's listener. Bulk data does not ride pipes in peerlab —
+// the file-transfer protocol owns the data plane — but task offers,
+// results and chat do.
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "peerlab/jxta/discovery.hpp"
+#include "peerlab/transport/endpoint.hpp"
+
+namespace peerlab::jxta {
+
+struct PipeMessage {
+  PipeId pipe;
+  NodeId from;
+  Bytes size = 0;
+  std::int64_t tag = 0;
+};
+
+/// Authoritative pipe-id -> host-node map (what pipe resolution
+/// ultimately yields in JXTA).
+class PipeDirectory {
+ public:
+  PipeId create(NodeId host);
+  void destroy(PipeId id);
+  [[nodiscard]] NodeId host_of(PipeId id) const noexcept;
+
+ private:
+  IdAllocator<PipeId> ids_;
+  std::unordered_map<PipeId, NodeId> hosts_;
+};
+
+class PipeService {
+ public:
+  PipeService(transport::Endpoint& endpoint, DiscoveryService& discovery,
+              PipeDirectory& directory);
+  ~PipeService();
+
+  PipeService(const PipeService&) = delete;
+  PipeService& operator=(const PipeService&) = delete;
+
+  using Listener = std::function<void(const PipeMessage&)>;
+  using BindCallback = std::function<void(bool ok, PipeId pipe)>;
+
+  /// Creates an input pipe named `name`, publishes its advertisement
+  /// (lifetime `adv_lifetime`), and wires `listener`.
+  PipeId create_input_pipe(const std::string& name, Listener listener,
+                           Seconds adv_lifetime = 3600.0);
+
+  /// Closes an input pipe and revokes nothing remotely (adverts expire).
+  void close_input_pipe(PipeId id);
+
+  /// Resolves `name` through discovery and binds an output pipe.
+  void bind_output(const std::string& name, BindCallback done);
+
+  /// Sends one message through a bound output pipe (fire-and-forget
+  /// control datagram).
+  void send(PipeId pipe, Bytes size, std::int64_t tag = 0);
+
+  [[nodiscard]] bool bound(PipeId pipe) const noexcept { return outputs_.count(pipe) > 0; }
+  [[nodiscard]] std::size_t input_pipes() const noexcept { return inputs_.size(); }
+  [[nodiscard]] std::uint64_t messages_received() const noexcept { return received_; }
+
+ private:
+  void on_pipe_data(const transport::Message& m);
+
+  transport::Endpoint& endpoint_;
+  DiscoveryService& discovery_;
+  PipeDirectory& directory_;
+  std::unordered_map<PipeId, Listener> inputs_;
+  std::unordered_map<PipeId, NodeId> outputs_;  // bound output -> host
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace peerlab::jxta

@@ -1,0 +1,52 @@
+#pragma once
+
+// Rendezvous service: the advertisement index a JXTA rendezvous peer
+// (our Broker) maintains for its edge peers. Edge peers push their
+// advertisements here and route discovery queries through it.
+// Expiry is lazy (checked on query) plus an explicit sweep.
+
+#include <unordered_map>
+#include <vector>
+
+#include "peerlab/jxta/advertisement.hpp"
+#include "peerlab/sim/simulator.hpp"
+
+namespace peerlab::jxta {
+
+class RendezvousIndex {
+ public:
+  explicit RendezvousIndex(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Stores (or refreshes) an advertisement. An advert with the same
+  /// publisher + kind + name replaces the previous edition.
+  AdvertisementId publish(Advertisement adv);
+
+  /// Removes a publisher's advertisement of the given kind and name.
+  /// Returns true when something was removed.
+  bool revoke(PeerId publisher, AdvertisementKind kind, const std::string& name);
+
+  /// Removes everything a peer ever published (peer departure/churn).
+  std::size_t revoke_all(PeerId publisher);
+
+  /// All live advertisements matching the query.
+  [[nodiscard]] std::vector<Advertisement> query(const AdvertisementQuery& query) const;
+
+  /// Drops expired entries; returns how many were swept.
+  std::size_t sweep();
+
+  [[nodiscard]] std::size_t size() const noexcept { return adverts_.size(); }
+  [[nodiscard]] std::uint64_t publishes() const noexcept { return publishes_; }
+  [[nodiscard]] std::uint64_t queries() const noexcept { return queries_; }
+
+ private:
+  [[nodiscard]] static std::string key_of(PeerId publisher, AdvertisementKind kind,
+                                          const std::string& name);
+
+  sim::Simulator& sim_;
+  std::unordered_map<std::string, Advertisement> adverts_;
+  IdAllocator<AdvertisementId> ids_;
+  std::uint64_t publishes_ = 0;
+  mutable std::uint64_t queries_ = 0;
+};
+
+}  // namespace peerlab::jxta

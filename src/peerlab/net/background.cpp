@@ -1,0 +1,57 @@
+#include "peerlab/net/background.hpp"
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::net {
+
+BackgroundTraffic::BackgroundTraffic(Network& network, BackgroundTrafficConfig config)
+    : network_(network),
+      config_(config),
+      rng_(network.simulator().rng().fork(0xBEEFull)) {
+  PEERLAB_CHECK_MSG(config_.mean_interarrival > 0.0, "interarrival must be positive");
+  PEERLAB_CHECK_MSG(config_.min_size > 0 && config_.max_size > config_.min_size,
+                    "bad size bounds");
+  PEERLAB_CHECK_MSG(config_.size_alpha > 0.0, "size alpha must be positive");
+  PEERLAB_CHECK_MSG(network_.topology().size() >= 2, "need at least two nodes");
+}
+
+void BackgroundTraffic::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void BackgroundTraffic::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void BackgroundTraffic::arm() {
+  if (!running_) return;
+  if (config_.max_flows != 0 && started_ >= config_.max_flows) {
+    running_ = false;
+    return;
+  }
+  const Seconds wait = rng_.exponential(config_.mean_interarrival);
+  timer_ = network_.simulator().schedule_daemon(wait, [this] {
+    spawn();
+    arm();
+  });
+}
+
+void BackgroundTraffic::spawn() {
+  const auto n = static_cast<std::int64_t>(network_.topology().size());
+  const NodeId src(static_cast<std::uint64_t>(rng_.uniform_int(1, n)));
+  NodeId dst = src;
+  while (dst == src) {
+    dst = NodeId(static_cast<std::uint64_t>(rng_.uniform_int(1, n)));
+  }
+  const auto size = static_cast<Bytes>(rng_.pareto(static_cast<double>(config_.min_size),
+                                                   static_cast<double>(config_.max_size),
+                                                   config_.size_alpha));
+  ++started_;
+  bytes_ += size;
+  network_.start_message(src, dst, size, [this](bool, Seconds) { ++finished_; });
+}
+
+}  // namespace peerlab::net

@@ -1,0 +1,61 @@
+#pragma once
+
+// Background cross-traffic generator. PlanetLab access links were
+// never idle: other slices' flows came and went continuously. This
+// generator injects bulk messages between random node pairs with
+// Poisson arrivals and heavy-tailed sizes, stealing bandwidth from the
+// overlay's transfers exactly the way co-located slivers did. Used by
+// the cross-traffic ablation and available to any experiment that
+// wants a noisier substrate.
+
+#include "peerlab/net/network.hpp"
+
+namespace peerlab::net {
+
+struct BackgroundTrafficConfig {
+  /// Mean seconds between flow arrivals (Poisson process).
+  Seconds mean_interarrival = 30.0;
+  /// Bounded-Pareto flow sizes (heavy-tailed, like real transfers).
+  Bytes min_size = 256 * kKilobyte;
+  Bytes max_size = 64 * kMegabyte;
+  double size_alpha = 1.3;
+  /// Generator stops spawning after this many flows (0 = unlimited —
+  /// only sensible under run_until).
+  std::uint64_t max_flows = 0;
+};
+
+class BackgroundTraffic {
+ public:
+  /// Draws node pairs from the network's whole topology. The generator
+  /// is a daemon: it never keeps a run() alive by itself, but flows it
+  /// has already launched complete as normal work.
+  BackgroundTraffic(Network& network, BackgroundTrafficConfig config = {});
+
+  BackgroundTraffic(const BackgroundTraffic&) = delete;
+  BackgroundTraffic& operator=(const BackgroundTraffic&) = delete;
+
+  /// Starts (or restarts) the arrival process.
+  void start();
+  /// Stops spawning; in-flight flows drain naturally.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] std::uint64_t flows_started() const noexcept { return started_; }
+  [[nodiscard]] std::uint64_t flows_finished() const noexcept { return finished_; }
+  [[nodiscard]] Bytes bytes_injected() const noexcept { return bytes_; }
+
+ private:
+  void arm();
+  void spawn();
+
+  Network& network_;
+  BackgroundTrafficConfig config_;
+  sim::Rng rng_;
+  sim::EventHandle timer_;
+  bool running_ = false;
+  std::uint64_t started_ = 0;
+  std::uint64_t finished_ = 0;
+  Bytes bytes_ = 0;
+};
+
+}  // namespace peerlab::net

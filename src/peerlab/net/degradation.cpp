@@ -1,0 +1,19 @@
+#include "peerlab/net/degradation.hpp"
+
+#include <cmath>
+
+namespace peerlab::net {
+
+double DegradationModel::factor(Bytes size) const noexcept {
+  if (size <= control_exempt_below || s0 <= 0) {
+    return 1.0;
+  }
+  const double ratio = static_cast<double>(size) / static_cast<double>(s0);
+  return 1.0 / (1.0 + std::pow(ratio, alpha));
+}
+
+MbitPerSec DegradationModel::cap(MbitPerSec nominal, Bytes size) const noexcept {
+  return nominal * factor(size);
+}
+
+}  // namespace peerlab::net

@@ -1,0 +1,34 @@
+#pragma once
+
+// JXTA large-message degradation model.
+//
+// JXTA pipes serialize a whole message in memory and relay it
+// store-and-forward; past a few megabytes per message the effective
+// throughput collapses (the paper's Figure 5: sending a 100 MB file as
+// one message is "not worth it" versus 16 parts of 6.25 MB). We model
+// the effect as a per-flow rate cap
+//
+//     bw_eff(S) = bw_nominal / (1 + (S / S0)^alpha)
+//
+// With the defaults S0 = 8 MB, alpha = 1.2: a 6.25 MB part keeps ~74%
+// of nominal rate, a 25 MB part ~17%, a 100 MB message ~4.6% — which
+// reproduces the paper's whole-vs-16-parts gap of roughly 20x.
+
+#include "peerlab/common/units.hpp"
+
+namespace peerlab::net {
+
+struct DegradationModel {
+  Bytes s0 = 8 * kMegabyte;
+  double alpha = 1.2;
+  /// Messages at or below this size (control traffic) are exempt.
+  Bytes control_exempt_below = 64 * kKilobyte;
+
+  /// Effective rate cap for a message of `size` on a link of `nominal`.
+  [[nodiscard]] MbitPerSec cap(MbitPerSec nominal, Bytes size) const noexcept;
+
+  /// Multiplier in (0, 1] applied to the nominal rate.
+  [[nodiscard]] double factor(Bytes size) const noexcept;
+};
+
+}  // namespace peerlab::net

@@ -1,0 +1,192 @@
+#include "peerlab/net/flow_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::net {
+
+namespace {
+constexpr double kEpsBits = 1.0;        // flows within 1 bit are done
+constexpr double kEpsRate = 1e-12;      // Mbit/s comparison slack
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+FlowScheduler::FlowScheduler(sim::Simulator& sim, const Topology& topo,
+                             FlowSchedulerConfig config)
+    : sim_(sim), topo_(topo), config_(config) {
+  PEERLAB_CHECK_MSG(config_.capacity_scale > 0.0 && config_.capacity_scale <= 1.0,
+                    "capacity_scale must be in (0, 1]");
+}
+
+FlowId FlowScheduler::start(FlowSpec spec) {
+  PEERLAB_CHECK_MSG(spec.size > 0, "flow size must be positive");
+  PEERLAB_CHECK_MSG(topo_.contains(spec.src) && topo_.contains(spec.dst),
+                    "flow endpoints must exist");
+  advance_to_now();
+  const FlowId id = ids_.next();
+  Flow flow;
+  flow.remaining_bits = static_cast<double>(spec.size) * 8.0;
+  flow.started = sim_.now();
+  flow.spec = std::move(spec);
+  flows_.emplace(id, std::move(flow));
+  recompute_rates();
+  reschedule();
+  return id;
+}
+
+void FlowScheduler::cancel(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_to_now();
+  flows_.erase(it);
+  recompute_rates();
+  reschedule();
+}
+
+MbitPerSec FlowScheduler::current_rate(FlowId id) const noexcept {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+Bytes FlowScheduler::remaining_bytes(FlowId id) const noexcept {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0 : static_cast<Bytes>(it->second.remaining_bits / 8.0);
+}
+
+int FlowScheduler::uploads_at(NodeId node) const noexcept {
+  int n = 0;
+  for (const auto& [id, f] : flows_) {
+    n += (f.spec.src == node) ? 1 : 0;
+  }
+  return n;
+}
+
+int FlowScheduler::downloads_at(NodeId node) const noexcept {
+  int n = 0;
+  for (const auto& [id, f] : flows_) {
+    n += (f.spec.dst == node) ? 1 : 0;
+  }
+  return n;
+}
+
+void FlowScheduler::advance_to_now() {
+  const Seconds now = sim_.now();
+  const Seconds dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0.0) return;
+  for (auto& [id, f] : flows_) {
+    f.remaining_bits = std::max(0.0, f.remaining_bits - f.rate * 1e6 * dt);
+  }
+}
+
+void FlowScheduler::recompute_rates() {
+  if (flows_.empty()) return;
+
+  // Resource = one direction of one node's access link. Key layout:
+  // node id * 2 + (0 = uplink, 1 = downlink).
+  std::map<std::uint64_t, double> capacity;
+  for (const auto& [id, f] : flows_) {
+    const auto& src = topo_.node(f.spec.src).profile();
+    const auto& dst = topo_.node(f.spec.dst).profile();
+    capacity.emplace(f.spec.src.value() * 2, src.uplink_mbps * config_.capacity_scale);
+    capacity.emplace(f.spec.dst.value() * 2 + 1, dst.downlink_mbps * config_.capacity_scale);
+  }
+
+  struct Pending {
+    FlowId id;
+    std::uint64_t up_key;
+    std::uint64_t down_key;
+    double cap;  // per-flow ceiling (kInf when uncapped)
+  };
+  std::vector<Pending> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) {
+    unfrozen.push_back(Pending{id, f.spec.src.value() * 2, f.spec.dst.value() * 2 + 1,
+                               f.spec.rate_cap > 0.0 ? f.spec.rate_cap : kInf});
+  }
+
+  // Progressive water-filling: each round freezes at least one flow,
+  // either at its own cap or at a bottleneck resource's fair share.
+  // The freeze set is decided entirely from the round-start snapshot;
+  // capacities are only reduced afterwards — mutating them mid-round
+  // would freeze flows against stale user counts and strand capacity.
+  while (!unfrozen.empty()) {
+    std::map<std::uint64_t, int> users;
+    for (const auto& p : unfrozen) {
+      ++users[p.up_key];
+      ++users[p.down_key];
+    }
+    const auto fair = [&](std::uint64_t key) {
+      return std::max(0.0, capacity[key]) / static_cast<double>(users[key]);
+    };
+    double share = kInf;
+    for (const auto& [key, n] : users) {
+      share = std::min(share, fair(key));
+    }
+    double min_cap = kInf;
+    for (const auto& p : unfrozen) min_cap = std::min(min_cap, p.cap);
+    const double level = std::min(share, min_cap);
+
+    std::vector<Pending> still;
+    std::vector<Pending> frozen;
+    still.reserve(unfrozen.size());
+    for (const auto& p : unfrozen) {
+      const bool at_cap = p.cap <= level + kEpsRate;
+      const bool at_bottleneck = fair(p.up_key) <= level + kEpsRate ||
+                                 fair(p.down_key) <= level + kEpsRate;
+      if (at_cap || at_bottleneck) {
+        frozen.push_back(p);
+      } else {
+        still.push_back(p);
+      }
+    }
+    PEERLAB_CHECK_MSG(!frozen.empty(), "water-filling failed to make progress");
+    for (const auto& p : frozen) {
+      const double rate = std::min(level, p.cap);
+      flows_.at(p.id).rate = rate;
+      capacity[p.up_key] -= rate;
+      capacity[p.down_key] -= rate;
+    }
+    unfrozen = std::move(still);
+  }
+}
+
+void FlowScheduler::reschedule() {
+  timer_.cancel();
+  if (flows_.empty()) return;
+  double eta = kInf;
+  for (const auto& [id, f] : flows_) {
+    if (f.rate <= kEpsRate) continue;
+    eta = std::min(eta, f.remaining_bits / (f.rate * 1e6));
+  }
+  PEERLAB_CHECK_MSG(std::isfinite(eta), "active flows but no finite completion time");
+  timer_ = sim_.schedule(std::max(0.0, eta), [this] { on_timer(); });
+}
+
+void FlowScheduler::on_timer() {
+  advance_to_now();
+
+  // Collect completions first; callbacks may start new flows, so the
+  // scheduler must be consistent before any callback runs.
+  std::vector<std::pair<Seconds, std::function<void(Seconds)>>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining_bits <= kEpsBits) {
+      done.emplace_back(sim_.now() - it->second.started, std::move(it->second.spec.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute_rates();
+  reschedule();
+  for (auto& [duration, callback] : done) {
+    if (callback) callback(duration);
+  }
+}
+
+}  // namespace peerlab::net

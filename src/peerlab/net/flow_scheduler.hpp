@@ -1,0 +1,93 @@
+#pragma once
+
+// Fluid-flow bandwidth model with progressive max-min fair sharing.
+//
+// Every bulk transfer is a "flow" with a remaining byte count. Flow
+// rates are the max-min fair allocation subject to (a) each node's
+// uplink/downlink capacity and (b) an optional per-flow rate cap (the
+// JXTA large-message degradation). Whenever the flow set changes, all
+// flows are advanced to the current instant at their old rates, rates
+// are recomputed by water-filling, and the next completion event is
+// rescheduled. This is the classic fluid approximation used by
+// simulators like SimGrid: it captures the first-order effect that
+// matters for peer selection — concurrent transfers share a peer's
+// access link — without packet-level cost.
+
+#include <functional>
+#include <map>
+
+#include "peerlab/common/ids.hpp"
+#include "peerlab/common/units.hpp"
+#include "peerlab/net/topology.hpp"
+#include "peerlab/sim/simulator.hpp"
+
+namespace peerlab::net {
+
+struct FlowSpec {
+  NodeId src;
+  NodeId dst;
+  Bytes size = 0;
+  /// Per-flow rate ceiling (degradation cap); <= 0 means uncapped.
+  MbitPerSec rate_cap = 0.0;
+  /// Invoked at completion with the flow's total duration.
+  std::function<void(Seconds duration)> on_complete;
+};
+
+struct FlowSchedulerConfig {
+  /// Fraction of nominal access capacity available to the overlay
+  /// (the rest is other slivers' cross traffic).
+  double capacity_scale = 1.0;
+};
+
+class FlowScheduler {
+ public:
+  FlowScheduler(sim::Simulator& sim, const Topology& topo, FlowSchedulerConfig config = {});
+
+  FlowScheduler(const FlowScheduler&) = delete;
+  FlowScheduler& operator=(const FlowScheduler&) = delete;
+
+  /// Starts a flow; completion fires through the simulator. The spec's
+  /// size must be positive and both endpoints must exist.
+  FlowId start(FlowSpec spec);
+
+  /// Cancels a flow; its on_complete is never invoked. No-op if the
+  /// flow already completed.
+  void cancel(FlowId id);
+
+  [[nodiscard]] bool active(FlowId id) const noexcept { return flows_.count(id) > 0; }
+  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+
+  /// Current fair-share rate of a flow (0 if unknown).
+  [[nodiscard]] MbitPerSec current_rate(FlowId id) const noexcept;
+
+  /// Remaining bytes of a flow (0 if unknown).
+  [[nodiscard]] Bytes remaining_bytes(FlowId id) const noexcept;
+
+  /// Number of active uploads leaving `node` (outbox pressure signal).
+  [[nodiscard]] int uploads_at(NodeId node) const noexcept;
+  /// Number of active downloads entering `node` (inbox pressure signal).
+  [[nodiscard]] int downloads_at(NodeId node) const noexcept;
+
+ private:
+  struct Flow {
+    FlowSpec spec;
+    double remaining_bits = 0.0;
+    MbitPerSec rate = 0.0;
+    Seconds started = 0.0;
+  };
+
+  void advance_to_now();
+  void recompute_rates();
+  void reschedule();
+  void on_timer();
+
+  sim::Simulator& sim_;
+  const Topology& topo_;
+  FlowSchedulerConfig config_;
+  std::map<FlowId, Flow> flows_;  // ordered => deterministic water-filling
+  IdAllocator<FlowId> ids_;
+  sim::EventHandle timer_;
+  Seconds last_advance_ = 0.0;
+};
+
+}  // namespace peerlab::net

@@ -1,0 +1,31 @@
+#include "peerlab/net/geo.hpp"
+
+#include <cmath>
+
+namespace peerlab::net {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kPi = 3.14159265358979323846;
+// Light in fiber: ~2e5 km/s.
+constexpr double kFiberKmPerSec = 200000.0;
+
+double radians(double deg) noexcept { return deg * kPi / 180.0; }
+}  // namespace
+
+double great_circle_km(GeoPoint a, GeoPoint b) noexcept {
+  const double lat1 = radians(a.latitude_deg);
+  const double lat2 = radians(b.latitude_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = radians(b.longitude_deg - a.longitude_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+Seconds propagation_delay(GeoPoint a, GeoPoint b, Seconds router_overhead) noexcept {
+  return great_circle_km(a, b) / kFiberKmPerSec + router_overhead;
+}
+
+}  // namespace peerlab::net

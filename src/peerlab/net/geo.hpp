@@ -1,0 +1,26 @@
+#pragma once
+
+// Geography: PlanetLab sites are real places, and wide-area propagation
+// delay is dominated by distance. We place each Table-1 site at its
+// campus coordinates and derive propagation delay from great-circle
+// distance at 2/3 c (light in fiber), plus a fixed per-path router
+// processing allowance.
+
+#include "peerlab/common/units.hpp"
+
+namespace peerlab::net {
+
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+
+/// Great-circle distance (haversine), kilometres.
+[[nodiscard]] double great_circle_km(GeoPoint a, GeoPoint b) noexcept;
+
+/// One-way propagation delay between two sites: distance / (2/3 c) plus
+/// `router_overhead` for queueing/serialization along the path.
+[[nodiscard]] Seconds propagation_delay(GeoPoint a, GeoPoint b,
+                                        Seconds router_overhead = 0.004) noexcept;
+
+}  // namespace peerlab::net

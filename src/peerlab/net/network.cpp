@@ -1,0 +1,94 @@
+#include "peerlab/net/network.hpp"
+
+#include <algorithm>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::net {
+
+Network::Network(sim::Simulator& sim, Topology topology, NetworkConfig config)
+    : sim_(sim),
+      topology_(std::move(topology)),
+      config_(config),
+      flows_(sim, topology_, config.flows),
+      loss_rng_(sim.rng().fork(0x10055ull)) {
+  PEERLAB_CHECK_MSG(config_.datagram_loss >= 0.0 && config_.datagram_loss < 1.0,
+                    "datagram_loss must be in [0, 1)");
+}
+
+Seconds Network::sample_control_delay(NodeId src, NodeId dst) {
+  return topology_.propagation(src, dst) + topology_.node(dst).sample_control_delay() +
+         config_.datagram_serialization;
+}
+
+void Network::send_datagram(NodeId src, NodeId dst, Bytes size,
+                            std::function<void()> on_delivered) {
+  PEERLAB_CHECK_MSG(size >= 0, "datagram size must be non-negative");
+  ++datagrams_sent_;
+  const double p_deliver =
+      (1.0 - config_.datagram_loss) * topology_.node(dst).delivery_probability(size);
+  if (!loss_rng_.bernoulli(p_deliver)) {
+    ++datagrams_lost_;
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "datagram-lost",
+                      to_string(src) + "->" + to_string(dst), src.value(), dst.value());
+    }
+    return;  // silently dropped; sender's timer handles it
+  }
+  const Seconds delay = sample_control_delay(src, dst);
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "datagram-sent",
+                    to_string(src) + "->" + to_string(dst), src.value(), dst.value());
+  }
+  sim_.schedule(delay, [cb = std::move(on_delivered)] {
+    if (cb) cb();
+  });
+}
+
+FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
+                              std::function<void(bool, Seconds)> on_done) {
+  PEERLAB_CHECK_MSG(size > 0, "bulk message size must be positive");
+  ++messages_started_;
+  const Seconds begun = sim_.now();
+
+  const auto& src_profile = topology_.node(src).profile();
+  const MbitPerSec nominal =
+      std::min(src_profile.uplink_mbps, topology_.node(dst).profile().downlink_mbps);
+  const MbitPerSec cap = config_.degradation.cap(nominal, size);
+
+  // Whole-message loss: decide up-front whether this copy survives; a
+  // lost copy burns a random fraction of its wire time first.
+  const double p_deliver = topology_.node(dst).delivery_probability(size);
+  const bool survives = loss_rng_.bernoulli(p_deliver);
+  Bytes flow_size = size;
+  if (!survives) {
+    ++messages_lost_;
+    const double fraction = loss_rng_.uniform(0.15, 0.95);
+    flow_size = std::max<Bytes>(1, static_cast<Bytes>(static_cast<double>(size) * fraction));
+  }
+
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "message-start",
+                    to_string(src) + "->" + to_string(dst),
+                    static_cast<std::uint64_t>(size), survives ? 1 : 0);
+  }
+  FlowSpec spec;
+  spec.src = src;
+  spec.dst = dst;
+  spec.size = flow_size;
+  spec.rate_cap = cap;
+  spec.on_complete = [this, begun, survives, src, dst, size,
+                      cb = std::move(on_done)](Seconds /*flow_duration*/) {
+    const Seconds elapsed = sim_.now() - begun + topology_.propagation(src, dst);
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), sim::TraceCategory::kNetwork,
+                      survives ? "message-delivered" : "message-lost",
+                      to_string(src) + "->" + to_string(dst),
+                      static_cast<std::uint64_t>(size), 0);
+    }
+    if (cb) cb(survives, elapsed);
+  };
+  return flows_.start(std::move(spec));
+}
+
+}  // namespace peerlab::net

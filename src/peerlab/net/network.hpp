@@ -1,0 +1,102 @@
+#pragma once
+
+// Network facade: the two planes the overlay sees.
+//
+//  * Control plane — send_datagram(): small advisory messages
+//    (petitions, confirmations, heartbeats, adverts). Delay is
+//    propagation + the *destination's* control-plane responsiveness
+//    (the quantity the paper's Figure 2 measures per peer: a loaded
+//    PlanetLab sliver takes seconds to react). Datagrams can be lost;
+//    callers that need reliability run a timer (ReliableChannel).
+//
+//  * Data plane — start_message(): one bulk JXTA message moved by the
+//    fluid FlowScheduler, rate-capped by the large-message degradation
+//    model, and subject to whole-message loss: a lost message wastes a
+//    random fraction of its transfer time before failing, which is why
+//    retransmitting a 100 MB monolith is so much worse than a 6.25 MB
+//    part.
+
+#include <functional>
+#include <utility>
+
+#include "peerlab/common/ids.hpp"
+#include "peerlab/common/units.hpp"
+#include "peerlab/net/degradation.hpp"
+#include "peerlab/net/flow_scheduler.hpp"
+#include "peerlab/net/topology.hpp"
+#include "peerlab/sim/simulator.hpp"
+#include "peerlab/sim/trace.hpp"
+
+namespace peerlab::net {
+
+struct NetworkConfig {
+  FlowSchedulerConfig flows{};
+  DegradationModel degradation{};
+  /// Floor loss probability for any datagram, on top of size-dependent
+  /// loss (models UDP-ish advisory traffic over the wide area).
+  double datagram_loss = 0.001;
+  /// Serialization allowance per control datagram.
+  Seconds datagram_serialization = 0.001;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, Topology topology, NetworkConfig config = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] Topology& topology() noexcept { return topology_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] FlowScheduler& flows() noexcept { return flows_; }
+  [[nodiscard]] const FlowScheduler& flows() const noexcept { return flows_; }
+  [[nodiscard]] const DegradationModel& degradation() const noexcept {
+    return config_.degradation;
+  }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+
+  /// Sends a control datagram. `on_delivered` fires at the arrival
+  /// instant, or never if the datagram is lost.
+  void send_datagram(NodeId src, NodeId dst, Bytes size, std::function<void()> on_delivered);
+
+  /// Moves one bulk message. `on_done(ok, elapsed)` fires when the
+  /// message lands (ok = true) or when a loss aborts it part-way
+  /// (ok = false); `elapsed` is measured from this call either way.
+  /// Returns the flow id for cancellation; the id refers to the
+  /// underlying flow once it starts.
+  FlowId start_message(NodeId src, NodeId dst, Bytes size,
+                       std::function<void(bool ok, Seconds elapsed)> on_done);
+
+  /// Cancels an in-flight message; its callback never fires.
+  void cancel_message(FlowId id) { flows_.cancel(id); }
+
+  /// Samples the end-to-end delay of one control datagram without
+  /// sending (used by models estimating responsiveness).
+  [[nodiscard]] Seconds sample_control_delay(NodeId src, NodeId dst);
+
+  /// Attaches (or detaches with nullptr) an event tracer; the network
+  /// records datagram and bulk-message milestones while one is set.
+  void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] sim::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// Statistics for tests and reporting.
+  [[nodiscard]] std::uint64_t datagrams_sent() const noexcept { return datagrams_sent_; }
+  [[nodiscard]] std::uint64_t datagrams_lost() const noexcept { return datagrams_lost_; }
+  [[nodiscard]] std::uint64_t messages_started() const noexcept { return messages_started_; }
+  [[nodiscard]] std::uint64_t messages_lost() const noexcept { return messages_lost_; }
+
+ private:
+  sim::Simulator& sim_;
+  Topology topology_;
+  NetworkConfig config_;
+  FlowScheduler flows_;
+  sim::Rng loss_rng_;
+  sim::Tracer* tracer_ = nullptr;
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t datagrams_lost_ = 0;
+  std::uint64_t messages_started_ = 0;
+  std::uint64_t messages_lost_ = 0;
+};
+
+}  // namespace peerlab::net

@@ -1,0 +1,38 @@
+#include "peerlab/net/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::net {
+
+Node::Node(NodeId id, NodeProfile profile, sim::Rng rng)
+    : id_(id), profile_(std::move(profile)), rng_(rng) {
+  PEERLAB_CHECK_MSG(profile_.cpu_ghz > 0.0, "node needs positive cpu speed");
+  PEERLAB_CHECK_MSG(profile_.uplink_mbps > 0.0 && profile_.downlink_mbps > 0.0,
+                    "node needs positive access bandwidth");
+  PEERLAB_CHECK_MSG(profile_.control_delay_mean > 0.0, "control delay mean must be positive");
+}
+
+Seconds Node::sample_control_delay() {
+  return rng_.lognormal_mean(profile_.control_delay_mean, profile_.control_delay_sigma);
+}
+
+double Node::sample_load() {
+  const double load = profile_.base_load + rng_.normal(0.0, profile_.load_jitter);
+  return std::clamp(load, 0.0, 0.97);
+}
+
+GigaHertz Node::sample_effective_speed() {
+  const double available = 1.0 - sample_load();
+  return profile_.cpu_ghz * std::max(available, 0.03);
+}
+
+double Node::delivery_probability(Bytes size) const noexcept {
+  const double mb = to_megabytes(size);
+  const double survive = std::pow(1.0 - std::clamp(profile_.loss_per_megabyte, 0.0, 0.999), mb);
+  return std::clamp(survive, 0.0, 1.0);
+}
+
+}  // namespace peerlab::net

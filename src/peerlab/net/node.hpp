@@ -1,0 +1,84 @@
+#pragma once
+
+// Simulated wide-area hosts (our stand-in for PlanetLab nodes).
+//
+// A NodeProfile captures everything the experiments need about a host:
+// where it is (for propagation delay), how responsive its control plane
+// is (PlanetLab slivers share a machine with ~100 others, so petition
+// handling can take seconds on a loaded node), its access bandwidth,
+// compute speed under background load, loss behaviour and its advertised
+// price for the economic selection model.
+
+#include <string>
+
+#include "peerlab/common/ids.hpp"
+#include "peerlab/common/units.hpp"
+#include "peerlab/net/geo.hpp"
+#include "peerlab/sim/rng.hpp"
+
+namespace peerlab::net {
+
+struct NodeProfile {
+  std::string hostname;
+  std::string site;
+  std::string country;
+  GeoPoint location{};
+
+  /// Nominal clock of the sliver's share of the machine.
+  GigaHertz cpu_ghz = 1.0;
+  /// Concurrent task slots (PlanetLab-era nodes were single/dual core).
+  int cpu_slots = 1;
+  /// Mean fraction of the CPU eaten by co-located slivers.
+  double base_load = 0.2;
+  /// Std-dev of the load fluctuation sampled per task.
+  double load_jitter = 0.1;
+
+  MbitPerSec uplink_mbps = 10.0;
+  MbitPerSec downlink_mbps = 10.0;
+
+  /// Mean time for the node's overlay daemon to notice and answer a
+  /// control-plane request (a transfer petition, a task offer). This is
+  /// the quantity Figure 2 of the paper measures per peer.
+  Seconds control_delay_mean = 0.05;
+  /// Lognormal sigma of the control-plane delay.
+  double control_delay_sigma = 0.35;
+
+  /// Per-megabyte Bernoulli loss folded over a message: a message of m
+  /// megabytes survives with probability (1 - loss)^m. Models JXTA
+  /// relay drops and sliver restarts.
+  double loss_per_megabyte = 0.002;
+
+  /// Price per CPU-second the peer advertises (economic model input).
+  double price_per_cpu_second = 1.0;
+};
+
+/// A live node: profile plus its private random stream, so per-node
+/// stochastic draws never interleave across nodes.
+class Node {
+ public:
+  Node(NodeId id, NodeProfile profile, sim::Rng rng);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const NodeProfile& profile() const noexcept { return profile_; }
+
+  /// Samples the time the node takes to react to one control message.
+  [[nodiscard]] Seconds sample_control_delay();
+
+  /// Samples the instantaneous background load in [0, 0.97].
+  [[nodiscard]] double sample_load();
+
+  /// Samples the effective compute speed for one task execution.
+  [[nodiscard]] GigaHertz sample_effective_speed();
+
+  /// Survival probability of a `size`-byte message on this destination.
+  [[nodiscard]] double delivery_probability(Bytes size) const noexcept;
+
+  [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
+
+ private:
+  NodeId id_;
+  NodeProfile profile_;
+  sim::Rng rng_;
+};
+
+}  // namespace peerlab::net

@@ -1,0 +1,52 @@
+#include "peerlab/net/topology.hpp"
+
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/net/geo.hpp"
+
+namespace peerlab::net {
+
+NodeId Topology::add_node(NodeProfile profile) {
+  const NodeId id = ids_.next();
+  PEERLAB_CHECK_MSG(by_hostname_.find(profile.hostname) == by_hostname_.end(),
+                    "duplicate hostname: " + profile.hostname);
+  by_hostname_.emplace(profile.hostname, id);
+  nodes_.push_back(std::make_unique<Node>(id, std::move(profile), rng_.fork(id.value())));
+  return id;
+}
+
+Node& Topology::node(NodeId id) {
+  PEERLAB_CHECK_MSG(contains(id), "unknown " + to_string(id));
+  return *nodes_[id.value() - 1];
+}
+
+const Node& Topology::node(NodeId id) const {
+  PEERLAB_CHECK_MSG(contains(id), "unknown " + to_string(id));
+  return *nodes_[id.value() - 1];
+}
+
+bool Topology::contains(NodeId id) const noexcept {
+  return id.valid() && id.value() <= nodes_.size();
+}
+
+std::vector<NodeId> Topology::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& n : nodes_) ids.push_back(n->id());
+  return ids;
+}
+
+NodeId Topology::find_by_hostname(const std::string& hostname) const noexcept {
+  const auto it = by_hostname_.find(hostname);
+  return it == by_hostname_.end() ? NodeId{} : it->second;
+}
+
+Seconds Topology::propagation(NodeId a, NodeId b) const {
+  if (a == b) {
+    return 0.0002;  // loopback through the local stack
+  }
+  return propagation_delay(node(a).profile().location, node(b).profile().location);
+}
+
+}  // namespace peerlab::net

@@ -1,0 +1,48 @@
+#pragma once
+
+// Topology: the set of nodes plus pairwise propagation delays. The
+// wide-area path between two PlanetLab sites is modelled as
+// access-link -> long-haul fiber -> access-link; the shared-capacity
+// part (the access links) lives in FlowScheduler, the distance part
+// here.
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "peerlab/common/ids.hpp"
+#include "peerlab/net/node.hpp"
+#include "peerlab/sim/rng.hpp"
+
+namespace peerlab::net {
+
+class Topology {
+ public:
+  /// `rng` seeds the per-node streams (stream key = node id), so node
+  /// draws are independent and insertion-order stable.
+  explicit Topology(const sim::Rng& rng) : rng_(rng) {}
+
+  /// Adds a host; returns its id. Ids are dense and start at 1.
+  NodeId add_node(NodeProfile profile);
+
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] bool contains(NodeId id) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::vector<NodeId> node_ids() const;
+
+  /// Looks a node up by hostname; invalid id when absent.
+  [[nodiscard]] NodeId find_by_hostname(const std::string& hostname) const noexcept;
+
+  /// One-way propagation delay between the two nodes' sites.
+  [[nodiscard]] Seconds propagation(NodeId a, NodeId b) const;
+
+ private:
+  sim::Rng rng_;
+  IdAllocator<NodeId> ids_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
+  std::unordered_map<std::string, NodeId> by_hostname_;
+};
+
+}  // namespace peerlab::net

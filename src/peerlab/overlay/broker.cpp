@@ -1,0 +1,234 @@
+#include "peerlab/overlay/broker.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/common/log.hpp"
+
+namespace peerlab::overlay {
+
+BrokerPeer::BrokerPeer(transport::TransportFabric& fabric, NodeId node,
+                       OverlayDirectories& directories, BrokerConfig config)
+    : endpoint_(fabric.attach(node)),
+      node_(node),
+      directories_(directories),
+      config_(config),
+      rendezvous_(fabric.simulator()),
+      discovery_(endpoint_, directories.rendezvous, peer_of(node), node),
+      membership_(endpoint_, directories.groups, peer_of(node), node),
+      history_(config.history_capacity),
+      model_(std::make_unique<core::BlindModel>()),
+      select_channel_(endpoint_, transport::MessageType::kSelectRequest,
+                      transport::MessageType::kSelectResponse) {
+  PEERLAB_CHECK_MSG(config_.heartbeat_interval > 0.0, "heartbeat interval must be positive");
+  directories_.rendezvous.enroll(node_, rendezvous_);
+  directories_.groups.enroll(node_, groups_);
+  discovery_.serve_rendezvous_queries();
+  membership_.serve_registry();
+  select_channel_.serve([this](const transport::Message& m) { serve_selection(m); });
+  endpoint_.set_handler(transport::MessageType::kHeartbeat,
+                        [this](const transport::Message& m) { on_heartbeat(m); });
+  endpoint_.set_handler(transport::MessageType::kStatsReport,
+                        [this](const transport::Message& m) { on_stats_report(m); });
+}
+
+BrokerPeer::~BrokerPeer() {
+  directories_.rendezvous.withdraw(node_);
+  directories_.groups.withdraw(node_);
+  endpoint_.clear_handler(transport::MessageType::kHeartbeat);
+  endpoint_.clear_handler(transport::MessageType::kStatsReport);
+}
+
+stats::PeerStatistics& BrokerPeer::statistics_for(PeerId peer) {
+  auto it = statistics_.find(peer);
+  if (it == statistics_.end()) {
+    it = statistics_.emplace(peer, stats::PeerStatistics(config_.stats_window)).first;
+  }
+  return it->second;
+}
+
+const stats::PeerStatistics* BrokerPeer::find_statistics(PeerId peer) const {
+  const auto it = statistics_.find(peer);
+  return it == statistics_.end() ? nullptr : &it->second;
+}
+
+const BrokerPeer::ClientRecord* BrokerPeer::client(PeerId peer) const {
+  const auto it = clients_.find(peer);
+  return it == clients_.end() ? nullptr : &it->second;
+}
+
+std::vector<PeerId> BrokerPeer::registered_clients() const {
+  std::vector<PeerId> out;
+  out.reserve(clients_.size());
+  for (const auto& [peer, record] : clients_) out.push_back(peer);
+  return out;
+}
+
+bool BrokerPeer::online(PeerId peer) const {
+  const ClientRecord* record = client(peer);
+  if (record == nullptr) return false;
+  const Seconds silence = sim().now() - record->last_seen;
+  return silence <= config_.heartbeat_interval * config_.offline_after_missed;
+}
+
+void BrokerPeer::set_selection_model(std::unique_ptr<core::SelectionModel> model) {
+  PEERLAB_CHECK_MSG(model != nullptr, "selection model must not be null");
+  model_ = std::move(model);
+}
+
+std::vector<core::PeerSnapshot> BrokerPeer::snapshot_group() const {
+  std::vector<core::PeerSnapshot> snapshots;
+  snapshots.reserve(clients_.size());
+  const auto& topology = endpoint_.fabric().network().topology();
+  for (const auto& [peer, record] : clients_) {
+    core::PeerSnapshot snap;
+    snap.peer = peer;
+    snap.node = record.node;
+    const auto& profile = topology.node(record.node).profile();
+    snap.hostname = profile.hostname;
+    snap.cpu_ghz = profile.cpu_ghz;
+    snap.price_per_cpu_second = profile.price_per_cpu_second;
+    snap.online = online(peer);
+    snap.idle = record.idle;
+    snap.queued_tasks = record.backlog;
+    snap.active_transfers = record.pending_transfers;
+    const auto stats_it = statistics_.find(peer);
+    snap.statistics = stats_it == statistics_.end() ? nullptr : &stats_it->second;
+    snap.history = &history_;
+    snapshots.push_back(std::move(snap));
+  }
+  return snapshots;
+}
+
+PeerId BrokerPeer::select_peer(const core::SelectionContext& context) {
+  const auto snapshots = snapshot_group();
+  return model_->select(snapshots, context);
+}
+
+std::vector<PeerId> BrokerPeer::select_peers(const core::SelectionContext& context,
+                                             std::size_t k) {
+  const auto snapshots = snapshot_group();
+  return model_->select_k(snapshots, context, k);
+}
+
+void BrokerPeer::apply_stats(const StatsDelta& delta) {
+  if (!delta.subject.valid()) return;
+  ++reports_;
+  auto& s = statistics_for(delta.subject);
+  const Seconds now = sim().now();
+  for (int i = 0; i < delta.msg_ok; ++i) s.record_message(now, true);
+  for (int i = 0; i < delta.msg_fail; ++i) s.record_message(now, false);
+  for (int i = 0; i < delta.task_accept; ++i) s.record_task_accept(true);
+  for (int i = 0; i < delta.task_reject; ++i) s.record_task_accept(false);
+  for (int i = 0; i < delta.exec_ok; ++i) s.record_task_execution(true);
+  for (int i = 0; i < delta.exec_fail; ++i) s.record_task_execution(false);
+  for (int i = 0; i < delta.file_done; ++i) s.record_file(stats::FileOutcome::kCompleted);
+  for (int i = 0; i < delta.file_cancel; ++i) s.record_file(stats::FileOutcome::kCancelled);
+  for (int i = 0; i < delta.file_fail; ++i) s.record_file(stats::FileOutcome::kFailed);
+  if (delta.outbox_sample >= 0.0) s.sample_outbox(delta.outbox_sample);
+  if (delta.inbox_sample >= 0.0) s.sample_inbox(delta.inbox_sample);
+  if (delta.pending_transfers >= 0) s.set_pending_transfers(delta.pending_transfers);
+  for (const Seconds t : delta.response_times) {
+    history_.record_response_time(delta.subject, t);
+  }
+  for (const auto& record : delta.task_records) history_.record_task(record);
+  for (const auto& record : delta.transfer_records) history_.record_transfer(record);
+}
+
+void BrokerPeer::begin_session() {
+  for (auto& [peer, s] : statistics_) s.begin_session();
+}
+
+void BrokerPeer::on_heartbeat(const transport::Message& m) {
+  ++heartbeats_;
+  const PeerId peer(m.correlation);
+  auto [it, inserted] = clients_.try_emplace(peer);
+  ClientRecord& record = it->second;
+  if (inserted) {
+    record.peer = peer;
+    record.node = m.src;
+    record.first_seen = sim().now();
+    PEERLAB_LOG(kInfo, "broker") << "registered " << to_string(peer) << " on "
+                                 << to_string(m.src);
+  }
+  record.last_seen = sim().now();
+  record.backlog = static_cast<int>(m.seq);
+  record.pending_transfers = static_cast<int>(m.arg / 2);
+  record.idle = (m.arg % 2) == 1;
+}
+
+void BrokerPeer::on_stats_report(const transport::Message& m) {
+  const StatsDelta delta =
+      directories_.stats_reports.claim(static_cast<std::uint64_t>(m.arg));
+  apply_stats(delta);
+}
+
+void BrokerPeer::federate_with(NodeId peer_broker) {
+  PEERLAB_CHECK_MSG(peer_broker.valid() && peer_broker != node_,
+                    "cannot federate with self or nothing");
+  if (std::find(peer_brokers_.begin(), peer_brokers_.end(), peer_broker) !=
+      peer_brokers_.end()) {
+    return;
+  }
+  peer_brokers_.push_back(peer_broker);
+  // Replace the plain local resolver with the federated one (idempotent
+  // to re-install on every federate_with call).
+  discovery_.serve_rendezvous_queries(
+      [this](const jxta::AdvertisementQuery& query, std::int64_t hop,
+             std::function<void(std::vector<jxta::Advertisement>)> done) {
+        auto local = rendezvous_.query(query);
+        // Forwarded queries (hop != 0) must not fan out again.
+        if (!local.empty() || hop != 0 || peer_brokers_.empty()) {
+          done(std::move(local));
+          return;
+        }
+        ++federated_queries_;
+        forward_query(query, 0, std::make_shared<std::vector<jxta::Advertisement>>(),
+                      std::move(done));
+      });
+}
+
+void BrokerPeer::forward_query(const jxta::AdvertisementQuery& query, std::size_t peer_index,
+                               std::shared_ptr<std::vector<jxta::Advertisement>> accumulated,
+                               std::function<void(std::vector<jxta::Advertisement>)> done) {
+  if (peer_index >= peer_brokers_.size()) {
+    done(std::move(*accumulated));
+    return;
+  }
+  // The discovery service's rendezvous pointer is only read while the
+  // request is being issued; re-point, fire, restore.
+  discovery_.set_rendezvous(peer_brokers_[peer_index]);
+  discovery_.query_remote(
+      query, /*hop=*/1,
+      [this, query, peer_index, accumulated, done](std::vector<jxta::Advertisement> found) {
+        for (auto& adv : found) accumulated->push_back(std::move(adv));
+        if (!accumulated->empty()) {
+          done(std::move(*accumulated));  // first non-empty hop wins
+          return;
+        }
+        forward_query(query, peer_index + 1, accumulated, done);
+      });
+  discovery_.set_rendezvous(node_);
+}
+
+void BrokerPeer::serve_selection(const transport::Message& m) {
+  ++selections_served_;
+  // Peek, not claim: the client's channel may retransmit this request.
+  core::SelectionContext context;
+  if (const auto* parked = directories_.selection_contexts.peek(m.correlation)) {
+    context = *parked;
+  }
+  const auto k = static_cast<std::size_t>(std::max<std::int64_t>(1, m.arg));
+  const auto selected = select_peers(context, k);
+  if (auto* tracer = endpoint_.fabric().network().tracer()) {
+    tracer->record(sim().now(), sim::TraceCategory::kSelection, "selection-served",
+                   model_->name(), k, selected.size());
+  }
+  const std::uint64_t ticket = directories_.selections.park(selected);
+  endpoint_.reply(m, transport::MessageType::kSelectResponse,
+                  static_cast<std::int64_t>(ticket));
+}
+
+}  // namespace peerlab::overlay

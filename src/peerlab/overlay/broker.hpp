@@ -1,0 +1,142 @@
+#pragma once
+
+// BrokerPeer — the "governor of the P2P network" (Section 3).
+//
+// The broker hosts the JXTA rendezvous index and the peergroup
+// registry, keeps the per-peer statistics and the peergroup's
+// historical data, tracks client liveness through heartbeats, and
+// answers peer-selection requests with whichever SelectionModel is
+// plugged in. Clients talk to it exclusively over the simulated
+// control plane; structured payloads ride the directories' ticket
+// stores.
+
+#include <memory>
+
+#include "peerlab/core/blind.hpp"
+#include "peerlab/core/selection_model.hpp"
+#include "peerlab/overlay/directories.hpp"
+#include "peerlab/transport/reliable_channel.hpp"
+
+namespace peerlab::overlay {
+
+struct BrokerConfig {
+  /// Clients heartbeat at this period; a client silent for
+  /// `offline_after_missed` periods is considered offline.
+  Seconds heartbeat_interval = 30.0;
+  double offline_after_missed = 3.5;
+  /// Span of the "last k hours" statistics window.
+  Seconds stats_window = 4.0 * 3600.0;
+  /// History records kept per peer.
+  std::size_t history_capacity = 256;
+};
+
+class BrokerPeer {
+ public:
+  BrokerPeer(transport::TransportFabric& fabric, NodeId node, OverlayDirectories& directories,
+             BrokerConfig config = {});
+  ~BrokerPeer();
+
+  BrokerPeer(const BrokerPeer&) = delete;
+  BrokerPeer& operator=(const BrokerPeer&) = delete;
+
+  [[nodiscard]] PeerId id() const noexcept { return peer_of(node_); }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+  // ---- hosted subsystems ----
+  [[nodiscard]] jxta::RendezvousIndex& rendezvous() noexcept { return rendezvous_; }
+  [[nodiscard]] jxta::PeerGroupRegistry& groups() noexcept { return groups_; }
+  [[nodiscard]] const jxta::PeerGroupRegistry& groups() const noexcept { return groups_; }
+  /// Current simulated time as the broker sees it.
+  [[nodiscard]] Seconds now() const noexcept { return sim().now(); }
+  [[nodiscard]] stats::HistoryStore& history() noexcept { return history_; }
+  [[nodiscard]] const stats::HistoryStore& history() const noexcept { return history_; }
+  [[nodiscard]] jxta::DiscoveryService& discovery() noexcept { return discovery_; }
+
+  /// Statistics record for a peer (created on first touch).
+  [[nodiscard]] stats::PeerStatistics& statistics_for(PeerId peer);
+  [[nodiscard]] const stats::PeerStatistics* find_statistics(PeerId peer) const;
+
+  // ---- client registry ----
+  struct ClientRecord {
+    PeerId peer;
+    NodeId node;
+    Seconds first_seen = 0.0;
+    Seconds last_seen = 0.0;
+    int backlog = 0;
+    bool idle = true;
+    int pending_transfers = 0;
+  };
+  [[nodiscard]] const ClientRecord* client(PeerId peer) const;
+  [[nodiscard]] std::vector<PeerId> registered_clients() const;
+  [[nodiscard]] bool online(PeerId peer) const;
+
+  // ---- selection ----
+  /// Plugs in a model; the broker starts with the blind baseline.
+  void set_selection_model(std::unique_ptr<core::SelectionModel> model);
+  [[nodiscard]] core::SelectionModel& selection_model() noexcept { return *model_; }
+
+  /// Materializes the current view of every registered client.
+  [[nodiscard]] std::vector<core::PeerSnapshot> snapshot_group() const;
+
+  /// Local (zero-latency) selection; the wire path goes through the
+  /// kSelectRequest handler.
+  [[nodiscard]] PeerId select_peer(const core::SelectionContext& context);
+  [[nodiscard]] std::vector<PeerId> select_peers(const core::SelectionContext& context,
+                                                 std::size_t k);
+
+  /// Applies one batch of client observations (also invoked directly
+  /// by in-process tests).
+  void apply_stats(const StatsDelta& delta);
+
+  /// Starts a fresh statistics session for every known peer.
+  void begin_session();
+
+  // ---- broker federation ----
+  /// Federates with another broker: discovery queries that miss the
+  /// local rendezvous are forwarded one hop to peer brokers and the
+  /// first non-empty answer wins. Registration, statistics, groups and
+  /// selection remain per-broker (each broker governs its own edge
+  /// peers), matching JXTA-Overlay's multiple-broker deployment.
+  void federate_with(NodeId peer_broker);
+  [[nodiscard]] const std::vector<NodeId>& peer_brokers() const noexcept {
+    return peer_brokers_;
+  }
+  [[nodiscard]] std::uint64_t federated_queries() const noexcept {
+    return federated_queries_;
+  }
+
+  [[nodiscard]] std::uint64_t heartbeats_received() const noexcept { return heartbeats_; }
+  [[nodiscard]] std::uint64_t reports_applied() const noexcept { return reports_; }
+  [[nodiscard]] std::uint64_t selections_served() const noexcept { return selections_served_; }
+
+ private:
+  void on_heartbeat(const transport::Message& m);
+  void on_stats_report(const transport::Message& m);
+  void serve_selection(const transport::Message& m);
+  void forward_query(const jxta::AdvertisementQuery& query, std::size_t peer_index,
+                     std::shared_ptr<std::vector<jxta::Advertisement>> accumulated,
+                     std::function<void(std::vector<jxta::Advertisement>)> done);
+
+  [[nodiscard]] sim::Simulator& sim() const noexcept { return endpoint_.fabric().simulator(); }
+
+  transport::Endpoint& endpoint_;
+  NodeId node_;
+  OverlayDirectories& directories_;
+  BrokerConfig config_;
+  jxta::RendezvousIndex rendezvous_;
+  jxta::PeerGroupRegistry groups_;
+  jxta::DiscoveryService discovery_;
+  jxta::GroupMembership membership_;
+  stats::HistoryStore history_;
+  std::unique_ptr<core::SelectionModel> model_;
+  transport::ReliableChannel select_channel_;
+  std::map<PeerId, ClientRecord> clients_;
+  std::map<PeerId, stats::PeerStatistics> statistics_;
+  std::vector<NodeId> peer_brokers_;
+  std::uint64_t federated_queries_ = 0;
+  std::uint64_t heartbeats_ = 0;
+  std::uint64_t reports_ = 0;
+  std::uint64_t selections_served_ = 0;
+};
+
+}  // namespace peerlab::overlay

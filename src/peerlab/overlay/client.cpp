@@ -1,0 +1,125 @@
+#include "peerlab/overlay/client.hpp"
+
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::overlay {
+
+const char* to_string(ClientKind kind) noexcept {
+  switch (kind) {
+    case ClientKind::kSimpleClient: return "simpleclient";
+    case ClientKind::kGuiClient: return "client";
+  }
+  return "?";
+}
+
+ClientPeer::ClientPeer(transport::TransportFabric& fabric, NodeId node, NodeId broker_node,
+                       OverlayDirectories& directories, ClientConfig config)
+    : endpoint_(fabric.attach(node)),
+      node_(node),
+      broker_node_(broker_node),
+      directories_(directories),
+      config_(config),
+      discovery_(endpoint_, directories.rendezvous, peer_of(node), broker_node),
+      pipes_(endpoint_, discovery_, directories.pipes),
+      membership_(endpoint_, directories.groups, peer_of(node), broker_node),
+      executor_(fabric.simulator(), fabric.network().topology().node(node), config.executor),
+      select_channel_(endpoint_, transport::MessageType::kSelectRequest,
+                      transport::MessageType::kSelectResponse) {
+  PEERLAB_CHECK_MSG(config_.heartbeat_interval > 0.0, "heartbeat interval must be positive");
+  PEERLAB_CHECK_MSG(node != broker_node, "client must not share the broker's node");
+  auto reporter = [this](StatsDelta delta) { report(std::move(delta)); };
+  files_ = std::make_unique<FileService>(endpoint_, directories, reporter);
+  task_service_ = std::make_unique<TaskService>(endpoint_, executor_, *files_, reporter);
+  messaging_ = std::make_unique<MessagingService>(endpoint_, reporter);
+}
+
+ClientPeer::~ClientPeer() { heartbeat_timer_.cancel(); }
+
+void ClientPeer::start() {
+  if (started_) return;
+  started_ = true;
+  heartbeat();
+}
+
+void ClientPeer::stop() {
+  started_ = false;
+  heartbeat_timer_.cancel();
+}
+
+void ClientPeer::heartbeat() {
+  if (!started_) return;
+  ++heartbeats_sent_;
+  const auto& flows = endpoint_.fabric().network().flows();
+  const int pending = flows.downloads_at(node_);
+  const bool idle = executor_.idle();
+  endpoint_.send(broker_node_, transport::MessageType::kHeartbeat,
+                 /*correlation=*/id().value(),
+                 /*seq=*/static_cast<std::uint64_t>(executor_.backlog()),
+                 /*arg=*/static_cast<std::int64_t>(pending) * 2 + (idle ? 1 : 0));
+
+  // Self-observed queue pressure rides a stats report.
+  StatsDelta self;
+  self.subject = id();
+  self.outbox_sample = flows.uploads_at(node_);
+  self.inbox_sample = pending;
+  self.pending_transfers = pending;
+  report(std::move(self));
+
+  publish_advert();
+  heartbeat_timer_ =
+      sim().schedule_daemon(config_.heartbeat_interval, [this] { heartbeat(); });
+}
+
+void ClientPeer::publish_advert() {
+  const auto& profile =
+      endpoint_.fabric().network().topology().node(node_).profile();
+  jxta::Advertisement adv;
+  adv.kind = jxta::AdvertisementKind::kPeer;
+  adv.name = profile.hostname;
+  adv.home = node_;
+  adv.attributes["cpu_ghz"] = std::to_string(profile.cpu_ghz);
+  adv.attributes["price"] = std::to_string(profile.price_per_cpu_second);
+  adv.attributes["role"] = to_string(config_.kind);
+  discovery_.publish(std::move(adv), config_.advert_lifetime);
+}
+
+void ClientPeer::rehome(NodeId new_broker) {
+  PEERLAB_CHECK_MSG(new_broker.valid() && new_broker != node_,
+                    "client must re-home to a different node");
+  broker_node_ = new_broker;
+  discovery_.set_rendezvous(new_broker);
+  membership_.set_broker(new_broker);
+  // Announce immediately so the new broker registers us without
+  // waiting a full heartbeat period.
+  if (started_) {
+    heartbeat_timer_.cancel();
+    heartbeat();
+  }
+}
+
+void ClientPeer::request_selection(const core::SelectionContext& context, std::size_t k,
+                                   SelectionCallback done) {
+  PEERLAB_CHECK_MSG(static_cast<bool>(done), "selection callback required");
+  const std::uint64_t context_ticket = directories_.selection_contexts.park(context);
+  select_channel_.request(
+      broker_node_, context_ticket, static_cast<std::int64_t>(k),
+      [this, context_ticket, done = std::move(done)](const transport::RequestOutcome& outcome) {
+        directories_.selection_contexts.release(context_ticket);
+        if (!outcome.ok) {
+          done({});
+          return;
+        }
+        done(directories_.selections.claim(
+            static_cast<std::uint64_t>(outcome.response.arg)));
+      });
+}
+
+void ClientPeer::report(StatsDelta delta) {
+  const std::uint64_t ticket = directories_.stats_reports.park(std::move(delta));
+  endpoint_.send(broker_node_, transport::MessageType::kStatsReport, /*correlation=*/0, 0,
+                 static_cast<std::int64_t>(ticket));
+}
+
+}  // namespace peerlab::overlay

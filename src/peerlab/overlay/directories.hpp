@@ -1,0 +1,109 @@
+#pragma once
+
+// Shared in-process registries for one overlay deployment.
+//
+// The simulated control plane carries routing and small scalars but no
+// structured payloads, so structured data (stats deltas, selection
+// result lists) travels via parked tickets: the producer parks the
+// payload, the datagram carries the ticket, the consumer claims it at
+// the arrival instant. OverlayDirectories bundles those stores plus
+// the per-subsystem directories the lower layers already use.
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "peerlab/core/snapshot.hpp"
+#include "peerlab/jxta/discovery.hpp"
+#include "peerlab/jxta/peergroup.hpp"
+#include "peerlab/jxta/pipe.hpp"
+#include "peerlab/stats/history.hpp"
+#include "peerlab/transport/file_transfer.hpp"
+
+namespace peerlab::overlay {
+
+/// Batched observations a client reports to its broker. `subject` is
+/// the peer the observations are about (often not the reporter: the
+/// file sender observed the *receiver's* behaviour).
+struct StatsDelta {
+  PeerId subject;
+  int msg_ok = 0;
+  int msg_fail = 0;
+  int task_accept = 0;
+  int task_reject = 0;
+  int exec_ok = 0;
+  int exec_fail = 0;
+  int file_done = 0;
+  int file_cancel = 0;
+  int file_fail = 0;
+  std::vector<Seconds> response_times;
+  std::vector<stats::TaskRecord> task_records;
+  std::vector<stats::TransferRecord> transfer_records;
+  /// Self-reported queue samples; negative = not sampled.
+  double outbox_sample = -1.0;
+  double inbox_sample = -1.0;
+  int pending_transfers = -1;
+};
+
+/// FIFO-bounded ticket store for one payload type.
+template <typename T>
+class TicketStore {
+ public:
+  explicit TicketStore(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  std::uint64_t park(T payload) {
+    const std::uint64_t ticket = ++next_;
+    parked_.emplace(ticket, std::move(payload));
+    order_.push_back(ticket);
+    while (order_.size() > capacity_) {
+      parked_.erase(order_.front());
+      order_.pop_front();
+    }
+    return ticket;
+  }
+
+  /// Claims and removes; default-constructed T when unknown.
+  [[nodiscard]] T claim(std::uint64_t ticket) {
+    const auto it = parked_.find(ticket);
+    if (it == parked_.end()) return T{};
+    T payload = std::move(it->second);
+    parked_.erase(it);
+    return payload;
+  }
+
+  /// Reads without removing (for retransmission-idempotent protocols).
+  [[nodiscard]] const T* peek(std::uint64_t ticket) const {
+    const auto it = parked_.find(ticket);
+    return it == parked_.end() ? nullptr : &it->second;
+  }
+
+  void release(std::uint64_t ticket) { parked_.erase(ticket); }
+
+  [[nodiscard]] bool contains(std::uint64_t ticket) const {
+    return parked_.count(ticket) > 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, T> parked_;
+  std::deque<std::uint64_t> order_;
+  std::uint64_t next_ = 0;
+};
+
+struct OverlayDirectories {
+  transport::FileTransferDirectory transfers;
+  jxta::RendezvousDirectory rendezvous;
+  jxta::PipeDirectory pipes;
+  jxta::PeerGroupDirectory groups;
+  TicketStore<StatsDelta> stats_reports;
+  TicketStore<std::vector<PeerId>> selections;
+  TicketStore<core::SelectionContext> selection_contexts;
+};
+
+/// peerlab convention: exactly one overlay peer per node, with the
+/// peer id numerically equal to its node id. Keeps addressing
+/// deterministic without a resolution protocol in every code path.
+[[nodiscard]] constexpr PeerId peer_of(NodeId node) noexcept { return PeerId(node.value()); }
+[[nodiscard]] constexpr NodeId node_of(PeerId peer) noexcept { return NodeId(peer.value()); }
+
+}  // namespace peerlab::overlay

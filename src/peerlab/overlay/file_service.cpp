@@ -1,0 +1,120 @@
+#include "peerlab/overlay/file_service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::overlay {
+
+FileService::FileService(transport::Endpoint& endpoint, OverlayDirectories& directories,
+                         Reporter reporter)
+    : peer_(endpoint, directories.transfers), reporter_(std::move(reporter)) {
+  PEERLAB_CHECK_MSG(static_cast<bool>(reporter_), "file service needs a reporter");
+}
+
+TransferId FileService::send_file(PeerId dst, const transport::FileTransferConfig& config,
+                                  Completion done) {
+  ++started_;
+  return peer_.send_file(
+      node_of(dst), config, [this, dst, done = std::move(done)](
+                                const transport::TransferResult& result) {
+        StatsDelta delta;
+        delta.subject = dst;
+        if (result.complete) {
+          ++completed_;
+          delta.file_done = 1;
+          stats::TransferRecord record;
+          record.transfer = result.id;
+          record.peer = dst;
+          record.size = 0;
+          for (const auto& part : result.parts) record.size += part.size;
+          record.duration = result.transmission_time();
+          record.petition_time = result.petition_time();
+          record.ok = true;
+          delta.transfer_records.push_back(record);
+          delta.response_times.push_back(result.petition_time());
+        } else if (cancelled_.erase(result.id.value()) > 0) {
+          delta.file_cancel = 1;
+        } else {
+          delta.file_fail = 1;
+        }
+        reporter_(std::move(delta));
+        if (done) done(result);
+      });
+}
+
+void FileService::cancel(TransferId id) {
+  cancelled_.insert(id.value());
+  peer_.cancel(id);
+}
+
+void FileService::distribute(Bytes file_size, int parts, const std::vector<PeerId>& peers,
+                             const transport::FileTransferConfig& base,
+                             DistributionCallback done) {
+  PEERLAB_CHECK_MSG(file_size > 0 && parts >= 1, "distribution needs a file and parts");
+  PEERLAB_CHECK_MSG(!peers.empty(), "distribution needs at least one peer");
+  PEERLAB_CHECK_MSG(static_cast<bool>(done), "completion callback required");
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    for (std::size_t j = i + 1; j < peers.size(); ++j) {
+      PEERLAB_CHECK_MSG(peers[i] != peers[j], "distribution peers must be distinct");
+    }
+  }
+
+  const Bytes part_size = file_size / parts;
+  PEERLAB_CHECK_MSG(part_size > 0, "more parts than bytes");
+
+  auto result = std::make_shared<DistributionResult>();
+  result->started = std::numeric_limits<Seconds>::infinity();
+  // Round-robin part assignment; the last share absorbs the remainder.
+  std::map<PeerId, int> share_parts;
+  for (int p = 0; p < parts; ++p) {
+    share_parts[peers[static_cast<std::size_t>(p) % peers.size()]] += 1;
+  }
+  Bytes assigned = 0;
+  std::vector<std::pair<PeerId, Bytes>> shares;
+  for (const auto& [peer, n] : share_parts) {
+    shares.emplace_back(peer, static_cast<Bytes>(n) * part_size);
+    assigned += static_cast<Bytes>(n) * part_size;
+  }
+  shares.back().second += file_size - assigned;  // rounding remainder
+
+  auto outstanding = std::make_shared<int>(static_cast<int>(shares.size()));
+  auto finish_one = [this, result, outstanding, done](const PeerId peer, int n,
+                                                      const transport::TransferResult& r) {
+    DistributionResult::PeerShare share;
+    share.peer = peer;
+    share.parts = n;
+    share.bytes = 0;
+    for (const auto& part : r.parts) share.bytes += part.size;
+    share.complete = r.complete;
+    share.petition_time = r.petition_time();
+    share.transmission_time = r.transmission_time();
+    result->started = std::min(result->started, r.started);
+    result->shares.push_back(share);
+    if (--*outstanding == 0) {
+      result->complete = true;
+      for (const auto& s : result->shares) result->complete &= s.complete;
+      result->finished = r.finished;
+      // Deterministic share order for consumers.
+      std::sort(result->shares.begin(), result->shares.end(),
+                [](const auto& a, const auto& b) { return a.peer < b.peer; });
+      done(*result);
+    }
+  };
+
+  for (const auto& [peer, bytes] : shares) {
+    const int n = share_parts[peer];
+    transport::FileTransferConfig cfg = base;
+    cfg.file_size = bytes;
+    cfg.parts = n;
+    send_file(peer, cfg, [peer = peer, n, finish_one](const transport::TransferResult& r) {
+      finish_one(peer, n, r);
+    });
+  }
+}
+
+}  // namespace peerlab::overlay

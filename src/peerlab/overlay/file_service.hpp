@@ -1,0 +1,74 @@
+#pragma once
+
+// File sharing & transmission primitive. Wraps the transport-level
+// petition/part/confirm protocol and feeds the broker the observations
+// the selection models need: per-peer petition times, achieved rates,
+// and completed/cancelled/failed outcomes.
+
+#include <functional>
+
+#include "peerlab/overlay/directories.hpp"
+#include "peerlab/transport/file_transfer.hpp"
+
+namespace peerlab::overlay {
+
+class FileService {
+ public:
+  /// `report` sends one StatsDelta towards the broker (the owning
+  /// client provides its reporting path).
+  using Reporter = std::function<void(StatsDelta)>;
+
+  FileService(transport::Endpoint& endpoint, OverlayDirectories& directories,
+              Reporter reporter);
+
+  FileService(const FileService&) = delete;
+  FileService& operator=(const FileService&) = delete;
+
+  using Completion = std::function<void(const transport::TransferResult&)>;
+
+  /// Sends a file to another peer; reports the outcome to the broker.
+  TransferId send_file(PeerId dst, const transport::FileTransferConfig& config,
+                       Completion done);
+
+  /// Cancels an outgoing transfer (recorded as a cancellation).
+  void cancel(TransferId id);
+
+  /// Scatter distribution: the file's parts are spread round-robin
+  /// over `peers` and each peer's share is sent as one concurrent
+  /// multi-part transfer — the workload behind the paper's Figure 6.
+  struct DistributionResult {
+    bool complete = false;
+    Seconds started = 0.0;
+    Seconds finished = 0.0;
+    struct PeerShare {
+      PeerId peer;
+      int parts = 0;
+      Bytes bytes = 0;
+      bool complete = false;
+      Seconds petition_time = 0.0;
+      Seconds transmission_time = 0.0;
+    };
+    std::vector<PeerShare> shares;
+
+    [[nodiscard]] Seconds makespan() const noexcept { return finished - started; }
+  };
+  using DistributionCallback = std::function<void(const DistributionResult&)>;
+
+  /// `base` supplies the protocol knobs; its file_size/parts fields
+  /// are overridden per share. `peers` must be non-empty and distinct.
+  void distribute(Bytes file_size, int parts, const std::vector<PeerId>& peers,
+                  const transport::FileTransferConfig& base, DistributionCallback done);
+
+  [[nodiscard]] transport::FileTransferPeer& transfer_peer() noexcept { return peer_; }
+  [[nodiscard]] std::uint64_t transfers_started() const noexcept { return started_; }
+  [[nodiscard]] std::uint64_t transfers_completed() const noexcept { return completed_; }
+
+ private:
+  transport::FileTransferPeer peer_;
+  Reporter reporter_;
+  std::set<std::uint64_t> cancelled_;  // TransferId values we cancelled
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace peerlab::overlay

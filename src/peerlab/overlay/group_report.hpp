@@ -1,0 +1,52 @@
+#pragma once
+
+// Resource-statistics interface: "statistics about the peers, the
+// peergroups, the brokers and the clients" (Section 3). A GroupReport
+// is the broker's aggregated view at one instant — the operator-facing
+// companion of the per-peer PeerStatistics the selection models read.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "peerlab/common/ids.hpp"
+#include "peerlab/common/units.hpp"
+
+namespace peerlab::overlay {
+
+class BrokerPeer;
+
+struct GroupReport {
+  struct PeerLine {
+    PeerId peer;
+    std::string hostname;
+    bool online = false;
+    bool idle = true;
+    int backlog = 0;
+    int pending_transfers = 0;
+    double msg_success_pct = 100.0;
+    double task_exec_pct = 100.0;
+    double file_sent_pct = 100.0;
+    std::optional<Seconds> mean_execution_time;
+    std::optional<Seconds> mean_response_time;
+    std::optional<MbitPerSec> mean_transfer_rate;
+  };
+
+  Seconds generated_at = 0.0;
+  NodeId broker_node;
+  std::size_t registered = 0;
+  std::size_t online = 0;
+  std::size_t groups = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t selections_served = 0;
+  std::vector<PeerLine> peers;
+
+  /// Operator-facing ASCII rendering.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Builds the report from a broker's current state.
+[[nodiscard]] GroupReport make_group_report(const BrokerPeer& broker);
+
+}  // namespace peerlab::overlay

@@ -1,0 +1,48 @@
+#include "peerlab/overlay/messaging.hpp"
+
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::overlay {
+
+namespace {
+transport::RetryPolicy chat_retry() {
+  transport::RetryPolicy p;
+  p.initial_timeout = 20.0;
+  p.backoff = 1.5;
+  p.max_attempts = 3;
+  return p;
+}
+}  // namespace
+
+MessagingService::MessagingService(transport::Endpoint& endpoint, Reporter reporter)
+    : endpoint_(endpoint),
+      reporter_(std::move(reporter)),
+      chat_channel_(endpoint, transport::MessageType::kChat, transport::MessageType::kChatAck,
+                    chat_retry()) {
+  PEERLAB_CHECK_MSG(static_cast<bool>(reporter_), "messaging needs a reporter");
+  chat_channel_.serve([this](const transport::Message& m) {
+    ++received_;
+    endpoint_.reply(m, transport::MessageType::kChatAck);
+    if (listener_) listener_(peer_of(m.src), m.arg);
+  });
+}
+
+void MessagingService::send(PeerId dst, std::int64_t tag, SendCallback done) {
+  PEERLAB_CHECK_MSG(dst.valid(), "chat needs a destination");
+  ++sent_;
+  chat_channel_.request(node_of(dst), /*correlation=*/0, tag,
+                        [this, dst, done = std::move(done)](
+                            const transport::RequestOutcome& outcome) {
+                          if (outcome.ok) ++delivered_;
+                          StatsDelta delta;
+                          delta.subject = dst;
+                          (outcome.ok ? delta.msg_ok : delta.msg_fail) = 1;
+                          if (outcome.ok) delta.response_times.push_back(outcome.elapsed);
+                          reporter_(std::move(delta));
+                          if (done) done(outcome.ok, outcome.elapsed);
+                        });
+}
+
+}  // namespace peerlab::overlay

@@ -1,0 +1,48 @@
+#pragma once
+
+// Instant communication primitive (JXTA-Overlay's peer-to-peer chat).
+// Reliable at-least-once delivery with app-level ack; outcomes feed the
+// broker's "percentage of successfully sent messages" criteria for the
+// *destination* peer — an unresponsive peer earns a bad messaging
+// record, which the data evaluator then sees.
+
+#include <functional>
+
+#include "peerlab/overlay/directories.hpp"
+#include "peerlab/transport/reliable_channel.hpp"
+
+namespace peerlab::overlay {
+
+class MessagingService {
+ public:
+  using Reporter = std::function<void(StatsDelta)>;
+  /// Invoked for every chat that arrives at this peer.
+  using Listener = std::function<void(PeerId from, std::int64_t tag)>;
+
+  MessagingService(transport::Endpoint& endpoint, Reporter reporter);
+
+  MessagingService(const MessagingService&) = delete;
+  MessagingService& operator=(const MessagingService&) = delete;
+
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+
+  using SendCallback = std::function<void(bool delivered, Seconds rtt)>;
+
+  /// Sends one instant message; `done` fires once (delivered or not).
+  void send(PeerId dst, std::int64_t tag, SendCallback done);
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+
+ private:
+  transport::Endpoint& endpoint_;
+  Reporter reporter_;
+  transport::ReliableChannel chat_channel_;
+  Listener listener_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace peerlab::overlay

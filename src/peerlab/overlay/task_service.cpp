@@ -1,0 +1,186 @@
+#include "peerlab/overlay/task_service.hpp"
+
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/common/log.hpp"
+
+namespace peerlab::overlay {
+
+namespace {
+// The offer's arg carries the task's work demand in megacycles.
+constexpr double kMegaPerGiga = 1000.0;
+
+transport::RetryPolicy offer_retry() {
+  transport::RetryPolicy p;
+  p.initial_timeout = 60.0;  // loaded peers answer slowly (Figure 2)
+  p.backoff = 1.5;
+  p.max_attempts = 4;
+  return p;
+}
+}  // namespace
+
+TaskService::TaskService(transport::Endpoint& endpoint, tasks::TaskExecutor& executor,
+                         FileService& files, Reporter reporter)
+    : endpoint_(endpoint),
+      executor_(executor),
+      files_(files),
+      reporter_(std::move(reporter)),
+      offer_channel_(endpoint, transport::MessageType::kTaskOffer,
+                     transport::MessageType::kTaskAccept, offer_retry()),
+      result_channel_(endpoint, transport::MessageType::kTaskResult,
+                      transport::MessageType::kTaskResultAck, offer_retry()) {
+  PEERLAB_CHECK_MSG(static_cast<bool>(reporter_), "task service needs a reporter");
+  offer_channel_.serve([this](const transport::Message& m) { on_offer(m); });
+  result_channel_.serve([this](const transport::Message& m) { on_result(m); });
+}
+
+TaskService::~TaskService() = default;
+
+TaskId TaskService::submit(const TaskSubmission& submission, Completion done) {
+  PEERLAB_CHECK_MSG(submission.executor.valid(), "submission needs an executor peer");
+  PEERLAB_CHECK_MSG(submission.work > 0.0, "submission needs positive work");
+  PEERLAB_CHECK_MSG(static_cast<bool>(done), "completion callback required");
+  PEERLAB_CHECK_MSG(submission.executor != peer_of(endpoint_.node()),
+                    "refusing self-submission");
+
+  const TaskId id = task_ids_.next();
+  const std::uint64_t corr = task_correlation(endpoint_.node(), id);
+  PendingSubmission p;
+  p.outcome.id = id;
+  p.outcome.executor = submission.executor;
+  p.outcome.submitted = sim().now();
+  p.submission = submission;
+  p.done = std::move(done);
+  pending_.emplace(corr, std::move(p));
+
+  if (submission.input_size > 0) {
+    transport::FileTransferConfig ft;
+    ft.file_size = submission.input_size;
+    ft.parts = submission.input_parts;
+    files_.send_file(submission.executor, ft,
+                     [this, corr](const transport::TransferResult& result) {
+                       auto it = pending_.find(corr);
+                       if (it == pending_.end()) return;
+                       it->second.outcome.input_sent = sim().now();
+                       if (!result.complete) {
+                         // No input, no task: report as not accepted.
+                         it->second.outcome.completed = sim().now();
+                         finish(corr);
+                         return;
+                       }
+                       send_offer(corr);
+                     });
+  } else {
+    auto it = pending_.find(corr);
+    it->second.outcome.input_sent = it->second.outcome.submitted;
+    send_offer(corr);
+  }
+  return id;
+}
+
+void TaskService::send_offer(std::uint64_t correlation) {
+  auto it = pending_.find(correlation);
+  PEERLAB_CHECK(it != pending_.end());
+  const auto work_mega =
+      static_cast<std::int64_t>(it->second.submission.work * kMegaPerGiga);
+  offer_channel_.request(
+      node_of(it->second.submission.executor), correlation, work_mega,
+      [this, correlation](const transport::RequestOutcome& outcome) {
+        auto pit = pending_.find(correlation);
+        if (pit == pending_.end()) return;
+        PendingSubmission& p = pit->second;
+        p.outcome.offer_acked = sim().now();
+        const bool accepted = outcome.ok && outcome.response.arg != 0;
+        p.outcome.accepted = accepted;
+
+        // Report what we observed about the executor peer: offer
+        // response time and the acceptance decision.
+        StatsDelta delta;
+        delta.subject = p.submission.executor;
+        if (outcome.ok) {
+          delta.response_times.push_back(outcome.elapsed);
+          (accepted ? delta.task_accept : delta.task_reject) = 1;
+        } else {
+          delta.msg_fail = 1;  // offer never answered
+        }
+        reporter_(std::move(delta));
+
+        if (!accepted) {
+          p.outcome.completed = sim().now();
+          finish(correlation);
+        }
+        // Otherwise wait for the kTaskResult message.
+      });
+}
+
+void TaskService::on_offer(const transport::Message& m) {
+  // Idempotence: a retransmitted offer must not enqueue a second task.
+  static_assert(sizeof(m.correlation) == 8);
+  if (const auto seen = seen_offers_.find(m.correlation); seen != seen_offers_.end()) {
+    endpoint_.reply(m, transport::MessageType::kTaskAccept, seen->second ? 1 : 0);
+    return;
+  }
+  ++offers_received_;
+  tasks::Task task;
+  task.id = TaskId(m.correlation & 0xFFFFFFull);
+  task.owner = peer_of(m.src);
+  task.work = static_cast<double>(m.arg) / kMegaPerGiga;
+  task.submitted = sim().now();
+
+  const std::uint64_t corr = m.correlation;
+  const NodeId submitter = m.src;
+  const bool accepted =
+      executor_.submit(task, [this, corr, submitter](const tasks::ExecutionReport& report) {
+        if (report.state == tasks::TaskState::kRejected) {
+          return;  // rejection was answered synchronously below
+        }
+        const bool ok = report.state == tasks::TaskState::kCompleted;
+        // Report the execution record to the broker (about ourselves).
+        StatsDelta delta;
+        delta.subject = peer_of(endpoint_.node());
+        (ok ? delta.exec_ok : delta.exec_fail) = 1;
+        stats::TaskRecord record;
+        record.task = report.task.id;
+        record.peer = peer_of(endpoint_.node());
+        record.submitted = report.accepted_at;
+        record.started = report.started_at;
+        record.finished = report.finished_at;
+        record.ok = ok;
+        record.work = report.task.work;
+        delta.task_records.push_back(record);
+        reporter_(std::move(delta));
+
+        // Ship the result back (reliable).
+        ++results_sent_;
+        const auto exec_us = static_cast<std::int64_t>(report.execution_time() * 1e6);
+        result_channel_.request(submitter, corr, ok ? exec_us : -1,
+                                [](const transport::RequestOutcome&) {
+                                  // Submitter unreachable: nothing more to do.
+                                });
+      });
+  if (accepted) ++offers_accepted_;
+  seen_offers_.emplace(m.correlation, accepted);
+  endpoint_.reply(m, transport::MessageType::kTaskAccept, accepted ? 1 : 0);
+}
+
+void TaskService::on_result(const transport::Message& m) {
+  endpoint_.reply(m, transport::MessageType::kTaskResultAck);
+  auto it = pending_.find(m.correlation);
+  if (it == pending_.end()) return;  // duplicate result
+  PendingSubmission& p = it->second;
+  p.outcome.ok = m.arg >= 0;
+  p.outcome.completed = sim().now();
+  finish(m.correlation);
+}
+
+void TaskService::finish(std::uint64_t correlation) {
+  auto it = pending_.find(correlation);
+  PEERLAB_CHECK(it != pending_.end());
+  const TaskOutcome outcome = it->second.outcome;
+  Completion done = std::move(it->second.done);
+  pending_.erase(it);
+  done(outcome);
+}
+
+}  // namespace peerlab::overlay

@@ -1,0 +1,106 @@
+#pragma once
+
+// Task management primitive: "users/applications on top of the overlay
+// submit executable tasks and receive results in turn".
+//
+// Submission flow (both ends of the wire are TaskService instances):
+//
+//   submitter                         executor
+//   ---------                         --------
+//   [input file via FileService]  ->  receives file
+//   task offer (reliable)         ->  queue accept/reject
+//               <- accept/reject ack
+//   ...                               executes (TaskExecutor)
+//               <- task result (reliable)
+//   reports acceptance + turnaround   reports execution record
+//   to broker                         to broker
+
+#include <functional>
+#include <map>
+
+#include "peerlab/overlay/file_service.hpp"
+#include "peerlab/tasks/executor.hpp"
+#include "peerlab/transport/reliable_channel.hpp"
+
+namespace peerlab::overlay {
+
+struct TaskSubmission {
+  PeerId executor;
+  GigaCycles work = 0.0;
+  /// Input payload shipped (16-part granularity) before the offer.
+  Bytes input_size = 0;
+  /// Parts used for the input transfer.
+  int input_parts = 16;
+};
+
+struct TaskOutcome {
+  TaskId id;
+  PeerId executor;
+  bool accepted = false;
+  bool ok = false;
+  Seconds submitted = 0.0;
+  Seconds input_sent = 0.0;  // == submitted when no input
+  Seconds offer_acked = 0.0;
+  Seconds completed = 0.0;
+
+  [[nodiscard]] Seconds turnaround() const noexcept { return completed - submitted; }
+  [[nodiscard]] Seconds input_transfer_time() const noexcept { return input_sent - submitted; }
+};
+
+class TaskService {
+ public:
+  using Reporter = std::function<void(StatsDelta)>;
+
+  /// `executor` runs accepted tasks on this node; `files` ships task
+  /// inputs; `reporter` is the path to the broker.
+  TaskService(transport::Endpoint& endpoint, tasks::TaskExecutor& executor,
+              FileService& files, Reporter reporter);
+  ~TaskService();
+
+  TaskService(const TaskService&) = delete;
+  TaskService& operator=(const TaskService&) = delete;
+
+  using Completion = std::function<void(const TaskOutcome&)>;
+
+  /// Submits a task to the given executor peer. `done` fires exactly
+  /// once.
+  TaskId submit(const TaskSubmission& submission, Completion done);
+
+  [[nodiscard]] std::uint64_t offers_received() const noexcept { return offers_received_; }
+  [[nodiscard]] std::uint64_t offers_accepted() const noexcept { return offers_accepted_; }
+  [[nodiscard]] std::uint64_t results_sent() const noexcept { return results_sent_; }
+
+ private:
+  struct PendingSubmission {
+    TaskOutcome outcome;
+    TaskSubmission submission;
+    Completion done;
+  };
+
+  void send_offer(std::uint64_t correlation);
+  void on_offer(const transport::Message& m);
+  void on_result(const transport::Message& m);
+  void finish(std::uint64_t correlation);
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return endpoint_.fabric().simulator(); }
+
+  transport::Endpoint& endpoint_;
+  tasks::TaskExecutor& executor_;
+  FileService& files_;
+  Reporter reporter_;
+  transport::ReliableChannel offer_channel_;
+  transport::ReliableChannel result_channel_;
+  IdAllocator<TaskId> task_ids_;
+  std::map<std::uint64_t, PendingSubmission> pending_;  // keyed by correlation
+  std::map<std::uint64_t, bool> seen_offers_;           // idempotent offer decisions
+  std::uint64_t offers_received_ = 0;
+  std::uint64_t offers_accepted_ = 0;
+  std::uint64_t results_sent_ = 0;
+};
+
+/// Correlation encoding for tasks (distinct space from transfers).
+[[nodiscard]] constexpr std::uint64_t task_correlation(NodeId node, TaskId task) noexcept {
+  return (1ull << 56) | (node.value() << 24) | task.value();
+}
+
+}  // namespace peerlab::overlay

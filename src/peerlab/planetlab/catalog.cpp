@@ -1,0 +1,60 @@
+#include "peerlab/planetlab/catalog.hpp"
+
+namespace peerlab::planetlab {
+
+const std::vector<CatalogEntry>& table1() {
+  static const std::vector<CatalogEntry> kEntries = {
+      {"ait05.us.es", "University of Seville", "ES", {37.38, -5.99}, 1},
+      {"planet01.hhi.fraunhofer.de", "Fraunhofer HHI, Berlin", "DE", {52.52, 13.40}, 0},
+      {"planet1.cs.huji.ac.il", "Hebrew University of Jerusalem", "IL", {31.78, 35.20}, 0},
+      {"planet1.manchester.ac.uk", "University of Manchester", "UK", {53.47, -2.23}, 0},
+      {"system18.ncl-ext.net", "Newcastle (external)", "UK", {54.98, -1.61}, 0},
+      {"planetlab1.net-research.org.uk", "UK net research", "UK", {51.51, -0.13}, 0},
+      {"planetlab01.cs.tcd.ie", "Trinity College Dublin", "IE", {53.34, -6.25}, 3},
+      {"planet2.scs.stanford.edu", "Stanford University", "US", {37.43, -122.17}, 0},
+      {"planetlab01.ethz.ch", "ETH Zurich", "CH", {47.38, 8.55}, 0},
+      {"planetlab1.ssvl.kth.se", "KTH Stockholm", "SE", {59.35, 18.07}, 8},
+      {"planetlab1.esi.ucm.es", "Universidad Complutense Madrid", "ES", {40.45, -3.73}, 0},
+      {"planetlab1.csg.unizh.ch", "University of Zurich", "CH", {47.37, 8.55}, 4},
+      {"planetlab1.poly.edu", "Polytechnic University, Brooklyn", "US", {40.69, -73.99}, 0},
+      {"planetlab1.cslab.ece.ntua.gr", "NTUA Athens", "GR", {37.98, 23.78}, 0},
+      {"planetlab2.ls.fi.upm.es", "Universidad Politecnica de Madrid", "ES", {40.41, -3.84}, 0},
+      {"planetlab1.eecs.iu-bremen.de", "Jacobs University Bremen", "DE", {53.17, 8.65}, 0},
+      {"planetlab2.upc.es", "UPC Barcelona", "ES", {41.39, 2.11}, 0},
+      {"planetlab1.hiit.fi", "HIIT Helsinki", "FI", {60.17, 24.94}, 2},
+      {"lsirextpc01.epfl.ch", "EPFL Lausanne", "CH", {46.52, 6.57}, 6},
+      {"planetlab5.upc.es", "UPC Barcelona", "ES", {41.39, 2.11}, 0},
+      {"ricepl1.cs.rice.edu", "Rice University, Houston", "US", {29.72, -95.40}, 0},
+      {"planetlab1.itwm.fhg.de", "Fraunhofer ITWM, Kaiserslautern", "DE", {49.43, 7.75}, 7},
+      {"planet2.seattle.intel-research.net", "Intel Research Seattle", "US", {47.61, -122.33}, 0},
+      {"planetlab1.informatik.unierlangen.de", "FAU Erlangen", "DE", {49.57, 11.03}, 0},
+      {"edi.tkn.tu-berlin.de", "TU Berlin TKN", "DE", {52.51, 13.32}, 5},
+  };
+  return kEntries;
+}
+
+const CatalogEntry& broker_host() {
+  static const CatalogEntry kBroker = {
+      "nozomi.lsi.upc.edu", "UPC Barcelona (cluster main node)", "ES", {41.39, 2.11}, 0};
+  return kBroker;
+}
+
+std::vector<CatalogEntry> simple_clients() {
+  std::vector<CatalogEntry> out(8);
+  for (const auto& entry : table1()) {
+    if (entry.simple_client_index > 0) {
+      out[static_cast<std::size_t>(entry.simple_client_index - 1)] = entry;
+    }
+  }
+  return out;
+}
+
+const CatalogEntry* find(const std::string& hostname) {
+  if (hostname == broker_host().hostname) return &broker_host();
+  for (const auto& entry : table1()) {
+    if (entry.hostname == hostname) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace peerlab::planetlab

@@ -1,0 +1,50 @@
+#pragma once
+
+// The paper's PlanetLab slice (Table 1): 25 nodes at European and US
+// sites, plus the nozomi.lsi.upc.edu cluster whose main node acted as
+// a broker. Coordinates are the host institutions' campuses; they feed
+// the propagation-delay model.
+
+#include <string>
+#include <vector>
+
+#include "peerlab/net/geo.hpp"
+
+namespace peerlab::planetlab {
+
+struct CatalogEntry {
+  std::string hostname;
+  std::string site;
+  std::string country;
+  net::GeoPoint location{};
+  /// 1..8 when the node served as SimpleClient SC1..SC8; 0 otherwise.
+  int simple_client_index = 0;
+};
+
+/// The 25 slice nodes of Table 1 (order: as listed in the paper,
+/// left column top-to-bottom then right column).
+[[nodiscard]] const std::vector<CatalogEntry>& table1();
+
+/// The broker host (nozomi.lsi.upc.edu main node, Barcelona).
+[[nodiscard]] const CatalogEntry& broker_host();
+
+/// The SC1..SC8 entries, in experiment order.
+[[nodiscard]] std::vector<CatalogEntry> simple_clients();
+
+/// Looks up a catalog entry by hostname; nullptr when absent.
+[[nodiscard]] const CatalogEntry* find(const std::string& hostname);
+
+/// Paper-reported reference numbers used by the benches' shape checks.
+namespace paper {
+/// Figure 2: mean petition-reception time per SC peer (seconds).
+inline constexpr double kPetitionSeconds[8] = {12.86, 0.04, 2.79, 0.07,
+                                               5.19,  0.35, 27.13, 0.06};
+/// Figure 5: average 16-part transmission time of a 100 MB file (min).
+inline constexpr double kSixteenPartMinutes = 1.7;
+/// Figure 6: per-part overhead (seconds) for {economic, same-priority,
+/// quick-peer} at 4 parts and the common value at 16 parts.
+inline constexpr double kFig6FourParts[3] = {0.16, 0.25, 0.33};
+inline constexpr double kFig6SixteenParts = 0.14;
+}  // namespace paper
+
+}  // namespace peerlab::planetlab

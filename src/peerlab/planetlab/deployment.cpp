@@ -1,0 +1,102 @@
+#include "peerlab/planetlab/deployment.hpp"
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::planetlab {
+
+Deployment::Deployment(sim::Simulator& sim, DeploymentOptions options)
+    : sim_(sim), options_(options) {
+  // Liveness detection only makes sense when the broker's notion of
+  // the heartbeat period matches what clients actually do.
+  options_.broker.heartbeat_interval = options_.client.heartbeat_interval;
+
+  PEERLAB_CHECK_MSG(options_.brokers >= 1, "deployment needs at least one broker");
+  net::Topology topo(sim.rng().fork(0x9EE20FABull));
+  std::vector<NodeId> broker_nodes;
+  broker_nodes.push_back(topo.add_node(broker_profile()));
+  for (int b = 1; b < options_.brokers; ++b) {
+    net::NodeProfile extra = broker_profile();
+    extra.hostname = "nozomi-b" + std::to_string(b + 1) + ".lsi.upc.edu";
+    extra.site = "UPC Barcelona (cluster node " + std::to_string(b + 1) + ")";
+    broker_nodes.push_back(topo.add_node(extra));
+  }
+
+  net::NodeProfile control_profile = broker_profile();
+  control_profile.hostname = "nozomi-c1.lsi.upc.edu";
+  control_profile.site = "UPC Barcelona (cluster compute node)";
+  const NodeId control_node = topo.add_node(control_profile);
+
+  std::vector<NodeId> client_nodes;
+  if (options_.full_slice) {
+    int ordinal = 0;
+    for (const auto& entry : table1()) {
+      net::NodeProfile profile = entry.simple_client_index > 0
+                                     ? simple_client_profile(entry.simple_client_index)
+                                     : slice_node_profile(entry, ordinal);
+      const NodeId node = topo.add_node(profile);
+      client_nodes.push_back(node);
+      if (entry.simple_client_index > 0) {
+        sc_nodes_[static_cast<std::size_t>(entry.simple_client_index - 1)] = node;
+      }
+      ++ordinal;
+    }
+  } else {
+    for (int i = 1; i <= 8; ++i) {
+      const NodeId node = topo.add_node(simple_client_profile(i));
+      client_nodes.push_back(node);
+      sc_nodes_[static_cast<std::size_t>(i - 1)] = node;
+    }
+  }
+
+  network_.emplace(sim_, std::move(topo), options_.network);
+  fabric_.emplace(*network_);
+  for (const NodeId node : broker_nodes) {
+    brokers_.push_back(std::make_unique<overlay::BrokerPeer>(*fabric_, node, directories_,
+                                                             options_.broker));
+  }
+  for (auto& a : brokers_) {
+    for (auto& b : brokers_) {
+      if (a->node() != b->node()) a->federate_with(b->node());
+    }
+  }
+  control_ = std::make_unique<overlay::ClientPeer>(*fabric_, control_node, broker_nodes[0],
+                                                   directories_, options_.client);
+  std::size_t assign = 0;
+  for (const NodeId node : client_nodes) {
+    const NodeId home = broker_nodes[assign++ % broker_nodes.size()];
+    clients_.push_back(std::make_unique<overlay::ClientPeer>(*fabric_, node, home,
+                                                             directories_, options_.client));
+  }
+}
+
+void Deployment::boot() {
+  for (auto& client : clients_) client->start();
+  const auto registered = [this] {
+    std::size_t n = 0;
+    for (const auto& broker : brokers_) n += broker->registered_clients().size();
+    return n;
+  };
+  // Heartbeats can be lost on lossy deployments; keep the clock moving
+  // until every client has registered (bounded patience).
+  const Seconds deadline = sim_.now() + 20.0 * options_.boot_time;
+  sim_.run_until(sim_.now() + options_.boot_time);
+  while (registered() < clients_.size() && sim_.now() < deadline) {
+    sim_.run_until(sim_.now() + options_.boot_time);
+  }
+  PEERLAB_CHECK_MSG(registered() == clients_.size(),
+                    "not every client registered during boot");
+}
+
+overlay::ClientPeer& Deployment::sc(int index) {
+  PEERLAB_CHECK_MSG(index >= 1 && index <= 8, "SimpleClient index must be 1..8");
+  const NodeId node = sc_nodes_[static_cast<std::size_t>(index - 1)];
+  for (auto& client : clients_) {
+    if (client->node() == node) return *client;
+  }
+  PEERLAB_CHECK_MSG(false, "SimpleClient not deployed");
+  throw InvariantError("unreachable");
+}
+
+PeerId Deployment::sc_peer(int index) { return sc(index).id(); }
+
+}  // namespace peerlab::planetlab

@@ -1,0 +1,81 @@
+#pragma once
+
+// Deployment builder: stands up the paper's testbed in one call —
+// broker on the nozomi cluster node, SC1..SC8 (or the full 25-node
+// slice) as SimpleClient peers, all wired through one simulated
+// network. Experiments and examples build on this.
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "peerlab/overlay/broker.hpp"
+#include "peerlab/overlay/client.hpp"
+#include "peerlab/overlay/primitives.hpp"
+#include "peerlab/planetlab/profiles.hpp"
+
+namespace peerlab::planetlab {
+
+struct DeploymentOptions {
+  /// false: broker + SC1..SC8 (the paper's experiment group).
+  /// true: broker + all 25 slice nodes (the paper's future-work scale).
+  bool full_slice = false;
+  /// Number of brokers ("the main node was used as ONE of the
+  /// brokers"). Clients are assigned round-robin; brokers federate
+  /// their rendezvous.
+  int brokers = 1;
+  net::NetworkConfig network{};
+  overlay::BrokerConfig broker{};
+  overlay::ClientConfig client{};
+  /// boot() runs the simulation this long so first heartbeats land
+  /// (SC7's control plane needs ~30 s).
+  Seconds boot_time = 60.0;
+};
+
+class Deployment {
+ public:
+  Deployment(sim::Simulator& sim, DeploymentOptions options = {});
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  /// Starts every client and advances the simulation until all have
+  /// registered at the broker.
+  void boot();
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return *network_; }
+  [[nodiscard]] transport::TransportFabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] overlay::OverlayDirectories& directories() noexcept { return directories_; }
+  /// The primary broker (nozomi main node).
+  [[nodiscard]] overlay::BrokerPeer& broker() noexcept { return *brokers_.front(); }
+  [[nodiscard]] std::size_t broker_count() const noexcept { return brokers_.size(); }
+  [[nodiscard]] overlay::BrokerPeer& broker_at(std::size_t i) { return *brokers_.at(i); }
+
+  /// The workload driver: a peer on a second nozomi cluster node that
+  /// originates transfers/tasks (like the paper's control machine).
+  /// It never heartbeats, so it is not a selection candidate.
+  [[nodiscard]] overlay::ClientPeer& control() noexcept { return *control_; }
+
+  /// SimpleClient SC`index` (1..8).
+  [[nodiscard]] overlay::ClientPeer& sc(int index);
+  [[nodiscard]] PeerId sc_peer(int index);
+  /// All clients (SCs first, then — in full-slice mode — the rest).
+  [[nodiscard]] std::size_t client_count() const noexcept { return clients_.size(); }
+  [[nodiscard]] overlay::ClientPeer& client(std::size_t i) { return *clients_.at(i); }
+
+  [[nodiscard]] const DeploymentOptions& options() const noexcept { return options_; }
+
+ private:
+  sim::Simulator& sim_;
+  DeploymentOptions options_;
+  overlay::OverlayDirectories directories_;
+  std::optional<net::Network> network_;
+  std::optional<transport::TransportFabric> fabric_;
+  std::vector<std::unique_ptr<overlay::BrokerPeer>> brokers_;
+  std::vector<std::unique_ptr<overlay::ClientPeer>> clients_;
+  std::unique_ptr<overlay::ClientPeer> control_;
+  std::array<NodeId, 8> sc_nodes_{};
+};
+
+}  // namespace peerlab::planetlab

@@ -1,0 +1,110 @@
+#include "peerlab/planetlab/profiles.hpp"
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::planetlab {
+
+namespace {
+
+struct Calibration {
+  Seconds petition_mean;
+  double petition_sigma;
+  MbitPerSec bandwidth;
+  GigaHertz cpu;
+  double load;
+  double jitter;
+  double loss_per_mb;
+  double price;
+};
+
+// SC1..SC8, calibrated against Figures 2-5 and 7 (see header).
+constexpr Calibration kSimpleClients[8] = {
+    // SC1 ait05.us.es: very slow control plane, decent bandwidth.
+    {12.86, 0.25, 9.0, 1.4, 0.45, 0.10, 0.004, 1.2},
+    // SC2 planetlab1.hiit.fi: snappy and fast.
+    {0.04, 0.35, 14.0, 2.0, 0.15, 0.05, 0.001, 2.0},
+    // SC3 planetlab01.cs.tcd.ie: sluggish control, mid bandwidth.
+    {2.79, 0.30, 9.0, 1.6, 0.35, 0.10, 0.003, 1.4},
+    // SC4 planetlab1.csg.unizh.ch: snappy and fast.
+    {0.07, 0.35, 14.0, 2.2, 0.15, 0.05, 0.001, 2.1},
+    // SC5 edi.tkn.tu-berlin.de: slow control, mid bandwidth.
+    {5.19, 0.28, 8.0, 1.5, 0.40, 0.12, 0.004, 1.3},
+    // SC6 lsirextpc01.epfl.ch: mild control delay, good bandwidth.
+    {0.35, 0.35, 13.0, 1.8, 0.20, 0.08, 0.002, 1.7},
+    // SC7 planetlab1.itwm.fhg.de: the straggler on every axis.
+    {27.13, 0.22, 4.0, 1.0, 0.75, 0.10, 0.008, 0.6},
+    // SC8 planetlab1.ssvl.kth.se: snappy and fast.
+    {0.06, 0.35, 15.0, 2.1, 0.15, 0.05, 0.001, 2.0},
+};
+
+net::NodeProfile from_calibration(const CatalogEntry& entry, const Calibration& c) {
+  net::NodeProfile p;
+  p.hostname = entry.hostname;
+  p.site = entry.site;
+  p.country = entry.country;
+  p.location = entry.location;
+  p.cpu_ghz = c.cpu;
+  p.cpu_slots = 1;
+  p.base_load = c.load;
+  p.load_jitter = c.jitter;
+  p.uplink_mbps = c.bandwidth;
+  p.downlink_mbps = c.bandwidth;
+  p.control_delay_mean = c.petition_mean;
+  p.control_delay_sigma = c.petition_sigma;
+  p.loss_per_megabyte = c.loss_per_mb;
+  p.price_per_cpu_second = c.price;
+  return p;
+}
+
+}  // namespace
+
+net::NodeProfile broker_profile() {
+  net::NodeProfile p;
+  const CatalogEntry& entry = broker_host();
+  p.hostname = entry.hostname;
+  p.site = entry.site;
+  p.country = entry.country;
+  p.location = entry.location;
+  p.cpu_ghz = 3.0;
+  p.cpu_slots = 4;
+  p.base_load = 0.05;
+  p.load_jitter = 0.02;
+  p.uplink_mbps = 100.0;
+  p.downlink_mbps = 100.0;
+  p.control_delay_mean = 0.01;
+  p.control_delay_sigma = 0.2;
+  p.loss_per_megabyte = 0.0005;
+  p.price_per_cpu_second = 3.0;
+  return p;
+}
+
+net::NodeProfile simple_client_profile(int index) {
+  PEERLAB_CHECK_MSG(index >= 1 && index <= 8, "SimpleClient index must be 1..8");
+  const auto clients = simple_clients();
+  return from_calibration(clients[static_cast<std::size_t>(index - 1)],
+                          kSimpleClients[index - 1]);
+}
+
+std::vector<net::NodeProfile> simple_client_profiles() {
+  std::vector<net::NodeProfile> out;
+  out.reserve(8);
+  for (int i = 1; i <= 8; ++i) out.push_back(simple_client_profile(i));
+  return out;
+}
+
+net::NodeProfile slice_node_profile(const CatalogEntry& entry, int ordinal) {
+  // Unremarkable heterogeneity for the non-SC population: parameters
+  // cycle deterministically with the ordinal.
+  Calibration c;
+  c.petition_mean = 0.05 + 0.4 * static_cast<double>(ordinal % 5);
+  c.petition_sigma = 0.35;
+  c.bandwidth = 5.0 + static_cast<double>(ordinal % 4) * 2.0;
+  c.cpu = 1.2 + 0.2 * static_cast<double>(ordinal % 5);
+  c.load = 0.15 + 0.1 * static_cast<double>(ordinal % 4);
+  c.jitter = 0.08;
+  c.loss_per_mb = 0.002;
+  c.price = 1.0 + 0.25 * static_cast<double>(ordinal % 5);
+  return from_calibration(entry, c);
+}
+
+}  // namespace peerlab::planetlab

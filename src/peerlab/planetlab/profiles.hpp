@@ -1,0 +1,41 @@
+#pragma once
+
+// Calibrated node profiles.
+//
+// The authors' testbed is gone, so we calibrate per-node performance
+// parameters to the paper's reported observations:
+//
+//  * control-plane responsiveness — means set to Figure 2's per-SC
+//    petition times (SC7 = 27.13 s, SC2 = 0.04 s, ...). PlanetLab
+//    slivers shared a machine with up to 100 others; a swamped sliver
+//    reacted to control traffic in tens of seconds.
+//  * access bandwidth — fast peers ~10 Mbit/s effective, intermediate
+//    4-6, SC7 ~2.5, so a 100 MB file in 16 parts averages ~1.7-2 min
+//    (Fig. 5) and SC7's last-MB time is several times the rest (Fig. 4).
+//  * CPU and background load — SC7 is also the compute straggler
+//    (Fig. 7): ~0.25 GHz effective vs 1.3-2.2 GHz for healthy peers.
+//  * prices (economic model) roughly track CPU speed, so "cheap and
+//    slow vs pricey and fast" is a real trade-off.
+//
+// Non-SC slice nodes get middle-of-the-road profiles derived from
+// their index, giving the full-slice ablation a heterogeneous but
+// unremarkable population.
+
+#include "peerlab/net/node.hpp"
+#include "peerlab/planetlab/catalog.hpp"
+
+namespace peerlab::planetlab {
+
+/// Profile of the broker host (well-provisioned cluster node).
+[[nodiscard]] net::NodeProfile broker_profile();
+
+/// Calibrated profile of SimpleClient `index` (1..8).
+[[nodiscard]] net::NodeProfile simple_client_profile(int index);
+
+/// All eight SC profiles, SC1..SC8.
+[[nodiscard]] std::vector<net::NodeProfile> simple_client_profiles();
+
+/// Profile of an arbitrary (non-SC) slice node.
+[[nodiscard]] net::NodeProfile slice_node_profile(const CatalogEntry& entry, int ordinal);
+
+}  // namespace peerlab::planetlab

@@ -1,0 +1,85 @@
+#include "peerlab/sim/event_queue.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::sim {
+
+bool EventHandle::pending() const noexcept {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+void EventHandle::cancel() noexcept {
+  if (state_ && !state_->cancelled && !state_->fired) {
+    state_->cancelled = true;
+    if (!state_->daemon && state_->regular_live) {
+      --*state_->regular_live;
+    }
+  }
+}
+
+EventHandle EventQueue::push(Seconds when, Action action, bool daemon) {
+  PEERLAB_CHECK_MSG(std::isfinite(when) && when >= 0.0, "event time must be finite and >= 0");
+  PEERLAB_CHECK_MSG(static_cast<bool>(action), "event action must be callable");
+  auto state = std::make_shared<EventHandle::State>();
+  state->daemon = daemon;
+  if (!daemon) {
+    state->regular_live = regular_live_;
+    ++*regular_live_;
+  }
+  heap_.push(Entry{when, next_seq_++, std::move(action), state});
+  ++live_;
+  return EventHandle(std::move(state));
+}
+
+void EventQueue::drop_dead() {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+    --live_;
+  }
+}
+
+bool EventQueue::empty() const noexcept {
+  // live_ counts non-cancelled entries... but cancel() happens on the
+  // handle without touching the queue, so recompute lazily.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_dead();
+  return heap_.empty();
+}
+
+Seconds EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_dead();
+  PEERLAB_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead();
+  PEERLAB_CHECK(!heap_.empty());
+  const Entry& top = heap_.top();
+  Fired fired{top.time, std::move(top.action)};
+  top.state->fired = true;
+  if (!top.state->daemon) {
+    --*regular_live_;
+  }
+  heap_.pop();
+  --live_;
+  return fired;
+}
+
+void EventQueue::clear() noexcept {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (!top.state->cancelled && !top.state->fired && !top.state->daemon) {
+      --*regular_live_;
+    }
+    top.state->cancelled = true;
+    heap_.pop();
+  }
+  live_ = 0;
+}
+
+}  // namespace peerlab::sim

@@ -1,0 +1,108 @@
+#pragma once
+
+// Pending-event set for the discrete-event engine.
+//
+// Events are (time, sequence, action). The sequence number makes ordering
+// total and FIFO among events scheduled for the same instant, which is
+// what makes simulations deterministic and replayable. Cancellation is
+// lazy: cancel() marks the handle and pop() skips dead entries, so both
+// operations stay O(log n) / O(1).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "peerlab/common/units.hpp"
+
+namespace peerlab::sim {
+
+using Action = std::function<void()>;
+
+/// Handle to a scheduled event; lets the scheduler cancel timers
+/// (e.g. a retransmission timer once the ack arrives).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True while the event is scheduled and not cancelled or fired.
+  [[nodiscard]] bool pending() const noexcept;
+
+  /// Cancels the event; safe to call repeatedly or on an empty handle.
+  void cancel() noexcept;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+    bool daemon = false;
+    /// Shared with the queue so cancelling a non-daemon event
+    /// immediately releases its claim on the run loop.
+    std::shared_ptr<std::int64_t> regular_live;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  /// Adds an event firing at absolute time `when`. Times must be finite
+  /// and non-negative; the caller (Simulator) enforces monotonicity
+  /// against the clock. Daemon events (periodic heartbeats,
+  /// housekeeping timers) do not keep a run() alive: the run loop exits
+  /// once only daemon events remain.
+  EventHandle push(Seconds when, Action action, bool daemon = false);
+
+  /// True if no live (non-cancelled) event remains.
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// True while at least one live non-daemon event remains.
+  [[nodiscard]] bool has_work() const noexcept { return *regular_live_ > 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  /// Time of the earliest live event; undefined when empty().
+  [[nodiscard]] Seconds next_time() const;
+
+  /// Removes and returns the earliest live event's action and time.
+  /// Precondition: !empty().
+  struct Fired {
+    Seconds time = 0.0;
+    Action action;
+  };
+  Fired pop();
+
+  /// Drops every pending event (end of simulation teardown).
+  void clear() noexcept;
+
+  /// Total number of events ever pushed (telemetry for microbenches).
+  [[nodiscard]] std::uint64_t total_pushed() const noexcept { return next_seq_; }
+
+ private:
+  struct Entry {
+    Seconds time = 0.0;
+    std::uint64_t seq = 0;
+    // Heap entries own the action; shared state only carries liveness
+    // flags so cancelled closures release captured resources lazily.
+    mutable Action action;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::shared_ptr<std::int64_t> regular_live_ = std::make_shared<std::int64_t>(0);
+};
+
+}  // namespace peerlab::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+// Streaming summary statistics and a fixed-bin histogram, used by the
+// experiment harness to aggregate repetition results and by the stats
+// module for windowed averages' sanity checks.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace peerlab::sim {
+
+/// Online mean/variance (Welford) plus min/max. O(1) per sample.
+class Summary {
+ public:
+  void add(double x) noexcept;
+  void merge(const Summary& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width bins over [lo, hi); out-of-range samples clamp to the
+/// edge bins so totals are conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+
+  /// Linear-interpolated quantile estimate, q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Compact ASCII rendering for logs.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace peerlab::sim

@@ -1,0 +1,96 @@
+#include "peerlab/sim/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::sim {
+
+namespace {
+// splitmix64: decorrelates fork streams from the parent seed.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+Rng Rng::fork(std::uint64_t stream) const noexcept {
+  // Mix the engine's current seed-derived identity with the stream key.
+  // We cannot read the engine state portably, so fold the stream into a
+  // fresh seed derived from a copy's next output.
+  auto copy = engine_;
+  const std::uint64_t base = copy();
+  return Rng(splitmix64(base ^ splitmix64(stream)));
+}
+
+double Rng::uniform(double lo, double hi) {
+  PEERLAB_DCHECK(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  PEERLAB_DCHECK(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(clamped);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  PEERLAB_DCHECK(sigma >= 0.0);
+  if (sigma == 0.0) return mean;
+  std::normal_distribution<double> dist(mean, sigma);
+  return dist(engine_);
+}
+
+double Rng::lognormal_mean(double mean, double sigma_log) {
+  PEERLAB_CHECK_MSG(mean > 0.0, "lognormal mean must be positive");
+  PEERLAB_DCHECK(sigma_log >= 0.0);
+  if (sigma_log == 0.0) return mean;
+  // E[lognormal(mu, s)] = exp(mu + s^2/2)  =>  mu = ln(mean) - s^2/2.
+  const double mu = std::log(mean) - 0.5 * sigma_log * sigma_log;
+  std::lognormal_distribution<double> dist(mu, sigma_log);
+  return dist(engine_);
+}
+
+double Rng::exponential(double mean) {
+  PEERLAB_CHECK_MSG(mean > 0.0, "exponential mean must be positive");
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+double Rng::pareto(double lo, double hi, double alpha) {
+  PEERLAB_CHECK_MSG(lo > 0.0 && hi > lo && alpha > 0.0, "bad bounded-pareto parameters");
+  // Inverse CDF of the bounded Pareto.
+  const double u = uniform(0.0, 1.0);
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  return std::clamp(x, lo, hi);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  PEERLAB_CHECK_MSG(!weights.empty(), "weighted_index needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    PEERLAB_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  PEERLAB_CHECK_MSG(total > 0.0, "weights must not all be zero");
+  double pick = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace peerlab::sim

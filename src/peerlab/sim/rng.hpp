@@ -1,0 +1,67 @@
+#pragma once
+
+// Deterministic random source with the distributions the network and
+// workload models need. Wraps one mt19937_64 per simulation; fork()
+// derives independent streams (e.g. one per node) so adding a draw in
+// one component does not perturb another's sequence.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "peerlab/common/units.hpp"
+
+namespace peerlab::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed == 0 ? 0x9E3779B97F4A7C15ull : seed) {}
+
+  /// Derives an independent stream keyed by `stream`; deterministic in
+  /// (seed, stream).
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Normal draw; sigma >= 0.
+  double normal(double mean, double sigma);
+
+  /// Lognormal parameterized by its *actual* mean and the sigma of the
+  /// underlying normal — the natural way to say "mean latency 12.86 s
+  /// with moderate spread".
+  double lognormal_mean(double mean, double sigma_log);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha (heavy-tailed sizes).
+  double pareto(double lo, double hi, double alpha);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Raw engine access for std distributions in tests.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace peerlab::sim

@@ -1,0 +1,42 @@
+#include "peerlab/sim/simulator.hpp"
+
+#include <cmath>
+
+namespace peerlab::sim {
+
+std::uint64_t Simulator::run_until(Seconds horizon) {
+  stopped_ = false;
+  const bool bounded = std::isfinite(horizon);
+  std::uint64_t ran = 0;
+  // Unbounded runs stop once only daemon events remain; bounded runs
+  // fire daemons too, up to the horizon.
+  while (!stopped_ && !queue_.empty() && (bounded || queue_.has_work()) &&
+         queue_.next_time() <= horizon) {
+    auto fired = queue_.pop();
+    PEERLAB_CHECK_MSG(fired.time >= now_, "event queue went backwards");
+    now_ = fired.time;
+    fired.action();
+    ++ran;
+  }
+  if (std::isfinite(horizon) && now_ < horizon && !stopped_) {
+    now_ = horizon;
+  }
+  executed_ += ran;
+  return ran;
+}
+
+std::uint64_t Simulator::step(std::uint64_t count) {
+  stopped_ = false;
+  std::uint64_t ran = 0;
+  while (!stopped_ && ran < count && !queue_.empty()) {
+    auto fired = queue_.pop();
+    PEERLAB_CHECK_MSG(fired.time >= now_, "event queue went backwards");
+    now_ = fired.time;
+    fired.action();
+    ++ran;
+  }
+  executed_ += ran;
+  return ran;
+}
+
+}  // namespace peerlab::sim

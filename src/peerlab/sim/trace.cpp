@@ -1,0 +1,93 @@
+#include "peerlab/sim/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::sim {
+
+const char* to_string(TraceCategory category) noexcept {
+  switch (category) {
+    case TraceCategory::kNetwork: return "network";
+    case TraceCategory::kTransport: return "transport";
+    case TraceCategory::kOverlay: return "overlay";
+    case TraceCategory::kTask: return "task";
+    case TraceCategory::kSelection: return "selection";
+    case TraceCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  PEERLAB_CHECK_MSG(capacity_ > 0, "tracer needs capacity");
+}
+
+void Tracer::record(Seconds time, TraceCategory category, std::string label,
+                    std::string detail, std::uint64_t a, std::uint64_t b) {
+  ++recorded_;
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  TraceEvent event;
+  event.time = time;
+  event.category = category;
+  event.label = std::move(label);
+  event.detail = std::move(detail);
+  event.a = a;
+  event.b = b;
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::by_category(TraceCategory category) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.category == category) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::by_label(const std::string& label) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.label == label) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t Tracer::count(TraceCategory category) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += (e.category == category) ? 1 : 0;
+  return n;
+}
+
+std::size_t Tracer::count_label(const std::string& label) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += (e.label == label) ? 1 : 0;
+  return n;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+std::string Tracer::csv() const {
+  std::ostringstream out;
+  out << "time,category,label,detail,a,b\n";
+  for (const auto& e : events_) {
+    out << e.time << ',' << to_string(e.category) << ',' << e.label << ',' << e.detail
+        << ',' << e.a << ',' << e.b << '\n';
+  }
+  return out.str();
+}
+
+void Tracer::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  PEERLAB_CHECK_MSG(file.good(), "cannot open " + path);
+  file << csv();
+}
+
+}  // namespace peerlab::sim

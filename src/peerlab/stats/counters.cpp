@@ -1,0 +1,3 @@
+#include "peerlab/stats/counters.hpp"
+
+// Header-only arithmetic; this translation unit anchors the library.

@@ -1,0 +1,62 @@
+#pragma once
+
+// Counter primitives behind the paper's data-evaluator criteria:
+// success ratios ("percentage of successfully sent messages"), and
+// running averages ("average number of messages in the outbox queue").
+
+#include <cstdint>
+
+namespace peerlab::stats {
+
+/// Success/total ratio reported as a percentage. A peer with no
+/// history yet reports the caller-provided neutral value so brand-new
+/// peers are neither favoured nor punished by cost models.
+class RatioCounter {
+ public:
+  void record(bool ok) noexcept {
+    ++total_;
+    ok_ += ok ? 1u : 0u;
+  }
+
+  void reset() noexcept { ok_ = total_ = 0; }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t successes() const noexcept { return ok_; }
+
+  [[nodiscard]] double percent(double when_empty = 100.0) const noexcept {
+    if (total_ == 0) return when_empty;
+    return 100.0 * static_cast<double>(ok_) / static_cast<double>(total_);
+  }
+
+ private:
+  std::uint64_t ok_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Streaming mean of sampled values (queue lengths at observation
+/// instants). Also remembers the latest sample ("now" criteria).
+class SampledAverage {
+ public:
+  void sample(double value) noexcept {
+    last_ = value;
+    ++count_;
+    mean_ += (value - mean_) / static_cast<double>(count_);
+  }
+
+  void reset() noexcept {
+    last_ = 0.0;
+    mean_ = 0.0;
+    count_ = 0;
+  }
+
+  [[nodiscard]] double last() const noexcept { return last_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  double last_ = 0.0;
+  double mean_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace peerlab::stats

@@ -1,0 +1,130 @@
+#include "peerlab/stats/history.hpp"
+
+#include <algorithm>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::stats {
+
+MbitPerSec TransferRecord::achieved_rate() const noexcept {
+  return rate_for(size, duration);
+}
+
+HistoryStore::HistoryStore(std::size_t per_peer_capacity) : capacity_(per_peer_capacity) {
+  PEERLAB_CHECK_MSG(capacity_ > 0, "history needs capacity");
+}
+
+void HistoryStore::record_task(const TaskRecord& record) {
+  PEERLAB_CHECK_MSG(record.peer.valid(), "task record needs a peer");
+  PEERLAB_CHECK_MSG(record.finished >= record.started && record.started >= record.submitted,
+                    "task record times out of order");
+  auto& records = tasks_[record.peer];
+  records.push_back(record);
+  bound(records);
+}
+
+void HistoryStore::record_transfer(const TransferRecord& record) {
+  PEERLAB_CHECK_MSG(record.peer.valid(), "transfer record needs a peer");
+  auto& records = transfers_[record.peer];
+  records.push_back(record);
+  bound(records);
+}
+
+void HistoryStore::record_response_time(PeerId peer, Seconds elapsed) {
+  PEERLAB_CHECK_MSG(peer.valid() && elapsed >= 0.0, "bad response-time record");
+  auto& records = responses_[peer];
+  records.push_back(elapsed);
+  bound(records);
+}
+
+namespace {
+/// Averages f over the last `last_n` entries of `records` that satisfy
+/// `use`; nullopt when none qualify.
+template <typename T, typename Use, typename Extract>
+std::optional<double> tail_mean(const std::deque<T>& records, std::size_t last_n, Use use,
+                                Extract extract) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = records.rbegin(); it != records.rend() && n < last_n; ++it) {
+    if (!use(*it)) continue;
+    sum += extract(*it);
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+}  // namespace
+
+std::optional<Seconds> HistoryStore::mean_execution_time(PeerId peer, std::size_t last_n) const {
+  const auto it = tasks_.find(peer);
+  if (it == tasks_.end()) return std::nullopt;
+  return tail_mean(
+      it->second, last_n, [](const TaskRecord& r) { return r.ok; },
+      [](const TaskRecord& r) { return r.execution_time(); });
+}
+
+std::optional<GigaHertz> HistoryStore::mean_effective_speed(PeerId peer,
+                                                            std::size_t last_n) const {
+  const auto it = tasks_.find(peer);
+  if (it == tasks_.end()) return std::nullopt;
+  return tail_mean(
+      it->second, last_n,
+      [](const TaskRecord& r) { return r.ok && r.execution_time() > 0.0 && r.work > 0.0; },
+      [](const TaskRecord& r) { return r.work / r.execution_time(); });
+}
+
+std::optional<MbitPerSec> HistoryStore::mean_transfer_rate(PeerId peer,
+                                                           std::size_t last_n) const {
+  const auto it = transfers_.find(peer);
+  if (it == transfers_.end()) return std::nullopt;
+  return tail_mean(
+      it->second, last_n,
+      [](const TransferRecord& r) { return r.ok && r.duration > 0.0; },
+      [](const TransferRecord& r) { return r.achieved_rate(); });
+}
+
+std::optional<Seconds> HistoryStore::mean_response_time(PeerId peer, std::size_t last_n) const {
+  const auto it = responses_.find(peer);
+  if (it == responses_.end()) return std::nullopt;
+  return tail_mean(
+      it->second, last_n, [](Seconds) { return true; }, [](Seconds s) { return s; });
+}
+
+double HistoryStore::task_success_rate(PeerId peer) const {
+  const auto it = tasks_.find(peer);
+  if (it == tasks_.end() || it->second.empty()) return 1.0;
+  const auto ok = std::count_if(it->second.begin(), it->second.end(),
+                                [](const TaskRecord& r) { return r.ok; });
+  return static_cast<double>(ok) / static_cast<double>(it->second.size());
+}
+
+std::vector<TaskRecord> HistoryStore::tasks_for(PeerId peer) const {
+  const auto it = tasks_.find(peer);
+  if (it == tasks_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<TransferRecord> HistoryStore::transfers_for(PeerId peer) const {
+  const auto it = transfers_.find(peer);
+  if (it == transfers_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::size_t HistoryStore::task_count(PeerId peer) const {
+  const auto it = tasks_.find(peer);
+  return it == tasks_.end() ? 0 : it->second.size();
+}
+
+std::vector<PeerId> HistoryStore::known_peers() const {
+  std::vector<PeerId> peers;
+  auto add = [&peers](PeerId p) {
+    if (std::find(peers.begin(), peers.end(), p) == peers.end()) peers.push_back(p);
+  };
+  for (const auto& [peer, records] : tasks_) add(peer);
+  for (const auto& [peer, records] : transfers_) add(peer);
+  for (const auto& [peer, records] : responses_) add(peer);
+  std::sort(peers.begin(), peers.end());
+  return peers;
+}
+
+}  // namespace peerlab::stats

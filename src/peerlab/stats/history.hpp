@@ -1,0 +1,91 @@
+#pragma once
+
+// Historical data kept by broker peers for their peergroup — the input
+// to the scheduling-based (economic) selection model: "the estimated
+// [ready] time is computed by the broker peers based on historical data
+// kept for the peergroup", and to the user-preference model's notion of
+// which peers were quick in past submissions.
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "peerlab/common/ids.hpp"
+#include "peerlab/common/units.hpp"
+
+namespace peerlab::stats {
+
+struct TaskRecord {
+  TaskId task;
+  PeerId peer;
+  Seconds submitted = 0.0;
+  Seconds started = 0.0;
+  Seconds finished = 0.0;
+  bool ok = false;
+  GigaCycles work = 0.0;
+
+  [[nodiscard]] Seconds execution_time() const noexcept { return finished - started; }
+  [[nodiscard]] Seconds turnaround() const noexcept { return finished - submitted; }
+};
+
+struct TransferRecord {
+  TransferId transfer;
+  PeerId peer;
+  Bytes size = 0;
+  Seconds duration = 0.0;
+  Seconds petition_time = 0.0;
+  bool ok = false;
+
+  [[nodiscard]] MbitPerSec achieved_rate() const noexcept;
+};
+
+class HistoryStore {
+ public:
+  /// Bounds the per-peer record deques (oldest evicted first).
+  explicit HistoryStore(std::size_t per_peer_capacity = 256);
+
+  void record_task(const TaskRecord& record);
+  void record_transfer(const TransferRecord& record);
+  /// Control-plane responsiveness observation (petition/offer RTTs).
+  void record_response_time(PeerId peer, Seconds elapsed);
+
+  // ---- estimators ----
+  /// Mean execution time of the peer's last `last_n` successful tasks;
+  /// nullopt when the peer has no successful history.
+  [[nodiscard]] std::optional<Seconds> mean_execution_time(PeerId peer,
+                                                           std::size_t last_n = 16) const;
+  /// Mean effective compute speed (work / execution time) of the
+  /// peer's successful tasks.
+  [[nodiscard]] std::optional<GigaHertz> mean_effective_speed(PeerId peer,
+                                                              std::size_t last_n = 16) const;
+  /// Mean achieved transfer rate towards the peer.
+  [[nodiscard]] std::optional<MbitPerSec> mean_transfer_rate(PeerId peer,
+                                                             std::size_t last_n = 16) const;
+  /// Mean petition/response latency of the peer.
+  [[nodiscard]] std::optional<Seconds> mean_response_time(PeerId peer,
+                                                          std::size_t last_n = 16) const;
+  /// Fraction of the peer's recorded tasks that succeeded (1 when no
+  /// history — benefit of the doubt, matching RatioCounter).
+  [[nodiscard]] double task_success_rate(PeerId peer) const;
+
+  [[nodiscard]] std::vector<TaskRecord> tasks_for(PeerId peer) const;
+  [[nodiscard]] std::vector<TransferRecord> transfers_for(PeerId peer) const;
+  [[nodiscard]] std::size_t task_count(PeerId peer) const;
+
+  /// Every peer that appears anywhere in the history.
+  [[nodiscard]] std::vector<PeerId> known_peers() const;
+
+ private:
+  template <typename T>
+  void bound(std::deque<T>& records) {
+    while (records.size() > capacity_) records.pop_front();
+  }
+
+  std::size_t capacity_;
+  std::unordered_map<PeerId, std::deque<TaskRecord>> tasks_;
+  std::unordered_map<PeerId, std::deque<TransferRecord>> transfers_;
+  std::unordered_map<PeerId, std::deque<Seconds>> responses_;
+};
+
+}  // namespace peerlab::stats

@@ -1,0 +1,130 @@
+#include "peerlab/stats/peer_statistics.hpp"
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::stats {
+
+const char* to_string(Criterion c) noexcept {
+  switch (c) {
+    case Criterion::kMsgSuccessSession: return "msg-success-session";
+    case Criterion::kMsgSuccessTotal: return "msg-success-total";
+    case Criterion::kMsgSuccessWindow: return "msg-success-window";
+    case Criterion::kOutboxNow: return "outbox-now";
+    case Criterion::kOutboxAvg: return "outbox-avg";
+    case Criterion::kInboxNow: return "inbox-now";
+    case Criterion::kInboxAvg: return "inbox-avg";
+    case Criterion::kTaskExecSuccessSession: return "task-exec-success-session";
+    case Criterion::kTaskExecSuccessTotal: return "task-exec-success-total";
+    case Criterion::kTaskAcceptSession: return "task-accept-session";
+    case Criterion::kTaskAcceptTotal: return "task-accept-total";
+    case Criterion::kFileSentSession: return "file-sent-session";
+    case Criterion::kFileSentTotal: return "file-sent-total";
+    case Criterion::kFileCancelSession: return "file-cancel-session";
+    case Criterion::kFileCancelTotal: return "file-cancel-total";
+    case Criterion::kPendingTransfers: return "pending-transfers";
+    case Criterion::kCount: break;
+  }
+  return "?";
+}
+
+bool higher_is_better(Criterion c) noexcept {
+  switch (c) {
+    case Criterion::kMsgSuccessSession:
+    case Criterion::kMsgSuccessTotal:
+    case Criterion::kMsgSuccessWindow:
+    case Criterion::kTaskExecSuccessSession:
+    case Criterion::kTaskExecSuccessTotal:
+    case Criterion::kTaskAcceptSession:
+    case Criterion::kTaskAcceptTotal:
+    case Criterion::kFileSentSession:
+    case Criterion::kFileSentTotal:
+      return true;
+    case Criterion::kOutboxNow:
+    case Criterion::kOutboxAvg:
+    case Criterion::kInboxNow:
+    case Criterion::kInboxAvg:
+    case Criterion::kFileCancelSession:
+    case Criterion::kFileCancelTotal:
+    case Criterion::kPendingTransfers:
+      return false;
+    case Criterion::kCount:
+      break;
+  }
+  return true;
+}
+
+PeerStatistics::PeerStatistics(Seconds window_span) : msg_window_(window_span) {}
+
+void PeerStatistics::record_message(Seconds now, bool ok) {
+  msg_session_.record(ok);
+  msg_total_.record(ok);
+  msg_window_.record(now, ok);
+}
+
+void PeerStatistics::record_task_accept(bool accepted) {
+  accept_session_.record(accepted);
+  accept_total_.record(accepted);
+}
+
+void PeerStatistics::record_task_execution(bool ok) {
+  exec_session_.record(ok);
+  exec_total_.record(ok);
+}
+
+void PeerStatistics::record_file(FileOutcome::Value outcome) {
+  const bool completed = outcome == FileOutcome::kCompleted;
+  const bool cancelled = outcome == FileOutcome::kCancelled;
+  file_session_.record(completed);
+  file_total_.record(completed);
+  cancel_session_.record(cancelled);
+  cancel_total_.record(cancelled);
+}
+
+void PeerStatistics::sample_outbox(double length) {
+  PEERLAB_DCHECK(length >= 0.0);
+  outbox_.sample(length);
+}
+
+void PeerStatistics::sample_inbox(double length) {
+  PEERLAB_DCHECK(length >= 0.0);
+  inbox_.sample(length);
+}
+
+void PeerStatistics::set_pending_transfers(int pending) {
+  PEERLAB_DCHECK(pending >= 0);
+  pending_transfers_ = pending;
+}
+
+void PeerStatistics::begin_session() {
+  msg_session_.reset();
+  accept_session_.reset();
+  exec_session_.reset();
+  file_session_.reset();
+  cancel_session_.reset();
+}
+
+double PeerStatistics::value(Criterion c, Seconds now) const {
+  switch (c) {
+    case Criterion::kMsgSuccessSession: return msg_session_.percent();
+    case Criterion::kMsgSuccessTotal: return msg_total_.percent();
+    case Criterion::kMsgSuccessWindow: return msg_window_.percent(now);
+    case Criterion::kOutboxNow: return outbox_.last();
+    case Criterion::kOutboxAvg: return outbox_.mean();
+    case Criterion::kInboxNow: return inbox_.last();
+    case Criterion::kInboxAvg: return inbox_.mean();
+    case Criterion::kTaskExecSuccessSession: return exec_session_.percent();
+    case Criterion::kTaskExecSuccessTotal: return exec_total_.percent();
+    case Criterion::kTaskAcceptSession: return accept_session_.percent();
+    case Criterion::kTaskAcceptTotal: return accept_total_.percent();
+    case Criterion::kFileSentSession: return file_session_.percent();
+    case Criterion::kFileSentTotal: return file_total_.percent();
+    case Criterion::kFileCancelSession: return cancel_session_.percent(0.0);
+    case Criterion::kFileCancelTotal: return cancel_total_.percent(0.0);
+    case Criterion::kPendingTransfers: return pending_transfers_;
+    case Criterion::kCount: break;
+  }
+  PEERLAB_CHECK_MSG(false, "unknown criterion");
+  return 0.0;
+}
+
+}  // namespace peerlab::stats

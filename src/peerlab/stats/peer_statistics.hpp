@@ -1,0 +1,102 @@
+#pragma once
+
+// Per-peer resource statistics — Section 2.2's criterion catalogue.
+//
+// The broker keeps one PeerStatistics per peer in its group. Overlay
+// services feed it (message outcomes, task outcomes, transfer outcomes,
+// queue samples); the data-evaluator selection model reads it through
+// the Criterion enum, so the model's weight vector and this storage
+// stay in one-to-one correspondence with the paper's list:
+//
+//   global criteria      — successfully sent messages (session/total/
+//                          last k hours), outbox queue now/avg, inbox
+//                          queue now/avg
+//   task criteria        — successfully executed tasks (session/total),
+//                          tasks accepted for execution (session/total)
+//   file criteria        — sent files (session/total), cancelled
+//                          transfers (session/total), pending transfers
+
+#include <array>
+#include <string>
+
+#include "peerlab/stats/counters.hpp"
+#include "peerlab/stats/window.hpp"
+
+namespace peerlab::stats {
+
+enum class Criterion : std::uint8_t {
+  kMsgSuccessSession = 0,
+  kMsgSuccessTotal,
+  kMsgSuccessWindow,
+  kOutboxNow,
+  kOutboxAvg,
+  kInboxNow,
+  kInboxAvg,
+  kTaskExecSuccessSession,
+  kTaskExecSuccessTotal,
+  kTaskAcceptSession,
+  kTaskAcceptTotal,
+  kFileSentSession,
+  kFileSentTotal,
+  kFileCancelSession,
+  kFileCancelTotal,
+  kPendingTransfers,
+  kCount,  // sentinel
+};
+
+inline constexpr std::size_t kCriterionCount = static_cast<std::size_t>(Criterion::kCount);
+
+[[nodiscard]] const char* to_string(Criterion c) noexcept;
+
+/// True when larger values of the criterion indicate a *better* peer
+/// (success percentages); false when smaller is better (queue lengths,
+/// cancellation percentages, pending transfers).
+[[nodiscard]] bool higher_is_better(Criterion c) noexcept;
+
+struct FileOutcome {
+  enum Value : std::uint8_t { kCompleted, kCancelled, kFailed };
+};
+
+class PeerStatistics {
+ public:
+  /// `window_span` is the k-hours lookback for windowed criteria
+  /// (default: 4 hours).
+  explicit PeerStatistics(Seconds window_span = 4.0 * 3600.0);
+
+  // ---- mutation (fed by overlay services) ----
+  void record_message(Seconds now, bool ok);
+  void record_task_accept(bool accepted);
+  void record_task_execution(bool ok);
+  void record_file(FileOutcome::Value outcome);
+  void sample_outbox(double length);
+  void sample_inbox(double length);
+  void set_pending_transfers(int pending);
+
+  /// Starts a new session: session-scoped counters reset, totals and
+  /// the time window survive (the paper distinguishes exactly these).
+  void begin_session();
+
+  // ---- criterion read API (what the data evaluator consumes) ----
+  /// Raw value of a criterion at `now`. Percent criteria are in
+  /// [0, 100]; queue criteria are lengths; pending is a count.
+  [[nodiscard]] double value(Criterion c, Seconds now) const;
+
+  // ---- direct accessors for tests and reporting ----
+  [[nodiscard]] const RatioCounter& messages_session() const noexcept { return msg_session_; }
+  [[nodiscard]] const RatioCounter& messages_total() const noexcept { return msg_total_; }
+  [[nodiscard]] const RatioCounter& tasks_exec_total() const noexcept { return exec_total_; }
+  [[nodiscard]] const RatioCounter& files_total() const noexcept { return file_total_; }
+  [[nodiscard]] int pending_transfers() const noexcept { return pending_transfers_; }
+
+ private:
+  RatioCounter msg_session_, msg_total_;
+  OutcomeWindow msg_window_;
+  SampledAverage outbox_, inbox_;
+  RatioCounter accept_session_, accept_total_;
+  RatioCounter exec_session_, exec_total_;
+  RatioCounter file_session_, file_total_;        // completed vs all
+  RatioCounter cancel_session_, cancel_total_;    // cancelled vs all
+  int pending_transfers_ = 0;
+};
+
+}  // namespace peerlab::stats

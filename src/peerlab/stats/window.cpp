@@ -1,0 +1,38 @@
+#include "peerlab/stats/window.hpp"
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::stats {
+
+OutcomeWindow::OutcomeWindow(Seconds span) : span_(span) {
+  PEERLAB_CHECK_MSG(span > 0.0, "window span must be positive");
+}
+
+void OutcomeWindow::record(Seconds now, bool ok) {
+  PEERLAB_CHECK_MSG(events_.empty() || now >= events_.back().first,
+                    "window records must be time-ordered");
+  events_.emplace_back(now, ok);
+  ok_ += ok ? 1u : 0u;
+  evict(now);
+}
+
+void OutcomeWindow::evict(Seconds now) const {
+  const Seconds horizon = now - span_;
+  while (!events_.empty() && events_.front().first <= horizon) {
+    ok_ -= events_.front().second ? 1u : 0u;
+    events_.pop_front();
+  }
+}
+
+double OutcomeWindow::percent(Seconds now, double when_empty) const {
+  evict(now);
+  if (events_.empty()) return when_empty;
+  return 100.0 * static_cast<double>(ok_) / static_cast<double>(events_.size());
+}
+
+std::size_t OutcomeWindow::count(Seconds now) const {
+  evict(now);
+  return events_.size();
+}
+
+}  // namespace peerlab::stats

@@ -1,0 +1,35 @@
+#pragma once
+
+// Sliding time window over boolean outcomes — the "during the last
+// k hours" flavour of the paper's criteria. Events older than the span
+// are evicted lazily on access.
+
+#include <cstdint>
+#include <deque>
+
+#include "peerlab/common/units.hpp"
+
+namespace peerlab::stats {
+
+class OutcomeWindow {
+ public:
+  /// `span` is the k-hours lookback (seconds of simulated time).
+  explicit OutcomeWindow(Seconds span);
+
+  void record(Seconds now, bool ok);
+
+  /// Percentage of successful outcomes inside (now - span, now].
+  [[nodiscard]] double percent(Seconds now, double when_empty = 100.0) const;
+
+  [[nodiscard]] std::size_t count(Seconds now) const;
+  [[nodiscard]] Seconds span() const noexcept { return span_; }
+
+ private:
+  void evict(Seconds now) const;
+
+  Seconds span_;
+  mutable std::deque<std::pair<Seconds, bool>> events_;
+  mutable std::uint64_t ok_ = 0;
+};
+
+}  // namespace peerlab::stats

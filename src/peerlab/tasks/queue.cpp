@@ -1,0 +1,28 @@
+#include "peerlab/tasks/queue.hpp"
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::tasks {
+
+TaskQueue::TaskQueue(std::size_t capacity) : capacity_(capacity) {
+  PEERLAB_CHECK_MSG(capacity_ > 0, "task queue needs capacity");
+}
+
+bool TaskQueue::offer(const Task& task) {
+  ++offered_;
+  if (queue_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  queue_.push_back(task);
+  return true;
+}
+
+std::optional<Task> TaskQueue::pop() {
+  if (queue_.empty()) return std::nullopt;
+  Task task = queue_.front();
+  queue_.pop_front();
+  return task;
+}
+
+}  // namespace peerlab::tasks

@@ -1,0 +1,39 @@
+#pragma once
+
+// Bounded FIFO task queue with an acceptance decision — the peer-side
+// half of "percentage of tasks accepted by the peer for execution": a
+// peer whose queue is full rejects new work, and that rejection feeds
+// the statistics the data evaluator reads.
+
+#include <deque>
+#include <optional>
+
+#include "peerlab/tasks/task.hpp"
+
+namespace peerlab::tasks {
+
+class TaskQueue {
+ public:
+  /// `capacity` bounds queued-but-not-running tasks.
+  explicit TaskQueue(std::size_t capacity = 16);
+
+  /// Accepts the task unless the queue is full. Returns the decision.
+  [[nodiscard]] bool offer(const Task& task);
+
+  /// Next task in FIFO order.
+  [[nodiscard]] std::optional<Task> pop();
+
+  [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t offered() const noexcept { return offered_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Task> queue_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace peerlab::tasks

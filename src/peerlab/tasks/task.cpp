@@ -1,0 +1,16 @@
+#include "peerlab/tasks/task.hpp"
+
+namespace peerlab::tasks {
+
+const char* to_string(TaskState state) noexcept {
+  switch (state) {
+    case TaskState::kQueued: return "queued";
+    case TaskState::kRunning: return "running";
+    case TaskState::kCompleted: return "completed";
+    case TaskState::kFailed: return "failed";
+    case TaskState::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace peerlab::tasks

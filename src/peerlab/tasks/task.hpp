@@ -1,0 +1,37 @@
+#pragma once
+
+// Executable tasks — the workload unit of the overlay's task
+// management primitives: "users/applications on top of the overlay
+// submit executable tasks and receive results in turn". The paper's
+// validating application processes large files of a virtual campus, so
+// a task carries compute work plus optional input/output payloads.
+
+#include "peerlab/common/ids.hpp"
+#include "peerlab/common/units.hpp"
+
+namespace peerlab::tasks {
+
+struct Task {
+  TaskId id;
+  /// The submitting peer (who gets the result).
+  PeerId owner;
+  /// Compute demand.
+  GigaCycles work = 0.0;
+  /// Input file shipped to the executing peer before it can start.
+  Bytes input_size = 0;
+  /// Result payload shipped back.
+  Bytes output_size = 0;
+  Seconds submitted = 0.0;
+};
+
+enum class TaskState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kFailed,
+  kRejected,
+};
+
+[[nodiscard]] const char* to_string(TaskState state) noexcept;
+
+}  // namespace peerlab::tasks

@@ -1,0 +1,78 @@
+#include "peerlab/transport/endpoint.hpp"
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/common/log.hpp"
+
+namespace peerlab::transport {
+
+Endpoint::Endpoint(TransportFabric& fabric, NodeId node) : fabric_(fabric), node_(node) {}
+
+void Endpoint::set_handler(MessageType type, Handler handler) {
+  PEERLAB_CHECK_MSG(static_cast<bool>(handler), "handler must be callable");
+  handlers_[type] = std::move(handler);
+}
+
+void Endpoint::clear_handler(MessageType type) { handlers_.erase(type); }
+
+MessageId Endpoint::send(NodeId dst, MessageType type, std::uint64_t correlation,
+                         std::uint64_t seq, std::int64_t arg) {
+  Message m;
+  m.src = node_;
+  m.dst = dst;
+  m.type = type;
+  m.size = nominal_size(type);
+  m.correlation = correlation;
+  m.seq = seq;
+  m.arg = arg;
+  return fabric_.route(std::move(m));
+}
+
+MessageId Endpoint::reply(const Message& to, MessageType type, std::int64_t arg) {
+  return send(to.src, type, to.correlation, to.seq, arg);
+}
+
+void Endpoint::deliver(const Message& message) {
+  ++delivered_;
+  const auto it = handlers_.find(message.type);
+  if (it == handlers_.end()) {
+    ++unhandled_;
+    PEERLAB_LOG(kDebug, "transport")
+        << to_string(node_) << " has no handler for " << to_string(message.type);
+    return;
+  }
+  it->second(message);
+}
+
+Endpoint& TransportFabric::attach(NodeId node) {
+  PEERLAB_CHECK_MSG(network_.topology().contains(node), "cannot attach to unknown node");
+  auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) {
+    it = endpoints_.emplace(node, std::make_unique<Endpoint>(*this, node)).first;
+  }
+  return *it->second;
+}
+
+bool TransportFabric::attached(NodeId node) const noexcept {
+  return endpoints_.find(node) != endpoints_.end();
+}
+
+Endpoint& TransportFabric::endpoint(NodeId node) {
+  const auto it = endpoints_.find(node);
+  PEERLAB_CHECK_MSG(it != endpoints_.end(), "no endpoint attached at " + to_string(node));
+  return *it->second;
+}
+
+MessageId TransportFabric::route(Message message) {
+  message.id = message_ids_.next();
+  const Message copy = message;
+  network_.send_datagram(copy.src, copy.dst, copy.size, [this, copy] {
+    const auto it = endpoints_.find(copy.dst);
+    if (it == endpoints_.end()) {
+      return;  // destination software not running; datagram evaporates
+    }
+    it->second->deliver(copy);
+  });
+  return copy.id;
+}
+
+}  // namespace peerlab::transport

@@ -1,0 +1,89 @@
+#pragma once
+
+// Endpoints and the fabric that connects them.
+//
+// Every node that runs overlay software gets one Endpoint. An Endpoint
+// dispatches inbound control messages to per-type handlers and sends
+// outbound ones through the Network's control plane. The
+// TransportFabric is the in-process registry that lets the network's
+// delivery events find the destination endpoint.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "peerlab/common/ids.hpp"
+#include "peerlab/net/network.hpp"
+#include "peerlab/transport/message.hpp"
+
+namespace peerlab::transport {
+
+class TransportFabric;
+
+class Endpoint {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Endpoint(TransportFabric& fabric, NodeId node);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] TransportFabric& fabric() noexcept { return fabric_; }
+
+  /// Installs the handler for one message type (one per type; services
+  /// own their types). Replacing an existing handler is allowed.
+  void set_handler(MessageType type, Handler handler);
+
+  /// Removes a handler.
+  void clear_handler(MessageType type);
+
+  /// Sends one control datagram (may be lost; returns its id).
+  MessageId send(NodeId dst, MessageType type, std::uint64_t correlation = 0,
+                 std::uint64_t seq = 0, std::int64_t arg = 0);
+
+  /// Convenience reply: echoes correlation/seq back to the sender.
+  MessageId reply(const Message& to, MessageType type, std::int64_t arg = 0);
+
+  /// Delivery entry point (called by the fabric at the arrival instant).
+  void deliver(const Message& message);
+
+  [[nodiscard]] std::uint64_t delivered_count() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t unhandled_count() const noexcept { return unhandled_; }
+
+ private:
+  TransportFabric& fabric_;
+  NodeId node_;
+  std::unordered_map<MessageType, Handler> handlers_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t unhandled_ = 0;
+};
+
+/// In-process registry of endpoints over one Network.
+class TransportFabric {
+ public:
+  explicit TransportFabric(net::Network& network) : network_(network) {}
+
+  TransportFabric(const TransportFabric&) = delete;
+  TransportFabric& operator=(const TransportFabric&) = delete;
+
+  /// Creates (or returns the existing) endpoint for `node`.
+  Endpoint& attach(NodeId node);
+
+  [[nodiscard]] bool attached(NodeId node) const noexcept;
+  [[nodiscard]] Endpoint& endpoint(NodeId node);
+
+  [[nodiscard]] net::Network& network() noexcept { return network_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return network_.simulator(); }
+
+  /// Routes one message; loss and delay are the network's business.
+  MessageId route(Message message);
+
+ private:
+  net::Network& network_;
+  std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
+  IdAllocator<MessageId> message_ids_;
+};
+
+}  // namespace peerlab::transport

@@ -1,0 +1,248 @@
+#include "peerlab/transport/file_transfer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/common/log.hpp"
+
+namespace peerlab::transport {
+
+void FileTransferDirectory::enroll(NodeId node, FileTransferPeer& peer) {
+  peers_[node] = &peer;
+}
+
+void FileTransferDirectory::withdraw(NodeId node) { peers_.erase(node); }
+
+FileTransferPeer* FileTransferDirectory::find(NodeId node) const noexcept {
+  const auto it = peers_.find(node);
+  return it == peers_.end() ? nullptr : it->second;
+}
+
+FileTransferPeer::FileTransferPeer(Endpoint& endpoint, FileTransferDirectory& directory)
+    : endpoint_(endpoint),
+      directory_(directory),
+      petition_channel_(endpoint, MessageType::kTransferPetition,
+                        MessageType::kTransferPetitionAck) {
+  directory_.enroll(endpoint_.node(), *this);
+  petition_channel_.serve([this](const Message& m) { serve_petition(m); });
+  endpoint_.set_handler(MessageType::kPartConfirm, [this](const Message& m) { on_confirm(m); });
+  endpoint_.set_handler(MessageType::kConfirmQuery,
+                        [this](const Message& m) { serve_confirm_query(m); });
+}
+
+FileTransferPeer::~FileTransferPeer() {
+  directory_.withdraw(endpoint_.node());
+  endpoint_.clear_handler(MessageType::kPartConfirm);
+  endpoint_.clear_handler(MessageType::kConfirmQuery);
+  for (auto& [corr, s] : sending_) {
+    s.confirm_timer.cancel();
+    if (network().flows().active(s.active_flow)) {
+      network().cancel_message(s.active_flow);
+    }
+  }
+}
+
+TransferId FileTransferPeer::send_file(NodeId dst, const FileTransferConfig& config,
+                                       Completion done) {
+  PEERLAB_CHECK_MSG(config.file_size > 0, "file must be non-empty");
+  PEERLAB_CHECK_MSG(config.parts >= 1, "need at least one part");
+  PEERLAB_CHECK_MSG(config.parts <= 100000, "unreasonable part count");
+  PEERLAB_CHECK_MSG(static_cast<bool>(done), "completion callback required");
+  PEERLAB_CHECK_MSG(dst != node(), "refusing self-transfer");
+
+  const TransferId id = transfer_ids_.next();
+  const std::uint64_t corr = make_correlation(node(), id);
+
+  Sending s;
+  s.result.id = id;
+  s.result.src = node();
+  s.result.dst = dst;
+  s.result.started = sim().now();
+  s.result.petition_sent = sim().now();
+  s.config = config;
+  s.part_size = config.file_size / config.parts;
+  s.last_part_size = config.file_size - s.part_size * (config.parts - 1);
+  PEERLAB_CHECK_MSG(s.part_size > 0, "more parts than bytes");
+  s.done = std::move(done);
+  sending_.emplace(corr, std::move(s));
+
+  petition_channel_.request(
+      dst, corr, /*arg=*/config.parts, config.petition_retry,
+      [this, corr](const RequestOutcome& outcome) {
+        auto it = sending_.find(corr);
+        if (it == sending_.end()) {
+          return;  // cancelled while petitioning
+        }
+        Sending& snd = it->second;
+        snd.result.petition_attempts = outcome.attempts;
+        if (!outcome.ok) {
+          finish(corr, false, "petition unanswered");
+          return;
+        }
+        snd.result.petition_acked = sim().now();
+        // The ack's arg carries the receiver's recorded arrival time in
+        // microseconds (the peer reports when it saw the petition).
+        snd.result.petition_received = static_cast<double>(outcome.response.arg) * 1e-6;
+        start_parts(corr);
+      });
+  return id;
+}
+
+void FileTransferPeer::cancel(TransferId id) {
+  const std::uint64_t corr = make_correlation(node(), id);
+  auto it = sending_.find(corr);
+  if (it == sending_.end()) return;
+  it->second.cancelled = true;
+  it->second.confirm_timer.cancel();
+  if (network().flows().active(it->second.active_flow)) {
+    network().cancel_message(it->second.active_flow);
+  }
+  finish(corr, false, "cancelled by sender");
+}
+
+void FileTransferPeer::start_parts(std::uint64_t correlation) {
+  auto it = sending_.find(correlation);
+  PEERLAB_CHECK(it != sending_.end());
+  it->second.current_part = 0;
+  send_part(correlation);
+}
+
+void FileTransferPeer::send_part(std::uint64_t correlation) {
+  auto it = sending_.find(correlation);
+  PEERLAB_CHECK(it != sending_.end());
+  Sending& s = it->second;
+  const int index = s.current_part;
+  const Bytes size = (index == s.config.parts - 1) ? s.last_part_size : s.part_size;
+
+  if (static_cast<int>(s.result.parts.size()) <= index) {
+    PartRecord rec;
+    rec.index = index;
+    rec.size = size;
+    rec.data_started = sim().now();
+    s.result.parts.push_back(rec);
+  }
+  PartRecord& rec = s.result.parts.back();
+  if (rec.attempts >= s.config.max_part_attempts) {
+    finish(correlation, false, "part retransmission limit");
+    return;
+  }
+  ++rec.attempts;
+
+  s.active_flow = network().start_message(
+      node(), s.result.dst, size, [this, correlation, index](bool ok, Seconds elapsed) {
+        on_part_sent(correlation, index, ok, elapsed);
+      });
+}
+
+void FileTransferPeer::on_part_sent(std::uint64_t correlation, int part_index, bool ok,
+                                    Seconds elapsed) {
+  auto it = sending_.find(correlation);
+  if (it == sending_.end()) return;  // cancelled
+  Sending& s = it->second;
+  PEERLAB_CHECK(part_index == s.current_part);
+  PartRecord& rec = s.result.parts.back();
+
+  if (!ok) {
+    PEERLAB_LOG(kDebug, "transfer") << to_string(s.result.id) << " lost part " << part_index
+                                    << " after " << elapsed << "s; retransmitting";
+    send_part(correlation);
+    return;
+  }
+
+  rec.data_completed = sim().now();
+  const double mb = to_megabytes(rec.size);
+  rec.last_mb_time = mb <= 0.0 ? 0.0 : elapsed * std::min(1.0, 1.0 / mb);
+
+  // Hand the part to the receiving peer's software at the arrival
+  // instant; it will send back a confirmation datagram.
+  if (FileTransferPeer* receiver = directory_.find(s.result.dst)) {
+    receiver->on_part_delivered(correlation, part_index, node());
+  }
+
+  s.confirm_queries = 0;
+  s.confirm_timer.cancel();
+  s.confirm_timer = sim().schedule(s.config.confirm_timeout,
+                                   [this, correlation] { on_confirm_timeout(correlation); });
+}
+
+void FileTransferPeer::on_confirm(const Message& message) {
+  auto it = sending_.find(message.correlation);
+  if (it == sending_.end()) return;  // stale confirm
+  Sending& s = it->second;
+  if (message.arg != s.current_part) return;  // duplicate of an old part
+  PartRecord& rec = s.result.parts.back();
+  if (rec.data_completed == 0.0) return;  // confirm raced a retransmit
+  rec.confirmed = sim().now();
+  s.confirm_timer.cancel();
+
+  if (s.current_part + 1 < s.config.parts) {
+    ++s.current_part;
+    send_part(message.correlation);
+  } else {
+    finish(message.correlation, true, "");
+  }
+}
+
+void FileTransferPeer::on_confirm_timeout(std::uint64_t correlation) {
+  auto it = sending_.find(correlation);
+  if (it == sending_.end()) return;
+  Sending& s = it->second;
+  if (++s.confirm_queries > s.config.max_confirm_queries) {
+    finish(correlation, false, "confirmation lost");
+    return;
+  }
+  endpoint_.send(s.result.dst, MessageType::kConfirmQuery, correlation, 0, s.current_part);
+  s.confirm_timer = sim().schedule(s.config.confirm_timeout,
+                                   [this, correlation] { on_confirm_timeout(correlation); });
+}
+
+void FileTransferPeer::finish(std::uint64_t correlation, bool complete, const char* failure) {
+  auto it = sending_.find(correlation);
+  PEERLAB_CHECK(it != sending_.end());
+  it->second.confirm_timer.cancel();
+  TransferResult result = std::move(it->second.result);
+  Completion done = std::move(it->second.done);
+  sending_.erase(it);
+  result.complete = complete;
+  result.failure = failure;
+  result.finished = sim().now();
+  done(result);
+}
+
+void FileTransferPeer::serve_petition(const Message& message) {
+  auto [it, inserted] = receiving_.try_emplace(message.correlation);
+  if (inserted) {
+    it->second.petition_received = sim().now();
+    it->second.sender = message.src;
+    ++petitions_received_;
+  }
+  // Idempotent ack carrying the (first) arrival time in microseconds.
+  endpoint_.reply(message, MessageType::kTransferPetitionAck,
+                  static_cast<std::int64_t>(it->second.petition_received * 1e6));
+}
+
+void FileTransferPeer::on_part_delivered(std::uint64_t correlation, int part_index,
+                                         NodeId sender) {
+  auto [it, inserted] = receiving_.try_emplace(correlation);
+  if (inserted) {
+    // Part arrived without a recorded petition (possible after peer
+    // software restart); accept anyway.
+    it->second.petition_received = sim().now();
+    it->second.sender = sender;
+  }
+  if (it->second.parts.insert(part_index).second) {
+    ++parts_received_;
+  }
+  endpoint_.send(sender, MessageType::kPartConfirm, correlation, 0, part_index);
+}
+
+void FileTransferPeer::serve_confirm_query(const Message& message) {
+  const auto it = receiving_.find(message.correlation);
+  if (it == receiving_.end()) return;
+  if (it->second.parts.count(static_cast<int>(message.arg)) > 0) {
+    endpoint_.send(message.src, MessageType::kPartConfirm, message.correlation, 0, message.arg);
+  }
+}
+
+}  // namespace peerlab::transport

@@ -1,0 +1,53 @@
+#include "peerlab/transport/message.hpp"
+
+namespace peerlab::transport {
+
+const char* to_string(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kTransferPetition: return "transfer-petition";
+    case MessageType::kTransferPetitionAck: return "transfer-petition-ack";
+    case MessageType::kPartConfirm: return "part-confirm";
+    case MessageType::kConfirmQuery: return "confirm-query";
+    case MessageType::kTaskOffer: return "task-offer";
+    case MessageType::kTaskAccept: return "task-accept";
+    case MessageType::kTaskReject: return "task-reject";
+    case MessageType::kTaskResult: return "task-result";
+    case MessageType::kTaskResultAck: return "task-result-ack";
+    case MessageType::kHeartbeat: return "heartbeat";
+    case MessageType::kStatsReport: return "stats-report";
+    case MessageType::kDiscoveryQuery: return "discovery-query";
+    case MessageType::kDiscoveryResponse: return "discovery-response";
+    case MessageType::kGroupJoin: return "group-join";
+    case MessageType::kGroupJoinAck: return "group-join-ack";
+    case MessageType::kGroupLeave: return "group-leave";
+    case MessageType::kChat: return "chat";
+    case MessageType::kChatAck: return "chat-ack";
+    case MessageType::kPipeResolve: return "pipe-resolve";
+    case MessageType::kPipeResolveAck: return "pipe-resolve-ack";
+    case MessageType::kPipeData: return "pipe-data";
+    case MessageType::kSelectRequest: return "select-request";
+    case MessageType::kSelectResponse: return "select-response";
+  }
+  return "?";
+}
+
+Bytes nominal_size(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kTransferPetition:
+    case MessageType::kTaskOffer:
+      return 2 * kKilobyte;  // XML advertisement payloads in JXTA
+    case MessageType::kStatsReport:
+      return 4 * kKilobyte;
+    case MessageType::kDiscoveryQuery:
+    case MessageType::kDiscoveryResponse:
+      return 3 * kKilobyte;
+    case MessageType::kChat:
+      return 1 * kKilobyte;
+    case MessageType::kTaskResult:
+      return 8 * kKilobyte;
+    default:
+      return 512;
+  }
+}
+
+}  // namespace peerlab::transport

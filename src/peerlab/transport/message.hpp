@@ -1,0 +1,71 @@
+#pragma once
+
+// Control-plane message vocabulary of the overlay transport.
+//
+// Bulk data (file parts) moves on the data plane (net::Network bulk
+// messages); everything here is small advisory traffic. A Message is
+// deliberately payload-free: simulated endpoints carry protocol state
+// in their services, and messages only need routing plus correlation
+// fields (which session, which sequence number, which part).
+
+#include <cstdint>
+#include <string>
+
+#include "peerlab/common/ids.hpp"
+#include "peerlab/common/units.hpp"
+
+namespace peerlab::transport {
+
+enum class MessageType : std::uint8_t {
+  // File transfer protocol (Section 4.2 of the paper).
+  kTransferPetition,     // "may I send you a file part?"
+  kTransferPetitionAck,  // "yes, ready to receive"
+  kPartConfirm,          // "part received correctly, send the next"
+  kConfirmQuery,         // sender lost the confirm; asks again
+  // Task management protocol.
+  kTaskOffer,
+  kTaskAccept,
+  kTaskReject,
+  kTaskResult,
+  kTaskResultAck,
+  // Overlay housekeeping.
+  kHeartbeat,
+  kStatsReport,
+  kDiscoveryQuery,
+  kDiscoveryResponse,
+  kGroupJoin,
+  kGroupJoinAck,
+  kGroupLeave,
+  // Instant messaging primitive.
+  kChat,
+  kChatAck,
+  // JXTA pipe service.
+  kPipeResolve,
+  kPipeResolveAck,
+  kPipeData,
+  // Broker-mediated peer selection.
+  kSelectRequest,
+  kSelectResponse,
+};
+
+[[nodiscard]] const char* to_string(MessageType type) noexcept;
+
+/// Nominal wire sizes for control messages (affects only loss odds and
+/// the tiny serialization term; all are degradation-exempt).
+[[nodiscard]] Bytes nominal_size(MessageType type) noexcept;
+
+struct Message {
+  MessageId id;
+  NodeId src;
+  NodeId dst;
+  MessageType type = MessageType::kHeartbeat;
+  Bytes size = 0;
+  /// Protocol session this message belongs to (transfer id, task id...).
+  std::uint64_t correlation = 0;
+  /// Request/response matching sequence, stamped by ReliableChannel.
+  std::uint64_t seq = 0;
+  /// Free slot for small protocol arguments (part index, status code).
+  std::int64_t arg = 0;
+};
+
+}  // namespace peerlab::transport

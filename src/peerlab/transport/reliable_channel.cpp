@@ -1,0 +1,110 @@
+#include "peerlab/transport/reliable_channel.hpp"
+
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::transport {
+
+ReliableChannel::ReliableChannel(Endpoint& endpoint, MessageType request_type,
+                                 MessageType response_type, RetryPolicy policy)
+    : endpoint_(endpoint),
+      request_type_(request_type),
+      response_type_(response_type),
+      policy_(policy) {
+  PEERLAB_CHECK_MSG(policy_.initial_timeout > 0.0, "timeout must be positive");
+  PEERLAB_CHECK_MSG(policy_.backoff >= 1.0, "backoff must be >= 1");
+  PEERLAB_CHECK_MSG(policy_.max_attempts >= 1, "need at least one attempt");
+  endpoint_.set_handler(response_type_, [this](const Message& m) { on_response(m); });
+}
+
+ReliableChannel::~ReliableChannel() {
+  endpoint_.clear_handler(response_type_);
+  if (serving_) {
+    endpoint_.clear_handler(request_type_);
+  }
+  for (auto& [seq, p] : pending_) {
+    p.timer.cancel();
+  }
+}
+
+void ReliableChannel::serve(std::function<void(const Message&)> on_request) {
+  PEERLAB_CHECK_MSG(static_cast<bool>(on_request), "responder must be callable");
+  serving_ = true;
+  endpoint_.set_handler(request_type_, std::move(on_request));
+}
+
+void ReliableChannel::request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
+                              std::function<void(const RequestOutcome&)> done) {
+  request(dst, correlation, arg, policy_, std::move(done));
+}
+
+void ReliableChannel::request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
+                              const RetryPolicy& policy,
+                              std::function<void(const RequestOutcome&)> done) {
+  PEERLAB_CHECK_MSG(static_cast<bool>(done), "completion callback required");
+  PEERLAB_CHECK_MSG(policy.initial_timeout > 0.0 && policy.backoff >= 1.0 &&
+                        policy.max_attempts >= 1,
+                    "degenerate per-request retry policy");
+  const std::uint64_t seq = ++next_seq_;
+  Pending p;
+  p.dst = dst;
+  p.correlation = correlation;
+  p.arg = arg;
+  p.first_sent = endpoint_.fabric().simulator().now();
+  p.timeout = policy.initial_timeout;
+  p.policy = policy;
+  p.done = std::move(done);
+  pending_.emplace(seq, std::move(p));
+  transmit(seq);
+}
+
+void ReliableChannel::transmit(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  PEERLAB_CHECK(it != pending_.end());
+  Pending& p = it->second;
+  ++p.attempts;
+  if (p.attempts > 1) {
+    ++retransmissions_;
+  }
+  endpoint_.send(p.dst, request_type_, p.correlation, seq, p.arg);
+  p.timer = endpoint_.fabric().simulator().schedule(p.timeout,
+                                                    [this, seq] { on_timeout(seq); });
+  p.timeout *= p.policy.backoff;
+}
+
+void ReliableChannel::on_timeout(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    return;  // response won the race
+  }
+  if (it->second.attempts >= it->second.policy.max_attempts) {
+    RequestOutcome outcome;
+    outcome.ok = false;
+    outcome.attempts = it->second.attempts;
+    outcome.elapsed = endpoint_.fabric().simulator().now() - it->second.first_sent;
+    auto done = std::move(it->second.done);
+    pending_.erase(it);
+    done(outcome);
+    return;
+  }
+  transmit(seq);
+}
+
+void ReliableChannel::on_response(const Message& message) {
+  auto it = pending_.find(message.seq);
+  if (it == pending_.end()) {
+    return;  // duplicate response after completion; drop
+  }
+  it->second.timer.cancel();
+  RequestOutcome outcome;
+  outcome.ok = true;
+  outcome.attempts = it->second.attempts;
+  outcome.elapsed = endpoint_.fabric().simulator().now() - it->second.first_sent;
+  outcome.response = message;
+  auto done = std::move(it->second.done);
+  pending_.erase(it);
+  done(outcome);
+}
+
+}  // namespace peerlab::transport

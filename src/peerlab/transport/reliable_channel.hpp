@@ -1,0 +1,97 @@
+#pragma once
+
+// Reliable request/response over lossy control datagrams.
+//
+// A ReliableChannel owns one (request-type, response-type) pair on one
+// endpoint. request() sends the request datagram and arms a
+// retransmission timer with exponential backoff; the first matching
+// response (same seq) completes the exchange. Responders are expected
+// to be idempotent — duplicated requests from retries must be safe,
+// which every peerlab protocol honours (acks and confirms restate
+// receiver state rather than mutate it).
+
+#include <functional>
+#include <unordered_map>
+
+#include "peerlab/sim/event_queue.hpp"
+#include "peerlab/transport/endpoint.hpp"
+
+namespace peerlab::transport {
+
+struct RetryPolicy {
+  /// First wait before retransmitting. Petitions to loaded PlanetLab
+  /// slivers can take tens of seconds to be answered (Figure 2), so
+  /// the default is generous.
+  Seconds initial_timeout = 45.0;
+  double backoff = 1.5;
+  int max_attempts = 5;
+};
+
+struct RequestOutcome {
+  bool ok = false;
+  /// Round-trip time of the *successful* attempt's request-to-response
+  /// span, measured from the first send (what the application felt).
+  Seconds elapsed = 0.0;
+  int attempts = 0;
+  /// The response message (valid only when ok).
+  Message response;
+};
+
+class ReliableChannel {
+ public:
+  /// The channel installs itself as the endpoint's handler for
+  /// `response_type`. `on_request` (optional) handles inbound requests
+  /// of `request_type` on this endpoint, i.e. one channel object serves
+  /// both roles of the exchange.
+  ReliableChannel(Endpoint& endpoint, MessageType request_type, MessageType response_type,
+                  RetryPolicy policy = {});
+  ~ReliableChannel();
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Installs the responder side: called for each inbound request; the
+  /// handler typically calls endpoint().reply(msg, response_type, ...).
+  void serve(std::function<void(const Message&)> on_request);
+
+  /// Issues a request. `correlation`/`arg` ride on the message.
+  /// `done` always fires exactly once (success or exhausted retries).
+  void request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
+               std::function<void(const RequestOutcome&)> done);
+
+  /// Same, with a per-request retry policy overriding the channel's.
+  void request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
+               const RetryPolicy& policy, std::function<void(const RequestOutcome&)> done);
+
+  [[nodiscard]] std::size_t outstanding() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept { return retransmissions_; }
+  [[nodiscard]] Endpoint& endpoint() noexcept { return endpoint_; }
+
+ private:
+  struct Pending {
+    NodeId dst;
+    std::uint64_t correlation = 0;
+    std::int64_t arg = 0;
+    Seconds first_sent = 0.0;
+    int attempts = 0;
+    Seconds timeout = 0.0;
+    RetryPolicy policy;
+    sim::EventHandle timer;
+    std::function<void(const RequestOutcome&)> done;
+  };
+
+  void transmit(std::uint64_t seq);
+  void on_timeout(std::uint64_t seq);
+  void on_response(const Message& message);
+
+  Endpoint& endpoint_;
+  MessageType request_type_;
+  MessageType response_type_;
+  RetryPolicy policy_;
+  std::unordered_map<std::uint64_t, Pending> pending_;  // keyed by seq
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  bool serving_ = false;
+};
+
+}  // namespace peerlab::transport

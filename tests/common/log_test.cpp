@@ -1,0 +1,68 @@
+#include "peerlab/common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace peerlab::log {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_level(Level::kTrace);
+    set_sink([this](Level level, std::string_view line) {
+      lines_.emplace_back(level, std::string(line));
+    });
+  }
+  void TearDown() override {
+    set_sink(nullptr);
+    set_level(Level::kWarn);
+  }
+  std::vector<std::pair<Level, std::string>> lines_;
+};
+
+TEST_F(LogTest, EmitsFormattedLine) {
+  PEERLAB_LOG(kInfo, "test-module") << "hello " << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].first, Level::kInfo);
+  EXPECT_EQ(lines_[0].second, "[INFO] test-module: hello 42");
+}
+
+TEST_F(LogTest, LevelFilterSuppressesBelowThreshold) {
+  set_level(Level::kError);
+  PEERLAB_LOG(kDebug, "m") << "dropped";
+  PEERLAB_LOG(kWarn, "m") << "dropped too";
+  PEERLAB_LOG(kError, "m") << "kept";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].first, Level::kError);
+}
+
+TEST_F(LogTest, OffSuppressesEverything) {
+  set_level(Level::kOff);
+  PEERLAB_LOG(kError, "m") << "dropped";
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(level_name(Level::kTrace), "TRACE");
+  EXPECT_STREQ(level_name(Level::kDebug), "DEBUG");
+  EXPECT_STREQ(level_name(Level::kInfo), "INFO");
+  EXPECT_STREQ(level_name(Level::kWarn), "WARN");
+  EXPECT_STREQ(level_name(Level::kError), "ERROR");
+}
+
+TEST_F(LogTest, MacroDoesNotEvaluateArgsWhenFiltered) {
+  set_level(Level::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("expensive");
+  };
+  PEERLAB_LOG(kDebug, "m") << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace peerlab::log

@@ -1,0 +1,57 @@
+#include "peerlab/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace peerlab {
+namespace {
+
+TEST(Units, MegabytesConvertsToBytes) {
+  EXPECT_EQ(megabytes(1.0), 1'000'000);
+  EXPECT_EQ(megabytes(50.0), 50'000'000);
+  EXPECT_EQ(megabytes(6.25), 6'250'000);
+  EXPECT_EQ(megabytes(0.0), 0);
+}
+
+TEST(Units, KilobytesConvertsToBytes) {
+  EXPECT_EQ(kilobytes(1.0), 1'000);
+  EXPECT_EQ(kilobytes(64.0), 64'000);
+}
+
+TEST(Units, ToMegabytesRoundTrips) {
+  EXPECT_DOUBLE_EQ(to_megabytes(megabytes(100.0)), 100.0);
+  EXPECT_DOUBLE_EQ(to_megabytes(megabytes(6.25)), 6.25);
+}
+
+TEST(Units, WireTimeBasic) {
+  // 1 MB at 8 Mbit/s = 8e6 bits / 8e6 bits/s = 1 s.
+  EXPECT_DOUBLE_EQ(wire_time(megabytes(1.0), 8.0), 1.0);
+  // 100 MB at 8 Mbit/s = 100 s.
+  EXPECT_DOUBLE_EQ(wire_time(megabytes(100.0), 8.0), 100.0);
+}
+
+TEST(Units, WireTimeZeroRateIsInfinite) {
+  EXPECT_TRUE(std::isinf(wire_time(megabytes(1.0), 0.0)));
+  EXPECT_TRUE(std::isinf(wire_time(megabytes(1.0), -1.0)));
+}
+
+TEST(Units, RateForInvertsWireTime) {
+  const Bytes size = megabytes(10.0);
+  const MbitPerSec rate = 4.0;
+  const Seconds t = wire_time(size, rate);
+  EXPECT_NEAR(rate_for(size, t), rate, 1e-9);
+}
+
+TEST(Units, RateForZeroElapsedIsInfinite) {
+  EXPECT_TRUE(std::isinf(rate_for(megabytes(1.0), 0.0)));
+}
+
+TEST(Units, MinutesRoundTrip) {
+  EXPECT_DOUBLE_EQ(minutes(1.7), 102.0);
+  EXPECT_DOUBLE_EQ(to_minutes(102.0), 1.7);
+  EXPECT_DOUBLE_EQ(to_minutes(minutes(35.0)), 35.0);
+}
+
+}  // namespace
+}  // namespace peerlab

@@ -1,0 +1,59 @@
+#include "peerlab/core/selection_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "peerlab/core/blind.hpp"
+
+namespace peerlab::core {
+namespace {
+
+std::vector<PeerSnapshot> three_peers() {
+  std::vector<PeerSnapshot> peers(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    peers[i].peer = PeerId(i + 1);
+    peers[i].node = NodeId(i + 1);
+  }
+  return peers;
+}
+
+TEST(SelectionModel, SelectReturnsTopOfRanking) {
+  BlindModel model(BlindModel::Mode::kFirstAvailable);
+  const auto peers = three_peers();
+  SelectionContext ctx;
+  EXPECT_EQ(model.select(peers, ctx), PeerId(1));
+}
+
+TEST(SelectionModel, SelectOnEmptyCandidatesIsInvalid) {
+  BlindModel model;
+  SelectionContext ctx;
+  EXPECT_FALSE(model.select({}, ctx).valid());
+}
+
+TEST(SelectionModel, SelectKClampsToEligible) {
+  BlindModel model(BlindModel::Mode::kFirstAvailable);
+  const auto peers = three_peers();
+  SelectionContext ctx;
+  EXPECT_EQ(model.select_k(peers, ctx, 2).size(), 2u);
+  EXPECT_EQ(model.select_k(peers, ctx, 10).size(), 3u);
+  EXPECT_TRUE(model.select_k(peers, ctx, 0).empty());
+}
+
+TEST(SelectionModel, RankedByCostSortsAscendingWithIdTiebreak) {
+  std::vector<ScoredPeer> scored{
+      {PeerId(3), 0.5}, {PeerId(1), 0.5}, {PeerId(2), 0.1}, {PeerId(4), 0.9}};
+  const auto ranked = ranked_by_cost(std::move(scored));
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0], PeerId(2));
+  EXPECT_EQ(ranked[1], PeerId(1));  // tie at 0.5 -> lower id first
+  EXPECT_EQ(ranked[2], PeerId(3));
+  EXPECT_EQ(ranked[3], PeerId(4));
+}
+
+TEST(SelectionContextEnum, PurposeNames) {
+  EXPECT_STREQ(to_string(SelectionContext::Purpose::kFileTransfer), "file-transfer");
+  EXPECT_STREQ(to_string(SelectionContext::Purpose::kTaskExecution), "task-execution");
+  EXPECT_STREQ(to_string(SelectionContext::Purpose::kGeneric), "generic");
+}
+
+}  // namespace
+}  // namespace peerlab::core

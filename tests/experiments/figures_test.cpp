@@ -1,0 +1,74 @@
+// Smoke tests for the figure drivers: one repetition each, asserting
+// the load-bearing shape so a regression in any layer below (network
+// calibration, transfer protocol, selection) fails loudly here, not
+// just in the bench binaries.
+
+#include "peerlab/experiments/figures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerlab::experiments {
+namespace {
+
+RunOptions one_rep() {
+  RunOptions options;
+  options.repetitions = 1;
+  options.threads = 1;
+  return options;
+}
+
+TEST(Figures, Fig2PetitionShape) {
+  const PerPeer result = run_fig2_petition(one_rep());
+  // SC7 worst, fast peers sub-second.
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < 8; ++i) {
+    if (result[i].mean() > result[worst].mean()) worst = i;
+  }
+  EXPECT_EQ(worst, 6u);
+  EXPECT_LT(result[1].mean(), 1.0);
+  EXPECT_LT(result[7].mean(), 1.0);
+  EXPECT_GT(result[6].mean(), 10.0);
+}
+
+TEST(Figures, Fig3And4StragglerShape) {
+  const PerPeer transfer = run_fig3_transfer50(one_rep());
+  const PerPeer lastmb = run_fig4_last_mb(one_rep());
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i == 6) continue;
+    EXPECT_GT(transfer[6].mean(), transfer[i].mean()) << "fig3 SC" << (i + 1);
+    EXPECT_GT(lastmb[6].mean(), lastmb[i].mean()) << "fig4 SC" << (i + 1);
+  }
+}
+
+TEST(Figures, Fig5GranularityOrdering) {
+  const Fig5Result result = run_fig5_granularity(one_rep());
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GT(result.whole[i].mean(), result.four[i].mean()) << "SC" << (i + 1);
+    EXPECT_GT(result.four[i].mean(), result.sixteen[i].mean()) << "SC" << (i + 1);
+  }
+  EXPECT_GT(result.whole[1].mean() / result.sixteen[1].mean(), 5.0);
+}
+
+TEST(Figures, Fig7TransferIsAdditive) {
+  const Fig7Result result = run_fig7_execution(one_rep());
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GT(result.transmission_execution[i].mean(), result.just_execution[i].mean())
+        << "SC" << (i + 1);
+  }
+  // SC7 is the compute straggler.
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i == 6) continue;
+    EXPECT_GT(result.just_execution[6].mean(), result.just_execution[i].mean());
+  }
+}
+
+TEST(Figures, DriversAreDeterministic) {
+  const auto a = run_fig2_petition(one_rep());
+  const auto b = run_fig2_petition(one_rep());
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mean(), b[i].mean());
+  }
+}
+
+}  // namespace
+}  // namespace peerlab::experiments

@@ -1,0 +1,63 @@
+#include "peerlab/experiments/reporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::experiments {
+namespace {
+
+TEST(Reporter, CellFormatsWithPrecision) {
+  EXPECT_EQ(cell(1.23456), "1.23");
+  EXPECT_EQ(cell(1.23456, 1), "1.2");
+  EXPECT_EQ(cell(1.0, 0), "1");
+  EXPECT_EQ(cell(-0.456, 2), "-0.46");
+}
+
+TEST(Reporter, TableRendersAlignedColumns) {
+  Table table("title line", {"peer", "value"});
+  table.add_row({"SC1", "12.86"});
+  table.add_row({"a-longer-name", "0.04"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("title line"), std::string::npos);
+  EXPECT_NE(text.find("peer"), std::string::npos);
+  EXPECT_NE(text.find("a-longer-name"), std::string::npos);
+  // Header and both rows plus separator -> at least 4 newlines.
+  EXPECT_GE(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(Reporter, TableRejectsArityMismatch) {
+  Table table("t", {"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvariantError);
+  EXPECT_THROW(Table("t", {}), InvariantError);
+}
+
+TEST(Reporter, CsvEscapesNothingButIsComplete) {
+  Table table("t", {"x", "y"});
+  table.add_row({"1", "2"});
+  table.add_row({"3", "4"});
+  EXPECT_EQ(table.csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Reporter, WriteCsvRoundTrips) {
+  Table table("t", {"k", "v"});
+  table.add_row({"a", "1"});
+  const std::string path = ::testing::TempDir() + "/reporter_test.csv";
+  table.write_csv(path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "k,v\na,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(Reporter, ShapeCheckReturnsItsVerdict) {
+  EXPECT_TRUE(shape_check("always true", true));
+  EXPECT_FALSE(shape_check("always false", false));
+}
+
+}  // namespace
+}  // namespace peerlab::experiments

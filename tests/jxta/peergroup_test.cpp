@@ -1,0 +1,163 @@
+#include "peerlab/jxta/peergroup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::jxta {
+namespace {
+
+TEST(PeerGroupRegistry, CreateIsIdempotentByName) {
+  PeerGroupRegistry reg;
+  const GroupId g1 = reg.create("workers", PeerId(1));
+  const GroupId g2 = reg.create("workers", PeerId(2));
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(reg.group_count(), 1u);
+  const GroupId g3 = reg.create("admins", PeerId(1));
+  EXPECT_NE(g1, g3);
+  EXPECT_EQ(reg.group_count(), 2u);
+}
+
+TEST(PeerGroupRegistry, CreatorIsFoundingMember) {
+  PeerGroupRegistry reg;
+  const GroupId g = reg.create("workers", PeerId(7));
+  EXPECT_TRUE(reg.is_member(g, PeerId(7)));
+  EXPECT_EQ(reg.members(g).size(), 1u);
+}
+
+TEST(PeerGroupRegistry, FindByName) {
+  PeerGroupRegistry reg;
+  const GroupId g = reg.create("workers", PeerId(1));
+  ASSERT_TRUE(reg.find("workers").has_value());
+  EXPECT_EQ(*reg.find("workers"), g);
+  EXPECT_FALSE(reg.find("ghosts").has_value());
+}
+
+TEST(PeerGroupRegistry, JoinLeaveLifecycle) {
+  PeerGroupRegistry reg;
+  const GroupId g = reg.create("workers", PeerId(1));
+  EXPECT_TRUE(reg.join(g, PeerId(2)));
+  EXPECT_TRUE(reg.join(g, PeerId(2)));  // idempotent
+  EXPECT_EQ(reg.members(g).size(), 2u);
+  EXPECT_TRUE(reg.leave(g, PeerId(2)));
+  EXPECT_FALSE(reg.leave(g, PeerId(2)));
+  EXPECT_FALSE(reg.is_member(g, PeerId(2)));
+}
+
+TEST(PeerGroupRegistry, JoinUnknownGroupFails) {
+  PeerGroupRegistry reg;
+  EXPECT_FALSE(reg.join(GroupId(99), PeerId(1)));
+  EXPECT_FALSE(reg.leave(GroupId(99), PeerId(1)));
+  EXPECT_TRUE(reg.members(GroupId(99)).empty());
+}
+
+TEST(PeerGroupRegistry, EvictRemovesPeerEverywhere) {
+  PeerGroupRegistry reg;
+  const GroupId a = reg.create("a", PeerId(1));
+  const GroupId b = reg.create("b", PeerId(1));
+  reg.join(a, PeerId(5));
+  reg.join(b, PeerId(5));
+  EXPECT_EQ(reg.evict(PeerId(5)), 2u);
+  EXPECT_FALSE(reg.is_member(a, PeerId(5)));
+  EXPECT_FALSE(reg.is_member(b, PeerId(5)));
+}
+
+TEST(PeerGroupRegistry, Validation) {
+  PeerGroupRegistry reg;
+  EXPECT_THROW(reg.create("", PeerId(1)), InvariantError);
+  EXPECT_THROW(reg.create("x", PeerId{}), InvariantError);
+}
+
+// ---- membership over the control plane ----
+
+struct World {
+  explicit World(double datagram_loss = 0.0, std::uint64_t seed = 1) : sim(seed) {
+    net::Topology topo(sim.rng().fork(1));
+    for (const char* name : {"broker", "edge"}) {
+      net::NodeProfile p;
+      p.hostname = name;
+      p.control_delay_mean = 0.02;
+      p.control_delay_sigma = 0.0;
+      p.loss_per_megabyte = 0.0;
+      topo.add_node(p);
+    }
+    net::NetworkConfig cfg;
+    cfg.datagram_loss = datagram_loss;
+    network.emplace(sim, std::move(topo), cfg);
+    fabric.emplace(*network);
+    directory.enroll(NodeId(1), registry);
+    broker.emplace(fabric->attach(NodeId(1)), directory, PeerId(1), NodeId(1));
+    broker->serve_registry();
+    edge.emplace(fabric->attach(NodeId(2)), directory, PeerId(2), NodeId(1));
+  }
+
+  sim::Simulator sim;
+  std::optional<net::Network> network;
+  std::optional<transport::TransportFabric> fabric;
+  PeerGroupRegistry registry;
+  PeerGroupDirectory directory;
+  std::optional<GroupMembership> broker, edge;
+};
+
+TEST(GroupMembership, JoinOverTheWireSucceeds) {
+  World w;
+  const GroupId g = w.registry.create("campus", PeerId(1));
+  std::optional<bool> ok;
+  w.edge->join(g, [&](bool success, GroupId joined) {
+    ok = success;
+    EXPECT_EQ(joined, g);
+  });
+  w.sim.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(*ok);
+  EXPECT_TRUE(w.registry.is_member(g, PeerId(2)));
+}
+
+TEST(GroupMembership, JoinUnknownGroupReportsFailure) {
+  World w;
+  std::optional<bool> ok;
+  w.edge->join(GroupId(404), [&](bool success, GroupId) { ok = success; });
+  w.sim.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(*ok);
+}
+
+TEST(GroupMembership, JoinSurvivesLoss) {
+  World w(/*datagram_loss=*/0.3, /*seed=*/13);
+  const GroupId g = w.registry.create("campus", PeerId(1));
+  int joined = 0;
+  constexpr int kJoins = 10;
+  for (int i = 0; i < kJoins; ++i) {
+    w.sim.schedule(i * 50.0, [&] {
+      w.edge->join(g, [&](bool success, GroupId) { joined += success ? 1 : 0; });
+    });
+  }
+  w.sim.run();
+  EXPECT_GE(joined, 8);  // 4 attempts at 30% loss/leg
+}
+
+TEST(GroupMembership, LeaveEventuallyRemovesMember) {
+  World w;
+  const GroupId g = w.registry.create("campus", PeerId(1));
+  w.registry.join(g, PeerId(2));
+  w.edge->leave(g);
+  w.sim.run();
+  EXPECT_FALSE(w.registry.is_member(g, PeerId(2)));
+}
+
+TEST(GroupMembership, JoinToDeadBrokerFails) {
+  World w;
+  const GroupId g = w.registry.create("campus", PeerId(1));
+  w.directory.withdraw(NodeId(1));
+  w.broker.reset();
+  std::optional<bool> ok;
+  w.edge->join(g, [&](bool success, GroupId) { ok = success; });
+  w.sim.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(*ok);
+}
+
+}  // namespace
+}  // namespace peerlab::jxta

@@ -1,0 +1,170 @@
+#include "peerlab/jxta/pipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::jxta {
+namespace {
+
+// Node 1 = broker/rendezvous, nodes 2 and 3 = edge peers.
+struct World {
+  explicit World(std::uint64_t seed = 1) : sim(seed) {
+    net::Topology topo(sim.rng().fork(1));
+    for (const char* name : {"broker", "alpha", "beta"}) {
+      net::NodeProfile p;
+      p.hostname = name;
+      p.control_delay_mean = 0.02;
+      p.control_delay_sigma = 0.0;
+      p.loss_per_megabyte = 0.0;
+      topo.add_node(p);
+    }
+    net::NetworkConfig cfg;
+    cfg.datagram_loss = 0.0;
+    network.emplace(sim, std::move(topo), cfg);
+    fabric.emplace(*network);
+    rendezvous.emplace(sim);
+    rdv_directory.enroll(NodeId(1), *rendezvous);
+    broker_disc.emplace(fabric->attach(NodeId(1)), rdv_directory, PeerId(1), NodeId(1));
+    broker_disc->serve_rendezvous_queries();
+    alpha_disc.emplace(fabric->attach(NodeId(2)), rdv_directory, PeerId(2), NodeId(1));
+    beta_disc.emplace(fabric->attach(NodeId(3)), rdv_directory, PeerId(3), NodeId(1));
+    alpha_pipes.emplace(fabric->endpoint(NodeId(2)), *alpha_disc, pipe_directory);
+    beta_pipes.emplace(fabric->endpoint(NodeId(3)), *beta_disc, pipe_directory);
+  }
+
+  sim::Simulator sim;
+  std::optional<net::Network> network;
+  std::optional<transport::TransportFabric> fabric;
+  std::optional<RendezvousIndex> rendezvous;
+  RendezvousDirectory rdv_directory;
+  PipeDirectory pipe_directory;
+  std::optional<DiscoveryService> broker_disc, alpha_disc, beta_disc;
+  std::optional<PipeService> alpha_pipes, beta_pipes;
+};
+
+TEST(PipeDirectory, CreateDestroyLifecycle) {
+  PipeDirectory dir;
+  const PipeId p1 = dir.create(NodeId(4));
+  const PipeId p2 = dir.create(NodeId(5));
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(dir.host_of(p1), NodeId(4));
+  EXPECT_EQ(dir.host_of(p2), NodeId(5));
+  dir.destroy(p1);
+  EXPECT_FALSE(dir.host_of(p1).valid());
+}
+
+TEST(Pipe, BindResolvesThroughDiscoveryAndDelivers) {
+  World w;
+  std::vector<PipeMessage> got;
+  w.alpha_pipes->create_input_pipe("task-inbox", [&](const PipeMessage& m) { got.push_back(m); });
+
+  std::optional<PipeId> bound_pipe;
+  // Give the advertisement time to reach the rendezvous.
+  w.sim.schedule(1.0, [&] {
+    w.beta_pipes->bind_output("task-inbox", [&](bool ok, PipeId pipe) {
+      ASSERT_TRUE(ok);
+      bound_pipe = pipe;
+      w.beta_pipes->send(pipe, kilobytes(2.0), /*tag=*/42);
+      w.beta_pipes->send(pipe, kilobytes(2.0), /*tag=*/43);
+    });
+  });
+  w.sim.run();
+  ASSERT_TRUE(bound_pipe.has_value());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].tag, 42);
+  EXPECT_EQ(got[1].tag, 43);
+  EXPECT_EQ(got[0].from, NodeId(3));
+  EXPECT_EQ(got[0].pipe, *bound_pipe);
+  EXPECT_EQ(got[0].size, kilobytes(2.0));
+  EXPECT_EQ(w.alpha_pipes->messages_received(), 2u);
+}
+
+TEST(Pipe, BindFailsForUnknownName) {
+  World w;
+  std::optional<bool> ok;
+  w.beta_pipes->bind_output("nonexistent", [&](bool success, PipeId) { ok = success; });
+  w.sim.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(*ok);
+}
+
+TEST(Pipe, BindFailsWhenPipeClosedAfterAdvertising) {
+  World w;
+  const PipeId pipe = w.alpha_pipes->create_input_pipe("ephemeral", [](const PipeMessage&) {});
+  std::optional<bool> ok;
+  w.sim.schedule(1.0, [&] {
+    w.alpha_pipes->close_input_pipe(pipe);  // advert survives, pipe doesn't
+    w.beta_pipes->bind_output("ephemeral", [&](bool success, PipeId) { ok = success; });
+  });
+  w.sim.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(*ok);
+}
+
+TEST(Pipe, MessagesToClosedInputPipeAreDroppedSilently) {
+  World w;
+  int received = 0;
+  const PipeId pipe =
+      w.alpha_pipes->create_input_pipe("inbox", [&](const PipeMessage&) { ++received; });
+  w.sim.schedule(1.0, [&] {
+    w.beta_pipes->bind_output("inbox", [&](bool ok, PipeId out) {
+      ASSERT_TRUE(ok);
+      w.beta_pipes->send(out, 512, 1);
+      // Close before the message lands (in-flight control delay).
+      w.alpha_pipes->close_input_pipe(pipe);
+    });
+  });
+  w.sim.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Pipe, SendOnUnboundPipeThrows) {
+  World w;
+  EXPECT_THROW(w.beta_pipes->send(PipeId(777), 512), InvariantError);
+}
+
+TEST(Pipe, TwoBindersShareOneInputPipe) {
+  World w;
+  std::vector<NodeId> senders;
+  w.alpha_pipes->create_input_pipe("shared", [&](const PipeMessage& m) {
+    senders.push_back(m.from);
+  });
+  // A third service on the broker node binds too.
+  DiscoveryService broker_disc2 = DiscoveryService(
+      w.fabric->endpoint(NodeId(1)), w.rdv_directory, PeerId(1), NodeId(1));
+  (void)broker_disc2;
+  w.sim.schedule(1.0, [&] {
+    w.beta_pipes->bind_output("shared", [&](bool ok, PipeId pipe) {
+      ASSERT_TRUE(ok);
+      w.beta_pipes->send(pipe, 512, 7);
+    });
+  });
+  w.sim.run();
+  ASSERT_EQ(senders.size(), 1u);
+  EXPECT_EQ(senders[0], NodeId(3));
+}
+
+TEST(Pipe, InputPipeValidation) {
+  World w;
+  EXPECT_THROW(w.alpha_pipes->create_input_pipe("", [](const PipeMessage&) {}),
+               InvariantError);
+  EXPECT_THROW(w.alpha_pipes->create_input_pipe("x", PipeService::Listener{}),
+               InvariantError);
+}
+
+TEST(Pipe, InputPipeCountTracksLifecycle) {
+  World w;
+  EXPECT_EQ(w.alpha_pipes->input_pipes(), 0u);
+  const PipeId a = w.alpha_pipes->create_input_pipe("a", [](const PipeMessage&) {});
+  w.alpha_pipes->create_input_pipe("b", [](const PipeMessage&) {});
+  EXPECT_EQ(w.alpha_pipes->input_pipes(), 2u);
+  w.alpha_pipes->close_input_pipe(a);
+  EXPECT_EQ(w.alpha_pipes->input_pipes(), 1u);
+}
+
+}  // namespace
+}  // namespace peerlab::jxta

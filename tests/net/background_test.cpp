@@ -1,0 +1,137 @@
+#include "peerlab/net/background.hpp"
+
+#include <gtest/gtest.h>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::net {
+namespace {
+
+struct World {
+  explicit World(int nodes = 4, std::uint64_t seed = 1) : sim(seed) {
+    Topology topo(sim.rng().fork(1));
+    for (int i = 0; i < nodes; ++i) {
+      NodeProfile p;
+      p.hostname = "n" + std::to_string(i);
+      p.uplink_mbps = 20.0;
+      p.downlink_mbps = 20.0;
+      p.loss_per_megabyte = 0.0;
+      topo.add_node(p);
+    }
+    network.emplace(sim, std::move(topo));
+  }
+  sim::Simulator sim;
+  std::optional<Network> network;
+};
+
+BackgroundTrafficConfig quick_config(std::uint64_t max_flows) {
+  BackgroundTrafficConfig cfg;
+  cfg.mean_interarrival = 5.0;
+  cfg.min_size = kilobytes(100.0);
+  cfg.max_size = megabytes(4.0);
+  cfg.max_flows = max_flows;
+  return cfg;
+}
+
+TEST(BackgroundTraffic, SpawnsAndDrainsBoundedFlows) {
+  World w;
+  BackgroundTraffic traffic(*w.network, quick_config(20));
+  traffic.start();
+  w.sim.run_until(10000.0);
+  EXPECT_EQ(traffic.flows_started(), 20u);
+  EXPECT_EQ(traffic.flows_finished(), 20u);
+  EXPECT_GT(traffic.bytes_injected(), 0);
+  EXPECT_FALSE(traffic.running());
+}
+
+TEST(BackgroundTraffic, GeneratorIsADaemon) {
+  // An unlimited generator must not keep run() alive on its own.
+  World w;
+  BackgroundTraffic traffic(*w.network, quick_config(0));
+  traffic.start();
+  int work = 0;
+  w.sim.schedule(3.0, [&] { ++work; });
+  w.sim.run();  // must terminate
+  EXPECT_EQ(work, 1);
+  traffic.stop();
+}
+
+TEST(BackgroundTraffic, StopHaltsSpawning) {
+  World w;
+  BackgroundTraffic traffic(*w.network, quick_config(0));
+  traffic.start();
+  w.sim.run_until(100.0);
+  traffic.stop();
+  const auto at_stop = traffic.flows_started();
+  w.sim.run_until(1000.0);
+  EXPECT_EQ(traffic.flows_started(), at_stop);
+}
+
+TEST(BackgroundTraffic, StartIsIdempotentAndRestartable) {
+  World w;
+  BackgroundTraffic traffic(*w.network, quick_config(0));
+  traffic.start();
+  traffic.start();
+  w.sim.run_until(50.0);
+  traffic.stop();
+  const auto first_phase = traffic.flows_started();
+  EXPECT_GT(first_phase, 0u);
+  traffic.start();
+  w.sim.run_until(w.sim.now() + 50.0);
+  EXPECT_GT(traffic.flows_started(), first_phase);
+  traffic.stop();
+}
+
+TEST(BackgroundTraffic, CompetesWithForegroundTransfers) {
+  // The same foreground message takes longer once cross traffic loads
+  // the links.
+  auto measure = [](bool noisy) {
+    World w(4, 7);
+    BackgroundTrafficConfig cfg;
+    cfg.mean_interarrival = 1.0;  // aggressive
+    cfg.min_size = megabytes(2.0);
+    cfg.max_size = megabytes(6.0);
+    cfg.max_flows = 200;
+    BackgroundTraffic traffic(*w.network, cfg);
+    if (noisy) traffic.start();
+    Seconds elapsed = 0.0;
+    w.sim.schedule(20.0, [&] {
+      w.network->start_message(NodeId(1), NodeId(2), megabytes(5.0),
+                               [&](bool, Seconds t) { elapsed = t; });
+    });
+    w.sim.run_until(20000.0);
+    traffic.stop();
+    return elapsed;
+  };
+  const Seconds quiet = measure(false);
+  const Seconds noisy = measure(true);
+  EXPECT_GT(quiet, 0.0);
+  EXPECT_GT(noisy, quiet);
+}
+
+TEST(BackgroundTraffic, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    World w(4, seed);
+    BackgroundTraffic traffic(*w.network, quick_config(30));
+    traffic.start();
+    w.sim.run_until(20000.0);
+    return std::make_pair(traffic.bytes_injected(), traffic.flows_finished());
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5).first, run(6).first);
+}
+
+TEST(BackgroundTraffic, Validation) {
+  World w;
+  BackgroundTrafficConfig bad;
+  bad.mean_interarrival = 0.0;
+  EXPECT_THROW(BackgroundTraffic(*w.network, bad), InvariantError);
+  bad = BackgroundTrafficConfig{};
+  bad.max_size = bad.min_size;
+  EXPECT_THROW(BackgroundTraffic(*w.network, bad), InvariantError);
+  World tiny(1);
+  EXPECT_THROW(BackgroundTraffic(*tiny.network, BackgroundTrafficConfig{}), InvariantError);
+}
+
+}  // namespace
+}  // namespace peerlab::net

@@ -1,0 +1,64 @@
+#include "peerlab/net/degradation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerlab::net {
+namespace {
+
+TEST(Degradation, ControlMessagesAreExempt) {
+  DegradationModel m;
+  EXPECT_DOUBLE_EQ(m.factor(kilobytes(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(m.factor(kilobytes(64.0)), 1.0);
+}
+
+TEST(Degradation, FactorIsMonotonicallyDecreasing) {
+  DegradationModel m;
+  double prev = 1.0;
+  for (double mb = 1.0; mb <= 512.0; mb *= 2.0) {
+    const double f = m.factor(megabytes(mb));
+    EXPECT_LE(f, prev);
+    EXPECT_GT(f, 0.0);
+    prev = f;
+  }
+}
+
+TEST(Degradation, DefaultCalibrationMatchesDesignDoc) {
+  DegradationModel m;  // S0 = 8 MB, alpha = 1.2
+  // 6.25 MB part (100 MB / 16) keeps most of the rate.
+  EXPECT_NEAR(m.factor(megabytes(6.25)), 0.57, 0.1);
+  // 25 MB part (100 MB / 4) is substantially degraded.
+  EXPECT_NEAR(m.factor(megabytes(25.0)), 0.2, 0.06);
+  // 100 MB monolith collapses.
+  EXPECT_LT(m.factor(megabytes(100.0)), 0.06);
+}
+
+TEST(Degradation, SixteenPartsBeatWholeByAboutTwentyX) {
+  DegradationModel m;
+  const double whole = m.factor(megabytes(100.0));
+  const double part16 = m.factor(megabytes(6.25));
+  EXPECT_GT(part16 / whole, 10.0);
+  EXPECT_LT(part16 / whole, 30.0);
+}
+
+TEST(Degradation, CapAppliesFactorToNominal) {
+  DegradationModel m;
+  const MbitPerSec nominal = 10.0;
+  EXPECT_DOUBLE_EQ(m.cap(nominal, kilobytes(1.0)), 10.0);
+  EXPECT_NEAR(m.cap(nominal, megabytes(8.0)), 5.0, 1e-9);  // at S0 factor is 1/2
+}
+
+TEST(Degradation, DisabledModelPassesThrough) {
+  DegradationModel m;
+  m.s0 = 0;
+  EXPECT_DOUBLE_EQ(m.factor(megabytes(1000.0)), 1.0);
+}
+
+TEST(Degradation, AlphaControlsSeverity) {
+  DegradationModel gentle{.s0 = 8 * kMegabyte, .alpha = 0.8};
+  DegradationModel harsh{.s0 = 8 * kMegabyte, .alpha = 2.0};
+  const Bytes big = megabytes(100.0);
+  EXPECT_GT(gentle.factor(big), harsh.factor(big));
+}
+
+}  // namespace
+}  // namespace peerlab::net

@@ -1,0 +1,341 @@
+#include "peerlab/net/flow_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/sim/simulator.hpp"
+
+namespace peerlab::net {
+namespace {
+
+NodeProfile host(const std::string& name, MbitPerSec up = 8.0, MbitPerSec down = 8.0) {
+  NodeProfile p;
+  p.hostname = name;
+  p.uplink_mbps = up;
+  p.downlink_mbps = down;
+  return p;
+}
+
+struct World {
+  World() : topo(sim::Rng(1)) {}
+  sim::Simulator sim{1};
+  Topology topo;
+};
+
+TEST(FlowScheduler, SingleFlowGetsFullBottleneckRate) {
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 8.0, 8.0));
+  const NodeId b = w.topo.add_node(host("b", 8.0, 4.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  std::optional<Seconds> done;
+  FlowSpec spec;
+  spec.src = a;
+  spec.dst = b;
+  spec.size = megabytes(1.0);  // 8 Mbit at 4 Mbit/s = 2 s
+  spec.on_complete = [&](Seconds d) { done = d; };
+  const FlowId id = fs.start(std::move(spec));
+  EXPECT_NEAR(fs.current_rate(id), 4.0, 1e-9);
+  w.sim.run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_NEAR(*done, 2.0, 1e-6);
+}
+
+TEST(FlowScheduler, TwoFlowsShareASourceUplinkFairly) {
+  World w;
+  const NodeId src = w.topo.add_node(host("src", 8.0, 8.0));
+  const NodeId d1 = w.topo.add_node(host("d1", 100.0, 100.0));
+  const NodeId d2 = w.topo.add_node(host("d2", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  std::vector<Seconds> done;
+  for (const NodeId dst : {d1, d2}) {
+    FlowSpec spec;
+    spec.src = src;
+    spec.dst = dst;
+    spec.size = megabytes(1.0);
+    spec.on_complete = [&](Seconds d) { done.push_back(d); };
+    const FlowId id = fs.start(std::move(spec));
+    (void)id;
+  }
+  // Both flows share the 8 Mbit/s uplink: 4 Mbit/s each -> 2 s.
+  w.sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.0, 1e-6);
+  EXPECT_NEAR(done[1], 2.0, 1e-6);
+}
+
+TEST(FlowScheduler, DepartureSpeedsUpRemainingFlow) {
+  World w;
+  const NodeId src = w.topo.add_node(host("src", 8.0, 8.0));
+  const NodeId d1 = w.topo.add_node(host("d1", 100.0, 100.0));
+  const NodeId d2 = w.topo.add_node(host("d2", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  std::optional<Seconds> small_done, big_done;
+  FlowSpec small;
+  small.src = src;
+  small.dst = d1;
+  small.size = megabytes(0.5);  // 4 Mbit: at fair 4 Mbit/s done at t=1
+  small.on_complete = [&](Seconds d) { small_done = d; };
+  FlowSpec big;
+  big.src = src;
+  big.dst = d2;
+  big.size = megabytes(1.5);  // 12 Mbit
+  big.on_complete = [&](Seconds d) { big_done = d; };
+  fs.start(std::move(small));
+  fs.start(std::move(big));
+  w.sim.run();
+  ASSERT_TRUE(small_done && big_done);
+  EXPECT_NEAR(*small_done, 1.0, 1e-6);
+  // Big flow: 4 Mbit moved in first second, remaining 8 Mbit at full
+  // 8 Mbit/s takes 1 more second -> total 2 s.
+  EXPECT_NEAR(*big_done, 2.0, 1e-6);
+}
+
+TEST(FlowScheduler, PerFlowRateCapIsHonoured) {
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 100.0, 100.0));
+  const NodeId b = w.topo.add_node(host("b", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  std::optional<Seconds> done;
+  FlowSpec spec;
+  spec.src = a;
+  spec.dst = b;
+  spec.size = megabytes(1.0);
+  spec.rate_cap = 2.0;  // 8 Mbit at 2 Mbit/s = 4 s
+  spec.on_complete = [&](Seconds d) { done = d; };
+  const FlowId id = fs.start(std::move(spec));
+  EXPECT_NEAR(fs.current_rate(id), 2.0, 1e-9);
+  w.sim.run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_NEAR(*done, 4.0, 1e-6);
+}
+
+TEST(FlowScheduler, CappedFlowLeavesCapacityToOthers) {
+  World w;
+  const NodeId src = w.topo.add_node(host("src", 8.0, 8.0));
+  const NodeId d1 = w.topo.add_node(host("d1", 100.0, 100.0));
+  const NodeId d2 = w.topo.add_node(host("d2", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  FlowSpec capped;
+  capped.src = src;
+  capped.dst = d1;
+  capped.size = megabytes(10.0);
+  capped.rate_cap = 2.0;
+  capped.on_complete = [](Seconds) {};
+  FlowSpec open;
+  open.src = src;
+  open.dst = d2;
+  open.size = megabytes(10.0);
+  open.on_complete = [](Seconds) {};
+  const FlowId c = fs.start(std::move(capped));
+  const FlowId o = fs.start(std::move(open));
+  // Max-min: capped flow pegged at 2, open flow gets the remaining 6.
+  EXPECT_NEAR(fs.current_rate(c), 2.0, 1e-9);
+  EXPECT_NEAR(fs.current_rate(o), 6.0, 1e-9);
+  w.sim.clear();
+}
+
+TEST(FlowScheduler, DownlinkCanBeTheBottleneck) {
+  World w;
+  const NodeId s1 = w.topo.add_node(host("s1", 100.0, 100.0));
+  const NodeId s2 = w.topo.add_node(host("s2", 100.0, 100.0));
+  const NodeId dst = w.topo.add_node(host("dst", 100.0, 6.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  FlowSpec f1;
+  f1.src = s1;
+  f1.dst = dst;
+  f1.size = megabytes(10.0);
+  f1.on_complete = [](Seconds) {};
+  FlowSpec f2;
+  f2.src = s2;
+  f2.dst = dst;
+  f2.size = megabytes(10.0);
+  f2.on_complete = [](Seconds) {};
+  const FlowId a = fs.start(std::move(f1));
+  const FlowId b = fs.start(std::move(f2));
+  EXPECT_NEAR(fs.current_rate(a), 3.0, 1e-9);
+  EXPECT_NEAR(fs.current_rate(b), 3.0, 1e-9);
+  w.sim.clear();
+}
+
+TEST(FlowScheduler, CancelSuppressesCallbackAndFreesCapacity) {
+  World w;
+  const NodeId src = w.topo.add_node(host("src", 8.0, 8.0));
+  const NodeId d1 = w.topo.add_node(host("d1", 100.0, 100.0));
+  const NodeId d2 = w.topo.add_node(host("d2", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  bool cancelled_fired = false;
+  std::optional<Seconds> other_done;
+  FlowSpec doomed;
+  doomed.src = src;
+  doomed.dst = d1;
+  doomed.size = megabytes(1.0);
+  doomed.on_complete = [&](Seconds) { cancelled_fired = true; };
+  FlowSpec other;
+  other.src = src;
+  other.dst = d2;
+  other.size = megabytes(1.0);
+  other.on_complete = [&](Seconds d) { other_done = d; };
+  const FlowId doomed_id = fs.start(std::move(doomed));
+  fs.start(std::move(other));
+
+  w.sim.schedule(0.5, [&] { fs.cancel(doomed_id); });
+  w.sim.run();
+  EXPECT_FALSE(cancelled_fired);
+  ASSERT_TRUE(other_done.has_value());
+  // 0.5 s at 4 Mbit/s moved 2 Mbit; remaining 6 Mbit at 8 Mbit/s takes
+  // 0.75 s -> total 1.25 s.
+  EXPECT_NEAR(*other_done, 1.25, 1e-6);
+}
+
+TEST(FlowScheduler, CancelUnknownFlowIsNoOp) {
+  World w;
+  w.topo.add_node(host("a"));
+  FlowScheduler fs(w.sim, w.topo);
+  fs.cancel(FlowId(12345));  // must not throw
+  SUCCEED();
+}
+
+TEST(FlowScheduler, CompletionCallbackCanStartNextFlow) {
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 8.0, 8.0));
+  const NodeId b = w.topo.add_node(host("b", 8.0, 8.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  std::vector<Seconds> completions;
+  std::function<void(int)> send_chunk = [&](int remaining) {
+    FlowSpec spec;
+    spec.src = a;
+    spec.dst = b;
+    spec.size = megabytes(1.0);
+    spec.on_complete = [&, remaining](Seconds) {
+      completions.push_back(w.sim.now());
+      if (remaining > 1) send_chunk(remaining - 1);
+    };
+    fs.start(std::move(spec));
+  };
+  send_chunk(4);
+  w.sim.run();
+  ASSERT_EQ(completions.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(completions[i], static_cast<double>(i + 1), 1e-6);
+  }
+}
+
+TEST(FlowScheduler, UploadDownloadCountsTrackActiveFlows) {
+  World w;
+  const NodeId a = w.topo.add_node(host("a"));
+  const NodeId b = w.topo.add_node(host("b"));
+  FlowScheduler fs(w.sim, w.topo);
+
+  EXPECT_EQ(fs.uploads_at(a), 0);
+  FlowSpec spec;
+  spec.src = a;
+  spec.dst = b;
+  spec.size = megabytes(1.0);
+  spec.on_complete = [](Seconds) {};
+  fs.start(std::move(spec));
+  EXPECT_EQ(fs.uploads_at(a), 1);
+  EXPECT_EQ(fs.downloads_at(b), 1);
+  EXPECT_EQ(fs.uploads_at(b), 0);
+  EXPECT_EQ(fs.downloads_at(a), 0);
+  w.sim.run();
+  EXPECT_EQ(fs.uploads_at(a), 0);
+  EXPECT_EQ(fs.downloads_at(b), 0);
+}
+
+TEST(FlowScheduler, RemainingBytesDecreasesOverTime) {
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 8.0, 8.0));
+  const NodeId b = w.topo.add_node(host("b", 8.0, 8.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  FlowSpec spec;
+  spec.src = a;
+  spec.dst = b;
+  spec.size = megabytes(2.0);
+  spec.on_complete = [](Seconds) {};
+  const FlowId id = fs.start(std::move(spec));
+  EXPECT_EQ(fs.remaining_bytes(id), megabytes(2.0));
+  // Poke the scheduler at t=1 via a competing churn event.
+  w.sim.schedule(1.0, [&] {
+    FlowSpec other;
+    other.src = b;
+    other.dst = a;
+    other.size = megabytes(0.1);
+    other.on_complete = [](Seconds) {};
+    fs.start(std::move(other));
+    // After 1 s at 8 Mbit/s, 1 MB of the 2 MB remains.
+    EXPECT_NEAR(static_cast<double>(fs.remaining_bytes(id)), 1e6, 1e3);
+  });
+  w.sim.run();
+  EXPECT_EQ(fs.remaining_bytes(id), 0);
+}
+
+TEST(FlowScheduler, RejectsBadSpecs) {
+  World w;
+  const NodeId a = w.topo.add_node(host("a"));
+  FlowScheduler fs(w.sim, w.topo);
+  FlowSpec spec;
+  spec.src = a;
+  spec.dst = NodeId(99);
+  spec.size = megabytes(1.0);
+  EXPECT_THROW(fs.start(std::move(spec)), InvariantError);
+
+  FlowSpec zero;
+  zero.src = a;
+  zero.dst = a;
+  zero.size = 0;
+  EXPECT_THROW(fs.start(std::move(zero)), InvariantError);
+}
+
+TEST(FlowScheduler, CapacityScaleReducesRates) {
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 8.0, 8.0));
+  const NodeId b = w.topo.add_node(host("b", 8.0, 8.0));
+  FlowScheduler fs(w.sim, w.topo, FlowSchedulerConfig{.capacity_scale = 0.5});
+  FlowSpec spec;
+  spec.src = a;
+  spec.dst = b;
+  spec.size = megabytes(1.0);
+  spec.on_complete = [](Seconds) {};
+  const FlowId id = fs.start(std::move(spec));
+  EXPECT_NEAR(fs.current_rate(id), 4.0, 1e-9);
+  w.sim.clear();
+}
+
+TEST(FlowScheduler, ManyFlowsConserveCapacity) {
+  World w;
+  const NodeId src = w.topo.add_node(host("src", 10.0, 10.0));
+  std::vector<NodeId> dsts;
+  for (int i = 0; i < 10; ++i) {
+    dsts.push_back(w.topo.add_node(host("d" + std::to_string(i), 100.0, 100.0)));
+  }
+  FlowScheduler fs(w.sim, w.topo);
+  std::vector<FlowId> ids;
+  for (const NodeId d : dsts) {
+    FlowSpec spec;
+    spec.src = src;
+    spec.dst = d;
+    spec.size = megabytes(5.0);
+    spec.on_complete = [](Seconds) {};
+    ids.push_back(fs.start(std::move(spec)));
+  }
+  double total = 0.0;
+  for (const FlowId id : ids) total += fs.current_rate(id);
+  EXPECT_NEAR(total, 10.0, 1e-6);  // sum of rates == uplink capacity
+  for (const FlowId id : ids) EXPECT_NEAR(fs.current_rate(id), 1.0, 1e-9);
+  w.sim.clear();
+}
+
+}  // namespace
+}  // namespace peerlab::net

@@ -1,0 +1,62 @@
+#include "peerlab/net/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerlab::net {
+namespace {
+
+// Reference city coordinates.
+constexpr GeoPoint kBarcelona{41.39, 2.17};
+constexpr GeoPoint kBerlin{52.52, 13.40};
+constexpr GeoPoint kHelsinki{60.17, 24.94};
+constexpr GeoPoint kSeattle{47.61, -122.33};
+
+TEST(Geo, ZeroDistanceToSelf) {
+  EXPECT_DOUBLE_EQ(great_circle_km(kBerlin, kBerlin), 0.0);
+}
+
+TEST(Geo, DistanceIsSymmetric) {
+  EXPECT_DOUBLE_EQ(great_circle_km(kBarcelona, kBerlin), great_circle_km(kBerlin, kBarcelona));
+}
+
+TEST(Geo, KnownCityPairDistances) {
+  // Barcelona <-> Berlin is roughly 1500 km.
+  EXPECT_NEAR(great_circle_km(kBarcelona, kBerlin), 1500.0, 80.0);
+  // Barcelona <-> Helsinki is roughly 2600 km.
+  EXPECT_NEAR(great_circle_km(kBarcelona, kHelsinki), 2600.0, 150.0);
+  // Berlin <-> Seattle crosses the Atlantic: roughly 8100 km.
+  EXPECT_NEAR(great_circle_km(kBerlin, kSeattle), 8100.0, 300.0);
+}
+
+TEST(Geo, TriangleInequalityHolds) {
+  const double ab = great_circle_km(kBarcelona, kBerlin);
+  const double bc = great_circle_km(kBerlin, kHelsinki);
+  const double ac = great_circle_km(kBarcelona, kHelsinki);
+  EXPECT_LE(ac, ab + bc + 1e-9);
+}
+
+TEST(Geo, PropagationDelayScalesWithDistance) {
+  const Seconds near = propagation_delay(kBarcelona, kBerlin);
+  const Seconds far = propagation_delay(kBarcelona, kSeattle);
+  EXPECT_LT(near, far);
+  // Intra-Europe one-way delay should be single-digit milliseconds plus
+  // the router allowance.
+  EXPECT_GT(near, 0.004);
+  EXPECT_LT(near, 0.020);
+}
+
+TEST(Geo, RouterOverheadIsAdditive) {
+  const Seconds base = propagation_delay(kBarcelona, kBerlin, 0.0);
+  const Seconds padded = propagation_delay(kBarcelona, kBerlin, 0.010);
+  EXPECT_NEAR(padded - base, 0.010, 1e-12);
+}
+
+TEST(Geo, AntipodalDistanceIsBounded) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  // Half the Earth's circumference, ~20015 km.
+  EXPECT_NEAR(great_circle_km(a, b), 20015.0, 100.0);
+}
+
+}  // namespace
+}  // namespace peerlab::net

@@ -1,0 +1,111 @@
+#include "peerlab/net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::net {
+namespace {
+
+NodeProfile test_profile() {
+  NodeProfile p;
+  p.hostname = "test.example.org";
+  p.cpu_ghz = 1.2;
+  p.base_load = 0.3;
+  p.load_jitter = 0.1;
+  p.control_delay_mean = 0.5;
+  p.control_delay_sigma = 0.35;
+  p.loss_per_megabyte = 0.01;
+  return p;
+}
+
+TEST(Node, RejectsNonPositiveCpu) {
+  auto p = test_profile();
+  p.cpu_ghz = 0.0;
+  EXPECT_THROW(Node(NodeId(1), p, sim::Rng(1)), InvariantError);
+}
+
+TEST(Node, RejectsNonPositiveBandwidth) {
+  auto p = test_profile();
+  p.uplink_mbps = 0.0;
+  EXPECT_THROW(Node(NodeId(1), p, sim::Rng(1)), InvariantError);
+}
+
+TEST(Node, RejectsNonPositiveControlDelay) {
+  auto p = test_profile();
+  p.control_delay_mean = 0.0;
+  EXPECT_THROW(Node(NodeId(1), p, sim::Rng(1)), InvariantError);
+}
+
+TEST(Node, ControlDelaySamplesArePositiveWithRoughlyRightMean) {
+  Node n(NodeId(1), test_profile(), sim::Rng(42));
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const Seconds d = n.sample_control_delay();
+    ASSERT_GT(d, 0.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.05);
+}
+
+TEST(Node, LoadSamplesClampToValidRange) {
+  auto p = test_profile();
+  p.base_load = 0.9;
+  p.load_jitter = 0.5;  // will frequently exceed 1 before clamping
+  Node n(NodeId(1), p, sim::Rng(42));
+  for (int i = 0; i < 2000; ++i) {
+    const double load = n.sample_load();
+    EXPECT_GE(load, 0.0);
+    EXPECT_LE(load, 0.97);
+  }
+}
+
+TEST(Node, EffectiveSpeedNeverCollapsesToZero) {
+  auto p = test_profile();
+  p.base_load = 0.97;
+  Node n(NodeId(1), p, sim::Rng(42));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(n.sample_effective_speed(), 0.0);
+  }
+}
+
+TEST(Node, EffectiveSpeedBelowNominal) {
+  Node n(NodeId(1), test_profile(), sim::Rng(42));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(n.sample_effective_speed(), 1.2);
+  }
+}
+
+TEST(Node, DeliveryProbabilityDecaysWithSize) {
+  Node n(NodeId(1), test_profile(), sim::Rng(42));
+  const double p1 = n.delivery_probability(megabytes(1.0));
+  const double p10 = n.delivery_probability(megabytes(10.0));
+  const double p100 = n.delivery_probability(megabytes(100.0));
+  EXPECT_GT(p1, p10);
+  EXPECT_GT(p10, p100);
+  EXPECT_NEAR(p1, 0.99, 1e-9);
+  EXPECT_NEAR(p10, std::pow(0.99, 10.0), 1e-9);
+}
+
+TEST(Node, DeliveryProbabilityOfTinyMessageIsNearOne) {
+  Node n(NodeId(1), test_profile(), sim::Rng(42));
+  EXPECT_GT(n.delivery_probability(kilobytes(1.0)), 0.9999);
+}
+
+TEST(Node, LosslessProfileAlwaysDelivers) {
+  auto p = test_profile();
+  p.loss_per_megabyte = 0.0;
+  Node n(NodeId(1), p, sim::Rng(42));
+  EXPECT_DOUBLE_EQ(n.delivery_probability(megabytes(1000.0)), 1.0);
+}
+
+TEST(Node, SameSeedNodesSampleIdentically) {
+  Node a(NodeId(1), test_profile(), sim::Rng(7));
+  Node b(NodeId(1), test_profile(), sim::Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample_control_delay(), b.sample_control_delay());
+  }
+}
+
+}  // namespace
+}  // namespace peerlab::net

@@ -1,0 +1,109 @@
+#include "peerlab/net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::net {
+namespace {
+
+NodeProfile host(const std::string& name, double lat = 0.0, double lon = 0.0) {
+  NodeProfile p;
+  p.hostname = name;
+  p.location = {lat, lon};
+  return p;
+}
+
+TEST(Topology, AddNodeAssignsDenseIds) {
+  Topology topo(sim::Rng(1));
+  EXPECT_EQ(topo.add_node(host("a")).value(), 1u);
+  EXPECT_EQ(topo.add_node(host("b")).value(), 2u);
+  EXPECT_EQ(topo.size(), 2u);
+}
+
+TEST(Topology, NodeLookupByIdAndHostname) {
+  Topology topo(sim::Rng(1));
+  const NodeId a = topo.add_node(host("alpha.example"));
+  const NodeId b = topo.add_node(host("beta.example"));
+  EXPECT_EQ(topo.node(a).profile().hostname, "alpha.example");
+  EXPECT_EQ(topo.find_by_hostname("beta.example"), b);
+  EXPECT_FALSE(topo.find_by_hostname("missing.example").valid());
+}
+
+TEST(Topology, RejectsDuplicateHostnames) {
+  Topology topo(sim::Rng(1));
+  topo.add_node(host("dup.example"));
+  EXPECT_THROW(topo.add_node(host("dup.example")), InvariantError);
+}
+
+TEST(Topology, UnknownIdThrows) {
+  Topology topo(sim::Rng(1));
+  topo.add_node(host("a"));
+  EXPECT_THROW((void)topo.node(NodeId(99)), InvariantError);
+  EXPECT_THROW((void)topo.node(NodeId{}), InvariantError);
+}
+
+TEST(Topology, ContainsChecksRange) {
+  Topology topo(sim::Rng(1));
+  const NodeId a = topo.add_node(host("a"));
+  EXPECT_TRUE(topo.contains(a));
+  EXPECT_FALSE(topo.contains(NodeId(2)));
+  EXPECT_FALSE(topo.contains(NodeId{}));
+}
+
+TEST(Topology, NodeIdsEnumeratesAll) {
+  Topology topo(sim::Rng(1));
+  topo.add_node(host("a"));
+  topo.add_node(host("b"));
+  topo.add_node(host("c"));
+  const auto ids = topo.node_ids();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0].value(), 1u);
+  EXPECT_EQ(ids[2].value(), 3u);
+}
+
+TEST(Topology, PropagationToSelfIsLoopback) {
+  Topology topo(sim::Rng(1));
+  const NodeId a = topo.add_node(host("a", 41.4, 2.2));
+  EXPECT_LT(topo.propagation(a, a), 0.001);
+  EXPECT_GT(topo.propagation(a, a), 0.0);
+}
+
+TEST(Topology, PropagationScalesWithDistance) {
+  Topology topo(sim::Rng(1));
+  const NodeId bcn = topo.add_node(host("bcn", 41.39, 2.17));
+  const NodeId ber = topo.add_node(host("ber", 52.52, 13.40));
+  const NodeId sea = topo.add_node(host("sea", 47.61, -122.33));
+  EXPECT_LT(topo.propagation(bcn, ber), topo.propagation(bcn, sea));
+  EXPECT_DOUBLE_EQ(topo.propagation(bcn, ber), topo.propagation(ber, bcn));
+}
+
+TEST(Topology, PerNodeRngStreamsDiffer) {
+  Topology topo(sim::Rng(1));
+  const NodeId a = topo.add_node(host("a"));
+  const NodeId b = topo.add_node(host("b"));
+  // Identical profiles but different forked streams: samples diverge.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (topo.node(a).sample_control_delay() == topo.node(b).sample_control_delay()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Topology, SameSeedTopologiesAreIdentical) {
+  auto build = [] {
+    Topology topo(sim::Rng(55));
+    topo.add_node(host("a"));
+    topo.add_node(host("b"));
+    return topo;
+  };
+  Topology t1 = build();
+  Topology t2 = build();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(t1.node(NodeId(1)).sample_control_delay(),
+                     t2.node(NodeId(1)).sample_control_delay());
+  }
+}
+
+}  // namespace
+}  // namespace peerlab::net

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "overlay_world.hpp"
+#include "peerlab/common/check.hpp"
+#include "peerlab/core/economic.hpp"
+#include "peerlab/overlay/primitives.hpp"
+
+namespace peerlab::overlay {
+namespace {
+
+using testing::OverlayWorld;
+using testing::WorldOptions;
+
+transport::FileTransferConfig base_cfg() {
+  transport::FileTransferConfig cfg;
+  cfg.petition_retry.initial_timeout = 5.0;
+  return cfg;
+}
+
+TEST(Distribution, SpreadsPartsRoundRobinAndConservesBytes) {
+  WorldOptions opts;
+  opts.clients = 3;
+  OverlayWorld w(opts);
+  w.boot();
+  std::optional<FileService::DistributionResult> result;
+  // 8 parts over 3 peers: shares of 3, 3, 2 parts.
+  w.client(0).files().distribute(megabytes(8.0), 8, {PeerId(3), PeerId(4)}, base_cfg(),
+                                 [&](const FileService::DistributionResult& r) {
+                                   result = r;
+                                 });
+  w.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->complete);
+  ASSERT_EQ(result->shares.size(), 2u);
+  Bytes total = 0;
+  int parts = 0;
+  for (const auto& share : result->shares) {
+    EXPECT_TRUE(share.complete);
+    total += share.bytes;
+    parts += share.parts;
+  }
+  EXPECT_EQ(total, megabytes(8.0));
+  EXPECT_EQ(parts, 8);
+  EXPECT_EQ(result->shares[0].parts, 4);  // round-robin over 2 peers
+  EXPECT_EQ(result->shares[1].parts, 4);
+  EXPECT_GT(result->makespan(), 0.0);
+}
+
+TEST(Distribution, SinglePeerDegeneratesToPlainTransfer) {
+  OverlayWorld w;
+  w.boot();
+  std::optional<FileService::DistributionResult> result;
+  w.client(0).files().distribute(megabytes(2.0), 4, {PeerId(3)}, base_cfg(),
+                                 [&](const FileService::DistributionResult& r) {
+                                   result = r;
+                                 });
+  w.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->complete);
+  ASSERT_EQ(result->shares.size(), 1u);
+  EXPECT_EQ(result->shares[0].parts, 4);
+  EXPECT_EQ(result->shares[0].bytes, megabytes(2.0));
+}
+
+TEST(Distribution, ParallelSharesBeatSequentialDelivery) {
+  // Scattering over two peers must finish faster than pushing the
+  // whole file to one of them (distinct downlinks work in parallel).
+  OverlayWorld w;
+  w.boot();
+  Seconds scattered = 0.0, single = 0.0;
+  w.client(0).files().distribute(megabytes(4.0), 8, {PeerId(3), PeerId(4)}, base_cfg(),
+                                 [&](const FileService::DistributionResult& r) {
+                                   ASSERT_TRUE(r.complete);
+                                   scattered = r.makespan();
+                                 });
+  w.sim.run();
+  auto cfg = base_cfg();
+  cfg.file_size = megabytes(4.0);
+  cfg.parts = 8;
+  w.client(0).files().send_file(PeerId(3), cfg, [&](const transport::TransferResult& r) {
+    ASSERT_TRUE(r.complete);
+    single = r.transmission_time();
+  });
+  w.sim.run();
+  EXPECT_LT(scattered, single);
+}
+
+TEST(Distribution, PartialFailureIsReportedPerShare) {
+  OverlayWorld w;
+  w.boot();
+  w.clients[1].reset();  // PeerId(3)'s software is gone
+  auto cfg = base_cfg();
+  cfg.petition_retry.max_attempts = 2;
+  std::optional<FileService::DistributionResult> result;
+  w.client(0).files().distribute(megabytes(2.0), 4, {PeerId(3), PeerId(4)}, cfg,
+                                 [&](const FileService::DistributionResult& r) {
+                                   result = r;
+                                 });
+  w.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->complete);
+  ASSERT_EQ(result->shares.size(), 2u);
+  EXPECT_FALSE(result->shares[0].complete);  // PeerId(3)
+  EXPECT_TRUE(result->shares[1].complete);   // PeerId(4)
+}
+
+TEST(Distribution, Validation) {
+  OverlayWorld w;
+  w.boot();
+  auto& files = w.client(0).files();
+  EXPECT_THROW(files.distribute(0, 4, {PeerId(3)}, base_cfg(), [](const auto&) {}),
+               InvariantError);
+  EXPECT_THROW(files.distribute(megabytes(1.0), 4, {}, base_cfg(), [](const auto&) {}),
+               InvariantError);
+  EXPECT_THROW(files.distribute(megabytes(1.0), 4, {PeerId(3), PeerId(3)}, base_cfg(),
+                                [](const auto&) {}),
+               InvariantError);
+}
+
+TEST(Distribution, PrimitivesDistributeSelectsThenScatters) {
+  OverlayWorld w;
+  w.boot();
+  w.broker->set_selection_model(std::make_unique<core::EconomicSchedulingModel>());
+  Primitives api(w.client(0));
+  std::optional<FileService::DistributionResult> result;
+  api.distribute_file(megabytes(4.0), 4, [&](const FileService::DistributionResult& r) {
+    result = r;
+  });
+  w.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->complete);
+  // Never distributes to itself.
+  for (const auto& share : result->shares) {
+    EXPECT_NE(share.peer, w.client(0).id());
+  }
+}
+
+TEST(Distribution, PrimitivesDistributeFailsCleanlyWithoutCandidates) {
+  WorldOptions opts;
+  opts.clients = 1;
+  OverlayWorld w(opts);
+  w.boot();
+  Primitives api(w.client(0));
+  std::optional<FileService::DistributionResult> result;
+  api.distribute_file(megabytes(1.0), 4, [&](const FileService::DistributionResult& r) {
+    result = r;
+  });
+  w.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->complete);
+  EXPECT_TRUE(result->shares.empty());
+}
+
+}  // namespace
+}  // namespace peerlab::overlay

@@ -1,0 +1,147 @@
+// Broker federation: JXTA-Overlay deployments run multiple brokers
+// ("the main node was used as one of the brokers"). Clients register
+// with their own broker; discovery queries that miss locally are
+// forwarded one hop across the federation.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/planetlab/deployment.hpp"
+
+namespace peerlab::overlay {
+namespace {
+
+planetlab::DeploymentOptions two_brokers() {
+  planetlab::DeploymentOptions opts;
+  opts.brokers = 2;
+  return opts;
+}
+
+TEST(Federation, TwoBrokerDeploymentBootsAndPartitionsClients) {
+  sim::Simulator sim(1);
+  planetlab::Deployment dep(sim, two_brokers());
+  EXPECT_EQ(dep.broker_count(), 2u);
+  dep.boot();
+  const auto first = dep.broker_at(0).registered_clients().size();
+  const auto second = dep.broker_at(1).registered_clients().size();
+  EXPECT_EQ(first + second, 8u);
+  EXPECT_EQ(first, 4u);  // round-robin split
+  EXPECT_EQ(second, 4u);
+  EXPECT_EQ(dep.broker_at(0).peer_brokers().size(), 1u);
+  EXPECT_EQ(dep.broker_at(1).peer_brokers().size(), 1u);
+}
+
+TEST(Federation, DiscoveryCrossesBrokers) {
+  sim::Simulator sim(2);
+  planetlab::Deployment dep(sim, two_brokers());
+  dep.boot();
+  // SC1 (broker 0's client) publishes content; SC2 (broker 1's client,
+  // round-robin) must find it through federation.
+  ASSERT_NE(dep.sc(1).broker_node(), dep.sc(2).broker_node());
+  Primitives alice(dep.sc(1));
+  Primitives bob(dep.sc(2));
+  alice.share_content("exam-answers.pdf", megabytes(1.0));
+  sim.run_until(sim.now() + 5.0);
+
+  std::optional<std::vector<jxta::Advertisement>> found;
+  bob.discover_content("exam-answers.pdf", [&](std::vector<jxta::Advertisement> advs) {
+    found = std::move(advs);
+  });
+  sim.run_until(sim.now() + 30.0);
+  ASSERT_TRUE(found.has_value());
+  ASSERT_EQ(found->size(), 1u);
+  EXPECT_EQ((*found)[0].name, "exam-answers.pdf");
+  EXPECT_GT(dep.broker_at(1).federated_queries(), 0u);
+}
+
+TEST(Federation, LocalHitsDoNotFanOut) {
+  sim::Simulator sim(3);
+  planetlab::Deployment dep(sim, two_brokers());
+  dep.boot();
+  // Both publisher and seeker live on broker 0 (SC1 and SC3).
+  ASSERT_EQ(dep.sc(1).broker_node(), dep.sc(3).broker_node());
+  Primitives alice(dep.sc(1));
+  Primitives carol(dep.sc(3));
+  alice.share_content("local-notes.txt", kilobytes(10.0));
+  sim.run_until(sim.now() + 5.0);
+
+  const auto federated_before = dep.broker_at(0).federated_queries();
+  std::optional<std::vector<jxta::Advertisement>> found;
+  carol.discover_content("local-notes.txt", [&](std::vector<jxta::Advertisement> advs) {
+    found = std::move(advs);
+  });
+  sim.run_until(sim.now() + 30.0);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->size(), 1u);
+  EXPECT_EQ(dep.broker_at(0).federated_queries(), federated_before);
+}
+
+TEST(Federation, MissEverywhereReturnsEmptyWithoutLooping) {
+  sim::Simulator sim(4);
+  planetlab::Deployment dep(sim, two_brokers());
+  dep.boot();
+  Primitives bob(dep.sc(2));
+  std::optional<std::vector<jxta::Advertisement>> found;
+  bob.discover_content("does-not-exist.bin", [&](std::vector<jxta::Advertisement> advs) {
+    found = std::move(advs);
+  });
+  sim.run_until(sim.now() + 60.0);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(found->empty());
+}
+
+TEST(Federation, ThreeBrokersFederateFully) {
+  sim::Simulator sim(5);
+  planetlab::DeploymentOptions opts;
+  opts.brokers = 3;
+  planetlab::Deployment dep(sim, opts);
+  dep.boot();
+  EXPECT_EQ(dep.broker_count(), 3u);
+  for (std::size_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(dep.broker_at(b).peer_brokers().size(), 2u);
+  }
+  // A publish at any broker is discoverable from any other broker.
+  Primitives source(dep.sc(3));
+  source.share_content("everywhere.dat", megabytes(2.0));
+  sim.run_until(sim.now() + 5.0);
+  int found_count = 0;
+  for (const int seeker : {1, 2}) {
+    Primitives api(dep.sc(seeker));
+    api.discover_content("everywhere.dat", [&](std::vector<jxta::Advertisement> advs) {
+      found_count += advs.empty() ? 0 : 1;
+    });
+  }
+  sim.run_until(sim.now() + 60.0);
+  EXPECT_EQ(found_count, 2);
+}
+
+TEST(Federation, SelectionStaysPerBroker) {
+  sim::Simulator sim(6);
+  planetlab::Deployment dep(sim, two_brokers());
+  dep.boot();
+  // Each broker only offers its own edge peers.
+  core::SelectionContext ctx;
+  const auto from_first = dep.broker_at(0).select_peers(ctx, 99);
+  const auto from_second = dep.broker_at(1).select_peers(ctx, 99);
+  EXPECT_EQ(from_first.size(), 4u);
+  EXPECT_EQ(from_second.size(), 4u);
+  for (const auto peer : from_first) {
+    EXPECT_EQ(std::count(from_second.begin(), from_second.end(), peer), 0);
+  }
+}
+
+TEST(Federation, FederateWithValidation) {
+  sim::Simulator sim(7);
+  planetlab::Deployment dep(sim);
+  EXPECT_THROW(dep.broker().federate_with(dep.broker().node()), InvariantError);
+  EXPECT_THROW(dep.broker().federate_with(NodeId{}), InvariantError);
+  // Idempotent.
+  dep.broker().federate_with(NodeId(3));
+  dep.broker().federate_with(NodeId(3));
+  EXPECT_EQ(dep.broker().peer_brokers().size(), 1u);
+}
+
+}  // namespace
+}  // namespace peerlab::overlay

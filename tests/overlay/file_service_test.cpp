@@ -1,0 +1,90 @@
+#include "peerlab/overlay/file_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "overlay_world.hpp"
+
+namespace peerlab::overlay {
+namespace {
+
+using testing::OverlayWorld;
+using testing::WorldOptions;
+
+TEST(FileService, TransferCompletesAndReportsToBroker) {
+  OverlayWorld w;
+  w.boot();
+  std::optional<transport::TransferResult> result;
+  transport::FileTransferConfig cfg;
+  cfg.file_size = megabytes(1.0);
+  cfg.parts = 4;
+  w.client(0).files().send_file(PeerId(3), cfg, [&](const transport::TransferResult& r) {
+    result = r;
+  });
+  w.sim.run_until(w.sim.now() + 60.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->complete);
+  EXPECT_EQ(w.client(0).files().transfers_completed(), 1u);
+
+  // The broker learned about the destination peer.
+  const auto& stats = w.broker->statistics_for(PeerId(3));
+  EXPECT_DOUBLE_EQ(stats.value(stats::Criterion::kFileSentTotal, w.sim.now()), 100.0);
+  ASSERT_TRUE(w.broker->history().mean_transfer_rate(PeerId(3)).has_value());
+  EXPECT_GT(*w.broker->history().mean_transfer_rate(PeerId(3)), 0.0);
+  ASSERT_TRUE(w.broker->history().mean_response_time(PeerId(3)).has_value());
+}
+
+TEST(FileService, CancelledTransferIsReportedAsCancellation) {
+  OverlayWorld w;
+  w.boot();
+  transport::FileTransferConfig cfg;
+  cfg.file_size = megabytes(50.0);
+  cfg.parts = 1;
+  std::optional<transport::TransferResult> result;
+  const TransferId id = w.client(0).files().send_file(
+      PeerId(3), cfg, [&](const transport::TransferResult& r) { result = r; });
+  w.sim.schedule(2.0, [&] { w.client(0).files().cancel(id); });
+  w.sim.run_until(w.sim.now() + 30.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->complete);
+  const auto& stats = w.broker->statistics_for(PeerId(3));
+  EXPECT_DOUBLE_EQ(stats.value(stats::Criterion::kFileCancelTotal, w.sim.now()), 100.0);
+}
+
+TEST(FileService, FailedTransferIsReportedAsFailure) {
+  WorldOptions opts;
+  opts.loss_per_megabyte = 0.999;
+  OverlayWorld w(opts);
+  w.boot();
+  transport::FileTransferConfig cfg;
+  cfg.file_size = megabytes(1.0);
+  cfg.parts = 1;
+  cfg.max_part_attempts = 2;
+  std::optional<transport::TransferResult> result;
+  w.client(0).files().send_file(PeerId(3), cfg,
+                                [&](const transport::TransferResult& r) { result = r; });
+  w.sim.run_until(w.sim.now() + 300.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->complete);
+  const auto& stats = w.broker->statistics_for(PeerId(3));
+  EXPECT_DOUBLE_EQ(stats.value(stats::Criterion::kFileSentTotal, w.sim.now()), 0.0);
+  EXPECT_DOUBLE_EQ(stats.value(stats::Criterion::kFileCancelTotal, w.sim.now()), 0.0);
+}
+
+TEST(FileService, PetitionTimesAccumulateInHistory) {
+  OverlayWorld w;
+  w.boot();
+  transport::FileTransferConfig cfg;
+  cfg.file_size = megabytes(0.5);
+  int done = 0;
+  for (int i = 0; i < 3; ++i) {
+    w.client(0).files().send_file(PeerId(4), cfg,
+                                  [&](const transport::TransferResult&) { ++done; });
+  }
+  w.sim.run_until(w.sim.now() + 120.0);
+  EXPECT_EQ(done, 3);
+  EXPECT_TRUE(w.broker->history().mean_response_time(PeerId(4)).has_value());
+  EXPECT_EQ(w.broker->history().transfers_for(PeerId(4)).size(), 3u);
+}
+
+}  // namespace
+}  // namespace peerlab::overlay

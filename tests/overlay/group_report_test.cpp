@@ -1,0 +1,89 @@
+#include "peerlab/overlay/group_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "overlay_world.hpp"
+#include "peerlab/overlay/broker.hpp"
+
+namespace peerlab::overlay {
+namespace {
+
+using testing::OverlayWorld;
+using testing::WorldOptions;
+
+TEST(GroupReport, FreshDeploymentReportsRegistry) {
+  OverlayWorld w;
+  w.boot();
+  const GroupReport report = make_group_report(*w.broker);
+  EXPECT_EQ(report.registered, 3u);
+  EXPECT_EQ(report.online, 3u);
+  EXPECT_EQ(report.broker_node, NodeId(1));
+  EXPECT_GE(report.heartbeats, 3u);
+  ASSERT_EQ(report.peers.size(), 3u);
+  for (const auto& line : report.peers) {
+    EXPECT_TRUE(line.online);
+    EXPECT_TRUE(line.idle);
+    EXPECT_EQ(line.backlog, 0);
+    EXPECT_FALSE(line.hostname.empty());
+  }
+}
+
+TEST(GroupReport, ReflectsActivityAndOutcomes) {
+  OverlayWorld w;
+  w.boot();
+  // One transfer and one task, then report.
+  transport::FileTransferConfig cfg;
+  cfg.file_size = megabytes(1.0);
+  cfg.parts = 2;
+  w.client(0).files().send_file(PeerId(3), cfg, [](const transport::TransferResult&) {});
+  TaskSubmission sub;
+  sub.executor = PeerId(4);
+  sub.work = 10.0;
+  w.client(0).task_service().submit(sub, [](const TaskOutcome&) {});
+  w.sim.run_until(w.sim.now() + 120.0);
+
+  const GroupReport report = make_group_report(*w.broker);
+  const auto* sc2 = &report.peers[1];  // PeerId(3)
+  const auto* sc3 = &report.peers[2];  // PeerId(4)
+  ASSERT_EQ(sc2->peer, PeerId(3));
+  EXPECT_DOUBLE_EQ(sc2->file_sent_pct, 100.0);
+  EXPECT_TRUE(sc2->mean_transfer_rate.has_value());
+  ASSERT_EQ(sc3->peer, PeerId(4));
+  EXPECT_DOUBLE_EQ(sc3->task_exec_pct, 100.0);
+  EXPECT_TRUE(sc3->mean_execution_time.has_value());
+}
+
+TEST(GroupReport, MarksOfflinePeers) {
+  WorldOptions opts;
+  opts.client_config.heartbeat_interval = 10.0;
+  opts.broker_config.heartbeat_interval = 10.0;
+  OverlayWorld w(opts);
+  w.boot();
+  w.client(0).stop();
+  w.sim.run_until(w.sim.now() + 60.0);
+  const GroupReport report = make_group_report(*w.broker);
+  EXPECT_EQ(report.registered, 3u);
+  EXPECT_EQ(report.online, 2u);
+  EXPECT_FALSE(report.peers[0].online);
+}
+
+TEST(GroupReport, RenderContainsEveryPeerAndHeader) {
+  OverlayWorld w;
+  w.boot();
+  const std::string text = make_group_report(*w.broker).render();
+  EXPECT_NE(text.find("group report"), std::string::npos);
+  EXPECT_NE(text.find("heartbeats"), std::string::npos);
+  EXPECT_NE(text.find("sc1.example"), std::string::npos);
+  EXPECT_NE(text.find("sc3.example"), std::string::npos);
+}
+
+TEST(GroupReport, CountsGroups) {
+  OverlayWorld w;
+  w.boot();
+  w.broker->groups().create("a", w.broker->id());
+  w.broker->groups().create("b", w.broker->id());
+  EXPECT_EQ(make_group_report(*w.broker).groups, 2u);
+}
+
+}  // namespace
+}  // namespace peerlab::overlay

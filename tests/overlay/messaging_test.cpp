@@ -1,0 +1,77 @@
+#include "peerlab/overlay/messaging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "overlay_world.hpp"
+
+namespace peerlab::overlay {
+namespace {
+
+using testing::OverlayWorld;
+using testing::WorldOptions;
+
+TEST(Messaging, DeliversAndAcks) {
+  OverlayWorld w;
+  w.boot();
+  std::optional<std::pair<PeerId, std::int64_t>> received;
+  w.client(1).messaging().set_listener([&](PeerId from, std::int64_t tag) {
+    received = {from, tag};
+  });
+  std::optional<bool> delivered;
+  w.client(0).messaging().send(PeerId(3), 42, [&](bool ok, Seconds) { delivered = ok; });
+  w.sim.run_until(w.sim.now() + 10.0);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->first, PeerId(2));
+  EXPECT_EQ(received->second, 42);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_TRUE(*delivered);
+  EXPECT_EQ(w.client(0).messaging().sent(), 1u);
+  EXPECT_EQ(w.client(0).messaging().delivered(), 1u);
+  EXPECT_EQ(w.client(1).messaging().received(), 1u);
+}
+
+TEST(Messaging, OutcomeFeedsBrokerMessageCriteria) {
+  OverlayWorld w;
+  w.boot();
+  std::optional<bool> delivered;
+  w.client(0).messaging().send(PeerId(3), 1, [&](bool ok, Seconds) { delivered = ok; });
+  w.sim.run_until(w.sim.now() + 10.0);
+  ASSERT_TRUE(delivered && *delivered);
+  const auto& stats = w.broker->statistics_for(PeerId(3));
+  EXPECT_DOUBLE_EQ(stats.value(stats::Criterion::kMsgSuccessTotal, w.sim.now()), 100.0);
+}
+
+TEST(Messaging, UnreachablePeerCountsAsFailure) {
+  OverlayWorld w;
+  w.boot();
+  w.clients[1].reset();
+  std::optional<bool> delivered;
+  w.client(0).messaging().send(PeerId(3), 1, [&](bool ok, Seconds) { delivered = ok; });
+  w.sim.run();
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_FALSE(*delivered);
+  const auto& stats = w.broker->statistics_for(PeerId(3));
+  EXPECT_DOUBLE_EQ(stats.value(stats::Criterion::kMsgSuccessTotal, w.sim.now()), 0.0);
+}
+
+TEST(Messaging, SurvivesModerateLoss) {
+  WorldOptions opts;
+  opts.datagram_loss = 0.25;
+  opts.seed = 21;
+  OverlayWorld w(opts);
+  w.boot();
+  int ok = 0;
+  constexpr int kMessages = 30;
+  for (int i = 0; i < kMessages; ++i) {
+    w.sim.schedule(i * 30.0, [&] {
+      w.client(0).messaging().send(PeerId(3), 7, [&](bool success, Seconds) {
+        ok += success ? 1 : 0;
+      });
+    });
+  }
+  w.sim.run();
+  EXPECT_GE(ok, kMessages * 3 / 4);
+}
+
+}  // namespace
+}  // namespace peerlab::overlay

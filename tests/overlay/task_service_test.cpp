@@ -1,0 +1,132 @@
+#include "peerlab/overlay/task_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "overlay_world.hpp"
+
+namespace peerlab::overlay {
+namespace {
+
+using testing::OverlayWorld;
+using testing::WorldOptions;
+
+TEST(TaskService, SubmitExecuteAndReturnResult) {
+  OverlayWorld w;
+  w.boot();
+  std::optional<TaskOutcome> outcome;
+  TaskSubmission sub;
+  sub.executor = PeerId(3);
+  sub.work = 20.0;  // 20 Gcycles at 1.1 GHz -> ~18 s
+  w.client(0).task_service().submit(sub, [&](const TaskOutcome& o) { outcome = o; });
+  w.sim.run_until(w.sim.now() + 120.0);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->accepted);
+  EXPECT_TRUE(outcome->ok);
+  EXPECT_GT(outcome->turnaround(), 15.0);
+  EXPECT_EQ(w.client(1).task_service().offers_received(), 1u);
+  EXPECT_EQ(w.client(1).task_service().offers_accepted(), 1u);
+  EXPECT_EQ(w.client(1).task_service().results_sent(), 1u);
+  EXPECT_EQ(w.client(1).executor().completed(), 1u);
+}
+
+TEST(TaskService, ExecutionRecordsReachBrokerHistory) {
+  OverlayWorld w;
+  w.boot();
+  TaskSubmission sub;
+  sub.executor = PeerId(3);
+  sub.work = 11.0;
+  std::optional<TaskOutcome> outcome;
+  w.client(0).task_service().submit(sub, [&](const TaskOutcome& o) { outcome = o; });
+  w.sim.run_until(w.sim.now() + 120.0);
+  ASSERT_TRUE(outcome && outcome->ok);
+  // Executor reported its execution; submitter reported acceptance.
+  ASSERT_TRUE(w.broker->history().mean_execution_time(PeerId(3)).has_value());
+  EXPECT_NEAR(*w.broker->history().mean_execution_time(PeerId(3)), 10.0, 0.5);
+  const auto& stats = w.broker->statistics_for(PeerId(3));
+  EXPECT_DOUBLE_EQ(stats.value(stats::Criterion::kTaskAcceptTotal, w.sim.now()), 100.0);
+  EXPECT_DOUBLE_EQ(stats.value(stats::Criterion::kTaskExecSuccessTotal, w.sim.now()), 100.0);
+}
+
+TEST(TaskService, InputFileIsShippedBeforeExecution) {
+  OverlayWorld w;
+  w.boot();
+  TaskSubmission sub;
+  sub.executor = PeerId(3);
+  sub.work = 5.0;
+  sub.input_size = megabytes(2.0);
+  sub.input_parts = 4;
+  std::optional<TaskOutcome> outcome;
+  w.client(0).task_service().submit(sub, [&](const TaskOutcome& o) { outcome = o; });
+  w.sim.run_until(w.sim.now() + 300.0);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok);
+  // Input transfer took real time (2 MB at 8 Mbit/s ~ 2 s + protocol).
+  EXPECT_GT(outcome->input_transfer_time(), 2.0);
+  EXPECT_GT(outcome->turnaround(), outcome->input_transfer_time());
+  EXPECT_EQ(w.client(1).files().transfer_peer().parts_received(), 4u);
+}
+
+TEST(TaskService, FullQueueRejectsAndSubmitterLearns) {
+  WorldOptions opts;
+  opts.client_config.executor.queue_capacity = 1;
+  OverlayWorld w(opts);
+  w.boot();
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < 4; ++i) {
+    TaskSubmission sub;
+    sub.executor = PeerId(3);
+    sub.work = 500.0;  // long tasks so the queue stays full
+    w.client(0).task_service().submit(sub, [&](const TaskOutcome& o) {
+      (o.accepted ? accepted : rejected)++;
+    });
+  }
+  w.sim.run_until(w.sim.now() + 50.0);
+  EXPECT_GE(rejected, 1);
+  const auto& stats = w.broker->statistics_for(PeerId(3));
+  EXPECT_LT(stats.value(stats::Criterion::kTaskAcceptTotal, w.sim.now()), 100.0);
+}
+
+TEST(TaskService, UnreachableExecutorFailsTheSubmission) {
+  OverlayWorld w;
+  w.boot();
+  w.clients[1].reset();  // peer software gone from node 3
+  TaskSubmission sub;
+  sub.executor = PeerId(3);
+  sub.work = 5.0;
+  std::optional<TaskOutcome> outcome;
+  w.client(0).task_service().submit(sub, [&](const TaskOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->accepted);
+  EXPECT_FALSE(outcome->ok);
+}
+
+TEST(TaskService, SelfSubmissionIsRejected) {
+  OverlayWorld w;
+  w.boot();
+  TaskSubmission sub;
+  sub.executor = PeerId(2);  // client 0 itself
+  sub.work = 5.0;
+  EXPECT_THROW(w.client(0).task_service().submit(sub, [](const TaskOutcome&) {}),
+               InvariantError);
+}
+
+TEST(TaskService, ConcurrentSubmissionsToDifferentPeers) {
+  OverlayWorld w;
+  w.boot();
+  int finished = 0;
+  for (const auto dst : {PeerId(3), PeerId(4)}) {
+    TaskSubmission sub;
+    sub.executor = dst;
+    sub.work = 10.0;
+    w.client(0).task_service().submit(sub, [&](const TaskOutcome& o) {
+      EXPECT_TRUE(o.ok);
+      ++finished;
+    });
+  }
+  w.sim.run_until(w.sim.now() + 120.0);
+  EXPECT_EQ(finished, 2);
+}
+
+}  // namespace
+}  // namespace peerlab::overlay

@@ -1,0 +1,89 @@
+#include "peerlab/planetlab/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::planetlab {
+namespace {
+
+TEST(Profiles, PetitionMeansMatchFigure2) {
+  const auto profiles = simple_client_profiles();
+  ASSERT_EQ(profiles.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(profiles[static_cast<std::size_t>(i)].control_delay_mean,
+                     paper::kPetitionSeconds[i])
+        << "SC" << (i + 1);
+  }
+}
+
+TEST(Profiles, Sc7IsTheStragglerOnEveryAxis) {
+  const auto profiles = simple_client_profiles();
+  const auto& sc7 = profiles[6];
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i == 6) continue;
+    EXPECT_GT(sc7.control_delay_mean, profiles[i].control_delay_mean);
+    EXPECT_LT(sc7.uplink_mbps, profiles[i].uplink_mbps);
+    EXPECT_LE(sc7.cpu_ghz, profiles[i].cpu_ghz);
+    EXPECT_GE(sc7.base_load, profiles[i].base_load);
+  }
+}
+
+TEST(Profiles, FastPeersAreSnappyAndQuick) {
+  const auto profiles = simple_client_profiles();
+  for (const int fast : {2, 4, 8}) {
+    const auto& p = profiles[static_cast<std::size_t>(fast - 1)];
+    EXPECT_LT(p.control_delay_mean, 0.1) << "SC" << fast;
+    EXPECT_GE(p.uplink_mbps, 9.0) << "SC" << fast;
+  }
+}
+
+TEST(Profiles, PricesTrackCpuQuality) {
+  const auto profiles = simple_client_profiles();
+  // SC7 is the cheapest, the fast peers the priciest.
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i == 6) continue;
+    EXPECT_LT(profiles[6].price_per_cpu_second, profiles[i].price_per_cpu_second);
+  }
+}
+
+TEST(Profiles, ProfilesCarryCatalogIdentity) {
+  const auto p = simple_client_profile(7);
+  EXPECT_EQ(p.hostname, "planetlab1.itwm.fhg.de");
+  EXPECT_EQ(p.country, "DE");
+  EXPECT_NE(p.location.latitude_deg, 0.0);
+}
+
+TEST(Profiles, IndexValidation) {
+  EXPECT_THROW(simple_client_profile(0), InvariantError);
+  EXPECT_THROW(simple_client_profile(9), InvariantError);
+}
+
+TEST(Profiles, BrokerIsWellProvisioned) {
+  const auto b = broker_profile();
+  EXPECT_GE(b.uplink_mbps, 50.0);
+  EXPECT_LT(b.control_delay_mean, 0.05);
+  EXPECT_GE(b.cpu_slots, 2);
+}
+
+TEST(Profiles, SliceNodesAreHeterogeneousButValid) {
+  int ordinal = 0;
+  for (const auto& entry : table1()) {
+    const auto p = slice_node_profile(entry, ordinal++);
+    EXPECT_GT(p.cpu_ghz, 0.0);
+    EXPECT_GT(p.uplink_mbps, 0.0);
+    EXPECT_GT(p.control_delay_mean, 0.0);
+  }
+}
+
+TEST(Profiles, EffectiveSpeedGapSupportsFigure7) {
+  // SC7's effective compute is several times slower than SC2's.
+  const auto sc2 = simple_client_profile(2);
+  const auto sc7 = simple_client_profile(7);
+  const double sc2_eff = sc2.cpu_ghz * (1.0 - sc2.base_load);
+  const double sc7_eff = sc7.cpu_ghz * (1.0 - sc7.base_load);
+  EXPECT_GT(sc2_eff / sc7_eff, 4.0);
+}
+
+}  // namespace
+}  // namespace peerlab::planetlab

@@ -1,0 +1,142 @@
+#include "peerlab/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReportsEventTime) {
+  EventQueue q;
+  q.push(7.25, [] {});
+  auto fired = q.pop();
+  EXPECT_DOUBLE_EQ(fired.time, 7.25);
+}
+
+TEST(EventQueue, NextTimeSeesEarliestLiveEvent) {
+  EventQueue q;
+  auto h = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  h.cancel();
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelledEventNeverFires) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.push(1.0, [&] { fired = true; });
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeOnEmptyHandle) {
+  EventHandle empty;
+  empty.cancel();  // no crash
+  EXPECT_FALSE(empty.pending());
+
+  EventQueue q;
+  auto h = q.push(1.0, [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, HandleReportsPendingLifecycle) {
+  EventQueue q;
+  auto h = q.push(1.0, [] {});
+  EXPECT_TRUE(h.pending());
+  q.pop().action();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, CancelBuriedEventSkipsIt) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1.0, [&] { order.push_back(1); });
+  auto h = q.push(2.0, [&] { order.push_back(2); });
+  q.push(3.0, [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  auto h = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, RejectsNegativeTime) {
+  EventQueue q;
+  EXPECT_THROW(q.push(-1.0, [] {}), InvariantError);
+}
+
+TEST(EventQueue, RejectsNonFiniteTime) {
+  EventQueue q;
+  EXPECT_THROW(q.push(std::numeric_limits<double>::infinity(), [] {}), InvariantError);
+  EXPECT_THROW(q.push(std::numeric_limits<double>::quiet_NaN(), [] {}), InvariantError);
+}
+
+TEST(EventQueue, RejectsEmptyAction) {
+  EventQueue q;
+  EXPECT_THROW(q.push(1.0, Action{}), InvariantError);
+}
+
+TEST(EventQueue, TotalPushedCounts) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.push(1.0, [] {});
+  EXPECT_EQ(q.total_pushed(), 5u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<double> times;
+  // Deliberately interleaved pushes with duplicate times.
+  for (int i = 0; i < 1000; ++i) {
+    q.push(static_cast<double>((i * 7919) % 101), [] {});
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+  }
+}
+
+}  // namespace
+}  // namespace peerlab::sim

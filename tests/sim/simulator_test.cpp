@@ -1,0 +1,208 @@
+#include "peerlab/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peerlab::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunExecutesAllEventsAdvancingClock) {
+  Simulator sim;
+  std::vector<double> at;
+  sim.schedule(2.0, [&] { at.push_back(sim.now()); });
+  sim.schedule(1.0, [&] { at.push_back(sim.now()); });
+  const auto ran = sim.run();
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(at, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, ScheduledActionsCanScheduleMore) {
+  Simulator sim;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 5) sim.schedule(1.0, hop);
+  };
+  sim.schedule(1.0, hop);
+  sim.run();
+  EXPECT_EQ(hops, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);  // clock advanced to horizon
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilInclusiveOfHorizonEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(5.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StepExecutesBoundedCount) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(static_cast<double>(i + 1), [&] { ++fired; });
+  EXPECT_EQ(sim.step(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, StopExitsRunLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // A later run() resumes.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule(1.0, [&] {
+    sim.schedule_at(4.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+TEST(Simulator, RejectsSchedulingIntoThePast) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-0.5, [] {}), InvariantError);
+  sim.schedule(2.0, [&] { EXPECT_THROW(sim.schedule_at(1.0, [] {}), InvariantError); });
+  sim.run();
+}
+
+TEST(Simulator, ZeroDelayFiresAtCurrentTimeAfterCurrentEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] {
+    order.push_back(1);
+    sim.schedule(0.0, [&] { order.push_back(2); });
+    order.push_back(3);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(Simulator, ExecutedEventsAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, ClearDropsPendingWork) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.clear();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, DaemonEventsDoNotKeepRunAlive) {
+  Simulator sim;
+  int heartbeats = 0;
+  std::function<void()> beat = [&] {
+    ++heartbeats;
+    sim.schedule_daemon(10.0, beat);
+  };
+  sim.schedule_daemon(10.0, beat);
+  int work = 0;
+  sim.schedule(35.0, [&] { ++work; });
+  sim.run();
+  // Daemons at t=10,20,30 fire while the t=35 work is pending; the
+  // t=40 daemon must not run — the loop exits when only daemons remain.
+  EXPECT_EQ(work, 1);
+  EXPECT_EQ(heartbeats, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 35.0);
+}
+
+TEST(Simulator, BoundedRunFiresDaemonsUpToHorizon) {
+  Simulator sim;
+  int heartbeats = 0;
+  std::function<void()> beat = [&] {
+    ++heartbeats;
+    sim.schedule_daemon(10.0, beat);
+  };
+  sim.schedule_daemon(10.0, beat);
+  sim.run_until(45.0);
+  EXPECT_EQ(heartbeats, 4);  // t=10,20,30,40
+  EXPECT_DOUBLE_EQ(sim.now(), 45.0);
+}
+
+TEST(Simulator, DaemonSpawnedWorkIsRealWork) {
+  // A daemon that schedules a regular event extends the run until that
+  // event fires.
+  Simulator sim;
+  int work = 0;
+  sim.schedule_daemon(5.0, [&] { sim.schedule(100.0, [&] { ++work; }); });
+  sim.schedule(10.0, [] {});  // keeps the run alive past the daemon
+  sim.run();
+  EXPECT_EQ(work, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 105.0);
+}
+
+TEST(Simulator, CancellingLastRegularEventEndsRun) {
+  Simulator sim;
+  int daemons = 0;
+  std::function<void()> beat = [&] {
+    ++daemons;
+    sim.schedule_daemon(1.0, beat);
+  };
+  sim.schedule_daemon(1.0, beat);
+  auto handle = sim.schedule(100.0, [] {});
+  handle.cancel();
+  sim.run();
+  EXPECT_EQ(daemons, 0);  // nothing regular left: run exits immediately
+}
+
+TEST(Simulator, DeterministicAcrossInstancesWithSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<double> draws;
+    std::function<void()> tick = [&] {
+      draws.push_back(sim.rng().uniform());
+      if (draws.size() < 50) sim.schedule(sim.rng().exponential(0.5), tick);
+    };
+    sim.schedule(0.1, tick);
+    sim.run();
+    return std::make_pair(draws, sim.now());
+  };
+  const auto a = run_once(1234);
+  const auto b = run_once(1234);
+  const auto c = run_once(4321);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+  EXPECT_NE(a.first, c.first);
+}
+
+}  // namespace
+}  // namespace peerlab::sim

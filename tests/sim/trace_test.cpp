@@ -1,0 +1,132 @@
+#include "peerlab/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/planetlab/deployment.hpp"
+
+namespace peerlab::sim {
+namespace {
+
+TEST(Tracer, RecordsEventsInOrder) {
+  Tracer tracer;
+  tracer.record(1.0, TraceCategory::kNetwork, "a");
+  tracer.record(2.0, TraceCategory::kTask, "b", "detail", 7, 9);
+  ASSERT_EQ(tracer.size(), 2u);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].time, 1.0);
+  EXPECT_EQ(tracer.events()[1].label, "b");
+  EXPECT_EQ(tracer.events()[1].detail, "detail");
+  EXPECT_EQ(tracer.events()[1].a, 7u);
+  EXPECT_EQ(tracer.events()[1].b, 9u);
+  EXPECT_EQ(tracer.recorded(), 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, RingDropsOldestWhenFull) {
+  Tracer tracer(3);
+  for (int i = 0; i < 5; ++i) {
+    tracer.record(static_cast<double>(i), TraceCategory::kOther, std::to_string(i));
+  }
+  ASSERT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.events().front().label, "2");
+  EXPECT_EQ(tracer.events().back().label, "4");
+  EXPECT_EQ(tracer.dropped(), 2u);
+  EXPECT_EQ(tracer.recorded(), 5u);
+}
+
+TEST(Tracer, FiltersByCategoryAndLabel) {
+  Tracer tracer;
+  tracer.record(1.0, TraceCategory::kNetwork, "x");
+  tracer.record(2.0, TraceCategory::kTask, "x");
+  tracer.record(3.0, TraceCategory::kTask, "y");
+  EXPECT_EQ(tracer.count(TraceCategory::kTask), 2u);
+  EXPECT_EQ(tracer.count(TraceCategory::kSelection), 0u);
+  EXPECT_EQ(tracer.count_label("x"), 2u);
+  EXPECT_EQ(tracer.by_category(TraceCategory::kNetwork).size(), 1u);
+  EXPECT_EQ(tracer.by_label("y").size(), 1u);
+}
+
+TEST(Tracer, ClearResetsEverything) {
+  Tracer tracer(2);
+  tracer.record(1.0, TraceCategory::kOther, "a");
+  tracer.record(1.0, TraceCategory::kOther, "b");
+  tracer.record(1.0, TraceCategory::kOther, "c");
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, CsvHasHeaderAndOneLinePerEvent) {
+  Tracer tracer;
+  tracer.record(1.5, TraceCategory::kNetwork, "ev", "d", 1, 2);
+  const std::string csv = tracer.csv();
+  EXPECT_NE(csv.find("time,category,label,detail,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("1.5,network,ev,d,1,2"), std::string::npos);
+}
+
+TEST(Tracer, CategoryNames) {
+  EXPECT_STREQ(to_string(TraceCategory::kNetwork), "network");
+  EXPECT_STREQ(to_string(TraceCategory::kTransport), "transport");
+  EXPECT_STREQ(to_string(TraceCategory::kOverlay), "overlay");
+  EXPECT_STREQ(to_string(TraceCategory::kTask), "task");
+  EXPECT_STREQ(to_string(TraceCategory::kSelection), "selection");
+}
+
+TEST(Tracer, RejectsZeroCapacity) { EXPECT_THROW(Tracer(0), InvariantError); }
+
+// ---- integration: the subsystems actually emit ----
+
+TEST(TracerIntegration, DeploymentEmitsNetworkTaskAndSelectionEvents) {
+  sim::Simulator sim(9);
+  planetlab::Deployment dep(sim);
+  Tracer tracer;
+  dep.network().set_tracer(&tracer);
+  dep.sc(2).executor().set_tracer(&tracer);
+  dep.boot();
+
+  overlay::Primitives api(dep.control());
+  core::SelectionContext ctx;
+  api.select_peers(ctx, 1, [](std::vector<PeerId>) {});
+  overlay::TaskSubmission sub;
+  sub.executor = dep.sc_peer(2);
+  sub.work = 10.0;
+  dep.control().task_service().submit(sub, [](const overlay::TaskOutcome&) {});
+  sim.run();
+
+  EXPECT_GT(tracer.count_label("datagram-sent"), 0u);
+  EXPECT_EQ(tracer.count_label("selection-served"), 1u);
+  EXPECT_EQ(tracer.count_label("exec-start"), 1u);
+  EXPECT_EQ(tracer.count_label("exec-done"), 1u);
+  // Timeline is monotone.
+  Seconds prev = 0.0;
+  for (const auto& e : tracer.events()) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+TEST(TracerIntegration, BulkMessagesTraceDeliveryAndLoss) {
+  sim::Simulator sim(31);
+  planetlab::Deployment dep(sim);
+  Tracer tracer;
+  dep.network().set_tracer(&tracer);
+  // SC7's loss rate guarantees some lost copies across many messages.
+  int done = 0;
+  for (int i = 0; i < 40; ++i) {
+    sim.schedule(i * 500.0, [&] {
+      dep.network().start_message(dep.control().node(), dep.sc(7).node(), megabytes(20.0),
+                                  [&](bool, Seconds) { ++done; });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(done, 40);
+  EXPECT_EQ(tracer.count_label("message-start"), 40u);
+  EXPECT_GT(tracer.count_label("message-lost"), 0u);
+  EXPECT_GT(tracer.count_label("message-delivered"), 0u);
+  EXPECT_EQ(tracer.count_label("message-lost") + tracer.count_label("message-delivered"),
+            40u);
+}
+
+}  // namespace
+}  // namespace peerlab::sim

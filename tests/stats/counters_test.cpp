@@ -1,0 +1,73 @@
+#include "peerlab/stats/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerlab::stats {
+namespace {
+
+TEST(RatioCounter, EmptyReportsNeutralValue) {
+  RatioCounter c;
+  EXPECT_DOUBLE_EQ(c.percent(), 100.0);
+  EXPECT_DOUBLE_EQ(c.percent(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.percent(50.0), 50.0);
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(RatioCounter, TracksSuccessPercentage) {
+  RatioCounter c;
+  c.record(true);
+  c.record(true);
+  c.record(false);
+  c.record(true);
+  EXPECT_EQ(c.total(), 4u);
+  EXPECT_EQ(c.successes(), 3u);
+  EXPECT_DOUBLE_EQ(c.percent(), 75.0);
+}
+
+TEST(RatioCounter, AllFailuresIsZeroPercent) {
+  RatioCounter c;
+  for (int i = 0; i < 10; ++i) c.record(false);
+  EXPECT_DOUBLE_EQ(c.percent(), 0.0);
+}
+
+TEST(RatioCounter, ResetRestoresNeutrality) {
+  RatioCounter c;
+  c.record(false);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.percent(), 100.0);
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(SampledAverage, TracksLastAndMean) {
+  SampledAverage a;
+  a.sample(2.0);
+  a.sample(4.0);
+  a.sample(6.0);
+  EXPECT_DOUBLE_EQ(a.last(), 6.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(SampledAverage, EmptyIsZero) {
+  SampledAverage a;
+  EXPECT_DOUBLE_EQ(a.last(), 0.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(SampledAverage, ResetClearsState) {
+  SampledAverage a;
+  a.sample(9.0);
+  a.reset();
+  EXPECT_DOUBLE_EQ(a.last(), 0.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(SampledAverage, LongStreamMeanIsStable) {
+  SampledAverage a;
+  for (int i = 1; i <= 1000; ++i) a.sample(static_cast<double>(i % 10));
+  EXPECT_NEAR(a.mean(), 4.5, 0.01);
+}
+
+}  // namespace
+}  // namespace peerlab::stats

@@ -1,0 +1,114 @@
+#include "peerlab/stats/peer_statistics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerlab::stats {
+namespace {
+
+TEST(Criterion, NamesAreUniqueAndComplete) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kCriterionCount; ++i) {
+    const std::string name = to_string(static_cast<Criterion>(i));
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second);
+  }
+  EXPECT_EQ(names.size(), kCriterionCount);
+}
+
+TEST(Criterion, DirectionsMatchSemantics) {
+  EXPECT_TRUE(higher_is_better(Criterion::kMsgSuccessTotal));
+  EXPECT_TRUE(higher_is_better(Criterion::kTaskExecSuccessSession));
+  EXPECT_TRUE(higher_is_better(Criterion::kFileSentTotal));
+  EXPECT_FALSE(higher_is_better(Criterion::kOutboxNow));
+  EXPECT_FALSE(higher_is_better(Criterion::kInboxAvg));
+  EXPECT_FALSE(higher_is_better(Criterion::kFileCancelTotal));
+  EXPECT_FALSE(higher_is_better(Criterion::kPendingTransfers));
+}
+
+TEST(PeerStatistics, FreshPeerIsNeutral) {
+  PeerStatistics s;
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kMsgSuccessSession, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kMsgSuccessTotal, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kTaskExecSuccessTotal, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kFileCancelTotal, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kOutboxNow, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kPendingTransfers, 0.0), 0.0);
+}
+
+TEST(PeerStatistics, MessageCriteriaAcrossScopes) {
+  PeerStatistics s;
+  s.record_message(10.0, true);
+  s.record_message(20.0, false);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kMsgSuccessSession, 20.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kMsgSuccessTotal, 20.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kMsgSuccessWindow, 20.0), 50.0);
+}
+
+TEST(PeerStatistics, SessionResetPreservesTotalsAndWindow) {
+  PeerStatistics s;
+  s.record_message(10.0, false);
+  s.record_task_accept(false);
+  s.record_task_execution(false);
+  s.record_file(FileOutcome::kCancelled);
+  s.begin_session();
+  // Session counters are neutral again...
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kMsgSuccessSession, 20.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kTaskAcceptSession, 20.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kFileCancelSession, 20.0), 0.0);
+  // ...totals remember.
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kMsgSuccessTotal, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kTaskAcceptTotal, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kFileCancelTotal, 20.0), 100.0);
+  // ...and the k-hour window remembers too.
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kMsgSuccessWindow, 20.0), 0.0);
+}
+
+TEST(PeerStatistics, WindowedMessageCriterionAgesOut) {
+  PeerStatistics s(/*window_span=*/100.0);
+  s.record_message(0.0, false);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kMsgSuccessWindow, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kMsgSuccessWindow, 150.0), 100.0);
+  // Totals are unaffected by time.
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kMsgSuccessTotal, 150.0), 0.0);
+}
+
+TEST(PeerStatistics, QueueSamplesTrackNowAndAverage) {
+  PeerStatistics s;
+  s.sample_outbox(2.0);
+  s.sample_outbox(4.0);
+  s.sample_inbox(10.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kOutboxNow, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kOutboxAvg, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kInboxNow, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kInboxAvg, 0.0), 10.0);
+}
+
+TEST(PeerStatistics, TaskCriteriaSeparateAcceptanceFromExecution) {
+  PeerStatistics s;
+  s.record_task_accept(true);
+  s.record_task_accept(false);
+  s.record_task_execution(true);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kTaskAcceptTotal, 0.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kTaskExecSuccessTotal, 0.0), 100.0);
+}
+
+TEST(PeerStatistics, FileOutcomesSplitCompletedAndCancelled) {
+  PeerStatistics s;
+  s.record_file(FileOutcome::kCompleted);
+  s.record_file(FileOutcome::kCompleted);
+  s.record_file(FileOutcome::kCancelled);
+  s.record_file(FileOutcome::kFailed);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kFileSentTotal, 0.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kFileCancelTotal, 0.0), 25.0);
+}
+
+TEST(PeerStatistics, PendingTransfersIsInstantaneous) {
+  PeerStatistics s;
+  s.set_pending_transfers(3);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kPendingTransfers, 0.0), 3.0);
+  s.set_pending_transfers(0);
+  EXPECT_DOUBLE_EQ(s.value(Criterion::kPendingTransfers, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace peerlab::stats

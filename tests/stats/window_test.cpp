@@ -1,0 +1,66 @@
+#include "peerlab/stats/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::stats {
+namespace {
+
+TEST(OutcomeWindow, EmptyReportsNeutral) {
+  OutcomeWindow w(3600.0);
+  EXPECT_DOUBLE_EQ(w.percent(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(w.percent(0.0, 42.0), 42.0);
+  EXPECT_EQ(w.count(0.0), 0u);
+}
+
+TEST(OutcomeWindow, CountsRecentOutcomes) {
+  OutcomeWindow w(100.0);
+  w.record(10.0, true);
+  w.record(20.0, false);
+  w.record(30.0, true);
+  EXPECT_EQ(w.count(30.0), 3u);
+  EXPECT_NEAR(w.percent(30.0), 100.0 * 2 / 3, 1e-9);
+}
+
+TEST(OutcomeWindow, OldEventsFallOut) {
+  OutcomeWindow w(100.0);
+  w.record(0.0, false);
+  w.record(50.0, true);
+  // At t = 120, the failure at t = 0 has aged out.
+  EXPECT_EQ(w.count(120.0), 1u);
+  EXPECT_DOUBLE_EQ(w.percent(120.0), 100.0);
+  // At t = 200 everything is gone -> neutral again.
+  EXPECT_DOUBLE_EQ(w.percent(200.0), 100.0);
+}
+
+TEST(OutcomeWindow, BoundaryIsExclusiveAtSpanAge) {
+  OutcomeWindow w(100.0);
+  w.record(0.0, true);
+  EXPECT_EQ(w.count(99.999), 1u);
+  EXPECT_EQ(w.count(100.0), 0u);  // exactly span-old events evict
+}
+
+TEST(OutcomeWindow, RejectsOutOfOrderRecords) {
+  OutcomeWindow w(100.0);
+  w.record(50.0, true);
+  EXPECT_THROW(w.record(40.0, true), InvariantError);
+}
+
+TEST(OutcomeWindow, RejectsNonPositiveSpan) {
+  EXPECT_THROW(OutcomeWindow(0.0), InvariantError);
+  EXPECT_THROW(OutcomeWindow(-1.0), InvariantError);
+}
+
+TEST(OutcomeWindow, PercentIsStableUnderManyEvents) {
+  OutcomeWindow w(1000.0);
+  for (int i = 0; i < 5000; ++i) {
+    w.record(static_cast<double>(i), i % 4 != 0);  // 75% success
+  }
+  EXPECT_NEAR(w.percent(4999.0), 75.0, 1.0);
+  // Window only holds the last 1000 seconds' events.
+  EXPECT_EQ(w.count(4999.0), 1000u);
+}
+
+}  // namespace
+}  // namespace peerlab::stats

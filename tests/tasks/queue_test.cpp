@@ -1,0 +1,66 @@
+#include "peerlab/tasks/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::tasks {
+namespace {
+
+Task make_task(std::uint64_t id) {
+  Task t;
+  t.id = TaskId(id);
+  t.owner = PeerId(1);
+  t.work = 10.0;
+  return t;
+}
+
+TEST(TaskQueue, StartsEmpty) {
+  TaskQueue q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(TaskQueue, FifoOrder) {
+  TaskQueue q(4);
+  EXPECT_TRUE(q.offer(make_task(1)));
+  EXPECT_TRUE(q.offer(make_task(2)));
+  EXPECT_TRUE(q.offer(make_task(3)));
+  EXPECT_EQ(q.pop()->id, TaskId(1));
+  EXPECT_EQ(q.pop()->id, TaskId(2));
+  EXPECT_EQ(q.pop()->id, TaskId(3));
+}
+
+TEST(TaskQueue, RejectsWhenFull) {
+  TaskQueue q(2);
+  EXPECT_TRUE(q.offer(make_task(1)));
+  EXPECT_TRUE(q.offer(make_task(2)));
+  EXPECT_FALSE(q.offer(make_task(3)));
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.offered(), 3u);
+  EXPECT_EQ(q.rejected(), 1u);
+}
+
+TEST(TaskQueue, AcceptsAgainAfterDrain) {
+  TaskQueue q(1);
+  EXPECT_TRUE(q.offer(make_task(1)));
+  EXPECT_FALSE(q.offer(make_task(2)));
+  (void)q.pop();
+  EXPECT_TRUE(q.offer(make_task(3)));
+}
+
+TEST(TaskQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(TaskQueue(0), InvariantError);
+}
+
+TEST(TaskState, Names) {
+  EXPECT_STREQ(to_string(TaskState::kQueued), "queued");
+  EXPECT_STREQ(to_string(TaskState::kRunning), "running");
+  EXPECT_STREQ(to_string(TaskState::kCompleted), "completed");
+  EXPECT_STREQ(to_string(TaskState::kFailed), "failed");
+  EXPECT_STREQ(to_string(TaskState::kRejected), "rejected");
+}
+
+}  // namespace
+}  // namespace peerlab::tasks

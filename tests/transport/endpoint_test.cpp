@@ -1,0 +1,165 @@
+#include "peerlab/transport/endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::transport {
+namespace {
+
+struct World {
+  World() {
+    net::Topology topo(sim.rng().fork(1));
+    for (const char* name : {"a", "b", "c"}) {
+      net::NodeProfile p;
+      p.hostname = name;
+      p.control_delay_mean = 0.05;
+      p.control_delay_sigma = 0.0;
+      p.loss_per_megabyte = 0.0;
+      topo.add_node(p);
+    }
+    net::NetworkConfig cfg;
+    cfg.datagram_loss = 0.0;
+    network.emplace(sim, std::move(topo), cfg);
+    fabric.emplace(*network);
+  }
+  sim::Simulator sim{1};
+  std::optional<net::Network> network;
+  std::optional<TransportFabric> fabric;
+};
+
+TEST(Endpoint, AttachIsIdempotent) {
+  World w;
+  Endpoint& e1 = w.fabric->attach(NodeId(1));
+  Endpoint& e2 = w.fabric->attach(NodeId(1));
+  EXPECT_EQ(&e1, &e2);
+  EXPECT_TRUE(w.fabric->attached(NodeId(1)));
+  EXPECT_FALSE(w.fabric->attached(NodeId(2)));
+}
+
+TEST(Endpoint, AttachToUnknownNodeThrows) {
+  World w;
+  EXPECT_THROW(w.fabric->attach(NodeId(42)), InvariantError);
+}
+
+TEST(Endpoint, EndpointLookupThrowsWhenUnattached) {
+  World w;
+  EXPECT_THROW((void)w.fabric->endpoint(NodeId(1)), InvariantError);
+}
+
+TEST(Endpoint, MessageReachesHandlerWithFields) {
+  World w;
+  Endpoint& a = w.fabric->attach(NodeId(1));
+  Endpoint& b = w.fabric->attach(NodeId(2));
+  std::optional<Message> got;
+  b.set_handler(MessageType::kChat, [&](const Message& m) { got = m; });
+  a.send(NodeId(2), MessageType::kChat, /*correlation=*/77, /*seq=*/3, /*arg=*/-5);
+  w.sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->src, NodeId(1));
+  EXPECT_EQ(got->dst, NodeId(2));
+  EXPECT_EQ(got->type, MessageType::kChat);
+  EXPECT_EQ(got->correlation, 77u);
+  EXPECT_EQ(got->seq, 3u);
+  EXPECT_EQ(got->arg, -5);
+  EXPECT_TRUE(got->id.valid());
+}
+
+TEST(Endpoint, DeliveryTakesControlPlaneTime) {
+  World w;
+  Endpoint& a = w.fabric->attach(NodeId(1));
+  Endpoint& b = w.fabric->attach(NodeId(2));
+  Seconds arrival = -1.0;
+  b.set_handler(MessageType::kHeartbeat, [&](const Message&) { arrival = w.sim.now(); });
+  a.send(NodeId(2), MessageType::kHeartbeat);
+  w.sim.run();
+  EXPECT_GT(arrival, 0.04);  // control delay dominates
+  EXPECT_LT(arrival, 0.2);
+}
+
+TEST(Endpoint, UnhandledTypesAreCountedNotFatal) {
+  World w;
+  Endpoint& a = w.fabric->attach(NodeId(1));
+  w.fabric->attach(NodeId(2));
+  a.send(NodeId(2), MessageType::kChat);
+  w.sim.run();
+  EXPECT_EQ(w.fabric->endpoint(NodeId(2)).delivered_count(), 1u);
+  EXPECT_EQ(w.fabric->endpoint(NodeId(2)).unhandled_count(), 1u);
+}
+
+TEST(Endpoint, MessageToUnattachedNodeEvaporates) {
+  World w;
+  Endpoint& a = w.fabric->attach(NodeId(1));
+  a.send(NodeId(3), MessageType::kChat);
+  w.sim.run();  // must not crash
+  SUCCEED();
+}
+
+TEST(Endpoint, ReplyEchoesCorrelationAndSeq) {
+  World w;
+  Endpoint& a = w.fabric->attach(NodeId(1));
+  Endpoint& b = w.fabric->attach(NodeId(2));
+  std::optional<Message> response;
+  a.set_handler(MessageType::kChatAck, [&](const Message& m) { response = m; });
+  b.set_handler(MessageType::kChat,
+                [&](const Message& m) { b.reply(m, MessageType::kChatAck, 99); });
+  a.send(NodeId(2), MessageType::kChat, 55, 7);
+  w.sim.run();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->correlation, 55u);
+  EXPECT_EQ(response->seq, 7u);
+  EXPECT_EQ(response->arg, 99);
+  EXPECT_EQ(response->src, NodeId(2));
+}
+
+TEST(Endpoint, HandlerReplacementTakesEffect) {
+  World w;
+  Endpoint& a = w.fabric->attach(NodeId(1));
+  Endpoint& b = w.fabric->attach(NodeId(2));
+  int first = 0, second = 0;
+  b.set_handler(MessageType::kChat, [&](const Message&) { ++first; });
+  b.set_handler(MessageType::kChat, [&](const Message&) { ++second; });
+  a.send(NodeId(2), MessageType::kChat);
+  w.sim.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Endpoint, ClearedHandlerStopsDispatch) {
+  World w;
+  Endpoint& a = w.fabric->attach(NodeId(1));
+  Endpoint& b = w.fabric->attach(NodeId(2));
+  int count = 0;
+  b.set_handler(MessageType::kChat, [&](const Message&) { ++count; });
+  b.clear_handler(MessageType::kChat);
+  a.send(NodeId(2), MessageType::kChat);
+  w.sim.run();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(b.unhandled_count(), 1u);
+}
+
+TEST(Endpoint, MessagesGetUniqueIds) {
+  World w;
+  Endpoint& a = w.fabric->attach(NodeId(1));
+  Endpoint& b = w.fabric->attach(NodeId(2));
+  std::vector<MessageId> ids;
+  b.set_handler(MessageType::kChat, [&](const Message& m) { ids.push_back(m.id); });
+  for (int i = 0; i < 5; ++i) a.send(NodeId(2), MessageType::kChat);
+  w.sim.run();
+  ASSERT_EQ(ids.size(), 5u);
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_NE(ids[i - 1], ids[i]);
+  }
+}
+
+TEST(Endpoint, EmptyHandlerRejected) {
+  World w;
+  Endpoint& a = w.fabric->attach(NodeId(1));
+  EXPECT_THROW(a.set_handler(MessageType::kChat, Endpoint::Handler{}), InvariantError);
+}
+
+}  // namespace
+}  // namespace peerlab::transport

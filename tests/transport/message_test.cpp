@@ -1,0 +1,59 @@
+#include "peerlab/transport/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace peerlab::transport {
+namespace {
+
+const MessageType kAllTypes[] = {
+    MessageType::kTransferPetition, MessageType::kTransferPetitionAck,
+    MessageType::kPartConfirm,      MessageType::kConfirmQuery,
+    MessageType::kTaskOffer,        MessageType::kTaskAccept,
+    MessageType::kTaskReject,       MessageType::kTaskResult,
+    MessageType::kTaskResultAck,    MessageType::kHeartbeat,
+    MessageType::kStatsReport,      MessageType::kDiscoveryQuery,
+    MessageType::kDiscoveryResponse, MessageType::kGroupJoin,
+    MessageType::kGroupJoinAck,     MessageType::kGroupLeave,
+    MessageType::kChat,             MessageType::kChatAck,
+    MessageType::kPipeResolve,      MessageType::kPipeResolveAck,
+    MessageType::kPipeData,         MessageType::kSelectRequest,
+    MessageType::kSelectResponse,
+};
+
+TEST(MessageType, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const auto t : kAllTypes) {
+    const std::string name = to_string(t);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(MessageType, NominalSizesAreControlScale) {
+  for (const auto t : kAllTypes) {
+    const Bytes size = nominal_size(t);
+    EXPECT_GT(size, 0);
+    EXPECT_LE(size, 64 * kKilobyte) << to_string(t) << " must stay degradation-exempt";
+  }
+}
+
+TEST(MessageType, PetitionCarriesAdvertisementPayload) {
+  EXPECT_GT(nominal_size(MessageType::kTransferPetition),
+            nominal_size(MessageType::kPartConfirm));
+}
+
+TEST(Message, DefaultsAreInert) {
+  Message m;
+  EXPECT_FALSE(m.id.valid());
+  EXPECT_FALSE(m.src.valid());
+  EXPECT_EQ(m.correlation, 0u);
+  EXPECT_EQ(m.seq, 0u);
+  EXPECT_EQ(m.arg, 0);
+}
+
+}  // namespace
+}  // namespace peerlab::transport

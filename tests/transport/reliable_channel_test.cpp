@@ -1,0 +1,197 @@
+#include "peerlab/transport/reliable_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+namespace peerlab::transport {
+namespace {
+
+struct World {
+  explicit World(double datagram_loss = 0.0, std::uint64_t seed = 1) : sim(seed) {
+    net::Topology topo(sim.rng().fork(1));
+    for (const char* name : {"client", "server"}) {
+      net::NodeProfile p;
+      p.hostname = name;
+      p.control_delay_mean = 0.05;
+      p.control_delay_sigma = 0.0;
+      p.loss_per_megabyte = 0.0;
+      topo.add_node(p);
+    }
+    net::NetworkConfig cfg;
+    cfg.datagram_loss = datagram_loss;
+    network.emplace(sim, std::move(topo), cfg);
+    fabric.emplace(*network);
+  }
+  sim::Simulator sim;
+  std::optional<net::Network> network;
+  std::optional<TransportFabric> fabric;
+};
+
+RetryPolicy fast_retry() {
+  RetryPolicy p;
+  p.initial_timeout = 1.0;
+  p.backoff = 1.5;
+  p.max_attempts = 4;
+  return p;
+}
+
+TEST(ReliableChannel, CompletesRoundTripOnCleanNetwork) {
+  World w;
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  Endpoint& server = w.fabric->attach(NodeId(2));
+  ReliableChannel req(client, MessageType::kChat, MessageType::kChatAck, fast_retry());
+  ReliableChannel resp(server, MessageType::kChat, MessageType::kChatAck, fast_retry());
+  resp.serve([&](const Message& m) { server.reply(m, MessageType::kChatAck, m.arg * 2); });
+
+  std::optional<RequestOutcome> outcome;
+  req.request(NodeId(2), 42, 21, [&](const RequestOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok);
+  EXPECT_EQ(outcome->attempts, 1);
+  EXPECT_EQ(outcome->response.arg, 42);
+  EXPECT_EQ(outcome->response.correlation, 42u);
+  EXPECT_GT(outcome->elapsed, 0.09);  // two control hops
+  EXPECT_LT(outcome->elapsed, 0.5);
+  EXPECT_EQ(req.retransmissions(), 0u);
+  EXPECT_EQ(req.outstanding(), 0u);
+}
+
+TEST(ReliableChannel, RetriesThroughLossAndSucceeds) {
+  World w(/*datagram_loss=*/0.4, /*seed=*/7);
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  Endpoint& server = w.fabric->attach(NodeId(2));
+  RetryPolicy policy = fast_retry();
+  policy.max_attempts = 20;
+  ReliableChannel req(client, MessageType::kChat, MessageType::kChatAck, policy);
+  ReliableChannel resp(server, MessageType::kChat, MessageType::kChatAck, policy);
+  int served = 0;
+  resp.serve([&](const Message& m) {
+    ++served;
+    server.reply(m, MessageType::kChatAck);
+  });
+
+  int ok = 0, failed = 0;
+  constexpr int kRequests = 50;
+  for (int i = 0; i < kRequests; ++i) {
+    req.request(NodeId(2), static_cast<std::uint64_t>(i), 0,
+                [&](const RequestOutcome& o) { o.ok ? ++ok : ++failed; });
+  }
+  w.sim.run();
+  EXPECT_EQ(ok, kRequests);  // 20 attempts at 40% loss: failure is negligible
+  EXPECT_EQ(failed, 0);
+  EXPECT_GT(req.retransmissions(), 0u);
+  EXPECT_GE(served, kRequests);
+}
+
+TEST(ReliableChannel, ExhaustedRetriesReportFailure) {
+  World w;
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  // No server software at all: every attempt times out.
+  ReliableChannel req(client, MessageType::kChat, MessageType::kChatAck, fast_retry());
+  std::optional<RequestOutcome> outcome;
+  req.request(NodeId(2), 1, 0, [&](const RequestOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_EQ(outcome->attempts, 4);
+  // Backoff: 1 + 1.5 + 2.25 + 3.375 = 8.125 s total.
+  EXPECT_NEAR(outcome->elapsed, 8.125, 0.01);
+}
+
+TEST(ReliableChannel, BackoffGrowsTimeouts) {
+  World w;
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  ReliableChannel req(client, MessageType::kChat, MessageType::kChatAck, fast_retry());
+  bool done = false;
+  req.request(NodeId(2), 1, 0, [&](const RequestOutcome&) { done = true; });
+  w.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(w.sim.now(), 8.125, 0.01);
+}
+
+TEST(ReliableChannel, ConcurrentRequestsAreMatchedBySeq) {
+  World w;
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  Endpoint& server = w.fabric->attach(NodeId(2));
+  ReliableChannel req(client, MessageType::kChat, MessageType::kChatAck, fast_retry());
+  ReliableChannel resp(server, MessageType::kChat, MessageType::kChatAck, fast_retry());
+  resp.serve([&](const Message& m) {
+    server.reply(m, MessageType::kChatAck, static_cast<std::int64_t>(m.correlation));
+  });
+
+  std::vector<std::pair<std::uint64_t, std::int64_t>> results;
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    req.request(NodeId(2), i, 0, [&, i](const RequestOutcome& o) {
+      ASSERT_TRUE(o.ok);
+      results.emplace_back(i, o.response.arg);
+    });
+  }
+  w.sim.run();
+  ASSERT_EQ(results.size(), 10u);
+  for (const auto& [corr, echoed] : results) {
+    EXPECT_EQ(static_cast<std::int64_t>(corr), echoed);
+  }
+}
+
+TEST(ReliableChannel, SlowResponderIsNotRetriedPrematurely) {
+  World w;
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  Endpoint& server = w.fabric->attach(NodeId(2));
+  RetryPolicy patient;
+  patient.initial_timeout = 5.0;
+  patient.max_attempts = 2;
+  ReliableChannel req(client, MessageType::kChat, MessageType::kChatAck, patient);
+  ReliableChannel resp(server, MessageType::kChat, MessageType::kChatAck, patient);
+  int served = 0;
+  resp.serve([&](const Message& m) {
+    ++served;
+    server.reply(m, MessageType::kChatAck);
+  });
+  std::optional<RequestOutcome> outcome;
+  req.request(NodeId(2), 1, 0, [&](const RequestOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok);
+  EXPECT_EQ(outcome->attempts, 1);
+  EXPECT_EQ(served, 1);
+}
+
+TEST(ReliableChannel, DuplicateResponsesAreDropped) {
+  World w;
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  Endpoint& server = w.fabric->attach(NodeId(2));
+  ReliableChannel req(client, MessageType::kChat, MessageType::kChatAck, fast_retry());
+  ReliableChannel resp(server, MessageType::kChat, MessageType::kChatAck, fast_retry());
+  resp.serve([&](const Message& m) {
+    // Reply twice: the second must be ignored by the requester.
+    server.reply(m, MessageType::kChatAck);
+    server.reply(m, MessageType::kChatAck);
+  });
+  int completions = 0;
+  req.request(NodeId(2), 1, 0, [&](const RequestOutcome&) { ++completions; });
+  w.sim.run();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(ReliableChannel, RejectsDegeneratePolicies) {
+  World w;
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  RetryPolicy bad;
+  bad.initial_timeout = 0.0;
+  EXPECT_THROW(ReliableChannel(client, MessageType::kChat, MessageType::kChatAck, bad),
+               InvariantError);
+  bad = RetryPolicy{};
+  bad.backoff = 0.5;
+  EXPECT_THROW(ReliableChannel(client, MessageType::kChat, MessageType::kChatAck, bad),
+               InvariantError);
+  bad = RetryPolicy{};
+  bad.max_attempts = 0;
+  EXPECT_THROW(ReliableChannel(client, MessageType::kChat, MessageType::kChatAck, bad),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace peerlab::transport
