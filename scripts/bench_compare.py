@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Microbenchmark regression harness.
+
+Runs the google-benchmark binaries (bench_micro_engine,
+bench_micro_overlay, bench_micro_selection), distils them into a small
+set of headline throughput metrics, and diffs the result against the
+newest committed BENCH_<N>.json snapshot:
+
+  * events_per_s              geomean items/s of BM_EventQueuePushPop
+  * sim_hops_per_s            geomean items/s of BM_SimulatorEventChain
+  * flow_transitions_per_s    geomean items/s of BM_FlowSchedulerChurn
+  * sim_events_per_s          geomean of the overlay "sim_events/s" counters
+  * selection_decisions_per_s geomean items/s of bench_micro_selection
+
+Typical use:
+
+  scripts/bench_compare.py --emit                # run, diff, write BENCH_<N+1>.json
+  scripts/bench_compare.py                       # run + diff only, no snapshot
+  scripts/bench_compare.py --threshold 0.10      # tolerate 10% regression
+  scripts/bench_compare.py --from-json a.json b.json --emit
+                                                 # distil saved runs instead of executing
+
+Exits nonzero when any headline metric regresses by more than the
+threshold relative to the previous snapshot, which is what makes it
+usable as a CI tripwire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+BENCH_BINARIES = ["bench_micro_engine", "bench_micro_overlay", "bench_micro_selection"]
+
+# metric name -> (benchmark-name regex, JSON field)
+METRICS = {
+    "events_per_s": (r"^BM_EventQueuePushPop/", "items_per_second"),
+    "sim_hops_per_s": (r"^BM_SimulatorEventChain/", "items_per_second"),
+    "flow_transitions_per_s": (r"^BM_FlowSchedulerChurn/", "items_per_second"),
+    "sim_events_per_s": (r"^BM_(FileTransferRoundTrip|SimulatedHourOfHeartbeats)", "sim_events/s"),
+    "selection_decisions_per_s": (r"^BM_Select", "items_per_second"),
+}
+
+
+def geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_benchmarks(build_dir: pathlib.Path, min_time: float, repetitions: int) -> list[dict]:
+    """Runs every bench binary, returns the merged benchmark records.
+
+    With repetitions > 1 each binary is run that many times and the
+    best (highest-throughput) record per benchmark is kept, which
+    filters out one-off machine noise the same way interleaved A/B
+    benchmarking does.
+    """
+    best: dict[str, dict] = {}
+    for rep in range(repetitions):
+        for binary in BENCH_BINARIES:
+            path = build_dir / "bench" / binary
+            if not path.exists():
+                print(f"bench_compare: missing {path}, skipping", file=sys.stderr)
+                continue
+            cmd = [str(path), "--benchmark_format=json", f"--benchmark_min_time={min_time}"]
+            out = subprocess.run(cmd, capture_output=True, text=True, check=True).stdout
+            for record in json.loads(out)["benchmarks"]:
+                name = record["name"]
+                prev = best.get(name)
+                if prev is None or record["real_time"] < prev["real_time"]:
+                    best[name] = record
+    return list(best.values())
+
+
+def load_saved(paths: list[pathlib.Path]) -> list[dict]:
+    best: dict[str, dict] = {}
+    for path in paths:
+        for record in json.loads(path.read_text())["benchmarks"]:
+            name = record["name"]
+            prev = best.get(name)
+            if prev is None or record["real_time"] < prev["real_time"]:
+                best[name] = record
+    return list(best.values())
+
+
+def distil(records: list[dict]) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    for metric, (pattern, field) in METRICS.items():
+        values = [r[field] for r in records if re.search(pattern, r["name"]) and field in r]
+        if values:
+            metrics[metric] = geomean(values)
+    return metrics
+
+
+def snapshot_paths(bench_dir: pathlib.Path) -> list[tuple[int, pathlib.Path]]:
+    found = []
+    for path in bench_dir.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build-dir", type=pathlib.Path, default=REPO_ROOT / "build")
+    parser.add_argument("--bench-dir", type=pathlib.Path, default=REPO_ROOT,
+                        help="directory holding BENCH_<N>.json snapshots")
+    parser.add_argument("--emit", action="store_true",
+                        help="write the run as the next BENCH_<N>.json snapshot")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="fractional regression tolerated per metric (default 0.05)")
+    parser.add_argument("--min-time", type=float, default=0.3,
+                        help="--benchmark_min_time passed to each binary")
+    parser.add_argument("--repetitions", type=int, default=2,
+                        help="full passes over the binaries; best run per benchmark kept")
+    parser.add_argument("--from-json", type=pathlib.Path, nargs="+", default=None,
+                        help="distil saved --benchmark_format=json outputs instead of running")
+    parser.add_argument("--label", default=None, help="free-form label stored in the snapshot")
+    args = parser.parse_args()
+
+    if args.from_json:
+        records = load_saved(args.from_json)
+    else:
+        records = run_benchmarks(args.build_dir, args.min_time, args.repetitions)
+    if not records:
+        print("bench_compare: no benchmark records produced", file=sys.stderr)
+        return 2
+    metrics = distil(records)
+
+    snapshots = snapshot_paths(args.bench_dir)
+    previous = None
+    if snapshots:
+        prev_number, prev_path = snapshots[-1]
+        previous = json.loads(prev_path.read_text())
+        print(f"baseline: {prev_path.name}")
+
+    failed = []
+    print(f"{'metric':28s} {'current':>14s} {'baseline':>14s} {'ratio':>7s}")
+    for metric, value in sorted(metrics.items()):
+        base = (previous or {}).get("metrics", {}).get(metric)
+        if base:
+            ratio = value / base
+            flag = ""
+            if ratio < 1.0 - args.threshold:
+                failed.append(metric)
+                flag = "  << REGRESSION"
+            print(f"{metric:28s} {value:14.3e} {base:14.3e} {ratio:6.2f}x{flag}")
+        else:
+            print(f"{metric:28s} {value:14.3e} {'-':>14s} {'-':>7s}")
+
+    if args.emit:
+        number = snapshots[-1][0] + 1 if snapshots else 0
+        out_path = args.bench_dir / f"BENCH_{number}.json"
+        out_path.write_text(json.dumps({
+            "label": args.label or "",
+            "metrics": metrics,
+            "benchmarks": {r["name"]: {
+                "real_time_ns": r["real_time"],
+                "items_per_second": r.get("items_per_second"),
+                "sim_events_per_s": r.get("sim_events/s"),
+            } for r in sorted(records, key=lambda r: r["name"])},
+        }, indent=2) + "\n")
+        print(f"wrote {out_path.relative_to(REPO_ROOT) if out_path.is_relative_to(REPO_ROOT) else out_path}")
+
+    if failed:
+        print(f"FAIL: regression beyond {args.threshold:.0%} in: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
-# Full verification: build, test, regenerate every table/figure.
+# Full verification: build, test, run the microbenchmark regression
+# harness, regenerate every table/figure bench.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build
 ctest --test-dir build -j "$(nproc)" --timeout 180
+# Headline throughput metrics, diffed against the newest committed
+# BENCH_<N>.json; fails on >5% regression. Pass --emit to snapshot a
+# new baseline after intentional performance work.
+python3 scripts/bench_compare.py --build-dir build "$@"
 for b in build/bench/*; do
+  case "$b" in
+    */bench_micro_*) continue ;;  # covered by bench_compare.py above
+  esac
   [ -x "$b" ] && "$b"
 done
 echo "peerlab: all tests and benches passed"

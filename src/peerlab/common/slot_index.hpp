@@ -1,0 +1,129 @@
+#pragma once
+
+// SlotIndex: a small open-addressed hash index from 64-bit ids to
+// 32-bit slot numbers, built for the hot paths that keep entities in a
+// slot-vector (dense storage, free-listed reuse) and need a stable
+// id -> slot lookup beside it.
+//
+// Design points:
+//  * linear probing over a power-of-two table with Fibonacci hashing,
+//    so sequential ids (the common case: IdAllocator mints 1, 2, 3, …)
+//    spread evenly;
+//  * backward-shift deletion instead of tombstones, so lookups never
+//    degrade under churn and erase stays allocation-free;
+//  * the only allocation ever performed is table growth — steady-state
+//    insert/erase/find touch no allocator, which is what the simulator
+//    hot loops require.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab {
+
+class SlotIndex {
+ public:
+  SlotIndex() = default;
+
+  /// Number of live id -> slot entries.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Pre-sizes the table for `n` entries (one growth, then none).
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 7 / 8 < n) cap *= 2;
+    if (cap > cells_.size()) rehash(cap);
+  }
+
+  /// Inserts `id -> slot`. `id` must be nonzero and not present.
+  void insert(std::uint64_t id, std::uint32_t slot) {
+    PEERLAB_CHECK_MSG(id != 0, "SlotIndex ids must be nonzero");
+    if (cells_.empty() || (size_ + 1) * 8 > cells_.size() * 7) {
+      rehash(cells_.empty() ? kMinCapacity : cells_.size() * 2);
+    }
+    const std::size_t mask = cells_.size() - 1;
+    std::size_t i = bucket_of(id);
+    while (cells_[i].id != 0) {
+      PEERLAB_CHECK_MSG(cells_[i].id != id, "SlotIndex id already present");
+      i = (i + 1) & mask;
+    }
+    cells_[i] = Cell{id, slot};
+    ++size_;
+  }
+
+  /// Pointer to the slot for `id`, or nullptr when absent.
+  [[nodiscard]] const std::uint32_t* find(std::uint64_t id) const noexcept {
+    if (cells_.empty() || id == 0) return nullptr;
+    const std::size_t mask = cells_.size() - 1;
+    std::size_t i = bucket_of(id);
+    while (cells_[i].id != 0) {
+      if (cells_[i].id == id) return &cells_[i].slot;
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  /// Removes `id`; returns false when absent. Never allocates.
+  bool erase(std::uint64_t id) noexcept {
+    if (cells_.empty() || id == 0) return false;
+    const std::size_t mask = cells_.size() - 1;
+    std::size_t i = bucket_of(id);
+    while (cells_[i].id != id) {
+      if (cells_[i].id == 0) return false;
+      i = (i + 1) & mask;
+    }
+    // Backward-shift: pull every cluster member whose probe path runs
+    // through the hole back into it, keeping probe chains gap-free.
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & mask;
+    while (cells_[j].id != 0) {
+      const std::size_t ideal = bucket_of(cells_[j].id);
+      if (((j - ideal) & mask) >= ((j - hole) & mask)) {
+        cells_[hole] = cells_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask;
+    }
+    cells_[hole] = Cell{};
+    --size_;
+    return true;
+  }
+
+  /// Drops every entry but keeps the table storage.
+  void clear() noexcept {
+    for (Cell& c : cells_) c = Cell{};
+    size_ = 0;
+  }
+
+ private:
+  struct Cell {
+    std::uint64_t id = 0;  // 0 = empty
+    std::uint32_t slot = 0;
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t id) const noexcept {
+    // Fibonacci hashing: multiply by 2^64 / phi, take the top bits.
+    const std::uint64_t h = id * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h) & (cells_.size() - 1);
+  }
+
+  void rehash(std::size_t capacity) {
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(capacity, Cell{});
+    size_ = 0;
+    for (const Cell& c : old) {
+      if (c.id != 0) insert(c.id, c.slot);
+    }
+  }
+
+  std::vector<Cell> cells_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace peerlab

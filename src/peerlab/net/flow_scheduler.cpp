@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <utility>
-#include <vector>
 
 #include "peerlab/common/check.hpp"
 
@@ -29,49 +28,54 @@ FlowId FlowScheduler::start(FlowSpec spec) {
                     "flow endpoints must exist");
   advance_to_now();
   const FlowId id = ids_.next();
-  Flow flow;
+  const std::uint32_t slot = acquire_slot();
+  Flow& flow = slots_[slot];
   flow.remaining_bits = static_cast<double>(spec.size) * 8.0;
+  flow.rate = 0.0;
   flow.started = sim_.now();
   flow.spec = std::move(spec);
-  flows_.emplace(id, std::move(flow));
+  flow.id = id.value();
+
+  ensure_node_arrays();
+  ++uploads_[flow.spec.src.value()];
+  ++downloads_[flow.spec.dst.value()];
+  // Fresh ids are strictly increasing, so appending keeps `active_`
+  // FlowId-sorted (removal is order-preserving).
+  active_.push_back(slot);
+  index_.insert(id.value(), slot);
+
   recompute_rates();
   reschedule();
   return id;
 }
 
 void FlowScheduler::cancel(FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return;
+  const std::uint32_t* slot = index_.find(id.value());
+  if (slot == nullptr) return;
   advance_to_now();
-  flows_.erase(it);
+  remove_flow(active_position(*slot));
   recompute_rates();
   reschedule();
 }
 
 MbitPerSec FlowScheduler::current_rate(FlowId id) const noexcept {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  const std::uint32_t* slot = index_.find(id.value());
+  return slot == nullptr ? 0.0 : slots_[*slot].rate;
 }
 
 Bytes FlowScheduler::remaining_bytes(FlowId id) const noexcept {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? 0 : static_cast<Bytes>(it->second.remaining_bits / 8.0);
+  const std::uint32_t* slot = index_.find(id.value());
+  return slot == nullptr ? 0 : static_cast<Bytes>(slots_[*slot].remaining_bits / 8.0);
 }
 
 int FlowScheduler::uploads_at(NodeId node) const noexcept {
-  int n = 0;
-  for (const auto& [id, f] : flows_) {
-    n += (f.spec.src == node) ? 1 : 0;
-  }
-  return n;
+  const std::uint64_t i = node.value();
+  return i < uploads_.size() ? uploads_[i] : 0;
 }
 
 int FlowScheduler::downloads_at(NodeId node) const noexcept {
-  int n = 0;
-  for (const auto& [id, f] : flows_) {
-    n += (f.spec.dst == node) ? 1 : 0;
-  }
-  return n;
+  const std::uint64_t i = node.value();
+  return i < downloads_.size() ? downloads_[i] : 0;
 }
 
 void FlowScheduler::advance_to_now() {
@@ -79,35 +83,28 @@ void FlowScheduler::advance_to_now() {
   const Seconds dt = now - last_advance_;
   last_advance_ = now;
   if (dt <= 0.0) return;
-  for (auto& [id, f] : flows_) {
+  for (const std::uint32_t slot : active_) {
+    Flow& f = slots_[slot];
     f.remaining_bits = std::max(0.0, f.remaining_bits - f.rate * 1e6 * dt);
   }
 }
 
 void FlowScheduler::recompute_rates() {
-  if (flows_.empty()) return;
+  if (active_.empty()) return;
+  ensure_node_arrays();
 
-  // Resource = one direction of one node's access link. Key layout:
-  // node id * 2 + (0 = uplink, 1 = downlink).
-  std::map<std::uint64_t, double> capacity;
-  for (const auto& [id, f] : flows_) {
-    const auto& src = topo_.node(f.spec.src).profile();
-    const auto& dst = topo_.node(f.spec.dst).profile();
-    capacity.emplace(f.spec.src.value() * 2, src.uplink_mbps * config_.capacity_scale);
-    capacity.emplace(f.spec.dst.value() * 2 + 1, dst.downlink_mbps * config_.capacity_scale);
-  }
-
-  struct Pending {
-    FlowId id;
-    std::uint64_t up_key;
-    std::uint64_t down_key;
-    double cap;  // per-flow ceiling (kInf when uncapped)
-  };
-  std::vector<Pending> unfrozen;
-  unfrozen.reserve(flows_.size());
-  for (const auto& [id, f] : flows_) {
-    unfrozen.push_back(Pending{id, f.spec.src.value() * 2, f.spec.dst.value() * 2 + 1,
-                               f.spec.rate_cap > 0.0 ? f.spec.rate_cap : kInf});
+  // Seed per-resource capacities and the unfrozen set. Iteration is in
+  // FlowId order throughout, so every floating-point accumulation below
+  // happens in the same order as the reference implementation.
+  wf_unfrozen_.clear();
+  for (const std::uint32_t slot : active_) {
+    const Flow& f = slots_[slot];
+    const auto up_key = static_cast<std::uint32_t>(f.spec.src.value() * 2);
+    const auto down_key = static_cast<std::uint32_t>(f.spec.dst.value() * 2 + 1);
+    wf_capacity_[up_key] = link_capacity_[up_key];
+    wf_capacity_[down_key] = link_capacity_[down_key];
+    wf_unfrozen_.push_back(
+        Pending{slot, up_key, down_key, f.spec.rate_cap > 0.0 ? f.spec.rate_cap : kInf});
   }
 
   // Progressive water-filling: each round freezes at least one flow,
@@ -115,52 +112,55 @@ void FlowScheduler::recompute_rates() {
   // The freeze set is decided entirely from the round-start snapshot;
   // capacities are only reduced afterwards — mutating them mid-round
   // would freeze flows against stale user counts and strand capacity.
-  while (!unfrozen.empty()) {
-    std::map<std::uint64_t, int> users;
-    for (const auto& p : unfrozen) {
-      ++users[p.up_key];
-      ++users[p.down_key];
+  while (!wf_unfrozen_.empty()) {
+    for (const Pending& p : wf_unfrozen_) {
+      wf_users_[p.up_key] = 0;
+      wf_users_[p.down_key] = 0;
     }
-    const auto fair = [&](std::uint64_t key) {
-      return std::max(0.0, capacity[key]) / static_cast<double>(users[key]);
+    for (const Pending& p : wf_unfrozen_) {
+      ++wf_users_[p.up_key];
+      ++wf_users_[p.down_key];
+    }
+    const auto fair = [&](std::uint32_t key) {
+      return std::max(0.0, wf_capacity_[key]) / static_cast<double>(wf_users_[key]);
     };
     double share = kInf;
-    for (const auto& [key, n] : users) {
-      share = std::min(share, fair(key));
+    for (const Pending& p : wf_unfrozen_) {
+      share = std::min(share, std::min(fair(p.up_key), fair(p.down_key)));
     }
     double min_cap = kInf;
-    for (const auto& p : unfrozen) min_cap = std::min(min_cap, p.cap);
+    for (const Pending& p : wf_unfrozen_) min_cap = std::min(min_cap, p.cap);
     const double level = std::min(share, min_cap);
 
-    std::vector<Pending> still;
-    std::vector<Pending> frozen;
-    still.reserve(unfrozen.size());
-    for (const auto& p : unfrozen) {
+    wf_still_.clear();
+    wf_frozen_.clear();
+    for (const Pending& p : wf_unfrozen_) {
       const bool at_cap = p.cap <= level + kEpsRate;
       const bool at_bottleneck = fair(p.up_key) <= level + kEpsRate ||
                                  fair(p.down_key) <= level + kEpsRate;
       if (at_cap || at_bottleneck) {
-        frozen.push_back(p);
+        wf_frozen_.push_back(p);
       } else {
-        still.push_back(p);
+        wf_still_.push_back(p);
       }
     }
-    PEERLAB_CHECK_MSG(!frozen.empty(), "water-filling failed to make progress");
-    for (const auto& p : frozen) {
+    PEERLAB_CHECK_MSG(!wf_frozen_.empty(), "water-filling failed to make progress");
+    for (const Pending& p : wf_frozen_) {
       const double rate = std::min(level, p.cap);
-      flows_.at(p.id).rate = rate;
-      capacity[p.up_key] -= rate;
-      capacity[p.down_key] -= rate;
+      slots_[p.slot].rate = rate;
+      wf_capacity_[p.up_key] -= rate;
+      wf_capacity_[p.down_key] -= rate;
     }
-    unfrozen = std::move(still);
+    wf_unfrozen_.swap(wf_still_);
   }
 }
 
 void FlowScheduler::reschedule() {
   timer_.cancel();
-  if (flows_.empty()) return;
+  if (active_.empty()) return;
   double eta = kInf;
-  for (const auto& [id, f] : flows_) {
+  for (const std::uint32_t slot : active_) {
+    const Flow& f = slots_[slot];
     if (f.rate <= kEpsRate) continue;
     eta = std::min(eta, f.remaining_bits / (f.rate * 1e6));
   }
@@ -173,19 +173,78 @@ void FlowScheduler::on_timer() {
 
   // Collect completions first; callbacks may start new flows, so the
   // scheduler must be consistent before any callback runs.
-  std::vector<std::pair<Seconds, std::function<void(Seconds)>>> done;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.remaining_bits <= kEpsBits) {
-      done.emplace_back(sim_.now() - it->second.started, std::move(it->second.spec.on_complete));
-      it = flows_.erase(it);
+  done_.clear();
+  for (std::size_t i = 0; i < active_.size();) {
+    Flow& f = slots_[active_[i]];
+    if (f.remaining_bits <= kEpsBits) {
+      done_.push_back(Completion{sim_.now() - f.started, std::move(f.spec.on_complete)});
+      remove_flow(i);
     } else {
-      ++it;
+      ++i;
     }
   }
   recompute_rates();
   reschedule();
-  for (auto& [duration, callback] : done) {
-    if (callback) callback(duration);
+  for (Completion& c : done_) {
+    if (c.callback) c.callback(c.duration);
+  }
+}
+
+std::uint32_t FlowScheduler::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  // Keep the free list's capacity ahead of the slot count so releasing
+  // a slot on the noexcept removal path never allocates. Track the slot
+  // vector's *capacity*, not its size, so growth stays amortized.
+  if (free_slots_.capacity() < slots_.size()) {
+    free_slots_.reserve(slots_.capacity());
+  }
+  return slot;
+}
+
+void FlowScheduler::remove_flow(std::size_t active_pos) noexcept {
+  const std::uint32_t slot = active_[active_pos];
+  Flow& f = slots_[slot];
+  --uploads_[f.spec.src.value()];
+  --downloads_[f.spec.dst.value()];
+  index_.erase(f.id);
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(active_pos));
+  f.spec.on_complete = nullptr;  // release captured resources
+  f.id = 0;
+  free_slots_.push_back(slot);
+}
+
+std::size_t FlowScheduler::active_position(std::uint32_t slot) const noexcept {
+  const std::uint64_t id = slots_[slot].id;
+  const auto it = std::lower_bound(
+      active_.begin(), active_.end(), id,
+      [this](std::uint32_t s, std::uint64_t key) { return slots_[s].id < key; });
+  return static_cast<std::size_t>(it - active_.begin());
+}
+
+void FlowScheduler::ensure_node_arrays() {
+  const std::size_t nodes = topo_.size() + 1;  // ids are dense, starting at 1
+  if (uploads_.size() < nodes) {
+    uploads_.resize(nodes, 0);
+    downloads_.resize(nodes, 0);
+  }
+  if (wf_capacity_.size() < nodes * 2) {
+    const std::size_t first_new = link_capacity_.size() / 2;
+    wf_capacity_.resize(nodes * 2, 0.0);
+    wf_users_.resize(nodes * 2, 0);
+    link_capacity_.resize(nodes * 2, 0.0);
+    // Profiles are immutable once added, so the scaled link capacities
+    // can be computed once per node instead of per recomputation.
+    for (std::size_t id = std::max<std::size_t>(first_new, 1); id < nodes; ++id) {
+      const auto& profile = topo_.node(NodeId(id)).profile();
+      link_capacity_[id * 2] = profile.uplink_mbps * config_.capacity_scale;
+      link_capacity_[id * 2 + 1] = profile.downlink_mbps * config_.capacity_scale;
+    }
   }
 }
 

@@ -12,11 +12,25 @@
 // simulators like SimGrid: it captures the first-order effect that
 // matters for peer selection — concurrent transfers share a peer's
 // access link — without packet-level cost.
+//
+// Performance layout (see DESIGN.md "Performance architecture"): flows
+// live in a slot-vector with a free list, looked up through a small
+// open-addressed SlotIndex; `active_` lists occupied slots in FlowId
+// order so water-filling iteration (and therefore floating-point
+// accumulation order) is deterministic and matches the retained
+// reference implementation bit for bit. Node-link capacities and user
+// counts are dense arrays indexed by node-id × direction, per-node
+// upload/download counts are maintained incrementally (O(1) queries),
+// and every water-filling round runs over scratch buffers owned by the
+// scheduler — steady-state recomputation performs zero heap
+// allocations.
 
+#include <cstdint>
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "peerlab/common/ids.hpp"
+#include "peerlab/common/slot_index.hpp"
 #include "peerlab/common/units.hpp"
 #include "peerlab/net/topology.hpp"
 #include "peerlab/sim/simulator.hpp"
@@ -54,8 +68,10 @@ class FlowScheduler {
   /// flow already completed.
   void cancel(FlowId id);
 
-  [[nodiscard]] bool active(FlowId id) const noexcept { return flows_.count(id) > 0; }
-  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+  [[nodiscard]] bool active(FlowId id) const noexcept {
+    return index_.find(id.value()) != nullptr;
+  }
+  [[nodiscard]] std::size_t active_flows() const noexcept { return active_.size(); }
 
   /// Current fair-share rate of a flow (0 if unknown).
   [[nodiscard]] MbitPerSec current_rate(FlowId id) const noexcept;
@@ -64,8 +80,10 @@ class FlowScheduler {
   [[nodiscard]] Bytes remaining_bytes(FlowId id) const noexcept;
 
   /// Number of active uploads leaving `node` (outbox pressure signal).
+  /// Incrementally maintained: O(1).
   [[nodiscard]] int uploads_at(NodeId node) const noexcept;
   /// Number of active downloads entering `node` (inbox pressure signal).
+  /// Incrementally maintained: O(1).
   [[nodiscard]] int downloads_at(NodeId node) const noexcept;
 
  private:
@@ -74,6 +92,18 @@ class FlowScheduler {
     double remaining_bits = 0.0;
     MbitPerSec rate = 0.0;
     Seconds started = 0.0;
+    std::uint64_t id = 0;  // 0 = slot free
+  };
+  /// One not-yet-frozen flow inside a water-filling pass.
+  struct Pending {
+    std::uint32_t slot = 0;
+    std::uint32_t up_key = 0;    // node-id * 2
+    std::uint32_t down_key = 0;  // node-id * 2 + 1
+    double cap = 0.0;            // per-flow ceiling (+inf when uncapped)
+  };
+  struct Completion {
+    Seconds duration = 0.0;
+    std::function<void(Seconds)> callback;
   };
 
   void advance_to_now();
@@ -81,10 +111,39 @@ class FlowScheduler {
   void reschedule();
   void on_timer();
 
+  std::uint32_t acquire_slot();
+  /// Unlinks the flow in `slot` (index, active list, per-node counts)
+  /// and recycles the slot. `active_pos` is its position in `active_`.
+  void remove_flow(std::size_t active_pos) noexcept;
+  /// Position of `slot` in `active_` via binary search on flow id.
+  [[nodiscard]] std::size_t active_position(std::uint32_t slot) const noexcept;
+  void ensure_node_arrays();
+
   sim::Simulator& sim_;
   const Topology& topo_;
   FlowSchedulerConfig config_;
-  std::map<FlowId, Flow> flows_;  // ordered => deterministic water-filling
+
+  std::vector<Flow> slots_;
+  std::vector<std::uint32_t> free_slots_;  // capacity kept >= slots_.size()
+  std::vector<std::uint32_t> active_;      // occupied slots, FlowId-ascending
+  SlotIndex index_;                        // flow id -> slot
+
+  // Dense per-node incremental counters (index = node id).
+  std::vector<int> uploads_;
+  std::vector<int> downloads_;
+
+  // Scaled per-link capacity by resource key, filled once per node when
+  // the topology grows (profiles are immutable after add_node).
+  std::vector<double> link_capacity_;
+  // Water-filling scratch, reused across recomputations. Resource key =
+  // node id * 2 + (0 = uplink, 1 = downlink).
+  std::vector<double> wf_capacity_;
+  std::vector<int> wf_users_;
+  std::vector<Pending> wf_unfrozen_;
+  std::vector<Pending> wf_still_;
+  std::vector<Pending> wf_frozen_;
+  std::vector<Completion> done_;  // completion staging, reused
+
   IdAllocator<FlowId> ids_;
   sim::EventHandle timer_;
   Seconds last_advance_ = 0.0;

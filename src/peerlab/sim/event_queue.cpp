@@ -1,85 +1,228 @@
 #include "peerlab/sim/event_queue.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "peerlab/common/check.hpp"
 
 namespace peerlab::sim {
 
-bool EventHandle::pending() const noexcept {
-  return state_ && !state_->cancelled && !state_->fired;
+namespace {
+
+// Below this size a comparison sort of the full (time, packed) key beats
+// the radix passes' fixed costs. The comparator is a total order, so no
+// stability requirement applies on this path.
+constexpr std::size_t kSortCutoff = 64;
+
+/// Time as orderable bits: for non-negative finite doubles the IEEE-754
+/// bit pattern is monotone in the value, so unsigned digit-wise radix
+/// order equals numeric order. push() canonicalises -0.0 to keep this
+/// true at zero.
+[[nodiscard]] std::uint64_t time_bits(Seconds t) noexcept {
+  return std::bit_cast<std::uint64_t>(t);
 }
 
-void EventHandle::cancel() noexcept {
-  if (state_ && !state_->cancelled && !state_->fired) {
-    state_->cancelled = true;
-    if (!state_->daemon && state_->regular_live) {
-      --*state_->regular_live;
-    }
-  }
-}
+#if defined(__GNUC__) || defined(__clang__)
+inline void prefetch(const void* p) noexcept { __builtin_prefetch(p); }
+#else
+inline void prefetch(const void*) noexcept {}
+#endif
+
+}  // namespace
 
 EventHandle EventQueue::push(Seconds when, Action action, bool daemon) {
   PEERLAB_CHECK_MSG(std::isfinite(when) && when >= 0.0, "event time must be finite and >= 0");
   PEERLAB_CHECK_MSG(static_cast<bool>(action), "event action must be callable");
-  auto state = std::make_shared<EventHandle::State>();
-  state->daemon = daemon;
-  if (!daemon) {
-    state->regular_live = regular_live_;
-    ++*regular_live_;
+  PEERLAB_CHECK_MSG(bottom_.size() + far_.size() < kSlotMask,
+                    "too many concurrent events (2^20 limit)");
+  PEERLAB_CHECK_MSG(next_seq_ < (std::uint64_t{1} << (64 - kSeqShift)),
+                    "event sequence space exhausted");
+  if (when == 0.0) when = 0.0;  // -0.0 -> +0.0 so bit order == numeric order
+  const std::uint32_t slot = acquire_slot();
+  detail::EventSlot& state = pool_->slots[slot];
+  state.action = std::move(action);
+  state.cancelled = false;
+  state.daemon = daemon;
+  const Entry entry{when, (next_seq_++ << kSeqShift) | (daemon ? kDaemonBit : 0) | slot};
+  if (when < bottom_limit_) {
+    // Inside the sorted window: ordered insert. Near-future events land
+    // near the back, so the shifted tail is short in the common case.
+    const auto it = std::lower_bound(
+        bottom_.begin(), bottom_.end(), entry,
+        [](const Entry& a, const Entry& b) { return earlier(b, a); });
+    bottom_.insert(it, entry);
+  } else if (bottom_.empty() && far_.empty()) {
+    // Empty queue: seed the sorted window directly and raise the limit,
+    // so a pop-one/push-one cadence (event chains, single timers) never
+    // routes through refill at all.
+    bottom_.push_back(entry);
+    bottom_limit_ = when;
+  } else {
+    far_.push_back(entry);
   }
-  heap_.push(Entry{when, next_seq_++, std::move(action), state});
-  ++live_;
-  return EventHandle(std::move(state));
-}
-
-void EventQueue::drop_dead() {
-  while (!heap_.empty() && heap_.top().state->cancelled) {
-    heap_.pop();
-    --live_;
-  }
-}
-
-bool EventQueue::empty() const noexcept {
-  // live_ counts non-cancelled entries... but cancel() happens on the
-  // handle without touching the queue, so recompute lazily.
-  auto* self = const_cast<EventQueue*>(this);
-  self->drop_dead();
-  return heap_.empty();
+  ++pool_->live;
+  if (!daemon) ++pool_->regular_live;
+  return EventHandle(pool_, slot, state.generation);
 }
 
 Seconds EventQueue::next_time() const {
-  auto* self = const_cast<EventQueue*>(this);
-  self->drop_dead();
-  PEERLAB_CHECK(!heap_.empty());
-  return heap_.top().time;
+  drop_dead();
+  PEERLAB_CHECK(!bottom_.empty());
+  return bottom_.back().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_dead();
-  PEERLAB_CHECK(!heap_.empty());
-  const Entry& top = heap_.top();
-  Fired fired{top.time, std::move(top.action)};
-  top.state->fired = true;
-  if (!top.state->daemon) {
-    --*regular_live_;
+  PEERLAB_CHECK(!bottom_.empty());
+  const Entry top = bottom_.back();
+  bottom_.pop_back();
+  const std::size_t n = bottom_.size();
+  if (n >= 4) {
+    // The next few pops' slots are already known; hide their cache miss
+    // behind this pop's work.
+    prefetch(&pool_->slots[slot_of(bottom_[n - 4])]);
   }
-  heap_.pop();
-  --live_;
+  const std::uint32_t slot = slot_of(top);
+  Fired fired{top.time, std::move(pool_->slots[slot].action)};
+  --pool_->live;
+  if (!daemon_of(top)) --pool_->regular_live;
+  release_slot(slot);
   return fired;
 }
 
 void EventQueue::clear() noexcept {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (!top.state->cancelled && !top.state->fired && !top.state->daemon) {
-      --*regular_live_;
-    }
-    top.state->cancelled = true;
-    heap_.pop();
+  for (const Entry& entry : bottom_) release_slot(slot_of(entry));
+  for (const Entry& entry : far_) release_slot(slot_of(entry));
+  bottom_.clear();
+  far_.clear();
+  bottom_limit_ = 0.0;
+  pool_->live = 0;
+  pool_->regular_live = 0;
+  pool_->cancelled_scheduled = 0;
+}
+
+void EventQueue::drop_dead() const {
+  for (;;) {
+    while (bottom_.empty() && !far_.empty()) refill();
+    if (bottom_.empty() || pool_->cancelled_scheduled == 0) return;
+    const std::uint32_t slot = slot_of(bottom_.back());
+    if (!pool_->slots[slot].cancelled) return;
+    --pool_->cancelled_scheduled;
+    release_slot(slot);
+    bottom_.pop_back();
   }
-  live_ = 0;
+}
+
+void EventQueue::refill() const {
+  std::size_t n = far_.size();
+  if (pool_->cancelled_scheduled != 0) {
+    // Compact cancelled entries away before sorting: recycles their
+    // slots now and keeps the sort sized to live work. The in-order
+    // compaction preserves `far_`'s push order.
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t slot = slot_of(far_[i]);
+      if (pool_->slots[slot].cancelled) {
+        --pool_->cancelled_scheduled;
+        release_slot(slot);
+      } else {
+        far_[live++] = far_[i];
+      }
+    }
+    far_.resize(live);
+    n = live;
+    if (n == 0) return;
+  }
+  if (n == 1) {
+    bottom_.push_back(far_[0]);
+    bottom_limit_ = far_[0].time;
+    far_.clear();
+    return;
+  }
+  if (n <= kSortCutoff) {
+    std::sort(far_.begin(), far_.end(),
+              [](const Entry& a, const Entry& b) { return earlier(a, b); });
+  } else {
+    sort_far();
+  }
+  // Reverse-copy the ascending order into descending storage so pop is
+  // pop_back(); the full reversal also reverses equal-time runs, which
+  // is exactly what puts their pop order back to FIFO.
+  bottom_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) bottom_[i] = far_[n - 1 - i];
+  bottom_limit_ = far_[n - 1].time;
+  far_.clear();
+}
+
+void EventQueue::sort_far() const {
+  const std::size_t n = far_.size();
+  sort_tmp_.resize(n);
+  // One read pass builds the histograms for all eight digit positions;
+  // digit positions every key shares (common: high exponent bytes, low
+  // mantissa zeros) cost no scatter pass at all.
+  std::uint32_t hist[8][256] = {};
+  for (const Entry& e : far_) {
+    const std::uint64_t k = time_bits(e.time);
+    for (int pass = 0; pass < 8; ++pass) ++hist[pass][(k >> (8 * pass)) & 0xFF];
+  }
+  Entry* src = far_.data();
+  Entry* dst = sort_tmp_.data();
+  for (int pass = 0; pass < 8; ++pass) {
+    const std::uint32_t* h = hist[pass];
+    bool trivial = false;
+    for (int b = 0; b < 256; ++b) {
+      if (h[b] == n) {
+        trivial = true;
+        break;
+      }
+    }
+    if (trivial) continue;
+    std::uint32_t offsets[256];
+    std::uint32_t sum = 0;
+    for (int b = 0; b < 256; ++b) {
+      offsets[b] = sum;
+      sum += h[b];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[offsets[(time_bits(src[i].time) >> (8 * pass)) & 0xFF]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != far_.data()) far_.swap(sort_tmp_);
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  detail::EventPool& pool = *pool_;
+  if (!pool.free_list.empty()) {
+    const std::uint32_t slot = pool.free_list.back();
+    pool.free_list.pop_back();
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(pool.slots.size());
+  pool.slots.emplace_back();
+  // Keep the free list's capacity ahead of the slot count so releases
+  // (including those on noexcept paths) never allocate. Track the slot
+  // vector's *capacity*, not its size, so growth stays amortized. The
+  // entry lists each hold at most one entry per slot, so growing them
+  // here too makes every later push/refill genuinely allocation-free.
+  if (pool.free_list.capacity() < pool.slots.size()) {
+    pool.free_list.reserve(pool.slots.capacity());
+  }
+  if (bottom_.capacity() < pool.slots.size()) bottom_.reserve(pool.slots.capacity());
+  if (far_.capacity() < pool.slots.size()) far_.reserve(pool.slots.capacity());
+  if (sort_tmp_.capacity() < pool.slots.size()) sort_tmp_.reserve(pool.slots.capacity());
+  return slot;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) const noexcept {
+  detail::EventSlot& state = pool_->slots[slot];
+  state.action = nullptr;
+  state.cancelled = false;
+  ++state.generation;  // invalidate outstanding handles before reuse
+  pool_->free_list.push_back(slot);
 }
 
 }  // namespace peerlab::sim

@@ -5,13 +5,33 @@
 // Events are (time, sequence, action). The sequence number makes ordering
 // total and FIFO among events scheduled for the same instant, which is
 // what makes simulations deterministic and replayable. Cancellation is
-// lazy: cancel() marks the handle and pop() skips dead entries, so both
-// operations stay O(log n) / O(1).
+// lazy: cancel() marks the event's pool slot and pop() skips dead
+// entries, so both operations stay O(log n) / O(1).
+//
+// Performance layout (see DESIGN.md "Performance architecture"): event
+// state lives in a free-listed pool of slots with generation counters,
+// not in one shared_ptr control block per event. Ordering uses a
+// two-list lazy structure over 16-byte POD entries {time, seq|flags|slot}
+// instead of a heap: `bottom_` is sorted descending (pop = pop_back),
+// `far_` collects pushes beyond the sorted window in O(1), and when the
+// sorted window drains, `far_` is sorted wholesale — a stable LSD radix
+// sort on the time bits, which preserves FIFO order among equal times
+// because `far_` is already in push (sequence) order. Sorting touches
+// each entry O(1) times amortised and streams through memory, where a
+// heap pop takes a cache miss per level; the std::function is moved
+// exactly twice per event (into its slot at push, out at pop).
+// Steady-state push/cancel/pop perform zero heap allocations: the only
+// allocations are pool/list growth to the high-water mark.
+//
+// The pool is shared between the queue and its handles through a
+// *non-atomic* intrusive refcount: a simulation is single-threaded by
+// design (see Simulator), so handles never cross threads and the
+// refcount needs no synchronisation. Handles that outlive the queue
+// keep the pool alive, which keeps their cancel()/pending() safe no-ops.
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "peerlab/common/units.hpp"
@@ -20,34 +40,112 @@ namespace peerlab::sim {
 
 using Action = std::function<void()>;
 
+namespace detail {
+
+/// One pooled event state. A slot is owned by exactly one heap entry
+/// from push until that entry drains (pop or drop_dead), then recycled
+/// with a bumped generation so stale handles can never observe it.
+struct EventSlot {
+  Action action;
+  std::uint64_t generation = 0;
+  bool cancelled = false;
+  bool daemon = false;
+};
+
+/// Slot storage shared between a queue and its handles (intrusive,
+/// non-atomic refcount — see file comment). The one allocation is per
+/// queue, not per event.
+struct EventPool {
+  std::vector<EventSlot> slots;
+  std::vector<std::uint32_t> free_list;  // capacity kept >= slots.size()
+  std::int64_t regular_live = 0;         // live non-daemon events
+  std::size_t live = 0;                  // live (non-cancelled) events
+  std::size_t cancelled_scheduled = 0;   // cancelled entries still heaped
+  std::uint64_t refs = 1;                // queue + outstanding handles
+};
+
+}  // namespace detail
+
 /// Handle to a scheduled event; lets the scheduler cancel timers
-/// (e.g. a retransmission timer once the ack arrives).
+/// (e.g. a retransmission timer once the ack arrives). Copyable value
+/// type; must stay on the simulation's thread.
 class EventHandle {
  public:
   EventHandle() = default;
+  EventHandle(const EventHandle& other) noexcept
+      : pool_(other.pool_), slot_(other.slot_), generation_(other.generation_) {
+    if (pool_ != nullptr) ++pool_->refs;
+  }
+  EventHandle(EventHandle&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        slot_(other.slot_),
+        generation_(other.generation_) {}
+  EventHandle& operator=(const EventHandle& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = other.pool_;
+      slot_ = other.slot_;
+      generation_ = other.generation_;
+      if (pool_ != nullptr) ++pool_->refs;
+    }
+    return *this;
+  }
+  EventHandle& operator=(EventHandle&& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = std::exchange(other.pool_, nullptr);
+      slot_ = other.slot_;
+      generation_ = other.generation_;
+    }
+    return *this;
+  }
+  ~EventHandle() { release(); }
 
   /// True while the event is scheduled and not cancelled or fired.
-  [[nodiscard]] bool pending() const noexcept;
+  [[nodiscard]] bool pending() const noexcept {
+    return pool_ != nullptr && slot_ < pool_->slots.size() &&
+           pool_->slots[slot_].generation == generation_ && !pool_->slots[slot_].cancelled;
+  }
 
   /// Cancels the event; safe to call repeatedly or on an empty handle.
-  void cancel() noexcept;
+  void cancel() noexcept {
+    if (!pending()) return;
+    detail::EventSlot& slot = pool_->slots[slot_];
+    slot.cancelled = true;
+    slot.action = nullptr;  // release captured resources eagerly
+    --pool_->live;
+    ++pool_->cancelled_scheduled;
+    if (!slot.daemon) --pool_->regular_live;
+  }
 
  private:
   friend class EventQueue;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-    bool daemon = false;
-    /// Shared with the queue so cancelling a non-daemon event
-    /// immediately releases its claim on the run loop.
-    std::shared_ptr<std::int64_t> regular_live;
-  };
-  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(detail::EventPool* pool, std::uint32_t slot, std::uint64_t generation) noexcept
+      : pool_(pool), slot_(slot), generation_(generation) {
+    ++pool_->refs;
+  }
+
+  void release() noexcept {
+    if (pool_ != nullptr && --pool_->refs == 0) delete pool_;
+    pool_ = nullptr;
+  }
+
+  detail::EventPool* pool_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 class EventQueue {
  public:
+  EventQueue() : pool_(new detail::EventPool()) {}
+  ~EventQueue() {
+    clear();
+    if (--pool_->refs == 0) delete pool_;
+  }
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Adds an event firing at absolute time `when`. Times must be finite
   /// and non-negative; the caller (Simulator) enforces monotonicity
   /// against the clock. Daemon events (periodic heartbeats,
@@ -56,13 +154,13 @@ class EventQueue {
   EventHandle push(Seconds when, Action action, bool daemon = false);
 
   /// True if no live (non-cancelled) event remains.
-  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return pool_->live == 0; }
 
   /// True while at least one live non-daemon event remains.
-  [[nodiscard]] bool has_work() const noexcept { return *regular_live_ > 0; }
+  [[nodiscard]] bool has_work() const noexcept { return pool_->regular_live > 0; }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] std::size_t size() const noexcept { return pool_->live; }
 
   /// Time of the earliest live event; undefined when empty().
   [[nodiscard]] Seconds next_time() const;
@@ -82,27 +180,67 @@ class EventQueue {
   [[nodiscard]] std::uint64_t total_pushed() const noexcept { return next_seq_; }
 
  private:
+  // Trivially copyable 16-byte entry: sorting moves plain words; the
+  // action stays put in its pool slot.
+  //
+  // `packed` = seq (43 bits) | daemon (1 bit) | slot (20 bits). The
+  // sequence lives in the high bits and is unique, so comparing the
+  // whole word tie-breaks same-time events FIFO regardless of the low
+  // bits. push() checks both width limits loudly (2^20 concurrent
+  // events, 2^43 events per queue lifetime).
   struct Entry {
     Seconds time = 0.0;
-    std::uint64_t seq = 0;
-    // Heap entries own the action; shared state only carries liveness
-    // flags so cancelled closures release captured resources lazily.
-    mutable Action action;
-    std::shared_ptr<EventHandle::State> state;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint64_t packed = 0;
   };
 
-  void drop_dead();
+  static constexpr std::uint64_t kSlotBits = 20;
+  static constexpr std::uint64_t kDaemonBit = std::uint64_t{1} << kSlotBits;
+  static constexpr std::uint64_t kSeqShift = kSlotBits + 1;
+  static constexpr std::uint64_t kSlotMask = kDaemonBit - 1;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  [[nodiscard]] static std::uint32_t slot_of(const Entry& e) noexcept {
+    return static_cast<std::uint32_t>(e.packed & kSlotMask);
+  }
+  [[nodiscard]] static bool daemon_of(const Entry& e) noexcept {
+    return (e.packed & kDaemonBit) != 0;
+  }
+
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.packed < b.packed;
+  }
+
+  /// Drains `far_` into `bottom_` in pop order (descending storage),
+  /// dropping cancelled entries on the way. May allocate only while the
+  /// scratch/list capacities are still below their high-water marks.
+  void refill() const;
+  /// Stable ascending sort of `far_` by time: LSD radix over the key
+  /// bits, skipping digit positions all keys share. Stability preserves
+  /// push order — and therefore FIFO sequence order — among ties.
+  void sort_far() const;
+  /// Ensures bottom_.back() is the earliest live event: refills from
+  /// `far_` when the sorted window is empty and pops cancelled entries,
+  /// recycling their slots. Const because read paths (next_time)
+  /// trigger it lazily; the lists and pool are the mutable cache this
+  /// maintains.
+  void drop_dead() const;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) const noexcept;
+
+  // Two-list lazy ordering. Invariant: every `far_` entry's key is
+  // >= `bottom_limit_`, which is > every bottom_ entry's time except
+  // for refill-batch entries that share the limit exactly — and those
+  // carry smaller sequence numbers than anything pushed since, so
+  // draining all of `bottom_` before touching `far_` is the correct
+  // total order. `far_` stays in push order between refills, which is
+  // what lets the refill sort be stable-by-time only.
+  mutable std::vector<Entry> bottom_;     // sorted descending; back() = earliest
+  mutable std::vector<Entry> far_;        // unsorted, push-ordered
+  mutable std::vector<Entry> sort_tmp_;   // radix scatter buffer
+  mutable Seconds bottom_limit_ = 0.0;    // pushes below this enter bottom_
+  detail::EventPool* pool_;
   std::uint64_t next_seq_ = 0;
-  std::size_t live_ = 0;
-  std::shared_ptr<std::int64_t> regular_live_ = std::make_shared<std::int64_t>(0);
 };
 
 }  // namespace peerlab::sim

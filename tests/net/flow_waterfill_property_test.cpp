@@ -1,0 +1,245 @@
+// Equivalence property: the dense incremental water-filling in
+// FlowScheduler must be *bit-identical* to the original map-based
+// implementation it replaced. The reference below is that original
+// algorithm, retained verbatim (std::map capacity/user tables, freeze
+// set from the round-start snapshot); the test replays randomized
+// scenarios — shared bottlenecks, per-flow caps, cancels, partial
+// progress and completions — through a live FlowScheduler and checks
+// every flow's rate with exact floating-point equality. Any reordering
+// of the floating-point arithmetic in the optimized path shows up here
+// as a bit difference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "peerlab/net/flow_scheduler.hpp"
+#include "peerlab/net/topology.hpp"
+#include "peerlab/sim/simulator.hpp"
+
+namespace peerlab::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEpsRate = 1e-12;
+
+struct RefFlow {
+  NodeId src;
+  NodeId dst;
+  double rate_cap = 0.0;  // <= 0 means uncapped
+};
+
+/// The seed implementation's recompute_rates(), kept as the oracle.
+/// `flows` is keyed by FlowId value, i.e. iterated in FlowId order —
+/// the same order the map-based scheduler iterated its flow map in.
+std::map<std::uint64_t, double> reference_rates(const std::map<std::uint64_t, RefFlow>& flows,
+                                                const Topology& topo, double capacity_scale) {
+  std::map<std::uint64_t, double> rates;
+  if (flows.empty()) return rates;
+
+  std::map<std::uint64_t, double> capacity;
+  for (const auto& [id, f] : flows) {
+    const auto& src = topo.node(f.src).profile();
+    const auto& dst = topo.node(f.dst).profile();
+    capacity.emplace(f.src.value() * 2, src.uplink_mbps * capacity_scale);
+    capacity.emplace(f.dst.value() * 2 + 1, dst.downlink_mbps * capacity_scale);
+  }
+
+  struct Pending {
+    std::uint64_t id;
+    std::uint64_t up_key;
+    std::uint64_t down_key;
+    double cap;
+  };
+  std::vector<Pending> unfrozen;
+  unfrozen.reserve(flows.size());
+  for (const auto& [id, f] : flows) {
+    unfrozen.push_back(Pending{id, f.src.value() * 2, f.dst.value() * 2 + 1,
+                               f.rate_cap > 0.0 ? f.rate_cap : kInf});
+  }
+
+  while (!unfrozen.empty()) {
+    std::map<std::uint64_t, int> users;
+    for (const auto& p : unfrozen) {
+      ++users[p.up_key];
+      ++users[p.down_key];
+    }
+    const auto fair = [&](std::uint64_t key) {
+      return std::max(0.0, capacity[key]) / static_cast<double>(users[key]);
+    };
+    double share = kInf;
+    for (const auto& [key, n] : users) {
+      share = std::min(share, fair(key));
+    }
+    double min_cap = kInf;
+    for (const auto& p : unfrozen) min_cap = std::min(min_cap, p.cap);
+    const double level = std::min(share, min_cap);
+
+    std::vector<Pending> still;
+    std::vector<Pending> frozen;
+    still.reserve(unfrozen.size());
+    for (const auto& p : unfrozen) {
+      const bool at_cap = p.cap <= level + kEpsRate;
+      const bool at_bottleneck = fair(p.up_key) <= level + kEpsRate ||
+                                 fair(p.down_key) <= level + kEpsRate;
+      if (at_cap || at_bottleneck) {
+        frozen.push_back(p);
+      } else {
+        still.push_back(p);
+      }
+    }
+    if (frozen.empty()) {
+      ADD_FAILURE() << "reference water-filling stalled";
+      return rates;
+    }
+    for (const auto& p : frozen) {
+      const double rate = std::min(level, p.cap);
+      rates[p.id] = rate;
+      capacity[p.up_key] -= rate;
+      capacity[p.down_key] -= rate;
+    }
+    unfrozen = std::move(still);
+  }
+  return rates;
+}
+
+NodeProfile host(const std::string& name, MbitPerSec up, MbitPerSec down) {
+  NodeProfile p;
+  p.hostname = name;
+  p.uplink_mbps = up;
+  p.downlink_mbps = down;
+  return p;
+}
+
+/// One randomized scenario: a fresh topology and scheduler, a few
+/// rounds of start/cancel/advance, and an exact-rate comparison after
+/// every mutation round.
+void run_scenario(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  sim::Simulator sim(seed);
+  Topology topo{sim::Rng(seed)};
+  const int nodes = pick(2, 10);
+  // Asymmetric capacities drawn from a small set make shared
+  // bottlenecks (several flows pinned on one uplink or downlink) and
+  // exact floating-point coincidences common rather than rare.
+  const double caps[] = {0.8, 2.0, 4.0, 8.0, 33.6, 100.0};
+  std::vector<NodeId> ids;
+  for (int i = 0; i < nodes; ++i) {
+    ids.push_back(topo.add_node(host("n" + std::to_string(i), caps[pick(0, 5)], caps[pick(0, 5)])));
+  }
+  const double scales[] = {1.0, 0.5, 0.37};
+  FlowSchedulerConfig config;
+  config.capacity_scale = scales[pick(0, 2)];
+  FlowScheduler fs(sim, topo, config);
+
+  std::map<std::uint64_t, RefFlow> model;  // live flows in FlowId order
+  std::vector<FlowId> live;
+
+  const auto check = [&] {
+    const auto expected = reference_rates(model, topo, config.capacity_scale);
+    ASSERT_EQ(expected.size(), fs.active_flows());
+    for (const auto& [id, rate] : expected) {
+      // Exact equality on purpose: the optimized scheduler promises
+      // the same arithmetic in the same order, not "close" results.
+      ASSERT_EQ(rate, fs.current_rate(FlowId(id))) << "flow " << id << " seed " << seed;
+    }
+  };
+
+  const int rounds = pick(3, 8);
+  for (int round = 0; round < rounds; ++round) {
+    const int starts = pick(1, 6);
+    for (int i = 0; i < starts && nodes >= 2; ++i) {
+      const NodeId src = ids[static_cast<std::size_t>(pick(0, nodes - 1))];
+      NodeId dst = src;
+      while (dst == src) dst = ids[static_cast<std::size_t>(pick(0, nodes - 1))];
+      const double cap = pick(0, 3) == 0 ? caps[pick(0, 5)] / 3.0 : 0.0;
+      FlowSpec spec;
+      spec.src = src;
+      spec.dst = dst;
+      spec.size = static_cast<Bytes>(pick(1, 64)) * 256 * 1024;
+      spec.rate_cap = cap;
+      const FlowId id = fs.start(std::move(spec));
+      model.emplace(id.value(), RefFlow{src, dst, cap});
+      live.push_back(id);
+    }
+    check();
+
+    const int cancels = pick(0, 2);
+    for (int i = 0; i < cancels && !live.empty(); ++i) {
+      const std::size_t victim = static_cast<std::size_t>(pick(0, static_cast<int>(live.size()) - 1));
+      const FlowId id = live[victim];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      model.erase(id.value());
+      fs.cancel(id);
+    }
+    check();
+
+    if (pick(0, 1) == 1) {
+      // Let some transfers progress (and possibly complete): rates
+      // depend only on the surviving flow set, which the model tracks.
+      sim.run_until(sim.now() + 0.25 * pick(1, 4));
+      for (auto it = live.begin(); it != live.end();) {
+        if (!fs.active(*it)) {
+          model.erase(it->value());
+          it = live.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      check();
+    }
+  }
+}
+
+TEST(FlowWaterfillProperty, DenseMatchesReferenceBitForBit) {
+  // >= 1000 randomized scenarios, each with multiple checked rounds.
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    run_scenario(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(FlowWaterfillProperty, CappedFlowsMatchReference) {
+  // Dedicated capped-heavy runs: every flow capped, forcing the
+  // at-cap freeze path and its capacity deductions.
+  sim::Simulator sim(7);
+  Topology topo{sim::Rng(7)};
+  const NodeId a = topo.add_node(host("a", 33.6, 8.0));
+  const NodeId b = topo.add_node(host("b", 8.0, 33.6));
+  const NodeId c = topo.add_node(host("c", 100.0, 100.0));
+  FlowScheduler fs(sim, topo);
+
+  std::map<std::uint64_t, RefFlow> model;
+  const auto add = [&](NodeId src, NodeId dst, double cap) {
+    FlowSpec spec;
+    spec.src = src;
+    spec.dst = dst;
+    spec.size = megabytes(64.0);
+    spec.rate_cap = cap;
+    const FlowId id = fs.start(std::move(spec));
+    model.emplace(id.value(), RefFlow{src, dst, cap});
+  };
+  add(a, b, 1.5);
+  add(a, c, 2.5);
+  add(b, c, 0.75);
+  add(c, b, 6.0);
+  add(c, a, 3.0);
+
+  const auto expected = reference_rates(model, topo, 1.0);
+  for (const auto& [id, rate] : expected) {
+    EXPECT_EQ(rate, fs.current_rate(FlowId(id)));
+  }
+}
+
+}  // namespace
+}  // namespace peerlab::net

@@ -1,0 +1,182 @@
+// Randomized stress test for EventQueue against a brute-force oracle.
+//
+// The oracle keeps every live event as (time, push-order, handle) and
+// answers "what must pop next" by linear scan. The real queue is driven
+// through long random interleavings of push / cancel / pop — including
+// pushes earlier than everything pending (which exercises the sorted
+// window's ordered-insert path), duplicate times (FIFO ties), daemon
+// accounting, bulk bursts big enough to force the radix refill path,
+// and slot pool reuse. Handles are checked for the stale-after-fire
+// guarantees.
+
+#include "peerlab/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace peerlab::sim {
+namespace {
+
+struct ModelEvent {
+  double time = 0.0;
+  std::uint64_t order = 0;  // global push counter: FIFO tie-break oracle
+  bool daemon = false;
+};
+
+TEST(EventQueueStress, RandomInterleavingsMatchOracle) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EventQueue queue;
+    std::mt19937_64 rng(seed);
+    const auto pick = [&](int lo, int hi) {
+      return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+    // A coarse grid makes same-time collisions (FIFO ties) and pushes
+    // below the current minimum frequent.
+    const auto pick_time = [&] { return 0.25 * pick(0, 40); };
+
+    struct Tracked {
+      EventHandle handle;
+      ModelEvent event;
+    };
+    std::vector<Tracked> live;
+    std::vector<std::uint64_t> fired;
+    std::uint64_t next_order = 0;
+
+    const auto push = [&](double time, bool daemon) {
+      const std::uint64_t order = next_order++;
+      EventHandle handle = queue.push(time, [&fired, order] { fired.push_back(order); }, daemon);
+      EXPECT_TRUE(handle.pending());
+      live.push_back(Tracked{std::move(handle), ModelEvent{time, order, daemon}});
+    };
+    const auto oracle_min = [&] {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < live.size(); ++i) {
+        const ModelEvent& a = live[i].event;
+        const ModelEvent& b = live[best].event;
+        if (a.time < b.time || (a.time == b.time && a.order < b.order)) best = i;
+      }
+      return best;
+    };
+    const auto pop_and_verify = [&] {
+      const std::size_t best = oracle_min();
+      ASSERT_EQ(live[best].event.time, queue.next_time());
+      auto popped = queue.pop();
+      ASSERT_EQ(live[best].event.time, popped.time);
+      ASSERT_TRUE(static_cast<bool>(popped.action));
+      popped.action();
+      ASSERT_FALSE(fired.empty());
+      ASSERT_EQ(live[best].event.order, fired.back());
+      // A fired event's handle must go stale: pending() false and
+      // cancel() a harmless no-op that does not disturb counters.
+      EXPECT_FALSE(live[best].handle.pending());
+      const std::size_t size_before = queue.size();
+      live[best].handle.cancel();
+      EXPECT_EQ(size_before, queue.size());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(best));
+    };
+
+    for (int op = 0; op < 30000; ++op) {
+      const int what = pick(0, 9);
+      if (what <= 3) {
+        push(pick_time(), /*daemon=*/pick(0, 4) == 0);
+      } else if (what == 4 && pick(0, 60) == 0) {
+        // Bulk burst: enough unsorted backlog that the next drain runs
+        // the radix path, with plenty of duplicate times.
+        const int n = pick(100, 400);
+        for (int i = 0; i < n; ++i) push(pick_time(), false);
+      } else if (what <= 7 && !live.empty()) {
+        // Cancel a uniformly random live event: ones deep in the
+        // unsorted batch, ones at the queue head, double-cancels.
+        const std::size_t i =
+            static_cast<std::size_t>(pick(0, static_cast<int>(live.size()) - 1));
+        live[i].handle.cancel();
+        EXPECT_FALSE(live[i].handle.pending());
+        live[i].handle.cancel();  // double-cancel must be a no-op
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (!live.empty()) {
+        pop_and_verify();
+      }
+      ASSERT_EQ(live.size(), queue.size());
+      ASSERT_EQ(live.empty(), queue.empty());
+      const bool any_regular = std::any_of(
+          live.begin(), live.end(), [](const Tracked& t) { return !t.event.daemon; });
+      ASSERT_EQ(any_regular, queue.has_work());
+    }
+
+    // Drain fully: pops must come out globally (time, order)-sorted.
+    while (!live.empty()) pop_and_verify();
+    EXPECT_TRUE(queue.empty());
+    EXPECT_FALSE(queue.has_work());
+  }
+}
+
+TEST(EventQueueStress, BulkDrainKeepsFifoAmongTies) {
+  EventQueue queue;
+  std::vector<int> fired;
+  // 5000 events over just 7 distinct times: long FIFO runs that a
+  // non-stable refill sort would scramble.
+  for (int i = 0; i < 5000; ++i) {
+    queue.push(static_cast<double>(i % 7), [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().action();
+  ASSERT_EQ(5000u, fired.size());
+  double last_time = -1.0;
+  int last_within = -1;
+  for (const int i : fired) {
+    const double t = static_cast<double>(i % 7);
+    if (t != last_time) {
+      ASSERT_LT(last_time, t);
+      last_time = t;
+      last_within = i;
+    } else {
+      ASSERT_LT(last_within, i) << "FIFO order violated at time " << t;
+      last_within = i;
+    }
+  }
+}
+
+// Slot pool reuse: cycling far more events than are ever concurrently
+// live must recycle slots (generation counters) and keep every stale
+// handle inert.
+TEST(EventQueueStress, PoolReuseKeepsHandlesStale) {
+  EventQueue queue;
+  std::vector<EventHandle> old_handles;
+  int fired = 0;
+  for (int wave = 0; wave < 200; ++wave) {
+    for (int i = 0; i < 32; ++i) {
+      old_handles.push_back(queue.push(static_cast<double>(wave), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 32; ++i) queue.pop().action();
+  }
+  EXPECT_EQ(200 * 32, fired);
+  EXPECT_EQ(static_cast<std::uint64_t>(200 * 32), queue.total_pushed());
+  for (EventHandle& handle : old_handles) {
+    EXPECT_FALSE(handle.pending());
+    // Cancelling through a recycled slot's old generation must be a
+    // counted no-op, never a hit on the slot's current occupant.
+    const std::size_t size_before = queue.size();
+    handle.cancel();
+    EXPECT_EQ(size_before, queue.size());
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+// Handles must stay safe no-ops after the queue itself is destroyed
+// (they share the pool's lifetime, not the queue's).
+TEST(EventQueueStress, HandlesOutliveQueue) {
+  EventHandle survivor;
+  {
+    EventQueue queue;
+    survivor = queue.push(1.0, [] {});
+    EXPECT_TRUE(survivor.pending());
+  }
+  EXPECT_FALSE(survivor.pending());
+  survivor.cancel();  // must not crash or touch freed memory
+}
+
+}  // namespace
+}  // namespace peerlab::sim
