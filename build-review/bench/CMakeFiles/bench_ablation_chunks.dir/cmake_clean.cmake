@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chunks.dir/bench_ablation_chunks.cpp.o"
+  "CMakeFiles/bench_ablation_chunks.dir/bench_ablation_chunks.cpp.o.d"
+  "bench_ablation_chunks"
+  "bench_ablation_chunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_crosstraffic.dir/bench_ablation_crosstraffic.cpp.o"
+  "CMakeFiles/bench_ablation_crosstraffic.dir/bench_ablation_crosstraffic.cpp.o.d"
+  "bench_ablation_crosstraffic"
+  "bench_ablation_crosstraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crosstraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_history.dir/bench_ablation_history.cpp.o"
+  "CMakeFiles/bench_ablation_history.dir/bench_ablation_history.cpp.o.d"
+  "bench_ablation_history"
+  "bench_ablation_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_loss.dir/bench_ablation_loss.cpp.o"
+  "CMakeFiles/bench_ablation_loss.dir/bench_ablation_loss.cpp.o.d"
+  "bench_ablation_loss"
+  "bench_ablation_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

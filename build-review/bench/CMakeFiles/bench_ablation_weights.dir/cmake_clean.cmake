@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_weights.dir/bench_ablation_weights.cpp.o"
+  "CMakeFiles/bench_ablation_weights.dir/bench_ablation_weights.cpp.o.d"
+  "bench_ablation_weights"
+  "bench_ablation_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_petition.dir/bench_fig2_petition.cpp.o"
+  "CMakeFiles/bench_fig2_petition.dir/bench_fig2_petition.cpp.o.d"
+  "bench_fig2_petition"
+  "bench_fig2_petition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_petition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lastmb.dir/bench_fig4_lastmb.cpp.o"
+  "CMakeFiles/bench_fig4_lastmb.dir/bench_fig4_lastmb.cpp.o.d"
+  "bench_fig4_lastmb"
+  "bench_fig4_lastmb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lastmb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_models.dir/bench_fig6_models.cpp.o"
+  "CMakeFiles/bench_fig6_models.dir/bench_fig6_models.cpp.o.d"
+  "bench_fig6_models"
+  "bench_fig6_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

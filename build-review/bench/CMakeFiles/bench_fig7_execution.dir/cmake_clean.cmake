@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_execution.dir/bench_fig7_execution.cpp.o"
+  "CMakeFiles/bench_fig7_execution.dir/bench_fig7_execution.cpp.o.d"
+  "bench_fig7_execution"
+  "bench_fig7_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

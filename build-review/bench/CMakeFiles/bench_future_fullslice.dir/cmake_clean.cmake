@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_fullslice.dir/bench_future_fullslice.cpp.o"
+  "CMakeFiles/bench_future_fullslice.dir/bench_future_fullslice.cpp.o.d"
+  "bench_future_fullslice"
+  "bench_future_fullslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_fullslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

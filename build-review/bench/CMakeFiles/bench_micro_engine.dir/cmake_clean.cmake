@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cpp.o"
+  "CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cpp.o.d"
+  "bench_micro_engine"
+  "bench_micro_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

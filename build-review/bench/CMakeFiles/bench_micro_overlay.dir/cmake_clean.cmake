@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_overlay.dir/bench_micro_overlay.cpp.o"
+  "CMakeFiles/bench_micro_overlay.dir/bench_micro_overlay.cpp.o.d"
+  "bench_micro_overlay"
+  "bench_micro_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_selection.dir/bench_micro_selection.cpp.o"
+  "CMakeFiles/bench_micro_selection.dir/bench_micro_selection.cpp.o.d"
+  "bench_micro_selection"
+  "bench_micro_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

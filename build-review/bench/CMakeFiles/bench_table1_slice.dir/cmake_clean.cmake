@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_slice.dir/bench_table1_slice.cpp.o"
+  "CMakeFiles/bench_table1_slice.dir/bench_table1_slice.cpp.o.d"
+  "bench_table1_slice"
+  "bench_table1_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

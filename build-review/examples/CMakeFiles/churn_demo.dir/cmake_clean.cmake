@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_demo.dir/churn_demo.cpp.o"
+  "CMakeFiles/churn_demo.dir/churn_demo.cpp.o.d"
+  "churn_demo"
+  "churn_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

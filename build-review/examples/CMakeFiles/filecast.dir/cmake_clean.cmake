@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filecast.dir/filecast.cpp.o"
+  "CMakeFiles/filecast.dir/filecast.cpp.o.d"
+  "filecast"
+  "filecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

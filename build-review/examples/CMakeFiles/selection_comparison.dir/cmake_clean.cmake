@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_comparison.dir/selection_comparison.cpp.o"
+  "CMakeFiles/selection_comparison.dir/selection_comparison.cpp.o.d"
+  "selection_comparison"
+  "selection_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

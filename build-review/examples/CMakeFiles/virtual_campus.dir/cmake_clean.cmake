@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_campus.dir/virtual_campus.cpp.o"
+  "CMakeFiles/virtual_campus.dir/virtual_campus.cpp.o.d"
+  "virtual_campus"
+  "virtual_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

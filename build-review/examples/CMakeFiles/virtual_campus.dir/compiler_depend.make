@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for virtual_campus.
+# This may be replaced when dependencies are built.

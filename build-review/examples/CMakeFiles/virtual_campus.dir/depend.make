@@ -1,0 +1,2 @@
+# Empty dependencies file for virtual_campus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,119 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "peerlab::peerlab_common" for configuration "RelWithDebInfo"
+set_property(TARGET peerlab::peerlab_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(peerlab::peerlab_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpeerlab_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets peerlab::peerlab_common )
+list(APPEND _cmake_import_check_files_for_peerlab::peerlab_common "${_IMPORT_PREFIX}/lib/libpeerlab_common.a" )
+
+# Import target "peerlab::peerlab_sim" for configuration "RelWithDebInfo"
+set_property(TARGET peerlab::peerlab_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(peerlab::peerlab_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpeerlab_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets peerlab::peerlab_sim )
+list(APPEND _cmake_import_check_files_for_peerlab::peerlab_sim "${_IMPORT_PREFIX}/lib/libpeerlab_sim.a" )
+
+# Import target "peerlab::peerlab_net" for configuration "RelWithDebInfo"
+set_property(TARGET peerlab::peerlab_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(peerlab::peerlab_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpeerlab_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets peerlab::peerlab_net )
+list(APPEND _cmake_import_check_files_for_peerlab::peerlab_net "${_IMPORT_PREFIX}/lib/libpeerlab_net.a" )
+
+# Import target "peerlab::peerlab_transport" for configuration "RelWithDebInfo"
+set_property(TARGET peerlab::peerlab_transport APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(peerlab::peerlab_transport PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpeerlab_transport.a"
+  )
+
+list(APPEND _cmake_import_check_targets peerlab::peerlab_transport )
+list(APPEND _cmake_import_check_files_for_peerlab::peerlab_transport "${_IMPORT_PREFIX}/lib/libpeerlab_transport.a" )
+
+# Import target "peerlab::peerlab_jxta" for configuration "RelWithDebInfo"
+set_property(TARGET peerlab::peerlab_jxta APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(peerlab::peerlab_jxta PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpeerlab_jxta.a"
+  )
+
+list(APPEND _cmake_import_check_targets peerlab::peerlab_jxta )
+list(APPEND _cmake_import_check_files_for_peerlab::peerlab_jxta "${_IMPORT_PREFIX}/lib/libpeerlab_jxta.a" )
+
+# Import target "peerlab::peerlab_stats" for configuration "RelWithDebInfo"
+set_property(TARGET peerlab::peerlab_stats APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(peerlab::peerlab_stats PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpeerlab_stats.a"
+  )
+
+list(APPEND _cmake_import_check_targets peerlab::peerlab_stats )
+list(APPEND _cmake_import_check_files_for_peerlab::peerlab_stats "${_IMPORT_PREFIX}/lib/libpeerlab_stats.a" )
+
+# Import target "peerlab::peerlab_tasks" for configuration "RelWithDebInfo"
+set_property(TARGET peerlab::peerlab_tasks APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(peerlab::peerlab_tasks PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpeerlab_tasks.a"
+  )
+
+list(APPEND _cmake_import_check_targets peerlab::peerlab_tasks )
+list(APPEND _cmake_import_check_files_for_peerlab::peerlab_tasks "${_IMPORT_PREFIX}/lib/libpeerlab_tasks.a" )
+
+# Import target "peerlab::peerlab_core" for configuration "RelWithDebInfo"
+set_property(TARGET peerlab::peerlab_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(peerlab::peerlab_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpeerlab_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets peerlab::peerlab_core )
+list(APPEND _cmake_import_check_files_for_peerlab::peerlab_core "${_IMPORT_PREFIX}/lib/libpeerlab_core.a" )
+
+# Import target "peerlab::peerlab_overlay" for configuration "RelWithDebInfo"
+set_property(TARGET peerlab::peerlab_overlay APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(peerlab::peerlab_overlay PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpeerlab_overlay.a"
+  )
+
+list(APPEND _cmake_import_check_targets peerlab::peerlab_overlay )
+list(APPEND _cmake_import_check_files_for_peerlab::peerlab_overlay "${_IMPORT_PREFIX}/lib/libpeerlab_overlay.a" )
+
+# Import target "peerlab::peerlab_planetlab" for configuration "RelWithDebInfo"
+set_property(TARGET peerlab::peerlab_planetlab APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(peerlab::peerlab_planetlab PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpeerlab_planetlab.a"
+  )
+
+list(APPEND _cmake_import_check_targets peerlab::peerlab_planetlab )
+list(APPEND _cmake_import_check_files_for_peerlab::peerlab_planetlab "${_IMPORT_PREFIX}/lib/libpeerlab_planetlab.a" )
+
+# Import target "peerlab::peerlab_experiments" for configuration "RelWithDebInfo"
+set_property(TARGET peerlab::peerlab_experiments APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(peerlab::peerlab_experiments PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpeerlab_experiments.a"
+  )
+
+list(APPEND _cmake_import_check_targets peerlab::peerlab_experiments )
+list(APPEND _cmake_import_check_files_for_peerlab::peerlab_experiments "${_IMPORT_PREFIX}/lib/libpeerlab_experiments.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

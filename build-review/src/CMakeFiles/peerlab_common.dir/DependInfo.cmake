@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peerlab/common/ids.cpp" "src/CMakeFiles/peerlab_common.dir/peerlab/common/ids.cpp.o" "gcc" "src/CMakeFiles/peerlab_common.dir/peerlab/common/ids.cpp.o.d"
+  "/root/repo/src/peerlab/common/log.cpp" "src/CMakeFiles/peerlab_common.dir/peerlab/common/log.cpp.o" "gcc" "src/CMakeFiles/peerlab_common.dir/peerlab/common/log.cpp.o.d"
+  "/root/repo/src/peerlab/common/units.cpp" "src/CMakeFiles/peerlab_common.dir/peerlab/common/units.cpp.o" "gcc" "src/CMakeFiles/peerlab_common.dir/peerlab/common/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerlab_common.dir/peerlab/common/ids.cpp.o"
+  "CMakeFiles/peerlab_common.dir/peerlab/common/ids.cpp.o.d"
+  "CMakeFiles/peerlab_common.dir/peerlab/common/log.cpp.o"
+  "CMakeFiles/peerlab_common.dir/peerlab/common/log.cpp.o.d"
+  "CMakeFiles/peerlab_common.dir/peerlab/common/units.cpp.o"
+  "CMakeFiles/peerlab_common.dir/peerlab/common/units.cpp.o.d"
+  "libpeerlab_common.a"
+  "libpeerlab_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerlab_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peerlab/core/blind.cpp" "src/CMakeFiles/peerlab_core.dir/peerlab/core/blind.cpp.o" "gcc" "src/CMakeFiles/peerlab_core.dir/peerlab/core/blind.cpp.o.d"
+  "/root/repo/src/peerlab/core/data_evaluator.cpp" "src/CMakeFiles/peerlab_core.dir/peerlab/core/data_evaluator.cpp.o" "gcc" "src/CMakeFiles/peerlab_core.dir/peerlab/core/data_evaluator.cpp.o.d"
+  "/root/repo/src/peerlab/core/economic.cpp" "src/CMakeFiles/peerlab_core.dir/peerlab/core/economic.cpp.o" "gcc" "src/CMakeFiles/peerlab_core.dir/peerlab/core/economic.cpp.o.d"
+  "/root/repo/src/peerlab/core/hybrid.cpp" "src/CMakeFiles/peerlab_core.dir/peerlab/core/hybrid.cpp.o" "gcc" "src/CMakeFiles/peerlab_core.dir/peerlab/core/hybrid.cpp.o.d"
+  "/root/repo/src/peerlab/core/selection_model.cpp" "src/CMakeFiles/peerlab_core.dir/peerlab/core/selection_model.cpp.o" "gcc" "src/CMakeFiles/peerlab_core.dir/peerlab/core/selection_model.cpp.o.d"
+  "/root/repo/src/peerlab/core/snapshot.cpp" "src/CMakeFiles/peerlab_core.dir/peerlab/core/snapshot.cpp.o" "gcc" "src/CMakeFiles/peerlab_core.dir/peerlab/core/snapshot.cpp.o.d"
+  "/root/repo/src/peerlab/core/user_preference.cpp" "src/CMakeFiles/peerlab_core.dir/peerlab/core/user_preference.cpp.o" "gcc" "src/CMakeFiles/peerlab_core.dir/peerlab/core/user_preference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/peerlab_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

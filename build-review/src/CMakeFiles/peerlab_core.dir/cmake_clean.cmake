@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerlab_core.dir/peerlab/core/blind.cpp.o"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/blind.cpp.o.d"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/data_evaluator.cpp.o"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/data_evaluator.cpp.o.d"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/economic.cpp.o"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/economic.cpp.o.d"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/hybrid.cpp.o"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/hybrid.cpp.o.d"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/selection_model.cpp.o"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/selection_model.cpp.o.d"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/snapshot.cpp.o"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/snapshot.cpp.o.d"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/user_preference.cpp.o"
+  "CMakeFiles/peerlab_core.dir/peerlab/core/user_preference.cpp.o.d"
+  "libpeerlab_core.a"
+  "libpeerlab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerlab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerlab_experiments.dir/peerlab/experiments/figures.cpp.o"
+  "CMakeFiles/peerlab_experiments.dir/peerlab/experiments/figures.cpp.o.d"
+  "CMakeFiles/peerlab_experiments.dir/peerlab/experiments/harness.cpp.o"
+  "CMakeFiles/peerlab_experiments.dir/peerlab/experiments/harness.cpp.o.d"
+  "CMakeFiles/peerlab_experiments.dir/peerlab/experiments/reporter.cpp.o"
+  "CMakeFiles/peerlab_experiments.dir/peerlab/experiments/reporter.cpp.o.d"
+  "libpeerlab_experiments.a"
+  "libpeerlab_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerlab_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

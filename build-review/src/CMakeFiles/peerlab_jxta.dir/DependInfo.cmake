@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peerlab/jxta/advertisement.cpp" "src/CMakeFiles/peerlab_jxta.dir/peerlab/jxta/advertisement.cpp.o" "gcc" "src/CMakeFiles/peerlab_jxta.dir/peerlab/jxta/advertisement.cpp.o.d"
+  "/root/repo/src/peerlab/jxta/discovery.cpp" "src/CMakeFiles/peerlab_jxta.dir/peerlab/jxta/discovery.cpp.o" "gcc" "src/CMakeFiles/peerlab_jxta.dir/peerlab/jxta/discovery.cpp.o.d"
+  "/root/repo/src/peerlab/jxta/peergroup.cpp" "src/CMakeFiles/peerlab_jxta.dir/peerlab/jxta/peergroup.cpp.o" "gcc" "src/CMakeFiles/peerlab_jxta.dir/peerlab/jxta/peergroup.cpp.o.d"
+  "/root/repo/src/peerlab/jxta/pipe.cpp" "src/CMakeFiles/peerlab_jxta.dir/peerlab/jxta/pipe.cpp.o" "gcc" "src/CMakeFiles/peerlab_jxta.dir/peerlab/jxta/pipe.cpp.o.d"
+  "/root/repo/src/peerlab/jxta/rendezvous.cpp" "src/CMakeFiles/peerlab_jxta.dir/peerlab/jxta/rendezvous.cpp.o" "gcc" "src/CMakeFiles/peerlab_jxta.dir/peerlab/jxta/rendezvous.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/peerlab_transport.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerlab_jxta.dir/peerlab/jxta/advertisement.cpp.o"
+  "CMakeFiles/peerlab_jxta.dir/peerlab/jxta/advertisement.cpp.o.d"
+  "CMakeFiles/peerlab_jxta.dir/peerlab/jxta/discovery.cpp.o"
+  "CMakeFiles/peerlab_jxta.dir/peerlab/jxta/discovery.cpp.o.d"
+  "CMakeFiles/peerlab_jxta.dir/peerlab/jxta/peergroup.cpp.o"
+  "CMakeFiles/peerlab_jxta.dir/peerlab/jxta/peergroup.cpp.o.d"
+  "CMakeFiles/peerlab_jxta.dir/peerlab/jxta/pipe.cpp.o"
+  "CMakeFiles/peerlab_jxta.dir/peerlab/jxta/pipe.cpp.o.d"
+  "CMakeFiles/peerlab_jxta.dir/peerlab/jxta/rendezvous.cpp.o"
+  "CMakeFiles/peerlab_jxta.dir/peerlab/jxta/rendezvous.cpp.o.d"
+  "libpeerlab_jxta.a"
+  "libpeerlab_jxta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerlab_jxta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

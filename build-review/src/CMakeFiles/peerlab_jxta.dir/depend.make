@@ -1,0 +1,2 @@
+# Empty dependencies file for peerlab_jxta.
+# This may be replaced when dependencies are built.

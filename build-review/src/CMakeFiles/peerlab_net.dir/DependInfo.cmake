@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peerlab/net/background.cpp" "src/CMakeFiles/peerlab_net.dir/peerlab/net/background.cpp.o" "gcc" "src/CMakeFiles/peerlab_net.dir/peerlab/net/background.cpp.o.d"
+  "/root/repo/src/peerlab/net/degradation.cpp" "src/CMakeFiles/peerlab_net.dir/peerlab/net/degradation.cpp.o" "gcc" "src/CMakeFiles/peerlab_net.dir/peerlab/net/degradation.cpp.o.d"
+  "/root/repo/src/peerlab/net/flow_scheduler.cpp" "src/CMakeFiles/peerlab_net.dir/peerlab/net/flow_scheduler.cpp.o" "gcc" "src/CMakeFiles/peerlab_net.dir/peerlab/net/flow_scheduler.cpp.o.d"
+  "/root/repo/src/peerlab/net/geo.cpp" "src/CMakeFiles/peerlab_net.dir/peerlab/net/geo.cpp.o" "gcc" "src/CMakeFiles/peerlab_net.dir/peerlab/net/geo.cpp.o.d"
+  "/root/repo/src/peerlab/net/network.cpp" "src/CMakeFiles/peerlab_net.dir/peerlab/net/network.cpp.o" "gcc" "src/CMakeFiles/peerlab_net.dir/peerlab/net/network.cpp.o.d"
+  "/root/repo/src/peerlab/net/node.cpp" "src/CMakeFiles/peerlab_net.dir/peerlab/net/node.cpp.o" "gcc" "src/CMakeFiles/peerlab_net.dir/peerlab/net/node.cpp.o.d"
+  "/root/repo/src/peerlab/net/topology.cpp" "src/CMakeFiles/peerlab_net.dir/peerlab/net/topology.cpp.o" "gcc" "src/CMakeFiles/peerlab_net.dir/peerlab/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/peerlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerlab_net.dir/peerlab/net/background.cpp.o"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/background.cpp.o.d"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/degradation.cpp.o"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/degradation.cpp.o.d"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/flow_scheduler.cpp.o"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/flow_scheduler.cpp.o.d"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/geo.cpp.o"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/geo.cpp.o.d"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/network.cpp.o"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/network.cpp.o.d"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/node.cpp.o"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/node.cpp.o.d"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/topology.cpp.o"
+  "CMakeFiles/peerlab_net.dir/peerlab/net/topology.cpp.o.d"
+  "libpeerlab_net.a"
+  "libpeerlab_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerlab_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

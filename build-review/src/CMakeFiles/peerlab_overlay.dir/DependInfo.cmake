@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peerlab/overlay/broker.cpp" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/broker.cpp.o" "gcc" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/broker.cpp.o.d"
+  "/root/repo/src/peerlab/overlay/client.cpp" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/client.cpp.o" "gcc" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/client.cpp.o.d"
+  "/root/repo/src/peerlab/overlay/file_service.cpp" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/file_service.cpp.o" "gcc" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/file_service.cpp.o.d"
+  "/root/repo/src/peerlab/overlay/group_report.cpp" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/group_report.cpp.o" "gcc" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/group_report.cpp.o.d"
+  "/root/repo/src/peerlab/overlay/messaging.cpp" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/messaging.cpp.o" "gcc" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/messaging.cpp.o.d"
+  "/root/repo/src/peerlab/overlay/primitives.cpp" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/primitives.cpp.o" "gcc" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/primitives.cpp.o.d"
+  "/root/repo/src/peerlab/overlay/task_service.cpp" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/task_service.cpp.o" "gcc" "src/CMakeFiles/peerlab_overlay.dir/peerlab/overlay/task_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/peerlab_jxta.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_tasks.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_transport.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/broker.cpp.o"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/broker.cpp.o.d"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/client.cpp.o"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/client.cpp.o.d"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/file_service.cpp.o"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/file_service.cpp.o.d"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/group_report.cpp.o"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/group_report.cpp.o.d"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/messaging.cpp.o"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/messaging.cpp.o.d"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/primitives.cpp.o"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/primitives.cpp.o.d"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/task_service.cpp.o"
+  "CMakeFiles/peerlab_overlay.dir/peerlab/overlay/task_service.cpp.o.d"
+  "libpeerlab_overlay.a"
+  "libpeerlab_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerlab_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

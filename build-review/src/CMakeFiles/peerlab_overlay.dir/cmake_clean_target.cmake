@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpeerlab_overlay.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerlab_planetlab.dir/peerlab/planetlab/catalog.cpp.o"
+  "CMakeFiles/peerlab_planetlab.dir/peerlab/planetlab/catalog.cpp.o.d"
+  "CMakeFiles/peerlab_planetlab.dir/peerlab/planetlab/deployment.cpp.o"
+  "CMakeFiles/peerlab_planetlab.dir/peerlab/planetlab/deployment.cpp.o.d"
+  "CMakeFiles/peerlab_planetlab.dir/peerlab/planetlab/profiles.cpp.o"
+  "CMakeFiles/peerlab_planetlab.dir/peerlab/planetlab/profiles.cpp.o.d"
+  "libpeerlab_planetlab.a"
+  "libpeerlab_planetlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerlab_planetlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

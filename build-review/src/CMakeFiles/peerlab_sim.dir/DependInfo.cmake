@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peerlab/sim/event_queue.cpp" "src/CMakeFiles/peerlab_sim.dir/peerlab/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/peerlab_sim.dir/peerlab/sim/event_queue.cpp.o.d"
+  "/root/repo/src/peerlab/sim/histogram.cpp" "src/CMakeFiles/peerlab_sim.dir/peerlab/sim/histogram.cpp.o" "gcc" "src/CMakeFiles/peerlab_sim.dir/peerlab/sim/histogram.cpp.o.d"
+  "/root/repo/src/peerlab/sim/rng.cpp" "src/CMakeFiles/peerlab_sim.dir/peerlab/sim/rng.cpp.o" "gcc" "src/CMakeFiles/peerlab_sim.dir/peerlab/sim/rng.cpp.o.d"
+  "/root/repo/src/peerlab/sim/simulator.cpp" "src/CMakeFiles/peerlab_sim.dir/peerlab/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/peerlab_sim.dir/peerlab/sim/simulator.cpp.o.d"
+  "/root/repo/src/peerlab/sim/trace.cpp" "src/CMakeFiles/peerlab_sim.dir/peerlab/sim/trace.cpp.o" "gcc" "src/CMakeFiles/peerlab_sim.dir/peerlab/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/peerlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

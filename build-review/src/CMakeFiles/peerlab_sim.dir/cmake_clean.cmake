@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerlab_sim.dir/peerlab/sim/event_queue.cpp.o"
+  "CMakeFiles/peerlab_sim.dir/peerlab/sim/event_queue.cpp.o.d"
+  "CMakeFiles/peerlab_sim.dir/peerlab/sim/histogram.cpp.o"
+  "CMakeFiles/peerlab_sim.dir/peerlab/sim/histogram.cpp.o.d"
+  "CMakeFiles/peerlab_sim.dir/peerlab/sim/rng.cpp.o"
+  "CMakeFiles/peerlab_sim.dir/peerlab/sim/rng.cpp.o.d"
+  "CMakeFiles/peerlab_sim.dir/peerlab/sim/simulator.cpp.o"
+  "CMakeFiles/peerlab_sim.dir/peerlab/sim/simulator.cpp.o.d"
+  "CMakeFiles/peerlab_sim.dir/peerlab/sim/trace.cpp.o"
+  "CMakeFiles/peerlab_sim.dir/peerlab/sim/trace.cpp.o.d"
+  "libpeerlab_sim.a"
+  "libpeerlab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerlab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

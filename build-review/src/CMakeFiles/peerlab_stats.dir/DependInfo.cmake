@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peerlab/stats/counters.cpp" "src/CMakeFiles/peerlab_stats.dir/peerlab/stats/counters.cpp.o" "gcc" "src/CMakeFiles/peerlab_stats.dir/peerlab/stats/counters.cpp.o.d"
+  "/root/repo/src/peerlab/stats/history.cpp" "src/CMakeFiles/peerlab_stats.dir/peerlab/stats/history.cpp.o" "gcc" "src/CMakeFiles/peerlab_stats.dir/peerlab/stats/history.cpp.o.d"
+  "/root/repo/src/peerlab/stats/peer_statistics.cpp" "src/CMakeFiles/peerlab_stats.dir/peerlab/stats/peer_statistics.cpp.o" "gcc" "src/CMakeFiles/peerlab_stats.dir/peerlab/stats/peer_statistics.cpp.o.d"
+  "/root/repo/src/peerlab/stats/window.cpp" "src/CMakeFiles/peerlab_stats.dir/peerlab/stats/window.cpp.o" "gcc" "src/CMakeFiles/peerlab_stats.dir/peerlab/stats/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/peerlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

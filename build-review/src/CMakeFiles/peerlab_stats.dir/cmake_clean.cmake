@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerlab_stats.dir/peerlab/stats/counters.cpp.o"
+  "CMakeFiles/peerlab_stats.dir/peerlab/stats/counters.cpp.o.d"
+  "CMakeFiles/peerlab_stats.dir/peerlab/stats/history.cpp.o"
+  "CMakeFiles/peerlab_stats.dir/peerlab/stats/history.cpp.o.d"
+  "CMakeFiles/peerlab_stats.dir/peerlab/stats/peer_statistics.cpp.o"
+  "CMakeFiles/peerlab_stats.dir/peerlab/stats/peer_statistics.cpp.o.d"
+  "CMakeFiles/peerlab_stats.dir/peerlab/stats/window.cpp.o"
+  "CMakeFiles/peerlab_stats.dir/peerlab/stats/window.cpp.o.d"
+  "libpeerlab_stats.a"
+  "libpeerlab_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerlab_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerlab_tasks.dir/peerlab/tasks/executor.cpp.o"
+  "CMakeFiles/peerlab_tasks.dir/peerlab/tasks/executor.cpp.o.d"
+  "CMakeFiles/peerlab_tasks.dir/peerlab/tasks/queue.cpp.o"
+  "CMakeFiles/peerlab_tasks.dir/peerlab/tasks/queue.cpp.o.d"
+  "CMakeFiles/peerlab_tasks.dir/peerlab/tasks/task.cpp.o"
+  "CMakeFiles/peerlab_tasks.dir/peerlab/tasks/task.cpp.o.d"
+  "libpeerlab_tasks.a"
+  "libpeerlab_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerlab_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

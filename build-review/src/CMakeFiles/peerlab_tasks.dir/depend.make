@@ -1,0 +1,2 @@
+# Empty dependencies file for peerlab_tasks.
+# This may be replaced when dependencies are built.

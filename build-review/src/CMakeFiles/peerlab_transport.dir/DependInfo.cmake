@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peerlab/transport/endpoint.cpp" "src/CMakeFiles/peerlab_transport.dir/peerlab/transport/endpoint.cpp.o" "gcc" "src/CMakeFiles/peerlab_transport.dir/peerlab/transport/endpoint.cpp.o.d"
+  "/root/repo/src/peerlab/transport/file_transfer.cpp" "src/CMakeFiles/peerlab_transport.dir/peerlab/transport/file_transfer.cpp.o" "gcc" "src/CMakeFiles/peerlab_transport.dir/peerlab/transport/file_transfer.cpp.o.d"
+  "/root/repo/src/peerlab/transport/message.cpp" "src/CMakeFiles/peerlab_transport.dir/peerlab/transport/message.cpp.o" "gcc" "src/CMakeFiles/peerlab_transport.dir/peerlab/transport/message.cpp.o.d"
+  "/root/repo/src/peerlab/transport/reliable_channel.cpp" "src/CMakeFiles/peerlab_transport.dir/peerlab/transport/reliable_channel.cpp.o" "gcc" "src/CMakeFiles/peerlab_transport.dir/peerlab/transport/reliable_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/peerlab_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerlab_transport.dir/peerlab/transport/endpoint.cpp.o"
+  "CMakeFiles/peerlab_transport.dir/peerlab/transport/endpoint.cpp.o.d"
+  "CMakeFiles/peerlab_transport.dir/peerlab/transport/file_transfer.cpp.o"
+  "CMakeFiles/peerlab_transport.dir/peerlab/transport/file_transfer.cpp.o.d"
+  "CMakeFiles/peerlab_transport.dir/peerlab/transport/message.cpp.o"
+  "CMakeFiles/peerlab_transport.dir/peerlab/transport/message.cpp.o.d"
+  "CMakeFiles/peerlab_transport.dir/peerlab/transport/reliable_channel.cpp.o"
+  "CMakeFiles/peerlab_transport.dir/peerlab/transport/reliable_channel.cpp.o.d"
+  "libpeerlab_transport.a"
+  "libpeerlab_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerlab_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

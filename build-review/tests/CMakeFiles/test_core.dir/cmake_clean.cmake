@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/blind_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/blind_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/data_evaluator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/data_evaluator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/economic_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/economic_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/hybrid_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/hybrid_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/selection_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/selection_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/user_preference_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/user_preference_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments.dir/experiments/figures_test.cpp.o"
+  "CMakeFiles/test_experiments.dir/experiments/figures_test.cpp.o.d"
+  "CMakeFiles/test_experiments.dir/experiments/harness_test.cpp.o"
+  "CMakeFiles/test_experiments.dir/experiments/harness_test.cpp.o.d"
+  "CMakeFiles/test_experiments.dir/experiments/reporter_test.cpp.o"
+  "CMakeFiles/test_experiments.dir/experiments/reporter_test.cpp.o.d"
+  "test_experiments"
+  "test_experiments.pdb"
+  "test_experiments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jxta.dir/jxta/advertisement_test.cpp.o"
+  "CMakeFiles/test_jxta.dir/jxta/advertisement_test.cpp.o.d"
+  "CMakeFiles/test_jxta.dir/jxta/discovery_test.cpp.o"
+  "CMakeFiles/test_jxta.dir/jxta/discovery_test.cpp.o.d"
+  "CMakeFiles/test_jxta.dir/jxta/peergroup_test.cpp.o"
+  "CMakeFiles/test_jxta.dir/jxta/peergroup_test.cpp.o.d"
+  "CMakeFiles/test_jxta.dir/jxta/pipe_test.cpp.o"
+  "CMakeFiles/test_jxta.dir/jxta/pipe_test.cpp.o.d"
+  "CMakeFiles/test_jxta.dir/jxta/rendezvous_test.cpp.o"
+  "CMakeFiles/test_jxta.dir/jxta/rendezvous_test.cpp.o.d"
+  "test_jxta"
+  "test_jxta.pdb"
+  "test_jxta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jxta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/background_test.cpp" "tests/CMakeFiles/test_net.dir/net/background_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/background_test.cpp.o.d"
+  "/root/repo/tests/net/degradation_test.cpp" "tests/CMakeFiles/test_net.dir/net/degradation_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/degradation_test.cpp.o.d"
+  "/root/repo/tests/net/flow_scheduler_test.cpp" "tests/CMakeFiles/test_net.dir/net/flow_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/flow_scheduler_test.cpp.o.d"
+  "/root/repo/tests/net/flow_waterfill_property_test.cpp" "tests/CMakeFiles/test_net.dir/net/flow_waterfill_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/flow_waterfill_property_test.cpp.o.d"
+  "/root/repo/tests/net/geo_test.cpp" "tests/CMakeFiles/test_net.dir/net/geo_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/geo_test.cpp.o.d"
+  "/root/repo/tests/net/network_test.cpp" "tests/CMakeFiles/test_net.dir/net/network_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/network_test.cpp.o.d"
+  "/root/repo/tests/net/node_test.cpp" "tests/CMakeFiles/test_net.dir/net/node_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/node_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "tests/CMakeFiles/test_net.dir/net/topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/peerlab_planetlab.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_overlay.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_tasks.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_jxta.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_transport.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/background_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/background_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/degradation_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/degradation_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/flow_scheduler_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/flow_scheduler_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/flow_waterfill_property_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/flow_waterfill_property_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/geo_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/geo_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/network_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/network_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/node_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/node_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/topology_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/topology_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

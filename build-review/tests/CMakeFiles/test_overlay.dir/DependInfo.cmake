@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/overlay/broker_test.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/broker_test.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/broker_test.cpp.o.d"
+  "/root/repo/tests/overlay/distribution_test.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/distribution_test.cpp.o.d"
+  "/root/repo/tests/overlay/federation_test.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/federation_test.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/federation_test.cpp.o.d"
+  "/root/repo/tests/overlay/file_service_test.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/file_service_test.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/file_service_test.cpp.o.d"
+  "/root/repo/tests/overlay/group_report_test.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/group_report_test.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/group_report_test.cpp.o.d"
+  "/root/repo/tests/overlay/messaging_test.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/messaging_test.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/messaging_test.cpp.o.d"
+  "/root/repo/tests/overlay/primitives_test.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/primitives_test.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/primitives_test.cpp.o.d"
+  "/root/repo/tests/overlay/rehome_test.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/rehome_test.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/rehome_test.cpp.o.d"
+  "/root/repo/tests/overlay/task_service_test.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/task_service_test.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/task_service_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/peerlab_planetlab.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_overlay.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_tasks.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_jxta.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_transport.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay.dir/overlay/broker_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/broker_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/distribution_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/distribution_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/federation_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/federation_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/file_service_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/file_service_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/group_report_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/group_report_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/messaging_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/messaging_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/primitives_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/primitives_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/rehome_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/rehome_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/task_service_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/task_service_test.cpp.o.d"
+  "test_overlay"
+  "test_overlay.pdb"
+  "test_overlay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planetlab.dir/planetlab/calibration_robustness_test.cpp.o"
+  "CMakeFiles/test_planetlab.dir/planetlab/calibration_robustness_test.cpp.o.d"
+  "CMakeFiles/test_planetlab.dir/planetlab/catalog_test.cpp.o"
+  "CMakeFiles/test_planetlab.dir/planetlab/catalog_test.cpp.o.d"
+  "CMakeFiles/test_planetlab.dir/planetlab/deployment_test.cpp.o"
+  "CMakeFiles/test_planetlab.dir/planetlab/deployment_test.cpp.o.d"
+  "CMakeFiles/test_planetlab.dir/planetlab/profiles_test.cpp.o"
+  "CMakeFiles/test_planetlab.dir/planetlab/profiles_test.cpp.o.d"
+  "test_planetlab"
+  "test_planetlab.pdb"
+  "test_planetlab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planetlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/churn_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/churn_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/flow_fairness_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/flow_fairness_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/overlay_endtoend_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/overlay_endtoend_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/selection_invariants_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/selection_invariants_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/transfer_protocol_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/transfer_protocol_test.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/counters_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/counters_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/history_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/history_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/peer_statistics_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/peer_statistics_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/window_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/window_test.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

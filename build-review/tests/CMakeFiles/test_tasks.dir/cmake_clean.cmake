@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasks.dir/tasks/executor_test.cpp.o"
+  "CMakeFiles/test_tasks.dir/tasks/executor_test.cpp.o.d"
+  "CMakeFiles/test_tasks.dir/tasks/queue_test.cpp.o"
+  "CMakeFiles/test_tasks.dir/tasks/queue_test.cpp.o.d"
+  "test_tasks"
+  "test_tasks.pdb"
+  "test_tasks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport/endpoint_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/endpoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/endpoint_test.cpp.o.d"
+  "/root/repo/tests/transport/file_transfer_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/file_transfer_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/file_transfer_test.cpp.o.d"
+  "/root/repo/tests/transport/message_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/message_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/message_test.cpp.o.d"
+  "/root/repo/tests/transport/reliable_channel_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/reliable_channel_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/reliable_channel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/peerlab_planetlab.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_overlay.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_tasks.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_jxta.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_transport.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/peerlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

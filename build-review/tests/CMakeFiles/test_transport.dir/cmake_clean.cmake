@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport.dir/transport/endpoint_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/endpoint_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/file_transfer_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/file_transfer_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/message_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/message_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/reliable_channel_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/reliable_channel_test.cpp.o.d"
+  "test_transport"
+  "test_transport.pdb"
+  "test_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

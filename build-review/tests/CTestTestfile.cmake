@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_perf[1]_include.cmake")
+include("/root/repo/build-review/tests/test_transport[1]_include.cmake")
+include("/root/repo/build-review/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-review/tests/test_tasks[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
+include("/root/repo/build-review/tests/test_experiments[1]_include.cmake")
+include("/root/repo/build-review/tests/test_property[1]_include.cmake")
+include("/root/repo/build-review/tests/test_planetlab[1]_include.cmake")
+include("/root/repo/build-review/tests/test_overlay[1]_include.cmake")
+include("/root/repo/build-review/tests/test_jxta[1]_include.cmake")
+include("/root/repo/build-review/tests/test_net[1]_include.cmake")
