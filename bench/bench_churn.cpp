@@ -1,0 +1,57 @@
+// Churn sweep — scatter distribution under node crash/restart churn
+// (MTTF/MTTR renewal per client node) for the three peer selection
+// models. Verifies the failover machinery: every share must complete
+// even when its peer dies mid-transfer (the service re-petitions the
+// broker for a substitute), at the price of a longer makespan.
+
+#include "bench_common.hpp"
+#include "peerlab/experiments/churn.hpp"
+
+int main(int argc, char** argv) {
+  using namespace peerlab;
+  using namespace peerlab::experiments;
+  const auto options = bench::parse_options(argc, argv);
+
+  print_figure_header("Churn sweep",
+                      "Distribution makespan and failovers under node churn");
+  const ChurnResult result = run_bench_churn(options);
+
+  Table table("Scatter distribution under churn (mean of " +
+                  std::to_string(options.repetitions) + " runs; MTTR " +
+                  std::to_string(static_cast<int>(kChurnMttr)) + " s)",
+              {"model", "churn", "makespan s", "failovers", "crashes", "complete %"});
+  for (int m = 0; m < 3; ++m) {
+    for (int level = 0; level < kChurnLevels; ++level) {
+      const auto& c =
+          result.cells[static_cast<std::size_t>(m)][static_cast<std::size_t>(level)];
+      table.add_row({kModelNames[m], kChurnLabels[level], cell(c.makespan.mean(), 1),
+                     cell(c.failovers.mean(), 2), cell(c.crashes.mean(), 1),
+                     cell(100.0 * c.completion_rate(), 1)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  table.write_csv("bench_churn.csv");
+
+  bool ok = true;
+  double failovers_heaviest = 0.0;
+  for (int m = 0; m < 3; ++m) {
+    const auto& row = result.cells[static_cast<std::size_t>(m)];
+    const auto& clean = row[0];
+    const auto& heaviest = row[static_cast<std::size_t>(kChurnLevels - 1)];
+    failovers_heaviest += heaviest.failovers.mean();
+
+    ok &= shape_check(std::string(kModelNames[m]) + ": fault-free run needs no failover",
+                      clean.failovers.mean() == 0.0);
+    for (int level = 0; level < kChurnLevels; ++level) {
+      ok &= shape_check(std::string(kModelNames[m]) + "/" + kChurnLabels[level] +
+                            ": every share completes (failover leaves none behind)",
+                        row[static_cast<std::size_t>(level)].completion_rate() == 1.0);
+    }
+    ok &= shape_check(std::string(kModelNames[m]) +
+                          ": churn degrades makespan (heaviest >= fault-free)",
+                      heaviest.makespan.mean() >= clean.makespan.mean());
+  }
+  ok &= shape_check("heaviest churn actually exercises failover",
+                    failovers_heaviest > 0.0);
+  return ok ? 0 : 1;
+}

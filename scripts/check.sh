@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Fast correctness gate: the tier-1 test suite, then an ASan+UBSan build
+# exercising the churn/fault-injection paths (the tests most likely to
+# hide lifetime bugs: crash-triggered flow aborts, failover callbacks,
+# reentrant batch teardown).
+#
+# scripts/run_all.sh remains the full bar (benches + regression diff);
+# this script is the quick pre-push check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build -j "$(nproc)" --timeout 180 --output-on-failure
+
+cmake -B build-asan -S . -DPEERLAB_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "$(nproc)" --target test_net test_overlay test_property bench_churn
+build-asan/tests/test_net \
+  --gtest_filter='FaultPlan.*:FaultInjector.*:Network.*:FlowScheduler.*'
+build-asan/tests/test_overlay --gtest_filter='Failover.*:Distribution.*'
+build-asan/tests/test_property --gtest_filter='*Churn*'
+build-asan/bench/bench_churn --reps 1
+
+echo "peerlab: check.sh passed"

@@ -5,11 +5,19 @@
 namespace peerlab::core {
 
 std::vector<PeerId> BlindModel::rank(std::span<const PeerSnapshot> candidates,
-                                     const SelectionContext& /*context*/) {
+                                     const SelectionContext& context) {
   std::vector<PeerId> online;
   online.reserve(candidates.size());
-  for (const auto& c : candidates) {
-    if (c.online) online.push_back(c.peer);
+  // Two loops so the common fault-free (no-exclude) path stays as tight
+  // as before exclusion existed.
+  if (context.exclude.empty()) {
+    for (const auto& c : candidates) {
+      if (c.online) online.push_back(c.peer);
+    }
+  } else {
+    for (const auto& c : candidates) {
+      if (c.online && !context.excluded(c.peer)) online.push_back(c.peer);
+    }
   }
   if (online.empty()) return {};
   std::sort(online.begin(), online.end());

@@ -59,8 +59,9 @@ std::vector<PeerId> DataEvaluatorModel::rank(std::span<const PeerSnapshot> candi
                                              const SelectionContext& context) {
   std::vector<ScoredPeer> scored;
   scored.reserve(candidates.size());
+  const bool has_excludes = !context.exclude.empty();
   for (const auto& c : candidates) {
-    if (!c.online) continue;
+    if (!c.online || (has_excludes && context.excluded(c.peer))) continue;
     scored.push_back(ScoredPeer{c.peer, cost(c, context)});
   }
   return ranked_by_cost(std::move(scored));

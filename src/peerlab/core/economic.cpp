@@ -80,16 +80,17 @@ std::vector<PeerId> EconomicSchedulingModel::rank(std::span<const PeerSnapshot> 
   std::vector<Offer> offers;
   offers.reserve(candidates.size());
 
+  const bool has_excludes = !context.exclude.empty();
   bool any_idle = false;
   for (const auto& c : candidates) {
-    if (c.online && c.idle) {
+    if (c.online && c.idle && !(has_excludes && context.excluded(c.peer))) {
       any_idle = true;
       break;
     }
   }
 
   for (const auto& c : candidates) {
-    if (!c.online) continue;
+    if (!c.online || (has_excludes && context.excluded(c.peer))) continue;
     if (config_.prefer_idle && any_idle && !c.idle) continue;
     Offer offer;
     offer.peer = &c;

@@ -31,8 +31,9 @@ std::vector<PeerId> HybridModel::rank(std::span<const PeerSnapshot> candidates,
   };
   std::vector<Term> terms;
   terms.reserve(candidates.size());
+  const bool has_excludes = !context.exclude.empty();
   for (const auto& c : candidates) {
-    if (!c.online) continue;
+    if (!c.online || (has_excludes && context.excluded(c.peer))) continue;
     Term t;
     t.peer = &c;
     t.economic = economic_.estimate_ready_time(c) + economic_.estimate_service_time(c, context) +

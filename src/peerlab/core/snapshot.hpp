@@ -5,6 +5,7 @@
 // registry, statistics and history; models stay decoupled from the
 // overlay and are unit-testable on synthetic snapshots.
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,14 @@ struct SelectionContext {
   /// budget; 0 disables the respective constraint.
   Seconds deadline = 0.0;
   double budget = 0.0;
+  /// Peers every model must skip regardless of score — the requester
+  /// itself, or peers that already failed this workload (failover
+  /// re-petitions exclude the peer whose share just died).
+  std::vector<PeerId> exclude;
+
+  [[nodiscard]] bool excluded(PeerId peer) const noexcept {
+    return std::find(exclude.begin(), exclude.end(), peer) != exclude.end();
+  }
 };
 
 [[nodiscard]] const char* to_string(SelectionContext::Purpose purpose) noexcept;

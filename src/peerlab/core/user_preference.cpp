@@ -50,15 +50,16 @@ UserPreferenceModel UserPreferenceModel::quick_peer(const stats::HistoryStore& h
 }
 
 std::vector<PeerId> UserPreferenceModel::rank(std::span<const PeerSnapshot> candidates,
-                                              const SelectionContext& /*context*/) {
+                                              const SelectionContext& context) {
   std::unordered_map<PeerId, std::size_t> position;
   for (std::size_t i = 0; i < preference_.size(); ++i) {
     position.emplace(preference_[i], i);
   }
   std::vector<ScoredPeer> scored;
   scored.reserve(candidates.size());
+  const bool has_excludes = !context.exclude.empty();
   for (const auto& c : candidates) {
-    if (!c.online) continue;
+    if (!c.online || (has_excludes && context.excluded(c.peer))) continue;
     const auto it = position.find(c.peer);
     const double cost = it != position.end()
                             ? static_cast<double>(it->second)

@@ -1,0 +1,174 @@
+#include "peerlab/experiments/churn.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/core/data_evaluator.hpp"
+#include "peerlab/core/economic.hpp"
+#include "peerlab/core/user_preference.hpp"
+
+namespace peerlab::experiments {
+
+namespace {
+
+using overlay::DistributionOptions;
+using overlay::FileService;
+using planetlab::Deployment;
+using transport::FileTransferConfig;
+using transport::TransferResult;
+
+/// Transfer knobs tuned for churn: petitions give up after ~a minute
+/// (a dead peer should trigger failover, not a quarter hour of
+/// retries) and a part gets a bounded retransmission budget.
+FileTransferConfig churn_transfer() {
+  FileTransferConfig cfg;
+  cfg.petition_retry.initial_timeout = 15.0;
+  cfg.petition_retry.backoff = 1.5;
+  cfg.petition_retry.max_attempts = 4;
+  cfg.confirm_timeout = 30.0;
+  cfg.max_confirm_queries = 6;
+  cfg.max_part_attempts = 6;
+  return cfg;
+}
+
+DistributionOptions churn_failover() {
+  DistributionOptions options;
+  options.max_failovers_per_share = 4;
+  options.backoff_initial = 10.0;
+  options.backoff_factor = 2.0;
+  options.backoff_cap = 120.0;
+  return options;
+}
+
+struct ChurnRun {
+  double makespan = 0.0;
+  double failovers = 0.0;
+  double crashes = 0.0;
+  bool complete = false;
+};
+
+/// One seeded world, one model, one churn level: boot, build enough
+/// broker history for the history-driven models, arm the churn plan,
+/// then scatter the file with failover enabled and run to completion.
+ChurnRun churn_run(std::uint64_t seed, Model model, double mttf) {
+  sim::Simulator sim(seed);
+  Deployment dep(sim);
+  dep.boot();
+
+  // Warm-up: one small transfer + chat per SC, serially, so the
+  // broker's history ranks every peer (the quick-peer model freezes
+  // that impression, the data evaluator keeps updating it).
+  Seconds at = sim.now() + 10.0;
+  for (int i = 1; i <= 8; ++i) {
+    sim.schedule_at(at, [&dep, i] {
+      FileTransferConfig cfg = churn_transfer();
+      cfg.file_size = megabytes(2.0);
+      cfg.parts = 2;
+      dep.control().files().send_file(dep.sc_peer(i), cfg, [](const TransferResult&) {});
+      dep.control().messaging().send(dep.sc_peer(i), 0, [](bool, Seconds) {});
+    });
+    at += 300.0;
+  }
+  sim.run_until(at + 300.0);
+
+  switch (model) {
+    case Model::kEconomic:
+      dep.broker().set_selection_model(std::make_unique<core::EconomicSchedulingModel>());
+      break;
+    case Model::kSamePriority:
+      dep.broker().set_selection_model(
+          std::make_unique<core::DataEvaluatorModel>(core::DataEvaluatorModel::same_priority()));
+      break;
+    case Model::kQuickPeer: {
+      std::vector<PeerId> known;
+      for (int i = 1; i <= 8; ++i) known.push_back(dep.sc_peer(i));
+      dep.broker().set_selection_model(std::make_unique<core::UserPreferenceModel>(
+          core::UserPreferenceModel::quick_peer(dep.broker().history(), known)));
+      break;
+    }
+  }
+
+  // Churn window: covers selection and the whole distribution. Only
+  // client nodes churn; broker and control stay up (broker outage is
+  // exercised separately — see tests/overlay/failover_test).
+  if (mttf > 0.0) {
+    sim::Rng churn_rng = sim.rng().fork(0xC4A54ull);
+    dep.install_faults(net::FaultPlan::random_churn(churn_rng, dep.client_nodes(), mttf,
+                                                    kChurnMttr, sim.now(),
+                                                    sim.now() + 6000.0));
+  }
+
+  // Broker-mediated selection of the initial share holders.
+  std::vector<PeerId> selected;
+  {
+    core::SelectionContext ctx;
+    ctx.purpose = core::SelectionContext::Purpose::kFileTransfer;
+    ctx.payload_size = kChurnFileSize;
+    ctx.now = sim.now();
+    bool got = false;
+    dep.control().request_selection(ctx, kChurnFanout, [&](std::vector<PeerId> peers) {
+      selected = std::move(peers);
+      got = true;
+    });
+    sim.run_until(sim.now() + 300.0);
+    PEERLAB_CHECK_MSG(got && selected.size() >= 1, "churn selection failed");
+    if (selected.size() > kChurnFanout) selected.resize(kChurnFanout);
+  }
+
+  ChurnRun run;
+  bool done = false;
+  dep.control().files().distribute(
+      kChurnFileSize, kChurnParts, selected, churn_transfer(),
+      [&](const FileService::DistributionResult& result) {
+        run.makespan = result.makespan();
+        run.failovers = static_cast<double>(result.failovers);
+        run.complete = result.complete;
+        done = true;
+      },
+      churn_failover());
+  sim.run();
+  PEERLAB_CHECK_MSG(done, "churn distribution never resolved");
+  if (dep.faults() != nullptr) {
+    run.crashes = static_cast<double>(dep.faults()->crashes_applied());
+  }
+  return run;
+}
+
+}  // namespace
+
+ChurnResult run_bench_churn(const RunOptions& options) {
+  using Rep = std::array<std::array<ChurnRun, kChurnLevels>, 3>;
+  const auto reps = run_repetitions<Rep>(options, [](std::uint64_t seed, int) {
+    Rep rep;
+    for (int m = 0; m < 3; ++m) {
+      for (int level = 0; level < kChurnLevels; ++level) {
+        // Same seed across models and levels: identical worlds and —
+        // per level — identical fault plans, so differences are the
+        // model's and the churn rate's.
+        rep[static_cast<std::size_t>(m)][static_cast<std::size_t>(level)] =
+            churn_run(seed, static_cast<Model>(m), kChurnMttf[level]);
+      }
+    }
+    return rep;
+  });
+
+  ChurnResult result;
+  for (const auto& rep : reps) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      for (std::size_t level = 0; level < kChurnLevels; ++level) {
+        ChurnCell& cell = result.cells[m][level];
+        const ChurnRun& run = rep[m][level];
+        cell.makespan.add(run.makespan);
+        cell.failovers.add(run.failovers);
+        cell.crashes.add(run.crashes);
+        cell.complete_runs += run.complete ? 1 : 0;
+        ++cell.runs;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace peerlab::experiments

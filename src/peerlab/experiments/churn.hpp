@@ -1,0 +1,53 @@
+#pragma once
+
+// bench_churn — distribution under node churn. Sweeps the MTTF of an
+// exponential crash/restart (MTTF/MTTR renewal) process over the
+// client nodes while the control peer scatters a file across
+// broker-selected peers, for each of the paper's three selection
+// models. Shares that die with their peer fail over: the service backs
+// off, re-petitions the broker excluding every peer already used, and
+// re-sends the share. Reported per (model, churn level): distribution
+// makespan, failovers consumed, crash events applied, and the share
+// completion rate (the failover machinery must keep it at 100%).
+
+#include <array>
+
+#include "peerlab/experiments/figures.hpp"
+
+namespace peerlab::experiments {
+
+/// Churn severities: mean time to failure per client node (seconds);
+/// 0 = fault-free baseline. Repair time is kChurnMttr for all levels.
+inline constexpr int kChurnLevels = 4;
+inline constexpr double kChurnMttf[kChurnLevels] = {0.0, 1200.0, 450.0, 200.0};
+inline constexpr const char* kChurnLabels[kChurnLevels] = {"none", "mttf-1200",
+                                                           "mttf-450", "mttf-200"};
+inline constexpr Seconds kChurnMttr = 120.0;
+
+/// Workload: one file scattered over kChurnFanout broker-selected
+/// peers, kChurnParts parts round-robin.
+inline constexpr Bytes kChurnFileSize = 32 * kMegabyte;
+inline constexpr int kChurnParts = 6;
+inline constexpr std::size_t kChurnFanout = 3;
+
+struct ChurnCell {
+  sim::Summary makespan;   // distribution makespan (seconds)
+  sim::Summary failovers;  // replacement petitions consumed per run
+  sim::Summary crashes;    // crash events applied during the run
+  int complete_runs = 0;   // runs where every share completed
+  int runs = 0;
+
+  [[nodiscard]] double completion_rate() const noexcept {
+    return runs == 0 ? 0.0 : static_cast<double>(complete_runs) / runs;
+  }
+};
+
+struct ChurnResult {
+  /// [model][churn level]; models as in Figure 6 (economic,
+  /// same-priority data evaluator, quick-peer user preference).
+  std::array<std::array<ChurnCell, kChurnLevels>, 3> cells;
+};
+
+[[nodiscard]] ChurnResult run_bench_churn(const RunOptions& options);
+
+}  // namespace peerlab::experiments

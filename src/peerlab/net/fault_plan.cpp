@@ -1,0 +1,106 @@
+#include "peerlab/net/fault_plan.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::net {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHeal: return "heal";
+    case FaultKind::kBrownout: return "brownout";
+  }
+  return "?";
+}
+
+void FaultPlan::crash(Seconds at, NodeId node, Seconds downtime) {
+  PEERLAB_CHECK_MSG(downtime > 0.0, "crash downtime must be positive");
+  add(FaultEvent{at, FaultKind::kCrash, node, NodeId(), 1.0});
+  add(FaultEvent{at + downtime, FaultKind::kRestart, node, NodeId(), 1.0});
+}
+
+void FaultPlan::crash_forever(Seconds at, NodeId node) {
+  add(FaultEvent{at, FaultKind::kCrash, node, NodeId(), 1.0});
+}
+
+void FaultPlan::partition(Seconds at, NodeId a, NodeId b, Seconds duration) {
+  PEERLAB_CHECK_MSG(duration > 0.0, "partition duration must be positive");
+  add(FaultEvent{at, FaultKind::kPartition, a, b, 1.0});
+  add(FaultEvent{at + duration, FaultKind::kHeal, a, b, 1.0});
+}
+
+void FaultPlan::brownout(Seconds at, NodeId node, double factor, Seconds duration) {
+  PEERLAB_CHECK_MSG(factor > 0.0 && factor < 1.0, "brownout factor must be in (0, 1)");
+  PEERLAB_CHECK_MSG(duration > 0.0, "brownout duration must be positive");
+  add(FaultEvent{at, FaultKind::kBrownout, node, NodeId(), factor});
+  add(FaultEvent{at + duration, FaultKind::kBrownout, node, NodeId(), 1.0});
+}
+
+void FaultPlan::add(FaultEvent event) {
+  PEERLAB_CHECK_MSG(event.at >= 0.0, "fault time must be non-negative");
+  PEERLAB_CHECK_MSG(event.node.valid(), "fault target must be a node");
+  events_.push_back(event);
+}
+
+FaultPlan FaultPlan::random_churn(sim::Rng& rng, const std::vector<NodeId>& nodes,
+                                  Seconds mttf, Seconds mttr, Seconds start,
+                                  Seconds horizon) {
+  PEERLAB_CHECK_MSG(mttf > 0.0 && mttr > 0.0, "MTTF and MTTR must be positive");
+  PEERLAB_CHECK_MSG(horizon > start, "churn horizon must lie beyond its start");
+  FaultPlan plan;
+  for (const NodeId node : nodes) {
+    Seconds t = start + rng.exponential(mttf);
+    while (t < horizon) {
+      // Floor the outage at one second: a sub-second "crash" is not a
+      // fault any protocol timer could even observe.
+      const Seconds down = std::max(1.0, rng.exponential(mttr));
+      plan.crash(t, node, down);
+      t += down + rng.exponential(mttf);
+    }
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(Network& network, FaultPlan plan, Hooks hooks)
+    : network_(network), plan_(std::move(plan)), hooks_(std::move(hooks)) {
+  sim::Simulator& sim = network_.simulator();
+  for (const FaultEvent& event : plan_.events()) {
+    PEERLAB_CHECK_MSG(event.at >= sim.now(), "fault plan reaches into the past");
+    // Daemon events: a pending restart must not keep an otherwise
+    // drained run alive, but a bounded run_until still applies it.
+    sim.schedule_daemon(event.at - sim.now(), [this, &event] { apply(event); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      ++crashes_;
+      network_.crash_node(event.node);
+      if (hooks_.on_crash) hooks_.on_crash(event.node);
+      break;
+    case FaultKind::kRestart:
+      ++restarts_;
+      network_.restore_node(event.node);
+      if (hooks_.on_restart) hooks_.on_restart(event.node);
+      break;
+    case FaultKind::kPartition:
+      ++partitions_;
+      network_.partition(event.node, event.peer);
+      break;
+    case FaultKind::kHeal:
+      network_.heal(event.node, event.peer);
+      break;
+    case FaultKind::kBrownout:
+      ++brownouts_;
+      network_.set_capacity_factor(event.node, event.factor);
+      break;
+  }
+}
+
+}  // namespace peerlab::net

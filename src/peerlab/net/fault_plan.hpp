@@ -1,0 +1,105 @@
+#pragma once
+
+// Fault injection: deterministic schedules of node crash/restart, link
+// partition and bandwidth-brownout events, applied to a Network.
+//
+// A FaultPlan is pure data — scripted directly (crash/partition/
+// brownout) or generated from a seeded RNG (random_churn: alternating
+// exponential up/down times per node, the classic MTTF/MTTR renewal
+// model). A FaultInjector schedules the plan's events on the
+// simulator and applies each one to the network at its instant; hooks
+// let the overlay layer co-simulate the software side of a fault
+// (stop a crashed peer's heartbeat loop, restart it on recovery).
+// Everything is a deterministic function of the plan, so a seeded
+// churn run replays bit-for-bit.
+
+#include <functional>
+#include <vector>
+
+#include "peerlab/net/network.hpp"
+#include "peerlab/sim/rng.hpp"
+
+namespace peerlab::net {
+
+enum class FaultKind : std::uint8_t { kCrash, kRestart, kPartition, kHeal, kBrownout };
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  Seconds at = 0.0;
+  FaultKind kind = FaultKind::kCrash;
+  /// Crash/restart/brownout target; one side of a partition.
+  NodeId node;
+  /// The other side of a partition (unused otherwise).
+  NodeId peer;
+  /// Brownout capacity multiplier in (0, 1]; 1 restores nominal.
+  double factor = 1.0;
+};
+
+class FaultPlan {
+ public:
+  /// Node goes down at `at` and comes back `downtime` later.
+  void crash(Seconds at, NodeId node, Seconds downtime);
+  /// Node goes down at `at` and never returns.
+  void crash_forever(Seconds at, NodeId node);
+  /// The a<->b link is cut at `at` and healed `duration` later.
+  void partition(Seconds at, NodeId a, NodeId b, Seconds duration);
+  /// Node's access capacity is scaled by `factor` for `duration`.
+  void brownout(Seconds at, NodeId node, double factor, Seconds duration);
+  /// Raw event append for custom schedules.
+  void add(FaultEvent event);
+
+  /// MTTF/MTTR renewal churn: each node alternates exponential
+  /// up-times (mean `mttf`) and down-times (mean `mttr`), first crash
+  /// no earlier than `start`, no event at or beyond `horizon` (every
+  /// crash before the horizon still gets its restart, so no node is
+  /// left down forever). Deterministic in the RNG state and node order.
+  [[nodiscard]] static FaultPlan random_churn(sim::Rng& rng, const std::vector<NodeId>& nodes,
+                                              Seconds mttf, Seconds mttr, Seconds start,
+                                              Seconds horizon);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+class FaultInjector {
+ public:
+  struct Hooks {
+    /// Fires right after the network marks the node down (its flows
+    /// already aborted); stop the node's overlay software here.
+    std::function<void(NodeId)> on_crash;
+    /// Fires right after the network marks the node up; restart the
+    /// node's overlay software here (re-registration et al.).
+    std::function<void(NodeId)> on_restart;
+  };
+
+  /// Schedules every event of `plan` on the network's simulator. All
+  /// event times must be >= now. The injector must outlive the run.
+  FaultInjector(Network& network, FaultPlan plan, Hooks hooks = {});
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] std::uint64_t crashes_applied() const noexcept { return crashes_; }
+  [[nodiscard]] std::uint64_t restarts_applied() const noexcept { return restarts_; }
+  [[nodiscard]] std::uint64_t partitions_applied() const noexcept { return partitions_; }
+  [[nodiscard]] std::uint64_t brownouts_applied() const noexcept { return brownouts_; }
+
+ private:
+  void apply(const FaultEvent& event);
+
+  Network& network_;
+  FaultPlan plan_;
+  Hooks hooks_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t partitions_ = 0;
+  std::uint64_t brownouts_ = 0;
+};
+
+}  // namespace peerlab::net

@@ -30,22 +30,25 @@ FlowId FlowScheduler::start(FlowSpec spec) {
   const FlowId id = ids_.next();
   const std::uint32_t slot = acquire_slot();
   Flow& flow = slots_[slot];
+  flow.src = spec.src;
+  flow.dst = spec.dst;
   flow.remaining_bits = static_cast<double>(spec.size) * 8.0;
   flow.rate = 0.0;
+  flow.rate_cap = spec.rate_cap;
   flow.started = sim_.now();
-  flow.spec = std::move(spec);
   flow.id = id.value();
+  callbacks_[slot].on_complete = std::move(spec.on_complete);
+  callbacks_[slot].on_abort = std::move(spec.on_abort);
 
   ensure_node_arrays();
-  ++uploads_[flow.spec.src.value()];
-  ++downloads_[flow.spec.dst.value()];
+  ++uploads_[flow.src.value()];
+  ++downloads_[flow.dst.value()];
   // Fresh ids are strictly increasing, so appending keeps `active_`
   // FlowId-sorted (removal is order-preserving).
   active_.push_back(slot);
   index_.insert(id.value(), slot);
 
-  recompute_rates();
-  reschedule();
+  settle();
   return id;
 }
 
@@ -54,8 +57,79 @@ void FlowScheduler::cancel(FlowId id) {
   if (slot == nullptr) return;
   advance_to_now();
   remove_flow(active_position(*slot));
+  settle();
+}
+
+void FlowScheduler::settle() {
+  if (batch_depth_ > 0) {
+    batch_dirty_ = true;
+    return;
+  }
   recompute_rates();
   reschedule();
+}
+
+void FlowScheduler::end_batch() {
+  if (--batch_depth_ > 0) return;
+  if (!batch_dirty_) return;
+  batch_dirty_ = false;
+  advance_to_now();
+  recompute_rates();
+  reschedule();
+}
+
+template <typename Pred>
+std::size_t FlowScheduler::abort_where(Pred pred) {
+  advance_to_now();
+  // Collect the victims' callbacks first: an on_abort may start new
+  // flows (failover), so the scheduler must be consistent — removals
+  // done, survivors re-levelled — before any callback runs. The local
+  // staging vector (not a reused member) keeps re-entrant aborts safe.
+  std::vector<Completion> aborted;
+  for (std::size_t i = 0; i < active_.size();) {
+    const std::uint32_t slot = active_[i];
+    Flow& f = slots_[slot];
+    if (pred(f)) {
+      aborted.push_back(
+          Completion{sim_.now() - f.started, std::move(callbacks_[slot].on_abort)});
+      remove_flow(i);
+    } else {
+      ++i;
+    }
+  }
+  if (!aborted.empty()) settle();
+  for (Completion& c : aborted) {
+    if (c.callback) c.callback(c.duration);
+  }
+  return aborted.size();
+}
+
+std::size_t FlowScheduler::abort_touching(NodeId node) {
+  return abort_where([node](const Flow& f) { return f.src == node || f.dst == node; });
+}
+
+std::size_t FlowScheduler::abort_between(NodeId a, NodeId b) {
+  return abort_where([a, b](const Flow& f) {
+    return (f.src == a && f.dst == b) || (f.src == b && f.dst == a);
+  });
+}
+
+void FlowScheduler::set_capacity_factor(NodeId node, double factor) {
+  PEERLAB_CHECK_MSG(topo_.contains(node), "brownout target must exist");
+  PEERLAB_CHECK_MSG(factor > 0.0 && factor <= 1.0, "capacity factor must be in (0, 1]");
+  advance_to_now();
+  ensure_node_arrays();
+  const std::size_t id = node.value();
+  capacity_factor_[id] = factor;
+  const auto& profile = topo_.node(node).profile();
+  link_capacity_[id * 2] = profile.uplink_mbps * config_.capacity_scale * factor;
+  link_capacity_[id * 2 + 1] = profile.downlink_mbps * config_.capacity_scale * factor;
+  settle();
+}
+
+double FlowScheduler::capacity_factor(NodeId node) const noexcept {
+  const std::uint64_t i = node.value();
+  return i < capacity_factor_.size() ? capacity_factor_[i] : 1.0;
 }
 
 MbitPerSec FlowScheduler::current_rate(FlowId id) const noexcept {
@@ -99,12 +173,12 @@ void FlowScheduler::recompute_rates() {
   wf_unfrozen_.clear();
   for (const std::uint32_t slot : active_) {
     const Flow& f = slots_[slot];
-    const auto up_key = static_cast<std::uint32_t>(f.spec.src.value() * 2);
-    const auto down_key = static_cast<std::uint32_t>(f.spec.dst.value() * 2 + 1);
+    const auto up_key = static_cast<std::uint32_t>(f.src.value() * 2);
+    const auto down_key = static_cast<std::uint32_t>(f.dst.value() * 2 + 1);
     wf_capacity_[up_key] = link_capacity_[up_key];
     wf_capacity_[down_key] = link_capacity_[down_key];
     wf_unfrozen_.push_back(
-        Pending{slot, up_key, down_key, f.spec.rate_cap > 0.0 ? f.spec.rate_cap : kInf});
+        Pending{slot, up_key, down_key, f.rate_cap > 0.0 ? f.rate_cap : kInf});
   }
 
   // Progressive water-filling: each round freezes at least one flow,
@@ -175,9 +249,11 @@ void FlowScheduler::on_timer() {
   // scheduler must be consistent before any callback runs.
   done_.clear();
   for (std::size_t i = 0; i < active_.size();) {
-    Flow& f = slots_[active_[i]];
+    const std::uint32_t slot = active_[i];
+    Flow& f = slots_[slot];
     if (f.remaining_bits <= kEpsBits) {
-      done_.push_back(Completion{sim_.now() - f.started, std::move(f.spec.on_complete)});
+      done_.push_back(
+          Completion{sim_.now() - f.started, std::move(callbacks_[slot].on_complete)});
       remove_flow(i);
     } else {
       ++i;
@@ -198,6 +274,7 @@ std::uint32_t FlowScheduler::acquire_slot() {
   }
   const auto slot = static_cast<std::uint32_t>(slots_.size());
   slots_.emplace_back();
+  callbacks_.emplace_back();
   // Keep the free list's capacity ahead of the slot count so releasing
   // a slot on the noexcept removal path never allocates. Track the slot
   // vector's *capacity*, not its size, so growth stays amortized.
@@ -210,11 +287,12 @@ std::uint32_t FlowScheduler::acquire_slot() {
 void FlowScheduler::remove_flow(std::size_t active_pos) noexcept {
   const std::uint32_t slot = active_[active_pos];
   Flow& f = slots_[slot];
-  --uploads_[f.spec.src.value()];
-  --downloads_[f.spec.dst.value()];
+  --uploads_[f.src.value()];
+  --downloads_[f.dst.value()];
   index_.erase(f.id);
   active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(active_pos));
-  f.spec.on_complete = nullptr;  // release captured resources
+  callbacks_[slot].on_complete = nullptr;  // release captured resources
+  callbacks_[slot].on_abort = nullptr;
   f.id = 0;
   free_slots_.push_back(slot);
 }
@@ -233,17 +311,23 @@ void FlowScheduler::ensure_node_arrays() {
     uploads_.resize(nodes, 0);
     downloads_.resize(nodes, 0);
   }
+  if (capacity_factor_.size() < nodes) {
+    capacity_factor_.resize(nodes, 1.0);
+  }
   if (wf_capacity_.size() < nodes * 2) {
     const std::size_t first_new = link_capacity_.size() / 2;
     wf_capacity_.resize(nodes * 2, 0.0);
     wf_users_.resize(nodes * 2, 0);
     link_capacity_.resize(nodes * 2, 0.0);
     // Profiles are immutable once added, so the scaled link capacities
-    // can be computed once per node instead of per recomputation.
+    // can be computed once per node instead of per recomputation (and
+    // re-derived only when a brownout factor changes).
     for (std::size_t id = std::max<std::size_t>(first_new, 1); id < nodes; ++id) {
       const auto& profile = topo_.node(NodeId(id)).profile();
-      link_capacity_[id * 2] = profile.uplink_mbps * config_.capacity_scale;
-      link_capacity_[id * 2 + 1] = profile.downlink_mbps * config_.capacity_scale;
+      link_capacity_[id * 2] =
+          profile.uplink_mbps * config_.capacity_scale * capacity_factor_[id];
+      link_capacity_[id * 2 + 1] =
+          profile.downlink_mbps * config_.capacity_scale * capacity_factor_[id];
     }
   }
 }

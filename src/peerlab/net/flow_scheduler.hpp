@@ -45,6 +45,10 @@ struct FlowSpec {
   MbitPerSec rate_cap = 0.0;
   /// Invoked at completion with the flow's total duration.
   std::function<void(Seconds duration)> on_complete;
+  /// Invoked (with the flow's elapsed time) when the flow is torn down
+  /// by a fault — abort_touching()/abort_between() — as opposed to
+  /// cancel(), which stays silent. Optional.
+  std::function<void(Seconds elapsed)> on_abort;
 };
 
 struct FlowSchedulerConfig {
@@ -68,6 +72,42 @@ class FlowScheduler {
   /// flow already completed.
   void cancel(FlowId id);
 
+  /// Scoped batch: while at least one Batch is alive, start()/cancel()/
+  /// abort_*() defer the rate recomputation and the completion-timer
+  /// reschedule; a single recompute runs when the last Batch closes.
+  /// No virtual time passes inside a batch (a Batch lives within one
+  /// simulator event), so the resulting rates are identical to the
+  /// one-recompute-per-change sequence.
+  class Batch {
+   public:
+    explicit Batch(FlowScheduler& scheduler) : scheduler_(scheduler) {
+      ++scheduler_.batch_depth_;
+    }
+    ~Batch() { scheduler_.end_batch(); }
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+
+   private:
+    FlowScheduler& scheduler_;
+  };
+  [[nodiscard]] Batch start_batch() { return Batch(*this); }
+
+  /// Aborts every active flow with an endpoint at `node` (a node
+  /// crash). All removals share one recomputation; each aborted flow's
+  /// on_abort then fires with its elapsed time, after the scheduler is
+  /// consistent again. Returns the number of flows aborted.
+  std::size_t abort_touching(NodeId node);
+
+  /// Aborts active flows between `a` and `b`, either direction (a link
+  /// partition). Same batching and callback semantics as above.
+  std::size_t abort_between(NodeId a, NodeId b);
+
+  /// Scales `node`'s uplink+downlink capacity by `factor` in (0, 1] —
+  /// the bandwidth-brownout fault. Factor 1 restores the profile's
+  /// nominal capacity; active flows re-level immediately.
+  void set_capacity_factor(NodeId node, double factor);
+  [[nodiscard]] double capacity_factor(NodeId node) const noexcept;
+
   [[nodiscard]] bool active(FlowId id) const noexcept {
     return index_.find(id.value()) != nullptr;
   }
@@ -87,12 +127,22 @@ class FlowScheduler {
   [[nodiscard]] int downloads_at(NodeId node) const noexcept;
 
  private:
+  /// Hot per-flow state: everything the advance/recompute/reschedule
+  /// scans touch, and nothing else. Callbacks live in the parallel
+  /// `callbacks_` array so the scanned stride stays one cache line.
   struct Flow {
-    FlowSpec spec;
+    NodeId src;
+    NodeId dst;
     double remaining_bits = 0.0;
     MbitPerSec rate = 0.0;
+    double rate_cap = 0.0;  // 0 = uncapped
     Seconds started = 0.0;
     std::uint64_t id = 0;  // 0 = slot free
+  };
+  /// Cold per-slot state, touched only at start/finish/abort.
+  struct Callbacks {
+    std::function<void(Seconds)> on_complete;
+    std::function<void(Seconds)> on_abort;
   };
   /// One not-yet-frozen flow inside a water-filling pass.
   struct Pending {
@@ -110,6 +160,12 @@ class FlowScheduler {
   void recompute_rates();
   void reschedule();
   void on_timer();
+  /// recompute_rates() + reschedule(), unless a batch is open (then the
+  /// work is deferred to the last Batch's close).
+  void settle();
+  void end_batch();
+  template <typename Pred>
+  std::size_t abort_where(Pred pred);
 
   std::uint32_t acquire_slot();
   /// Unlinks the flow in `slot` (index, active list, per-node counts)
@@ -124,6 +180,7 @@ class FlowScheduler {
   FlowSchedulerConfig config_;
 
   std::vector<Flow> slots_;
+  std::vector<Callbacks> callbacks_;       // parallel to slots_
   std::vector<std::uint32_t> free_slots_;  // capacity kept >= slots_.size()
   std::vector<std::uint32_t> active_;      // occupied slots, FlowId-ascending
   SlotIndex index_;                        // flow id -> slot
@@ -133,8 +190,11 @@ class FlowScheduler {
   std::vector<int> downloads_;
 
   // Scaled per-link capacity by resource key, filled once per node when
-  // the topology grows (profiles are immutable after add_node).
+  // the topology grows (profiles are immutable after add_node) and
+  // re-derived for a node when its brownout factor changes.
   std::vector<double> link_capacity_;
+  // Brownout factor per node id (1.0 = nominal).
+  std::vector<double> capacity_factor_;
   // Water-filling scratch, reused across recomputations. Resource key =
   // node id * 2 + (0 = uplink, 1 = downlink).
   std::vector<double> wf_capacity_;
@@ -147,6 +207,8 @@ class FlowScheduler {
   IdAllocator<FlowId> ids_;
   sim::EventHandle timer_;
   Seconds last_advance_ = 0.0;
+  int batch_depth_ = 0;
+  bool batch_dirty_ = false;
 };
 
 }  // namespace peerlab::net

@@ -16,6 +16,59 @@ Network::Network(sim::Simulator& sim, Topology topology, NetworkConfig config)
                     "datagram_loss must be in [0, 1)");
 }
 
+bool Network::node_up(NodeId node) const noexcept {
+  const std::uint64_t i = node.value();
+  return i >= node_down_.size() || node_down_[i] == 0;
+}
+
+void Network::crash_node(NodeId node) {
+  PEERLAB_CHECK_MSG(topology_.contains(node), "crash target must exist");
+  if (!node_up(node)) return;
+  if (node_down_.size() <= node.value()) node_down_.resize(topology_.size() + 1, 0);
+  node_down_[node.value()] = 1;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "node-crash", to_string(node),
+                    node.value(), 0);
+  }
+  // All in-flight messages touching the node die together: one batched
+  // recomputation re-levels the survivors, then every victim's failure
+  // callback fires (spec.on_abort, wired in start_message).
+  const auto batch = flows_.start_batch();
+  messages_aborted_ += flows_.abort_touching(node);
+}
+
+void Network::restore_node(NodeId node) {
+  PEERLAB_CHECK_MSG(topology_.contains(node), "restore target must exist");
+  if (node.value() < node_down_.size()) node_down_[node.value()] = 0;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "node-restart", to_string(node),
+                    node.value(), 0);
+  }
+}
+
+void Network::partition(NodeId a, NodeId b) {
+  PEERLAB_CHECK_MSG(topology_.contains(a) && topology_.contains(b) && a != b,
+                    "partition needs two distinct existing nodes");
+  if (!partitions_.emplace(std::min(a.value(), b.value()), std::max(a.value(), b.value()))
+           .second) {
+    return;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "link-partition",
+                    to_string(a) + "-" + to_string(b), a.value(), b.value());
+  }
+  messages_aborted_ += flows_.abort_between(a, b);
+}
+
+void Network::heal(NodeId a, NodeId b) {
+  partitions_.erase({std::min(a.value(), b.value()), std::max(a.value(), b.value())});
+}
+
+bool Network::partitioned(NodeId a, NodeId b) const noexcept {
+  return partitions_.count({std::min(a.value(), b.value()), std::max(a.value(), b.value())}) >
+         0;
+}
+
 Seconds Network::sample_control_delay(NodeId src, NodeId dst) {
   return topology_.propagation(src, dst) + topology_.node(dst).sample_control_delay() +
          config_.datagram_serialization;
@@ -25,6 +78,15 @@ void Network::send_datagram(NodeId src, NodeId dst, Bytes size,
                             std::function<void()> on_delivered) {
   PEERLAB_CHECK_MSG(size >= 0, "datagram size must be non-negative");
   ++datagrams_sent_;
+  if (!reachable(src, dst)) {
+    ++datagrams_lost_;
+    ++datagrams_blocked_;
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "datagram-blocked",
+                      to_string(src) + "->" + to_string(dst), src.value(), dst.value());
+    }
+    return;  // dead/partitioned endpoint; sender's timer handles it
+  }
   const double p_deliver =
       (1.0 - config_.datagram_loss) * topology_.node(dst).delivery_probability(size);
   if (!loss_rng_.bernoulli(p_deliver)) {
@@ -40,7 +102,15 @@ void Network::send_datagram(NodeId src, NodeId dst, Bytes size,
     tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "datagram-sent",
                     to_string(src) + "->" + to_string(dst), src.value(), dst.value());
   }
-  sim_.schedule(delay, [cb = std::move(on_delivered)] {
+  // A crash between send and arrival kills the destination's software
+  // before the datagram lands, so deliverability is re-checked at the
+  // arrival instant.
+  sim_.schedule(delay, [this, dst, cb = std::move(on_delivered)] {
+    if (!node_up(dst)) {
+      ++datagrams_lost_;
+      ++datagrams_blocked_;
+      return;
+    }
     if (cb) cb();
   });
 }
@@ -50,6 +120,22 @@ FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
   PEERLAB_CHECK_MSG(size > 0, "bulk message size must be positive");
   ++messages_started_;
   const Seconds begun = sim_.now();
+
+  if (!reachable(src, dst)) {
+    // The destination is dead or unreachable: no bytes move; the
+    // sender's transport notices after a connect-timeout-ish stall.
+    ++messages_lost_;
+    ++messages_blocked_;
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "message-blocked",
+                      to_string(src) + "->" + to_string(dst),
+                      static_cast<std::uint64_t>(size), 0);
+    }
+    sim_.schedule(config_.fault_stall, [this, begun, cb = std::move(on_done)] {
+      if (cb) cb(false, sim_.now() - begun);
+    });
+    return FlowId();
+  }
 
   const auto& src_profile = topology_.node(src).profile();
   const MbitPerSec nominal =
@@ -77,8 +163,12 @@ FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
   spec.dst = dst;
   spec.size = flow_size;
   spec.rate_cap = cap;
+  // Completion and fault-abort share the caller's callback; exactly one
+  // of the two paths ever fires (the scheduler drops both closures when
+  // the flow leaves).
+  auto shared_cb = std::make_shared<std::function<void(bool, Seconds)>>(std::move(on_done));
   spec.on_complete = [this, begun, survives, src, dst, size,
-                      cb = std::move(on_done)](Seconds /*flow_duration*/) {
+                      shared_cb](Seconds /*flow_duration*/) {
     const Seconds elapsed = sim_.now() - begun + topology_.propagation(src, dst);
     if (tracer_ != nullptr) {
       tracer_->record(sim_.now(), sim::TraceCategory::kNetwork,
@@ -86,7 +176,15 @@ FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
                       to_string(src) + "->" + to_string(dst),
                       static_cast<std::uint64_t>(size), 0);
     }
-    if (cb) cb(survives, elapsed);
+    if (*shared_cb) (*shared_cb)(survives, elapsed);
+  };
+  spec.on_abort = [this, begun, src, dst, size, shared_cb](Seconds /*elapsed*/) {
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "message-aborted",
+                      to_string(src) + "->" + to_string(dst),
+                      static_cast<std::uint64_t>(size), 0);
+    }
+    if (*shared_cb) (*shared_cb)(false, sim_.now() - begun);
   };
   return flows_.start(std::move(spec));
 }

@@ -17,7 +17,9 @@
 //    part.
 
 #include <functional>
+#include <set>
 #include <utility>
+#include <vector>
 
 #include "peerlab/common/ids.hpp"
 #include "peerlab/common/units.hpp"
@@ -37,6 +39,10 @@ struct NetworkConfig {
   double datagram_loss = 0.001;
   /// Serialization allowance per control datagram.
   Seconds datagram_serialization = 0.001;
+  /// How long a bulk send towards a crashed or partitioned endpoint
+  /// stalls before its failure callback fires (the sender's transport
+  /// noticing the dead peer; a TCP-connect-timeout stand-in).
+  Seconds fault_stall = 5.0;
 };
 
 class Network {
@@ -71,6 +77,34 @@ class Network {
   /// Cancels an in-flight message; its callback never fires.
   void cancel_message(FlowId id) { flows_.cancel(id); }
 
+  // ---- fault surface (driven by FaultInjector; see DESIGN.md §10) ----
+
+  [[nodiscard]] bool node_up(NodeId node) const noexcept;
+  /// Both endpoints up and no partition between them.
+  [[nodiscard]] bool reachable(NodeId src, NodeId dst) const noexcept {
+    return node_up(src) && node_up(dst) && !partitioned(src, dst);
+  }
+
+  /// Takes a node down (crash): every in-flight bulk message touching
+  /// it aborts atomically — one batched rate recomputation — with each
+  /// message's on_done(false, ...) firing; datagrams from/to the node
+  /// are dropped until restore_node(). Idempotent.
+  void crash_node(NodeId node);
+  void restore_node(NodeId node);
+
+  /// Cuts / heals the bidirectional link between two nodes. A cut
+  /// aborts in-flight bulk messages between them and drops datagrams
+  /// either way until healed.
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const noexcept;
+
+  /// Bandwidth brownout: scales the node's access capacity by `factor`
+  /// in (0, 1]; 1 restores nominal. Active flows re-level immediately.
+  void set_capacity_factor(NodeId node, double factor) {
+    flows_.set_capacity_factor(node, factor);
+  }
+
   /// Samples the end-to-end delay of one control datagram without
   /// sending (used by models estimating responsiveness).
   [[nodiscard]] Seconds sample_control_delay(NodeId src, NodeId dst);
@@ -85,6 +119,12 @@ class Network {
   [[nodiscard]] std::uint64_t datagrams_lost() const noexcept { return datagrams_lost_; }
   [[nodiscard]] std::uint64_t messages_started() const noexcept { return messages_started_; }
   [[nodiscard]] std::uint64_t messages_lost() const noexcept { return messages_lost_; }
+  /// Datagrams dropped and bulk messages failed because an endpoint was
+  /// down or partitioned (subset of the lost counters above).
+  [[nodiscard]] std::uint64_t datagrams_blocked() const noexcept { return datagrams_blocked_; }
+  [[nodiscard]] std::uint64_t messages_blocked() const noexcept { return messages_blocked_; }
+  /// Bulk messages torn down mid-flight by a crash or partition.
+  [[nodiscard]] std::uint64_t messages_aborted() const noexcept { return messages_aborted_; }
 
  private:
   sim::Simulator& sim_;
@@ -93,10 +133,15 @@ class Network {
   FlowScheduler flows_;
   sim::Rng loss_rng_;
   sim::Tracer* tracer_ = nullptr;
+  std::vector<std::uint8_t> node_down_;  // index = node id; 1 = down
+  std::set<std::pair<std::uint64_t, std::uint64_t>> partitions_;  // (min, max) node ids
   std::uint64_t datagrams_sent_ = 0;
   std::uint64_t datagrams_lost_ = 0;
   std::uint64_t messages_started_ = 0;
   std::uint64_t messages_lost_ = 0;
+  std::uint64_t datagrams_blocked_ = 0;
+  std::uint64_t messages_blocked_ = 0;
+  std::uint64_t messages_aborted_ = 0;
 };
 
 }  // namespace peerlab::net

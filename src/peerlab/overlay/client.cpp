@@ -33,6 +33,24 @@ ClientPeer::ClientPeer(transport::TransportFabric& fabric, NodeId node, NodeId b
   files_ = std::make_unique<FileService>(endpoint_, directories, reporter);
   task_service_ = std::make_unique<TaskService>(endpoint_, executor_, *files_, reporter);
   messaging_ = std::make_unique<MessagingService>(endpoint_, reporter);
+  // Failover path: a failed distribution share re-petitions our broker
+  // for one substitute, excluding every peer the distribution already
+  // touched (and ourselves). Selection requests ride the reliable
+  // select channel, so a bounded broker outage only delays the answer.
+  files_->set_replacement_provider(
+      [this](Bytes share_bytes, const std::vector<PeerId>& exclude,
+             std::function<void(PeerId)> done) {
+        core::SelectionContext context;
+        context.now = sim().now();
+        context.purpose = core::SelectionContext::Purpose::kFileTransfer;
+        context.payload_size = share_bytes;
+        context.exclude = exclude;
+        context.exclude.push_back(id());
+        request_selection(context, 1,
+                          [done = std::move(done)](std::vector<PeerId> peers) {
+                            done(peers.empty() ? PeerId() : peers.front());
+                          });
+      });
 }
 
 ClientPeer::~ClientPeer() { heartbeat_timer_.cancel(); }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 #include <map>
-#include <memory>
 #include <utility>
 
 #include "peerlab/common/check.hpp"
@@ -12,8 +11,16 @@ namespace peerlab::overlay {
 
 FileService::FileService(transport::Endpoint& endpoint, OverlayDirectories& directories,
                          Reporter reporter)
-    : peer_(endpoint, directories.transfers), reporter_(std::move(reporter)) {
+    : endpoint_(endpoint),
+      peer_(endpoint, directories.transfers),
+      reporter_(std::move(reporter)) {
   PEERLAB_CHECK_MSG(static_cast<bool>(reporter_), "file service needs a reporter");
+}
+
+sim::Simulator& FileService::sim() noexcept { return endpoint_.fabric().simulator(); }
+
+net::FlowScheduler& FileService::flows() noexcept {
+  return endpoint_.fabric().network().flows();
 }
 
 TransferId FileService::send_file(PeerId dst, const transport::FileTransferConfig& config,
@@ -22,6 +29,9 @@ TransferId FileService::send_file(PeerId dst, const transport::FileTransferConfi
   return peer_.send_file(
       node_of(dst), config, [this, dst, done = std::move(done)](
                                 const transport::TransferResult& result) {
+        // Erase unconditionally: whatever the outcome, the marker must
+        // not outlive the transfer (see cancel()).
+        const bool was_cancelled = cancelled_.erase(result.id.value()) > 0;
         StatsDelta delta;
         delta.subject = dst;
         if (result.complete) {
@@ -37,7 +47,7 @@ TransferId FileService::send_file(PeerId dst, const transport::FileTransferConfi
           record.ok = true;
           delta.transfer_records.push_back(record);
           delta.response_times.push_back(result.petition_time());
-        } else if (cancelled_.erase(result.id.value()) > 0) {
+        } else if (was_cancelled) {
           delta.file_cancel = 1;
         } else {
           delta.file_fail = 1;
@@ -48,16 +58,51 @@ TransferId FileService::send_file(PeerId dst, const transport::FileTransferConfi
 }
 
 void FileService::cancel(TransferId id) {
+  // Guarding on the transfer still being in flight keeps cancelled_
+  // bounded: a marker for a finished (or unknown) transfer would never
+  // be erased, because its completion callback has already fired.
+  if (!peer_.sending(id)) return;
   cancelled_.insert(id.value());
   peer_.cancel(id);
 }
 
+struct FileService::DistributionState {
+  transport::FileTransferConfig base;
+  DistributionOptions options;
+  DistributionCallback done;
+  DistributionResult result;
+
+  struct Share {
+    PeerId original;
+    PeerId current;
+    int parts = 0;
+    Bytes bytes = 0;
+    int failovers = 0;
+    // Outcome of the latest attempt, copied from its TransferResult so
+    // a failed replacement petition can still report the share.
+    bool complete = false;
+    Bytes bytes_moved = 0;
+    Seconds petition_time = 0.0;
+    Seconds transmission_time = 0.0;
+  };
+  std::vector<Share> shares;
+  /// Every peer ever assigned a share; replacement petitions exclude
+  /// all of them so a share never lands on a peer that already failed
+  /// (or currently holds) part of this file.
+  std::vector<PeerId> used;
+  int outstanding = 0;
+};
+
 void FileService::distribute(Bytes file_size, int parts, const std::vector<PeerId>& peers,
                              const transport::FileTransferConfig& base,
-                             DistributionCallback done) {
+                             DistributionCallback done, DistributionOptions options) {
   PEERLAB_CHECK_MSG(file_size > 0 && parts >= 1, "distribution needs a file and parts");
   PEERLAB_CHECK_MSG(!peers.empty(), "distribution needs at least one peer");
   PEERLAB_CHECK_MSG(static_cast<bool>(done), "completion callback required");
+  PEERLAB_CHECK_MSG(options.max_failovers_per_share >= 0, "failover budget must be >= 0");
+  PEERLAB_CHECK_MSG(options.backoff_initial >= 0.0 && options.backoff_cap >= 0.0 &&
+                        options.backoff_factor >= 1.0,
+                    "backoff must be non-negative and non-shrinking");
   for (std::size_t i = 0; i < peers.size(); ++i) {
     for (std::size_t j = i + 1; j < peers.size(); ++j) {
       PEERLAB_CHECK_MSG(peers[i] != peers[j], "distribution peers must be distinct");
@@ -67,54 +112,114 @@ void FileService::distribute(Bytes file_size, int parts, const std::vector<PeerI
   const Bytes part_size = file_size / parts;
   PEERLAB_CHECK_MSG(part_size > 0, "more parts than bytes");
 
-  auto result = std::make_shared<DistributionResult>();
-  result->started = std::numeric_limits<Seconds>::infinity();
+  auto state = std::make_shared<DistributionState>();
+  state->base = base;
+  state->options = options;
+  state->done = std::move(done);
+  state->result.started = std::numeric_limits<Seconds>::infinity();
+
   // Round-robin part assignment; the last share absorbs the remainder.
   std::map<PeerId, int> share_parts;
   for (int p = 0; p < parts; ++p) {
     share_parts[peers[static_cast<std::size_t>(p) % peers.size()]] += 1;
   }
   Bytes assigned = 0;
-  std::vector<std::pair<PeerId, Bytes>> shares;
   for (const auto& [peer, n] : share_parts) {
-    shares.emplace_back(peer, static_cast<Bytes>(n) * part_size);
-    assigned += static_cast<Bytes>(n) * part_size;
-  }
-  shares.back().second += file_size - assigned;  // rounding remainder
-
-  auto outstanding = std::make_shared<int>(static_cast<int>(shares.size()));
-  auto finish_one = [this, result, outstanding, done](const PeerId peer, int n,
-                                                      const transport::TransferResult& r) {
-    DistributionResult::PeerShare share;
-    share.peer = peer;
+    DistributionState::Share share;
+    share.original = peer;
+    share.current = peer;
     share.parts = n;
-    share.bytes = 0;
-    for (const auto& part : r.parts) share.bytes += part.size;
-    share.complete = r.complete;
-    share.petition_time = r.petition_time();
-    share.transmission_time = r.transmission_time();
-    result->started = std::min(result->started, r.started);
-    result->shares.push_back(share);
-    if (--*outstanding == 0) {
-      result->complete = true;
-      for (const auto& s : result->shares) result->complete &= s.complete;
-      result->finished = r.finished;
-      // Deterministic share order for consumers.
-      std::sort(result->shares.begin(), result->shares.end(),
-                [](const auto& a, const auto& b) { return a.peer < b.peer; });
-      done(*result);
-    }
-  };
-
-  for (const auto& [peer, bytes] : shares) {
-    const int n = share_parts[peer];
-    transport::FileTransferConfig cfg = base;
-    cfg.file_size = bytes;
-    cfg.parts = n;
-    send_file(peer, cfg, [peer = peer, n, finish_one](const transport::TransferResult& r) {
-      finish_one(peer, n, r);
-    });
+    share.bytes = static_cast<Bytes>(n) * part_size;
+    assigned += share.bytes;
+    state->shares.push_back(share);
+    state->used.push_back(peer);
   }
+  state->shares.back().bytes += file_size - assigned;  // rounding remainder
+  state->outstanding = static_cast<int>(state->shares.size());
+
+  // One rate recomputation for the whole fan-out, not one per share.
+  const auto batch = flows().start_batch();
+  for (std::size_t i = 0; i < state->shares.size(); ++i) launch_share(state, i);
+}
+
+void FileService::launch_share(const std::shared_ptr<DistributionState>& state,
+                               std::size_t index) {
+  auto& share = state->shares[index];
+  transport::FileTransferConfig cfg = state->base;
+  cfg.file_size = share.bytes;
+  cfg.parts = share.parts;
+  send_file(share.current, cfg,
+            [this, state, index](const transport::TransferResult& result) {
+              share_finished(state, index, result);
+            });
+}
+
+void FileService::share_finished(const std::shared_ptr<DistributionState>& state,
+                                 std::size_t index,
+                                 const transport::TransferResult& result) {
+  auto& share = state->shares[index];
+  state->result.started = std::min(state->result.started, result.started);
+  state->result.finished = std::max(state->result.finished, result.finished);
+  share.complete = result.complete;
+  share.bytes_moved = 0;
+  for (const auto& part : result.parts) share.bytes_moved += part.size;
+  share.petition_time = result.petition_time();
+  share.transmission_time = result.transmission_time();
+
+  if (result.complete || !replacement_ ||
+      share.failovers >= state->options.max_failovers_per_share) {
+    finalize_share(state, index);
+    return;
+  }
+
+  // Failed share: back off (capped exponential in the share's failover
+  // count), then re-petition the broker for a substitute. The backoff
+  // sits *before* the petition so the broker has had silence enough to
+  // age the dead peer out of its registry.
+  Seconds delay = state->options.backoff_initial;
+  for (int i = 0; i < share.failovers; ++i) delay *= state->options.backoff_factor;
+  delay = std::min(delay, state->options.backoff_cap);
+  ++share.failovers;
+  ++state->result.failovers;
+  ++failovers_;
+
+  sim().schedule(delay, [this, state, index] {
+    replacement_(state->shares[index].bytes, state->used,
+                 [this, state, index](PeerId replacement) {
+                   if (!replacement.valid()) {
+                     // Nobody left to take the share: report it as-is.
+                     finalize_share(state, index);
+                     return;
+                   }
+                   state->shares[index].current = replacement;
+                   state->used.push_back(replacement);
+                   launch_share(state, index);
+                 });
+  });
+}
+
+void FileService::finalize_share(const std::shared_ptr<DistributionState>& state,
+                                 std::size_t index) {
+  const auto& share = state->shares[index];
+  DistributionResult::PeerShare out;
+  out.peer = share.current;
+  out.original = share.original;
+  out.parts = share.parts;
+  out.bytes = share.bytes_moved;
+  out.complete = share.complete;
+  out.failovers = share.failovers;
+  out.petition_time = share.petition_time;
+  out.transmission_time = share.transmission_time;
+  state->result.shares.push_back(out);
+
+  if (--state->outstanding != 0) return;
+  state->result.complete = true;
+  for (const auto& s : state->result.shares) state->result.complete &= s.complete;
+  // Deterministic share order for consumers (peers are distinct by the
+  // exclusion discipline, so the order is total).
+  std::sort(state->result.shares.begin(), state->result.shares.end(),
+            [](const auto& a, const auto& b) { return a.peer < b.peer; });
+  state->done(state->result);
 }
 
 }  // namespace peerlab::overlay

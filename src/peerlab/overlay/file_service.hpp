@@ -4,13 +4,36 @@
 // petition/part/confirm protocol and feeds the broker the observations
 // the selection models need: per-peer petition times, achieved rates,
 // and completed/cancelled/failed outcomes.
+//
+// distribute() is the scatter workload behind the paper's Figure 6,
+// hardened for churn: when a share fails (petition retries exhausted,
+// a part's retransmission budget spent, or the receiver crashing
+// mid-transfer), the service asks its replacement provider — wired by
+// ClientPeer to a broker re-petition that excludes every peer already
+// used — for a substitute and re-sends the share after a capped
+// exponential backoff. A share is only reported incomplete once its
+// failover budget is spent or the broker has nobody left to offer.
 
 #include <functional>
+#include <memory>
 
 #include "peerlab/overlay/directories.hpp"
 #include "peerlab/transport/file_transfer.hpp"
 
 namespace peerlab::overlay {
+
+/// Failover policy for FileService::distribute(); the defaults ride
+/// out one broker heartbeat-aging period before giving up on a share.
+struct DistributionOptions {
+  /// Replacement peers a single share may consume before it is
+  /// reported incomplete. 0 disables failover.
+  int max_failovers_per_share = 3;
+  /// Capped exponential backoff before each replacement petition
+  /// (gives the broker time to age the dead peer out).
+  Seconds backoff_initial = 10.0;
+  double backoff_factor = 2.0;
+  Seconds backoff_cap = 120.0;
+};
 
 class FileService {
  public:
@@ -30,7 +53,8 @@ class FileService {
   TransferId send_file(PeerId dst, const transport::FileTransferConfig& config,
                        Completion done);
 
-  /// Cancels an outgoing transfer (recorded as a cancellation).
+  /// Cancels an outgoing transfer (recorded as a cancellation). A no-op
+  /// for unknown or already-finished transfers.
   void cancel(TransferId id);
 
   /// Scatter distribution: the file's parts are spread round-robin
@@ -40,11 +64,18 @@ class FileService {
     bool complete = false;
     Seconds started = 0.0;
     Seconds finished = 0.0;
+    /// Failed shares handed to a replacement peer (0 on a clean run).
+    int failovers = 0;
     struct PeerShare {
+      /// Peer that finally held (or last attempted) the share.
       PeerId peer;
+      /// Peer the share was first assigned to (== peer when no failover).
+      PeerId original;
       int parts = 0;
       Bytes bytes = 0;
       bool complete = false;
+      /// Replacement attempts consumed by this share.
+      int failovers = 0;
       Seconds petition_time = 0.0;
       Seconds transmission_time = 0.0;
     };
@@ -54,21 +85,52 @@ class FileService {
   };
   using DistributionCallback = std::function<void(const DistributionResult&)>;
 
+  /// Asks the overlay for a substitute peer able to take a failed
+  /// share of `share_bytes`, never one of `exclude`; answers an
+  /// invalid PeerId when nobody qualifies. ClientPeer installs a
+  /// broker-backed provider; without one, failover is disabled.
+  using ReplacementProvider = std::function<void(
+      Bytes share_bytes, const std::vector<PeerId>& exclude,
+      std::function<void(PeerId)> done)>;
+  void set_replacement_provider(ReplacementProvider provider) {
+    replacement_ = std::move(provider);
+  }
+
   /// `base` supplies the protocol knobs; its file_size/parts fields
   /// are overridden per share. `peers` must be non-empty and distinct.
   void distribute(Bytes file_size, int parts, const std::vector<PeerId>& peers,
-                  const transport::FileTransferConfig& base, DistributionCallback done);
+                  const transport::FileTransferConfig& base, DistributionCallback done,
+                  DistributionOptions options = DistributionOptions());
 
   [[nodiscard]] transport::FileTransferPeer& transfer_peer() noexcept { return peer_; }
   [[nodiscard]] std::uint64_t transfers_started() const noexcept { return started_; }
   [[nodiscard]] std::uint64_t transfers_completed() const noexcept { return completed_; }
+  /// Shares re-homed to a replacement peer across all distributions.
+  [[nodiscard]] std::uint64_t failovers_attempted() const noexcept { return failovers_; }
+  /// Outstanding cancellation markers (bounded by in-flight transfers).
+  [[nodiscard]] std::size_t pending_cancellations() const noexcept {
+    return cancelled_.size();
+  }
 
  private:
+  struct DistributionState;
+
+  void launch_share(const std::shared_ptr<DistributionState>& state, std::size_t index);
+  void share_finished(const std::shared_ptr<DistributionState>& state, std::size_t index,
+                      const transport::TransferResult& result);
+  void finalize_share(const std::shared_ptr<DistributionState>& state, std::size_t index);
+
+  [[nodiscard]] sim::Simulator& sim() noexcept;
+  [[nodiscard]] net::FlowScheduler& flows() noexcept;
+
+  transport::Endpoint& endpoint_;
   transport::FileTransferPeer peer_;
   Reporter reporter_;
+  ReplacementProvider replacement_;
   std::set<std::uint64_t> cancelled_;  // TransferId values we cancelled
   std::uint64_t started_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t failovers_ = 0;
 };
 
 }  // namespace peerlab::overlay

@@ -99,4 +99,34 @@ overlay::ClientPeer& Deployment::sc(int index) {
 
 PeerId Deployment::sc_peer(int index) { return sc(index).id(); }
 
+std::vector<NodeId> Deployment::client_nodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(clients_.size());
+  for (const auto& client : clients_) nodes.push_back(client->node());
+  return nodes;
+}
+
+net::FaultInjector& Deployment::install_faults(net::FaultPlan plan) {
+  PEERLAB_CHECK_MSG(injector_ == nullptr, "fault plan already installed");
+  auto client_by_node = [this](NodeId node) -> overlay::ClientPeer* {
+    for (auto& client : clients_) {
+      if (client->node() == node) return client.get();
+    }
+    return nullptr;
+  };
+  net::FaultInjector::Hooks hooks;
+  // Co-simulate the software side of a node fault: a crash silences the
+  // client (heartbeats stop, so the broker ages it out), a restart
+  // brings it back — its first heartbeat re-registers it.
+  hooks.on_crash = [client_by_node](NodeId node) {
+    if (auto* client = client_by_node(node)) client->stop();
+  };
+  hooks.on_restart = [client_by_node](NodeId node) {
+    if (auto* client = client_by_node(node)) client->start();
+  };
+  injector_ = std::make_unique<net::FaultInjector>(*network_, std::move(plan),
+                                                   std::move(hooks));
+  return *injector_;
+}
+
 }  // namespace peerlab::planetlab

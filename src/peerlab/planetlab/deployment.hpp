@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 
+#include "peerlab/net/fault_plan.hpp"
 #include "peerlab/overlay/broker.hpp"
 #include "peerlab/overlay/client.hpp"
 #include "peerlab/overlay/primitives.hpp"
@@ -66,6 +67,19 @@ class Deployment {
 
   [[nodiscard]] const DeploymentOptions& options() const noexcept { return options_; }
 
+  /// Nodes hosting clients (fault-plan targets; excludes brokers and
+  /// the control peer so a plan never kills the infrastructure it is
+  /// measuring — crash those explicitly via network() if desired).
+  [[nodiscard]] std::vector<NodeId> client_nodes() const;
+
+  /// Arms a fault plan against this deployment: network faults apply
+  /// as scheduled, and crash/restart of a client node also stops /
+  /// restarts that client's overlay software (a restarted client
+  /// re-registers with its first heartbeat). One plan per deployment;
+  /// call before running the faulty window.
+  net::FaultInjector& install_faults(net::FaultPlan plan);
+  [[nodiscard]] net::FaultInjector* faults() noexcept { return injector_.get(); }
+
  private:
   sim::Simulator& sim_;
   DeploymentOptions options_;
@@ -75,6 +89,7 @@ class Deployment {
   std::vector<std::unique_ptr<overlay::BrokerPeer>> brokers_;
   std::vector<std::unique_ptr<overlay::ClientPeer>> clients_;
   std::unique_ptr<overlay::ClientPeer> control_;
+  std::unique_ptr<net::FaultInjector> injector_;
   std::array<NodeId, 8> sc_nodes_{};
 };
 

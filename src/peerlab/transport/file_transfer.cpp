@@ -101,6 +101,10 @@ void FileTransferPeer::cancel(TransferId id) {
   finish(corr, false, "cancelled by sender");
 }
 
+bool FileTransferPeer::sending(TransferId id) const noexcept {
+  return sending_.count(make_correlation(node(), id)) > 0;
+}
+
 void FileTransferPeer::start_parts(std::uint64_t correlation) {
   auto it = sending_.find(correlation);
   PEERLAB_CHECK(it != sending_.end());

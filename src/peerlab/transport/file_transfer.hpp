@@ -123,6 +123,10 @@ class FileTransferPeer {
   /// paper's data-evaluator criteria); done fires with complete=false.
   void cancel(TransferId id);
 
+  /// True while an outgoing transfer is still in flight (its completion
+  /// callback has not fired yet).
+  [[nodiscard]] bool sending(TransferId id) const noexcept;
+
   [[nodiscard]] NodeId node() const noexcept { return endpoint_.node(); }
   [[nodiscard]] std::size_t active_outgoing() const noexcept { return sending_.size(); }
 

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "peerlab/core/blind.hpp"
+#include "peerlab/core/data_evaluator.hpp"
+#include "peerlab/core/economic.hpp"
+#include "peerlab/core/hybrid.hpp"
+#include "peerlab/core/user_preference.hpp"
 
 namespace peerlab::core {
 namespace {
@@ -47,6 +53,35 @@ TEST(SelectionModel, RankedByCostSortsAscendingWithIdTiebreak) {
   EXPECT_EQ(ranked[1], PeerId(1));  // tie at 0.5 -> lower id first
   EXPECT_EQ(ranked[2], PeerId(3));
   EXPECT_EQ(ranked[3], PeerId(4));
+}
+
+TEST(SelectionModel, EveryModelHonoursTheExcludeList) {
+  // Failover re-petitions carry the peers that already failed; every
+  // model must skip them no matter how well they score.
+  const auto peers = three_peers();
+  SelectionContext ctx;
+  ctx.exclude = {PeerId(1), PeerId(3)};
+  std::vector<std::unique_ptr<SelectionModel>> models;
+  models.push_back(std::make_unique<BlindModel>(BlindModel::Mode::kFirstAvailable));
+  models.push_back(std::make_unique<BlindModel>(BlindModel::Mode::kRoundRobin));
+  models.push_back(std::make_unique<EconomicSchedulingModel>());
+  models.push_back(
+      std::make_unique<DataEvaluatorModel>(DataEvaluatorModel::same_priority()));
+  models.push_back(std::make_unique<UserPreferenceModel>(
+      std::vector<PeerId>{PeerId(3), PeerId(1), PeerId(2)}));
+  models.push_back(std::make_unique<HybridModel>());
+  for (const auto& model : models) {
+    const auto ranked = model->rank(peers, ctx);
+    ASSERT_EQ(ranked.size(), 1u) << model->name();
+    EXPECT_EQ(ranked[0], PeerId(2)) << model->name();
+    EXPECT_EQ(model->select(peers, ctx), PeerId(2)) << model->name();
+  }
+  // Excluding everyone leaves nothing to select.
+  ctx.exclude = {PeerId(1), PeerId(2), PeerId(3)};
+  for (const auto& model : models) {
+    EXPECT_TRUE(model->rank(peers, ctx).empty()) << model->name();
+    EXPECT_FALSE(model->select(peers, ctx).valid()) << model->name();
+  }
 }
 
 TEST(SelectionContextEnum, PurposeNames) {

@@ -337,5 +337,174 @@ TEST(FlowScheduler, ManyFlowsConserveCapacity) {
   w.sim.clear();
 }
 
+TEST(FlowScheduler, BatchDefersRatesUntilTheGuardCloses) {
+  World w;
+  const NodeId src = w.topo.add_node(host("src", 8.0, 8.0));
+  const NodeId d1 = w.topo.add_node(host("d1", 100.0, 100.0));
+  const NodeId d2 = w.topo.add_node(host("d2", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  std::vector<Seconds> done;
+  FlowId first, second;
+  {
+    const auto batch = fs.start_batch();
+    FlowSpec a;
+    a.src = src;
+    a.dst = d1;
+    a.size = megabytes(1.0);
+    a.on_complete = [&](Seconds d) { done.push_back(d); };
+    first = fs.start(std::move(a));
+    // Inside the batch the first flow has not been leveled yet.
+    EXPECT_NEAR(fs.current_rate(first), 0.0, 1e-12);
+    FlowSpec b;
+    b.src = src;
+    b.dst = d2;
+    b.size = megabytes(1.0);
+    b.on_complete = [&](Seconds d) { done.push_back(d); };
+    second = fs.start(std::move(b));
+  }
+  // One recompute at guard close: both flows share the uplink.
+  EXPECT_NEAR(fs.current_rate(first), 4.0, 1e-9);
+  EXPECT_NEAR(fs.current_rate(second), 4.0, 1e-9);
+  w.sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.0, 1e-6);  // 8 Mbit at the 4 Mbit/s fair share
+  EXPECT_NEAR(done[1], 2.0, 1e-6);
+}
+
+TEST(FlowScheduler, NestedBatchesSettleOnlyAtTheOutermostClose) {
+  World w;
+  const NodeId src = w.topo.add_node(host("src", 8.0, 8.0));
+  const NodeId dst = w.topo.add_node(host("dst", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+  FlowId id;
+  {
+    const auto outer = fs.start_batch();
+    {
+      const auto inner = fs.start_batch();
+      FlowSpec spec;
+      spec.src = src;
+      spec.dst = dst;
+      spec.size = megabytes(1.0);
+      spec.on_complete = [](Seconds) {};
+      id = fs.start(std::move(spec));
+    }
+    EXPECT_NEAR(fs.current_rate(id), 0.0, 1e-12);  // inner close defers
+  }
+  EXPECT_NEAR(fs.current_rate(id), 8.0, 1e-9);
+  w.sim.clear();
+}
+
+TEST(FlowScheduler, AbortTouchingTearsDownFlowsAndRelevelsSurvivors) {
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 8.0, 8.0));
+  const NodeId b = w.topo.add_node(host("b", 100.0, 100.0));
+  const NodeId c = w.topo.add_node(host("c", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  std::optional<Seconds> aborted_after;
+  std::optional<Seconds> survivor_done;
+  FlowSpec dying;
+  dying.src = a;
+  dying.dst = b;
+  dying.size = megabytes(1.0);
+  dying.on_complete = [](Seconds) { FAIL() << "aborted flow must not complete"; };
+  dying.on_abort = [&](Seconds elapsed) { aborted_after = elapsed; };
+  fs.start(std::move(dying));
+  FlowSpec surviving;
+  surviving.src = a;
+  surviving.dst = c;
+  surviving.size = megabytes(1.0);
+  surviving.on_complete = [&](Seconds d) { survivor_done = d; };
+  const FlowId survivor = fs.start(std::move(surviving));
+
+  w.sim.schedule(1.0, [&] { EXPECT_EQ(fs.abort_touching(b), 1u); });
+  w.sim.run_until(1.0);
+  // The survivor now owns the whole uplink.
+  EXPECT_NEAR(fs.current_rate(survivor), 8.0, 1e-9);
+  w.sim.run();
+  ASSERT_TRUE(aborted_after.has_value());
+  EXPECT_NEAR(*aborted_after, 1.0, 1e-9);
+  ASSERT_TRUE(survivor_done.has_value());
+  // 1 s at 4 Mbit/s (0.5 MB moved), remaining 0.5 MB at 8 Mbit/s.
+  EXPECT_NEAR(*survivor_done, 1.5, 1e-6);
+}
+
+TEST(FlowScheduler, AbortBetweenOnlyKillsThePair) {
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 8.0, 8.0));
+  const NodeId b = w.topo.add_node(host("b", 100.0, 100.0));
+  const NodeId c = w.topo.add_node(host("c", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+  int aborted = 0;
+  for (const NodeId dst : {b, c}) {
+    FlowSpec spec;
+    spec.src = a;
+    spec.dst = dst;
+    spec.size = megabytes(1.0);
+    spec.on_complete = [](Seconds) {};
+    spec.on_abort = [&](Seconds) { ++aborted; };
+    fs.start(std::move(spec));
+  }
+  EXPECT_EQ(fs.abort_between(a, b), 1u);
+  EXPECT_EQ(aborted, 1);
+  EXPECT_EQ(fs.active_flows(), 1u);
+  w.sim.clear();
+}
+
+TEST(FlowScheduler, AbortCallbackMayStartAReplacementFlow) {
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 8.0, 8.0));
+  const NodeId b = w.topo.add_node(host("b", 100.0, 100.0));
+  const NodeId c = w.topo.add_node(host("c", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+  std::optional<Seconds> replacement_done;
+  FlowSpec spec;
+  spec.src = a;
+  spec.dst = b;
+  spec.size = megabytes(1.0);
+  spec.on_complete = [](Seconds) {};
+  spec.on_abort = [&](Seconds) {
+    // Failover-style reentrancy: start the replacement from the abort
+    // callback itself.
+    FlowSpec repl;
+    repl.src = a;
+    repl.dst = c;
+    repl.size = megabytes(1.0);
+    repl.on_complete = [&](Seconds d) { replacement_done = d; };
+    fs.start(std::move(repl));
+  };
+  fs.start(std::move(spec));
+  w.sim.schedule(0.5, [&] { fs.abort_touching(b); });
+  w.sim.run();
+  ASSERT_TRUE(replacement_done.has_value());
+  EXPECT_NEAR(*replacement_done, 1.0, 1e-6);  // full uplink from its start
+}
+
+TEST(FlowScheduler, CapacityFactorValidatesAndScales) {
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 8.0, 8.0));
+  const NodeId b = w.topo.add_node(host("b", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+  EXPECT_THROW(fs.set_capacity_factor(b, 0.0), InvariantError);
+  EXPECT_THROW(fs.set_capacity_factor(b, 1.5), InvariantError);
+  EXPECT_THROW(fs.set_capacity_factor(NodeId(99), 0.5), InvariantError);
+
+  std::optional<Seconds> done;
+  FlowSpec spec;
+  spec.src = a;
+  spec.dst = b;
+  spec.size = megabytes(1.0);
+  spec.on_complete = [&](Seconds d) { done = d; };
+  const FlowId id = fs.start(std::move(spec));
+  EXPECT_NEAR(fs.current_rate(id), 8.0, 1e-9);
+  fs.set_capacity_factor(a, 0.25);
+  EXPECT_NEAR(fs.current_rate(id), 2.0, 1e-9);
+  w.sim.run();
+  ASSERT_TRUE(done.has_value());
+  // No time passed before the brownout: the whole MB moves at 2 Mbit/s.
+  EXPECT_NEAR(*done, 4.0, 1e-6);
+}
+
 }  // namespace
 }  // namespace peerlab::net

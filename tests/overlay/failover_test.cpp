@@ -1,0 +1,275 @@
+// Churn-facing overlay behaviour: failed distribution shares re-home
+// to broker-selected replacements, failure reasons propagate, client
+// requests ride out a bounded broker outage, and crashed clients
+// re-register after restart.
+
+#include <gtest/gtest.h>
+
+#include "overlay_world.hpp"
+#include "peerlab/common/check.hpp"
+#include "peerlab/net/fault_plan.hpp"
+
+namespace peerlab::overlay {
+namespace {
+
+using testing::OverlayWorld;
+using testing::WorldOptions;
+
+/// Churn-tuned transfer knobs: fail fast so the test exercises the
+/// failover machinery, not the full PlanetLab patience.
+transport::FileTransferConfig churn_cfg() {
+  transport::FileTransferConfig cfg;
+  cfg.petition_retry.initial_timeout = 5.0;
+  cfg.petition_retry.max_attempts = 3;
+  cfg.confirm_timeout = 10.0;
+  cfg.max_part_attempts = 3;
+  return cfg;
+}
+
+DistributionOptions fast_failover() {
+  DistributionOptions options;
+  options.max_failovers_per_share = 2;
+  options.backoff_initial = 1.0;
+  options.backoff_factor = 2.0;
+  options.backoff_cap = 8.0;
+  return options;
+}
+
+struct FailoverOutcome {
+  FileService::DistributionResult result;
+  Seconds resolved_at = 0.0;
+};
+
+/// The seeded crash-mid-transfer scenario: client 0 scatters 8 MB over
+/// peers 3 and 4; node 4 crashes while its share is on the wire and
+/// never returns. The share must fail over to peer 5 (the only
+/// candidate that is neither used nor the sender).
+FailoverOutcome run_crash_mid_transfer(std::uint64_t seed) {
+  WorldOptions opts;
+  opts.clients = 4;  // peers 2..5 on nodes 2..5
+  opts.seed = seed;
+  OverlayWorld w(opts);
+  w.boot();
+
+  net::FaultPlan plan;
+  plan.crash_forever(w.sim.now() + 2.0, NodeId(4));
+  net::FaultInjector injector(*w.network, plan);
+
+  FailoverOutcome out;
+  bool done = false;
+  w.client(0).files().distribute(
+      megabytes(8.0), 4, {PeerId(3), PeerId(4)}, churn_cfg(),
+      [&](const FileService::DistributionResult& r) {
+        out.result = r;
+        out.resolved_at = w.sim.now();
+        done = true;
+      },
+      fast_failover());
+  w.sim.run();
+  PEERLAB_CHECK_MSG(done, "distribution never resolved");
+  return out;
+}
+
+TEST(Failover, CrashMidTransferRehomesTheShareAndCompletes) {
+  const FailoverOutcome out = run_crash_mid_transfer(11);
+  const auto& result = out.result;
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.failovers, 1);
+  ASSERT_EQ(result.shares.size(), 2u);
+  // Shares are sorted by final peer: peer 3 kept its share, the share
+  // of crashed peer 4 landed on peer 5.
+  EXPECT_EQ(result.shares[0].peer, PeerId(3));
+  EXPECT_EQ(result.shares[0].original, PeerId(3));
+  EXPECT_EQ(result.shares[0].failovers, 0);
+  EXPECT_TRUE(result.shares[0].complete);
+  EXPECT_EQ(result.shares[1].peer, PeerId(5));
+  EXPECT_EQ(result.shares[1].original, PeerId(4));
+  EXPECT_EQ(result.shares[1].failovers, 1);
+  EXPECT_TRUE(result.shares[1].complete);
+  EXPECT_EQ(result.shares[1].bytes, megabytes(4.0));  // nothing silently lost
+}
+
+TEST(Failover, CrashMidTransferIsDeterministicPerSeed) {
+  const FailoverOutcome a = run_crash_mid_transfer(11);
+  const FailoverOutcome b = run_crash_mid_transfer(11);
+  EXPECT_DOUBLE_EQ(a.resolved_at, b.resolved_at);
+  EXPECT_DOUBLE_EQ(a.result.makespan(), b.result.makespan());
+  ASSERT_EQ(a.result.shares.size(), b.result.shares.size());
+  for (std::size_t i = 0; i < a.result.shares.size(); ++i) {
+    EXPECT_EQ(a.result.shares[i].peer, b.result.shares[i].peer);
+    EXPECT_DOUBLE_EQ(a.result.shares[i].transmission_time,
+                     b.result.shares[i].transmission_time);
+  }
+}
+
+TEST(Failover, DeadPeerAtPetitionTimeAlsoFailsOver) {
+  WorldOptions opts;
+  opts.clients = 3;
+  OverlayWorld w(opts);
+  w.boot();
+  w.network->crash_node(NodeId(3));  // dead before the petition goes out
+
+  std::optional<FileService::DistributionResult> result;
+  w.client(0).files().distribute(megabytes(2.0), 2, {PeerId(3)}, churn_cfg(),
+                                 [&](const FileService::DistributionResult& r) {
+                                   result = r;
+                                 },
+                                 fast_failover());
+  w.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->complete);
+  ASSERT_EQ(result->shares.size(), 1u);
+  EXPECT_EQ(result->shares[0].original, PeerId(3));
+  EXPECT_EQ(result->shares[0].peer, PeerId(4));  // only remaining candidate
+  EXPECT_EQ(result->failovers, 1);
+}
+
+TEST(Failover, ExhaustedFailoverBudgetReportsTheShareIncomplete) {
+  WorldOptions opts;
+  opts.clients = 2;
+  OverlayWorld w(opts);
+  w.boot();
+  // The only other client is dead: the share fails and the broker has
+  // no substitute to offer (the sender excludes itself).
+  w.network->crash_node(NodeId(3));
+
+  std::optional<FileService::DistributionResult> result;
+  w.client(0).files().distribute(megabytes(1.0), 1, {PeerId(3)}, churn_cfg(),
+                                 [&](const FileService::DistributionResult& r) {
+                                   result = r;
+                                 },
+                                 fast_failover());
+  w.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->complete);  // reported, not silently lost
+  ASSERT_EQ(result->shares.size(), 1u);
+  EXPECT_FALSE(result->shares[0].complete);
+}
+
+TEST(Failover, PetitionFailureReasonPropagates) {
+  OverlayWorld w;
+  w.boot();
+  w.network->crash_node(NodeId(3));
+  std::optional<transport::TransferResult> result;
+  auto cfg = churn_cfg();
+  cfg.file_size = megabytes(1.0);
+  cfg.parts = 1;
+  w.client(0).files().send_file(PeerId(3), cfg,
+                                [&](const transport::TransferResult& r) { result = r; });
+  w.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->complete);
+  EXPECT_STREQ(result->failure, "petition unanswered");
+}
+
+TEST(Failover, MidTransferCrashReportsPartRetransmissionLimit) {
+  OverlayWorld w;
+  w.boot();
+  std::optional<transport::TransferResult> result;
+  auto cfg = churn_cfg();
+  cfg.file_size = megabytes(4.0);
+  cfg.parts = 2;
+  w.client(0).files().send_file(PeerId(3), cfg,
+                                [&](const transport::TransferResult& r) { result = r; });
+  w.sim.schedule(1.0, [&] { w.network->crash_node(NodeId(3)); });
+  w.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->complete);
+  EXPECT_STREQ(result->failure, "part retransmission limit");
+}
+
+TEST(Failover, SelectionRetriesExhaustAgainstADeadBroker) {
+  OverlayWorld w;
+  w.boot();
+  w.network->crash_node(NodeId(1));  // broker gone for good
+  std::optional<std::vector<PeerId>> selected;
+  core::SelectionContext ctx;
+  ctx.purpose = core::SelectionContext::Purpose::kFileTransfer;
+  w.client(0).request_selection(ctx, 1,
+                                [&](std::vector<PeerId> peers) { selected = peers; });
+  w.sim.run();
+  // The reliable channel retransmits a bounded number of times, then
+  // reports failure: the callback fires empty instead of hanging.
+  ASSERT_TRUE(selected.has_value());
+  EXPECT_TRUE(selected->empty());
+}
+
+TEST(Failover, SelectionRidesOutABoundedBrokerOutage) {
+  OverlayWorld w;
+  w.boot();
+  // Broker out for 60 s: shorter than the select channel's retry
+  // budget, so the request succeeds on a later retransmission once
+  // heartbeats have resumed and the broker sees the peers again.
+  net::FaultPlan plan;
+  plan.crash(w.sim.now() + 0.1, NodeId(1), 60.0);
+  net::FaultInjector injector(*w.network, plan);
+
+  std::optional<std::vector<PeerId>> selected;
+  w.sim.schedule(1.0, [&] {
+    core::SelectionContext ctx;
+    ctx.purpose = core::SelectionContext::Purpose::kFileTransfer;
+    w.client(0).request_selection(ctx, 1,
+                                  [&](std::vector<PeerId> peers) { selected = peers; });
+  });
+  w.sim.run();
+  ASSERT_TRUE(selected.has_value());
+  ASSERT_FALSE(selected->empty());
+  EXPECT_GT(w.sim.now(), 61.0);  // the answer arrived after the outage
+}
+
+TEST(Failover, CrashedClientReregistersAfterRestart) {
+  WorldOptions opts;
+  opts.client_config.heartbeat_interval = 10.0;
+  opts.broker_config.heartbeat_interval = 10.0;
+  opts.broker_config.offline_after_missed = 2.0;
+  OverlayWorld w(opts);
+  w.boot();
+  ASSERT_TRUE(w.broker->online(PeerId(3)));
+
+  // Crash node 3 for 60 s, wiring the overlay hooks the way
+  // planetlab::Deployment::install_faults does.
+  net::FaultPlan plan;
+  plan.crash(w.sim.now() + 1.0, NodeId(3), 60.0);
+  net::FaultInjector::Hooks hooks;
+  hooks.on_crash = [&](NodeId) { w.client(1).stop(); };  // node 3 == client 1
+  hooks.on_restart = [&](NodeId) { w.client(1).start(); };
+  net::FaultInjector injector(*w.network, plan, std::move(hooks));
+
+  // Mid-outage, past the aging window: the broker considers it gone.
+  w.sim.run_until(w.sim.now() + 40.0);
+  EXPECT_FALSE(w.broker->online(PeerId(3)));
+  // After the restart the first heartbeat re-registers it.
+  w.sim.run_until(w.sim.now() + 40.0);
+  EXPECT_TRUE(w.broker->online(PeerId(3)));
+}
+
+TEST(Failover, CancelMarkersDoNotAccumulate) {
+  OverlayWorld w;
+  w.boot();
+  FileService& files = w.client(0).files();
+  // Cancelling a transfer that never existed leaves no marker behind.
+  files.cancel(TransferId(1234));
+  EXPECT_EQ(files.pending_cancellations(), 0u);
+
+  auto cfg = churn_cfg();
+  cfg.file_size = megabytes(4.0);
+  cfg.parts = 2;
+  bool finished = false;
+  const TransferId id = files.send_file(
+      PeerId(3), cfg, [&](const transport::TransferResult& r) {
+        finished = true;
+        EXPECT_FALSE(r.complete);
+      });
+  w.sim.run_until(w.sim.now() + 1.0);
+  files.cancel(id);
+  EXPECT_TRUE(finished);  // cancel resolves the transfer synchronously
+  EXPECT_EQ(files.pending_cancellations(), 0u);
+  // A second cancel of the now-finished transfer is a no-op.
+  files.cancel(id);
+  EXPECT_EQ(files.pending_cancellations(), 0u);
+  w.sim.run();
+  EXPECT_EQ(files.pending_cancellations(), 0u);
+}
+
+}  // namespace
+}  // namespace peerlab::overlay
