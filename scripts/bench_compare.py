@@ -9,6 +9,8 @@ newest committed BENCH_<N>.json snapshot:
   * events_per_s              geomean items/s of BM_EventQueuePushPop
   * sim_hops_per_s            geomean items/s of BM_SimulatorEventChain
   * flow_transitions_per_s    geomean items/s of BM_FlowSchedulerChurn
+  * flow_locality_transitions_per_s
+                              geomean items/s of BM_FlowSchedulerLocality
   * sim_events_per_s          geomean of the overlay "sim_events/s" counters
   * selection_decisions_per_s geomean items/s of bench_micro_selection
 
@@ -44,6 +46,7 @@ METRICS = {
     "events_per_s": (r"^BM_EventQueuePushPop/", "items_per_second"),
     "sim_hops_per_s": (r"^BM_SimulatorEventChain/", "items_per_second"),
     "flow_transitions_per_s": (r"^BM_FlowSchedulerChurn/", "items_per_second"),
+    "flow_locality_transitions_per_s": (r"^BM_FlowSchedulerLocality/", "items_per_second"),
     "sim_events_per_s": (r"^BM_(FileTransferRoundTrip|SimulatedHourOfHeartbeats)", "sim_events/s"),
     "selection_decisions_per_s": (r"^BM_Select", "items_per_second"),
 }

@@ -20,6 +20,10 @@ FlowScheduler::FlowScheduler(sim::Simulator& sim, const Topology& topo,
     : sim_(sim), topo_(topo), config_(config) {
   PEERLAB_CHECK_MSG(config_.capacity_scale > 0.0 && config_.capacity_scale <= 1.0,
                     "capacity_scale must be in (0, 1]");
+  // Size the per-node arrays to the topology as it stands; nodes added
+  // later are picked up lazily. Doing it here keeps the first start()
+  // on the same allocation-free path as every later one.
+  ensure_node_arrays();
 }
 
 FlowId FlowScheduler::start(FlowSpec spec) {
@@ -47,6 +51,22 @@ FlowId FlowScheduler::start(FlowSpec spec) {
   // FlowId-sorted (removal is order-preserving).
   active_.push_back(slot);
   index_.insert(id.value(), slot);
+  const auto up_key = static_cast<std::uint32_t>(flow.src.value() * 2);
+  const auto down_key = static_cast<std::uint32_t>(flow.dst.value() * 2 + 1);
+  const bool attaches =
+      res_head_[up_key] != kNilSlot || res_head_[down_key] != kNilSlot;
+  link_into(slot, 0, up_key);
+  link_into(slot, 1, down_key);
+  mark_dirty(up_key);
+  mark_dirty(down_key);
+  // A sole flow is trivially one component; a flow touching existing
+  // structure can only merge components, so single stays single. Only
+  // an isolated new pair can break the invariant.
+  if (active_.size() == 1) {
+    mono_ = true;
+  } else if (!attaches) {
+    mono_ = false;
+  }
 
   settle();
   return id;
@@ -65,7 +85,7 @@ void FlowScheduler::settle() {
     batch_dirty_ = true;
     return;
   }
-  recompute_rates();
+  relevel_dirty();
   reschedule();
 }
 
@@ -74,7 +94,7 @@ void FlowScheduler::end_batch() {
   if (!batch_dirty_) return;
   batch_dirty_ = false;
   advance_to_now();
-  recompute_rates();
+  relevel_dirty();
   reschedule();
 }
 
@@ -124,6 +144,10 @@ void FlowScheduler::set_capacity_factor(NodeId node, double factor) {
   const auto& profile = topo_.node(node).profile();
   link_capacity_[id * 2] = profile.uplink_mbps * config_.capacity_scale * factor;
   link_capacity_[id * 2 + 1] = profile.downlink_mbps * config_.capacity_scale * factor;
+  // The node's uplink users and downlink users may sit in two different
+  // components; both re-level.
+  mark_dirty(static_cast<std::uint32_t>(id * 2));
+  mark_dirty(static_cast<std::uint32_t>(id * 2 + 1));
   settle();
 }
 
@@ -163,15 +187,126 @@ void FlowScheduler::advance_to_now() {
   }
 }
 
-void FlowScheduler::recompute_rates() {
-  if (active_.empty()) return;
-  ensure_node_arrays();
+void FlowScheduler::mark_dirty(std::uint32_t key) { dirty_res_.push_back(key); }
 
+void FlowScheduler::link_into(std::uint32_t slot, int dir, std::uint32_t key) {
+  // Append at the tail: FlowIds are allocated monotonically, so the
+  // list stays in ascending-id order, which lets relevel_dirty() skip
+  // the component sort in the common case.
+  Links& l = links_[slot];
+  l.key[dir] = key;
+  l.next[dir] = kNilSlot;
+  l.prev[dir] = res_tail_[key];
+  if (res_tail_[key] != kNilSlot) {
+    links_[res_tail_[key]].next[dir] = slot;
+  } else {
+    res_head_[key] = slot;
+  }
+  res_tail_[key] = slot;
+}
+
+void FlowScheduler::unlink_from(std::uint32_t slot, int dir, std::uint32_t key) noexcept {
+  Links& l = links_[slot];
+  if (l.prev[dir] != kNilSlot) {
+    links_[l.prev[dir]].next[dir] = l.next[dir];
+  } else {
+    res_head_[key] = l.next[dir];
+  }
+  if (l.next[dir] != kNilSlot) {
+    links_[l.next[dir]].prev[dir] = l.prev[dir];
+  } else {
+    res_tail_[key] = l.prev[dir];
+  }
+  l.next[dir] = kNilSlot;
+  l.prev[dir] = kNilSlot;
+}
+
+void FlowScheduler::relevel_dirty() {
+  if (dirty_res_.empty()) return;
+  ensure_node_arrays();
+  // Single known component: it necessarily contains every dirty
+  // resource that has flows at all, so the flood fill below would just
+  // rediscover `active_`. Fill it directly.
+  if (mono_) {
+    waterfill(active_);
+    dirty_res_.clear();
+    return;
+  }
+  // Flood fill outward from each dirty resource: a resource reaches the
+  // flows on its list, a flow reaches its other resource. The wavefront
+  // stops exactly at the boundary of the affected connected component;
+  // everything outside keeps its current rate. Each component is
+  // water-filled on its own — never the union of the dirty components —
+  // because the freeze tolerance (kEpsRate) would otherwise couple
+  // near-tied levels of *independent* components, making rates depend
+  // on which components happen to re-level together.
+  ++epoch_;
+  std::size_t comps = 0;
+  bool spans_all = false;
+  for (std::size_t d = 0; d < dirty_res_.size(); ++d) {
+    const std::uint32_t seed = dirty_res_[d];
+    if (res_mark_[seed] == epoch_) continue;  // already in a levelled component
+    res_mark_[seed] = epoch_;
+    comp_flows_.clear();
+    res_stack_.clear();
+    res_stack_.push_back(seed);
+    while (!res_stack_.empty()) {
+      const std::uint32_t key = res_stack_.back();
+      res_stack_.pop_back();
+      const int dir = static_cast<int>(key & 1u);
+      for (std::uint32_t slot = res_head_[key]; slot != kNilSlot;
+           slot = links_[slot].next[dir]) {
+        Links& l = links_[slot];
+        if (l.mark == epoch_) continue;
+        l.mark = epoch_;
+        comp_flows_.push_back(slot);
+        const int odir = 1 - dir;
+        const std::uint32_t other = l.key[odir];
+        if (l.next[odir] == kNilSlot && l.prev[odir] == kNilSlot) {
+          // This flow is alone on its other resource: nothing new is
+          // reachable through it. Mark it settled (so a dirty seed for
+          // it doesn't re-level this component) but skip the visit.
+          res_mark_[other] = epoch_;
+        } else if (res_mark_[other] != epoch_) {
+          res_mark_[other] = epoch_;
+          res_stack_.push_back(other);
+        }
+      }
+    }
+    if (comp_flows_.empty()) continue;
+    ++comps;
+    // Water-filling must accumulate floating point in FlowId order to
+    // stay bit-identical to the reference; the flood fill discovers
+    // flows in adjacency order. When the component spans every active
+    // flow, `active_` (kept FlowId-ascending) IS the sorted component.
+    // Otherwise the per-resource lists' id-ascending order means the
+    // fill usually arrives sorted — check before paying for the sort
+    // (in place — no allocation).
+    if (comp_flows_.size() == active_.size()) {
+      spans_all = true;
+      waterfill(active_);
+      continue;
+    }
+    const auto id_less = [this](std::uint32_t a, std::uint32_t b) {
+      return slots_[a].id < slots_[b].id;
+    };
+    if (!std::is_sorted(comp_flows_.begin(), comp_flows_.end(), id_less)) {
+      std::sort(comp_flows_.begin(), comp_flows_.end(), id_less);
+    }
+    waterfill(comp_flows_);
+  }
+  // The fill just proved single-component-ness (or not) for the dirty
+  // region; remember it so the next relevel can skip discovery.
+  mono_ = comps == 1 && spans_all;
+  dirty_res_.clear();
+}
+
+void FlowScheduler::waterfill(const std::vector<std::uint32_t>& flows) {
   // Seed per-resource capacities and the unfrozen set. Iteration is in
   // FlowId order throughout, so every floating-point accumulation below
   // happens in the same order as the reference implementation.
   wf_unfrozen_.clear();
-  for (const std::uint32_t slot : active_) {
+  for (const std::uint32_t slot : flows) {
     const Flow& f = slots_[slot];
     const auto up_key = static_cast<std::uint32_t>(f.src.value() * 2);
     const auto down_key = static_cast<std::uint32_t>(f.dst.value() * 2 + 1);
@@ -195,15 +330,25 @@ void FlowScheduler::recompute_rates() {
       ++wf_users_[p.up_key];
       ++wf_users_[p.down_key];
     }
+    // Capacities are stable for the whole round (deductions happen only
+    // after the freeze set is fixed), so each resource's fair share is
+    // computed once and reused — the same divide, evaluated once, keeps
+    // every consumer bit-identical to recomputing it.
+    ++wf_round_;
     const auto fair = [&](std::uint32_t key) {
-      return std::max(0.0, wf_capacity_[key]) / static_cast<double>(wf_users_[key]);
+      if (wf_fair_round_[key] != wf_round_) {
+        wf_fair_round_[key] = wf_round_;
+        wf_fair_[key] =
+            std::max(0.0, wf_capacity_[key]) / static_cast<double>(wf_users_[key]);
+      }
+      return wf_fair_[key];
     };
     double share = kInf;
+    double min_cap = kInf;
     for (const Pending& p : wf_unfrozen_) {
       share = std::min(share, std::min(fair(p.up_key), fair(p.down_key)));
+      min_cap = std::min(min_cap, p.cap);
     }
-    double min_cap = kInf;
-    for (const Pending& p : wf_unfrozen_) min_cap = std::min(min_cap, p.cap);
     const double level = std::min(share, min_cap);
 
     wf_still_.clear();
@@ -259,7 +404,7 @@ void FlowScheduler::on_timer() {
       ++i;
     }
   }
-  recompute_rates();
+  relevel_dirty();
   reschedule();
   for (Completion& c : done_) {
     if (c.callback) c.callback(c.duration);
@@ -275,6 +420,7 @@ std::uint32_t FlowScheduler::acquire_slot() {
   const auto slot = static_cast<std::uint32_t>(slots_.size());
   slots_.emplace_back();
   callbacks_.emplace_back();
+  links_.emplace_back();
   // Keep the free list's capacity ahead of the slot count so releasing
   // a slot on the noexcept removal path never allocates. Track the slot
   // vector's *capacity*, not its size, so growth stays amortized.
@@ -284,11 +430,23 @@ std::uint32_t FlowScheduler::acquire_slot() {
   return slot;
 }
 
-void FlowScheduler::remove_flow(std::size_t active_pos) noexcept {
+void FlowScheduler::remove_flow(std::size_t active_pos) {
   const std::uint32_t slot = active_[active_pos];
   Flow& f = slots_[slot];
   --uploads_[f.src.value()];
   --downloads_[f.dst.value()];
+  const std::uint32_t up_key = links_[slot].key[0];
+  const std::uint32_t down_key = links_[slot].key[1];
+  unlink_from(slot, 0, up_key);
+  unlink_from(slot, 1, down_key);
+  // The departure may have split the component; rediscover at the next
+  // flood fill rather than tracking splits exactly.
+  mono_ = false;
+  // The departed flow's capacity redistributes over whatever is still
+  // connected to its resources (the component may have split; the fill
+  // reaches every part from these two seeds).
+  mark_dirty(up_key);
+  mark_dirty(down_key);
   index_.erase(f.id);
   active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(active_pos));
   callbacks_[slot].on_complete = nullptr;  // release captured resources
@@ -319,6 +477,11 @@ void FlowScheduler::ensure_node_arrays() {
     wf_capacity_.resize(nodes * 2, 0.0);
     wf_users_.resize(nodes * 2, 0);
     link_capacity_.resize(nodes * 2, 0.0);
+    res_head_.resize(nodes * 2, kNilSlot);
+    res_tail_.resize(nodes * 2, kNilSlot);
+    res_mark_.resize(nodes * 2, 0);
+    wf_fair_.resize(nodes * 2, 0.0);
+    wf_fair_round_.resize(nodes * 2, 0);
     // Profiles are immutable once added, so the scaled link capacities
     // can be computed once per node instead of per recomputation (and
     // re-derived only when a brownout factor changes).

@@ -24,6 +24,19 @@
 // and every water-filling round runs over scratch buffers owned by the
 // scheduler — steady-state recomputation performs zero heap
 // allocations.
+//
+// Re-levelling is *incremental*: max-min fairness decomposes by the
+// connected components of the flow/resource sharing graph (flows are
+// adjacent when they share an uplink or downlink), so a transition —
+// start, finish, cancel, abort, brownout — only perturbs the component
+// of the flows it touches. Every flow sits on two intrusive lists (one
+// per endpoint resource); transitions mark their resources dirty, and
+// settle() flood-fills from the dirty set to collect exactly the
+// affected component(s), water-filling those flows in FlowId order
+// while every untouched component keeps its rates byte-for-byte (see
+// DESIGN.md for the equivalence argument). Batches coalesce dirty
+// resources across all deferred transitions and re-level once at the
+// outermost guard close.
 
 #include <cstdint>
 #include <functional>
@@ -144,6 +157,20 @@ class FlowScheduler {
     std::function<void(Seconds)> on_complete;
     std::function<void(Seconds)> on_abort;
   };
+  /// Intrusive membership in the two per-resource flow lists (dir 0 =
+  /// the source's uplink, dir 1 = the destination's downlink). Kept out
+  /// of the hot Flow stride: only settle-time flood fill walks these.
+  /// `key` caches the flow's two resource keys and `mark` carries the
+  /// flood-fill epoch stamp, so discovering a flow touches exactly one
+  /// 32-byte record (two per cache line, never straddling) instead of
+  /// the fat Flow plus side arrays.
+  struct Links {
+    std::uint32_t next[2] = {kNilSlot, kNilSlot};
+    std::uint32_t prev[2] = {kNilSlot, kNilSlot};
+    std::uint32_t key[2] = {0, 0};
+    std::uint64_t mark = 0;
+  };
+  static_assert(sizeof(Links) == 32);
   /// One not-yet-frozen flow inside a water-filling pass.
   struct Pending {
     std::uint32_t slot = 0;
@@ -156,21 +183,35 @@ class FlowScheduler {
     std::function<void(Seconds)> callback;
   };
 
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
   void advance_to_now();
-  void recompute_rates();
+  /// Flood-fills the connected component(s) reachable from the dirty
+  /// resource set and water-fills exactly those flows (in FlowId
+  /// order); every other flow's rate is left untouched.
+  void relevel_dirty();
+  /// Water-fills `flows` (slot indices, FlowId-ascending). The rates of
+  /// flows outside the set — and the capacities they consume — never
+  /// enter the computation: max-min is component-local.
+  void waterfill(const std::vector<std::uint32_t>& flows);
   void reschedule();
   void on_timer();
-  /// recompute_rates() + reschedule(), unless a batch is open (then the
+  /// relevel_dirty() + reschedule(), unless a batch is open (then the
   /// work is deferred to the last Batch's close).
   void settle();
   void end_batch();
   template <typename Pred>
   std::size_t abort_where(Pred pred);
 
+  void mark_dirty(std::uint32_t key);
+  void link_into(std::uint32_t slot, int dir, std::uint32_t key);
+  void unlink_from(std::uint32_t slot, int dir, std::uint32_t key) noexcept;
+
   std::uint32_t acquire_slot();
-  /// Unlinks the flow in `slot` (index, active list, per-node counts)
-  /// and recycles the slot. `active_pos` is its position in `active_`.
-  void remove_flow(std::size_t active_pos) noexcept;
+  /// Unlinks the flow in `slot` (index, active list, resource lists,
+  /// per-node counts), marks its resources dirty and recycles the slot.
+  /// `active_pos` is its position in `active_`.
+  void remove_flow(std::size_t active_pos);
   /// Position of `slot` in `active_` via binary search on flow id.
   [[nodiscard]] std::size_t active_position(std::uint32_t slot) const noexcept;
   void ensure_node_arrays();
@@ -181,9 +222,34 @@ class FlowScheduler {
 
   std::vector<Flow> slots_;
   std::vector<Callbacks> callbacks_;       // parallel to slots_
+  std::vector<Links> links_;               // parallel to slots_
   std::vector<std::uint32_t> free_slots_;  // capacity kept >= slots_.size()
   std::vector<std::uint32_t> active_;      // occupied slots, FlowId-ascending
   SlotIndex index_;                        // flow id -> slot
+
+  // Component tracking. `res_head_`/`res_tail_` bound the intrusive
+  // flow list of each resource key; flows are appended at the tail, so
+  // each list stays in ascending-FlowId order (ids are monotonic) and
+  // the flood fill usually emits components already sorted.
+  // `dirty_res_` accumulates the resources touched since the last
+  // re-level (duplicates allowed, deduped by the epoch stamps during
+  // the flood fill). `comp_flows_` / `res_stack_` are the flood-fill
+  // scratch, reused across settles.
+  std::vector<std::uint32_t> res_head_;
+  std::vector<std::uint32_t> res_tail_;
+  std::vector<std::uint32_t> dirty_res_;
+  std::vector<std::uint64_t> res_mark_;  // per resource key
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<std::uint32_t> res_stack_;
+  std::uint64_t epoch_ = 0;
+  // True while the active flows are known to form a single connected
+  // component (every start since attached to existing structure, no
+  // removals since the last full fill). Lets relevel_dirty() water-fill
+  // `active_` directly, skipping discovery — dense single-bottleneck
+  // workloads hit this on every transition. Cleared conservatively on
+  // any removal (the component may have split) and re-derived whenever
+  // a flood fill finds one component spanning all active flows.
+  bool mono_ = false;
 
   // Dense per-node incremental counters (index = node id).
   std::vector<int> uploads_;
@@ -199,6 +265,13 @@ class FlowScheduler {
   // node id * 2 + (0 = uplink, 1 = downlink).
   std::vector<double> wf_capacity_;
   std::vector<int> wf_users_;
+  // Per-round cache of each resource's fair share. A shared resource is
+  // consulted once per flow touching it; the cached divide is the same
+  // expression evaluated once, so results are bit-identical. The round
+  // stamp (`wf_round_`, monotonic) invalidates lazily.
+  std::vector<double> wf_fair_;
+  std::vector<std::uint64_t> wf_fair_round_;
+  std::uint64_t wf_round_ = 0;
   std::vector<Pending> wf_unfrozen_;
   std::vector<Pending> wf_still_;
   std::vector<Pending> wf_frozen_;

@@ -30,11 +30,23 @@ void Network::crash_node(NodeId node) {
     tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "node-crash", to_string(node),
                     node.value(), 0);
   }
-  // All in-flight messages touching the node die together: one batched
-  // recomputation re-levels the survivors, then every victim's failure
-  // callback fires (spec.on_abort, wired in start_message).
+  // All in-flight messages touching the node die together: the batch
+  // guard coalesces the dirty components so each survivor component
+  // re-levels exactly once, then every victim's failure callback fires
+  // (spec.on_abort, wired in start_message).
   const auto batch = flows_.start_batch();
   messages_aborted_ += flows_.abort_touching(node);
+}
+
+void Network::set_capacity_factor(NodeId node, double factor) {
+  flows_.set_capacity_factor(node, factor);
+  // Brownouts are faults like crashes and partitions: record them so a
+  // trace of a degraded run explains its throughput dips.
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "node-brownout",
+                    to_string(node), node.value(),
+                    static_cast<std::uint64_t>(factor * 100.0));
+  }
 }
 
 void Network::restore_node(NodeId node) {

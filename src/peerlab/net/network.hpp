@@ -100,10 +100,9 @@ class Network {
   [[nodiscard]] bool partitioned(NodeId a, NodeId b) const noexcept;
 
   /// Bandwidth brownout: scales the node's access capacity by `factor`
-  /// in (0, 1]; 1 restores nominal. Active flows re-level immediately.
-  void set_capacity_factor(NodeId node, double factor) {
-    flows_.set_capacity_factor(node, factor);
-  }
+  /// in (0, 1]; 1 restores nominal. Only the flow components touching
+  /// the node re-level; everything else keeps its rates.
+  void set_capacity_factor(NodeId node, double factor);
 
   /// Samples the end-to-end delay of one control datagram without
   /// sending (used by models estimating responsiveness).

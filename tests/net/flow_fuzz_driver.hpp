@@ -1,0 +1,390 @@
+#pragma once
+
+// Differential transition fuzzer for the flow scheduler.
+//
+// One deterministic, seed-derived transition sequence — starts (plain,
+// failover-on-abort, and batch-chaos-on-complete flavours), cancels,
+// node crashes (abort_touching), link partitions (abort_between),
+// brownouts (set_capacity_factor), time advances, and nested batches —
+// is replayed against two *twin worlds*: a live incremental
+// FlowScheduler and the map-based ReferenceFlowScheduler from
+// waterfill_reference.hpp, each with its own Simulator and an
+// identically-built Topology. After every transition the harness
+// demands:
+//
+//   * bit-identical rates (memcmp on the doubles) for every live flow,
+//   * identical remaining bytes, active sets and flow counts,
+//   * identical event logs — every completion and abort, with the
+//     flow id and the exact simulated time it fired at,
+//   * identical clocks and abort victim counts.
+//
+// Randomized choices never read scheduler state (live-flow bookkeeping
+// is replayed from the event log), so a divergence cannot desynchronize
+// the sequence itself — the first differing bit is caught at the
+// transition that produced it, with the seed in the failure message.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "peerlab/net/flow_scheduler.hpp"
+#include "peerlab/net/topology.hpp"
+#include "peerlab/sim/simulator.hpp"
+#include "net/waterfill_reference.hpp"
+
+namespace peerlab::net::fuzz {
+
+struct FuzzEvent {
+  char kind = '?';  // 'S'tart, 'C'omplete, 'A'bort
+  std::uint64_t flow = 0;
+  double time = 0.0;
+
+  bool operator==(const FuzzEvent& other) const {
+    return kind == other.kind && flow == other.flow &&
+           std::memcmp(&time, &other.time, sizeof(time)) == 0;
+  }
+};
+
+struct FuzzStats {
+  int transitions = 0;
+  int starts = 0;
+  int cancels = 0;
+  int crashes = 0;
+  int partitions = 0;
+  int brownouts = 0;
+  int advances = 0;
+  int batches = 0;
+  int completions = 0;
+  int aborts = 0;
+};
+
+template <typename SchedulerT>
+struct FuzzWorld {
+  FuzzWorld(std::uint64_t seed, const std::vector<NodeProfile>& profiles,
+            FlowSchedulerConfig config)
+      : sim(seed), topo(sim::Rng(seed)) {
+    for (const auto& profile : profiles) nodes.push_back(topo.add_node(profile));
+    scheduler.emplace(sim, topo, config);
+  }
+
+  sim::Simulator sim;
+  Topology topo;
+  std::vector<NodeId> nodes;
+  std::optional<SchedulerT> scheduler;
+  std::vector<FuzzEvent> log;
+};
+
+/// What a single start transition does, decided by the driver's RNG
+/// only — both worlds execute the identical plan.
+struct StartPlan {
+  std::size_t src = 0;
+  std::size_t dst = 1;
+  Bytes size = 0;
+  double rate_cap = 0.0;
+  // 0 = plain; 1 = failover: on_abort starts a derived replacement;
+  // 2 = chaos: on_complete opens a batch, starts a replacement and
+  //     aborts the completed flow's node pair inside the guard (the
+  //     re-entrant churn shape FileService failover produces).
+  int flavor = 0;
+};
+
+template <typename W>
+void start_plan_in(W& world, const StartPlan& plan);
+
+/// Replacement spec derived purely from the dying flow's id, so both
+/// worlds regenerate the identical flow without driver involvement.
+template <typename W>
+void start_replacement_in(W& world, std::uint64_t from_id) {
+  const std::size_t n = world.nodes.size();
+  StartPlan plan;
+  plan.src = static_cast<std::size_t>((from_id * 2654435761u) % n);
+  plan.dst = (plan.src + 1 + static_cast<std::size_t>(from_id % (n - 1))) % n;
+  if (plan.dst == plan.src) plan.dst = (plan.src + 1) % n;
+  plan.size = static_cast<Bytes>(64 + from_id % 192) * 1024;
+  plan.flavor = 0;
+  start_plan_in(world, plan);
+}
+
+template <typename W>
+void start_plan_in(W& world, const StartPlan& plan) {
+  auto id_holder = std::make_shared<std::uint64_t>(0);
+  auto* log = &world.log;
+  auto* sim = &world.sim;
+  auto* scheduler = &*world.scheduler;
+  auto* self = &world;
+
+  FlowSpec spec;
+  spec.src = world.nodes[plan.src];
+  spec.dst = world.nodes[plan.dst];
+  spec.size = plan.size;
+  spec.rate_cap = plan.rate_cap;
+  const NodeId src = spec.src;
+  const NodeId dst = spec.dst;
+
+  if (plan.flavor == 2) {
+    spec.on_complete = [log, sim, scheduler, self, id_holder, src, dst](Seconds) {
+      log->push_back({'C', *id_holder, sim->now()});
+      // Re-entrant churn under an open guard: replacement start and a
+      // pair abort coalesce into one deferred re-level.
+      const auto batch = scheduler->start_batch();
+      start_replacement_in(*self, *id_holder);
+      scheduler->abort_between(src, dst);
+    };
+  } else {
+    spec.on_complete = [log, sim, id_holder](Seconds) {
+      log->push_back({'C', *id_holder, sim->now()});
+    };
+  }
+  if (plan.flavor == 1) {
+    spec.on_abort = [log, sim, self, id_holder](Seconds) {
+      log->push_back({'A', *id_holder, sim->now()});
+      start_replacement_in(*self, *id_holder);
+    };
+  } else {
+    spec.on_abort = [log, sim, id_holder](Seconds) {
+      log->push_back({'A', *id_holder, sim->now()});
+    };
+  }
+
+  const FlowId id = scheduler->start(std::move(spec));
+  *id_holder = id.value();
+  log->push_back({'S', id.value(), sim->now()});
+}
+
+class DifferentialFuzzer {
+ public:
+  struct Options {
+    int transitions = 5000;
+  };
+
+  explicit DifferentialFuzzer(std::uint64_t seed)
+      : DifferentialFuzzer(seed, Options{}) {}
+
+  DifferentialFuzzer(std::uint64_t seed, Options options)
+      : seed_(seed), options_(options), rng_(seed) {
+    const int node_count = pick(4, 12);
+    const double caps[] = {0.8, 2.0, 4.0, 8.0, 33.6, 100.0};
+    std::vector<NodeProfile> profiles;
+    for (int i = 0; i < node_count; ++i) {
+      NodeProfile p;
+      p.hostname = "n" + std::to_string(i);
+      p.uplink_mbps = caps[pick(0, 5)];
+      p.downlink_mbps = caps[pick(0, 5)];
+      profiles.push_back(p);
+    }
+    const double scales[] = {1.0, 0.5, 0.37};
+    FlowSchedulerConfig config;
+    config.capacity_scale = scales[pick(0, 2)];
+    incremental_.emplace(seed, profiles, config);
+    reference_.emplace(seed, profiles, config);
+  }
+
+  /// Runs the whole sequence. Raises gtest failures (tagged with the
+  /// seed) at the first diverging transition and stops early.
+  FuzzStats run() {
+    for (int t = 0; t < options_.transitions; ++t) {
+      ++stats_.transitions;
+      one_transition();
+      compare();
+      if (::testing::Test::HasFailure()) break;
+    }
+    return stats_;
+  }
+
+ private:
+  using IncWorld = FuzzWorld<FlowScheduler>;
+  using RefWorld = FuzzWorld<reference::ReferenceFlowScheduler>;
+
+  int pick(int lo, int hi) { return std::uniform_int_distribution<int>(lo, hi)(rng_); }
+
+  std::size_t node_count() const { return incremental_->nodes.size(); }
+
+  StartPlan make_start_plan() {
+    const double caps[] = {0.8, 2.0, 4.0, 8.0, 33.6, 100.0};
+    StartPlan plan;
+    plan.src = static_cast<std::size_t>(pick(0, static_cast<int>(node_count()) - 1));
+    plan.dst = plan.src;
+    while (plan.dst == plan.src) {
+      plan.dst = static_cast<std::size_t>(pick(0, static_cast<int>(node_count()) - 1));
+    }
+    plan.size = static_cast<Bytes>(pick(1, 48)) * 128 * 1024;
+    plan.rate_cap = pick(0, 3) == 0 ? caps[pick(0, 5)] / 3.0 : 0.0;
+    const int flavor_draw = pick(0, 9);
+    plan.flavor = flavor_draw < 7 ? 0 : (flavor_draw < 9 ? 1 : 2);
+    return plan;
+  }
+
+  void do_start() {
+    const StartPlan plan = make_start_plan();
+    start_plan_in(*incremental_, plan);
+    start_plan_in(*reference_, plan);
+  }
+
+  void do_cancel() {
+    if (live_.empty()) return do_start();
+    ++stats_.cancels;
+    const std::size_t victim = static_cast<std::size_t>(pick(0, static_cast<int>(live_.size()) - 1));
+    const std::uint64_t id = live_[victim];
+    incremental_->scheduler->cancel(FlowId(id));
+    reference_->scheduler->cancel(FlowId(id));
+    cancelled_.push_back(id);
+  }
+
+  void do_crash() {
+    ++stats_.crashes;
+    const auto node = static_cast<std::size_t>(pick(0, static_cast<int>(node_count()) - 1));
+    const std::size_t a = incremental_->scheduler->abort_touching(incremental_->nodes[node]);
+    const std::size_t b = reference_->scheduler->abort_touching(reference_->nodes[node]);
+    EXPECT_EQ(a, b) << "abort_touching victim count diverged, seed " << seed_;
+  }
+
+  void do_partition() {
+    ++stats_.partitions;
+    const auto x = static_cast<std::size_t>(pick(0, static_cast<int>(node_count()) - 1));
+    std::size_t y = x;
+    while (y == x) y = static_cast<std::size_t>(pick(0, static_cast<int>(node_count()) - 1));
+    const std::size_t a =
+        incremental_->scheduler->abort_between(incremental_->nodes[x], incremental_->nodes[y]);
+    const std::size_t b =
+        reference_->scheduler->abort_between(reference_->nodes[x], reference_->nodes[y]);
+    EXPECT_EQ(a, b) << "abort_between victim count diverged, seed " << seed_;
+  }
+
+  void do_brownout() {
+    ++stats_.brownouts;
+    const auto node = static_cast<std::size_t>(pick(0, static_cast<int>(node_count()) - 1));
+    const double factors[] = {0.25, 0.5, 0.75, 1.0};
+    const double factor = factors[pick(0, 3)];
+    incremental_->scheduler->set_capacity_factor(incremental_->nodes[node], factor);
+    reference_->scheduler->set_capacity_factor(reference_->nodes[node], factor);
+  }
+
+  void do_advance() {
+    ++stats_.advances;
+    const double dt = 0.05 * pick(1, 20);
+    const Seconds until = incremental_->sim.now() + dt;
+    incremental_->sim.run_until(until);
+    reference_->sim.run_until(until);
+  }
+
+  void do_batch(int depth) {
+    ++stats_.batches;
+    const auto inc_guard = incremental_->scheduler->start_batch();
+    const auto ref_guard = reference_->scheduler->start_batch();
+    const int ops = pick(2, 6);
+    for (int i = 0; i < ops; ++i) {
+      switch (pick(0, depth == 0 ? 5 : 4)) {
+        case 0:
+        case 1:
+          do_start();
+          break;
+        case 2:
+          do_cancel();
+          break;
+        case 3:
+          pick(0, 1) == 0 ? do_crash() : do_partition();
+          break;
+        case 4:
+          do_brownout();
+          break;
+        default:
+          do_batch(depth + 1);  // nested guard
+          break;
+      }
+    }
+  }
+
+  void one_transition() {
+    const int draw = pick(0, 99);
+    if (draw < 40) {
+      do_start();
+    } else if (draw < 55) {
+      do_cancel();
+    } else if (draw < 63) {
+      do_crash();
+    } else if (draw < 68) {
+      do_partition();
+    } else if (draw < 76) {
+      do_brownout();
+    } else if (draw < 90) {
+      do_advance();
+    } else {
+      do_batch(0);
+    }
+  }
+
+  /// Replays fresh log entries into the live set, then cross-checks
+  /// every observable of both worlds.
+  void compare() {
+    ASSERT_EQ(incremental_->log.size(), reference_->log.size())
+        << "event log length diverged, seed " << seed_ << " after transition "
+        << stats_.transitions;
+    for (std::size_t i = log_cursor_; i < incremental_->log.size(); ++i) {
+      const FuzzEvent& a = incremental_->log[i];
+      const FuzzEvent& b = reference_->log[i];
+      ASSERT_TRUE(a == b) << "event " << i << " diverged: incremental {" << a.kind << " flow "
+                          << a.flow << " t=" << a.time << "} vs reference {" << b.kind
+                          << " flow " << b.flow << " t=" << b.time << "}, seed " << seed_;
+      if (a.kind == 'S') {
+        live_.push_back(a.flow);
+        ++stats_.starts;
+      } else {
+        const auto it = std::find(live_.begin(), live_.end(), a.flow);
+        ASSERT_NE(it, live_.end()) << "event for unknown flow " << a.flow << ", seed " << seed_;
+        live_.erase(it);
+        a.kind == 'C' ? ++stats_.completions : ++stats_.aborts;
+      }
+    }
+    log_cursor_ = incremental_->log.size();
+    for (const std::uint64_t id : cancelled_) {
+      // A cancel target may already be gone: aborted by an earlier op
+      // inside the same batch transition. cancel() was a no-op then.
+      const auto it = std::find(live_.begin(), live_.end(), id);
+      if (it != live_.end()) live_.erase(it);
+    }
+    cancelled_.clear();
+
+    const double now_inc = incremental_->sim.now();
+    const double now_ref = reference_->sim.now();
+    ASSERT_EQ(now_inc, now_ref) << "clocks diverged, seed " << seed_;
+    ASSERT_EQ(incremental_->scheduler->active_flows(), live_.size())
+        << "incremental active set diverged from log replay, seed " << seed_;
+    ASSERT_EQ(reference_->scheduler->active_flows(), live_.size())
+        << "reference active set diverged from log replay, seed " << seed_;
+
+    for (const std::uint64_t id : live_) {
+      const double a = incremental_->scheduler->current_rate(FlowId(id));
+      const double b = reference_->scheduler->current_rate(FlowId(id));
+      ASSERT_EQ(std::memcmp(&a, &b, sizeof(a)), 0)
+          << "rate of flow " << id << " diverged: incremental " << a << " vs reference " << b
+          << ", seed " << seed_ << " after transition " << stats_.transitions;
+      ASSERT_EQ(incremental_->scheduler->remaining_bytes(FlowId(id)),
+                reference_->scheduler->remaining_bytes(FlowId(id)))
+          << "remaining bytes of flow " << id << " diverged, seed " << seed_;
+    }
+    for (std::size_t i = 0; i < incremental_->nodes.size(); ++i) {
+      ASSERT_EQ(incremental_->scheduler->capacity_factor(incremental_->nodes[i]),
+                reference_->scheduler->capacity_factor(reference_->nodes[i]))
+          << "capacity factor diverged at node " << i << ", seed " << seed_;
+    }
+  }
+
+  std::uint64_t seed_;
+  Options options_;
+  std::mt19937_64 rng_;
+  std::optional<IncWorld> incremental_;
+  std::optional<RefWorld> reference_;
+  std::vector<std::uint64_t> live_;       // replayed from the event log
+  std::vector<std::uint64_t> cancelled_;  // driver-initiated removals
+  std::size_t log_cursor_ = 0;
+  FuzzStats stats_;
+};
+
+}  // namespace peerlab::net::fuzz

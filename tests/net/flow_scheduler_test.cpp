@@ -506,5 +506,112 @@ TEST(FlowScheduler, CapacityFactorValidatesAndScales) {
   EXPECT_NEAR(*done, 4.0, 1e-6);
 }
 
+TEST(FlowScheduler, AbortBetweenRelevelsOnlyTheSharedBottleneck) {
+  // Two flows share node a's uplink; a third component (c -> d) is
+  // disjoint. Aborting the (a, b1) pair must hand a's whole uplink to
+  // the survivor and leave the disjoint flow's rate bitwise unchanged.
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 6.0, 100.0));
+  const NodeId b1 = w.topo.add_node(host("b1", 100.0, 100.0));
+  const NodeId b2 = w.topo.add_node(host("b2", 100.0, 100.0));
+  const NodeId c = w.topo.add_node(host("c", 2.0, 100.0));
+  const NodeId d = w.topo.add_node(host("d", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  const auto start = [&](NodeId src, NodeId dst) {
+    FlowSpec spec;
+    spec.src = src;
+    spec.dst = dst;
+    spec.size = megabytes(64.0);
+    spec.on_complete = [](Seconds) {};
+    spec.on_abort = [](Seconds) {};
+    return fs.start(std::move(spec));
+  };
+  const FlowId f1 = start(a, b1);
+  const FlowId f2 = start(a, b2);
+  const FlowId other = start(c, d);
+  EXPECT_NEAR(fs.current_rate(f1), 3.0, 1e-12);
+  EXPECT_NEAR(fs.current_rate(f2), 3.0, 1e-12);
+  const double other_before = fs.current_rate(other);
+
+  EXPECT_EQ(fs.abort_between(a, b1), 1u);
+  EXPECT_FALSE(fs.active(f1));
+  EXPECT_EQ(fs.current_rate(f2), 6.0);  // survivor re-levelled to full uplink
+  EXPECT_EQ(fs.current_rate(other), other_before);  // exact: untouched component
+  w.sim.clear();
+}
+
+TEST(FlowScheduler, BrownoutMidTransferSplitsCompletionTime) {
+  // 1 MB = 8 Mbit on an 8 Mbit/s path: 1 s clean. A factor-0.25
+  // brownout after 0.5 s leaves 4 Mbit to move at 2 Mbit/s, so the
+  // transfer finishes at 0.5 + 2.0 = 2.5 s.
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 8.0, 8.0));
+  const NodeId b = w.topo.add_node(host("b", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  std::optional<Seconds> done;
+  FlowSpec spec;
+  spec.src = a;
+  spec.dst = b;
+  spec.size = megabytes(1.0);
+  spec.on_complete = [&](Seconds d) { done = d; };
+  const FlowId id = fs.start(std::move(spec));
+  w.sim.schedule(0.5, [&] {
+    fs.set_capacity_factor(a, 0.25);
+    // The mutation settles progress first: half the payload moved at
+    // the old 8 Mbit/s rate before the factor took effect.
+    EXPECT_NEAR(fs.remaining_bytes(id), megabytes(0.5), 1.0);
+    EXPECT_NEAR(fs.current_rate(id), 2.0, 1e-12);
+  });
+  w.sim.run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_NEAR(*done, 2.5, 1e-6);
+}
+
+TEST(FlowScheduler, CompletionCallbackMayAbortInsideABatch) {
+  // Chaos-style reentrancy: the completion handler opens a batch
+  // guard, aborts a still-running sibling, and starts a replacement —
+  // all before the guard closes. The scheduler must settle exactly
+  // once, abort the sibling, and run the replacement to completion.
+  World w;
+  const NodeId a = w.topo.add_node(host("a", 8.0, 8.0));
+  const NodeId b = w.topo.add_node(host("b", 100.0, 100.0));
+  const NodeId c = w.topo.add_node(host("c", 100.0, 100.0));
+  FlowScheduler fs(w.sim, w.topo);
+
+  int sibling_aborted = 0;
+  std::optional<Seconds> replacement_done;
+  FlowSpec slow;
+  slow.src = a;
+  slow.dst = c;
+  slow.size = megabytes(8.0);
+  slow.on_complete = [](Seconds) {};
+  slow.on_abort = [&](Seconds) { ++sibling_aborted; };
+  fs.start(std::move(slow));
+
+  FlowSpec fast;
+  fast.src = a;
+  fast.dst = b;
+  fast.size = megabytes(0.5);
+  fast.on_complete = [&](Seconds) {
+    const auto batch = fs.start_batch();
+    EXPECT_EQ(fs.abort_between(a, c), 1u);
+    FlowSpec repl;
+    repl.src = a;
+    repl.dst = b;
+    repl.size = megabytes(1.0);
+    repl.on_complete = [&](Seconds d) { replacement_done = d; };
+    fs.start(std::move(repl));
+  };
+  fs.start(std::move(fast));
+  w.sim.run();
+  EXPECT_EQ(sibling_aborted, 1);
+  ASSERT_TRUE(replacement_done.has_value());
+  // Replacement ran alone on the full 8 Mbit/s uplink: 1 MB in 1 s.
+  EXPECT_NEAR(*replacement_done, 1.0, 1e-6);
+  EXPECT_EQ(fs.active_flows(), 0u);
+}
+
 }  // namespace
 }  // namespace peerlab::net

@@ -1,19 +1,18 @@
-// Equivalence property: the dense incremental water-filling in
-// FlowScheduler must be *bit-identical* to the original map-based
-// implementation it replaced. The reference below is that original
-// algorithm, retained verbatim (std::map capacity/user tables, freeze
-// set from the round-start snapshot); the test replays randomized
+// Equivalence property: the incremental component-local water-filling
+// in FlowScheduler must be *bit-identical* to the retained map-based
+// reference (tests/net/waterfill_reference.hpp — the seed algorithm,
+// decomposed by connected component). The test replays randomized
 // scenarios — shared bottlenecks, per-flow caps, cancels, partial
 // progress and completions — through a live FlowScheduler and checks
 // every flow's rate with exact floating-point equality. Any reordering
-// of the floating-point arithmetic in the optimized path shows up here
-// as a bit difference.
+// of the floating-point arithmetic in the optimized path, or any
+// re-levelling that leaks outside the affected component, shows up
+// here as a bit difference.
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <cstdint>
-#include <limits>
+#include <iostream>
 #include <map>
 #include <random>
 #include <string>
@@ -22,92 +21,14 @@
 #include "peerlab/net/flow_scheduler.hpp"
 #include "peerlab/net/topology.hpp"
 #include "peerlab/sim/simulator.hpp"
+#include "support/test_seed.hpp"
+#include "net/waterfill_reference.hpp"
 
 namespace peerlab::net {
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-constexpr double kEpsRate = 1e-12;
-
-struct RefFlow {
-  NodeId src;
-  NodeId dst;
-  double rate_cap = 0.0;  // <= 0 means uncapped
-};
-
-/// The seed implementation's recompute_rates(), kept as the oracle.
-/// `flows` is keyed by FlowId value, i.e. iterated in FlowId order —
-/// the same order the map-based scheduler iterated its flow map in.
-std::map<std::uint64_t, double> reference_rates(const std::map<std::uint64_t, RefFlow>& flows,
-                                                const Topology& topo, double capacity_scale) {
-  std::map<std::uint64_t, double> rates;
-  if (flows.empty()) return rates;
-
-  std::map<std::uint64_t, double> capacity;
-  for (const auto& [id, f] : flows) {
-    const auto& src = topo.node(f.src).profile();
-    const auto& dst = topo.node(f.dst).profile();
-    capacity.emplace(f.src.value() * 2, src.uplink_mbps * capacity_scale);
-    capacity.emplace(f.dst.value() * 2 + 1, dst.downlink_mbps * capacity_scale);
-  }
-
-  struct Pending {
-    std::uint64_t id;
-    std::uint64_t up_key;
-    std::uint64_t down_key;
-    double cap;
-  };
-  std::vector<Pending> unfrozen;
-  unfrozen.reserve(flows.size());
-  for (const auto& [id, f] : flows) {
-    unfrozen.push_back(Pending{id, f.src.value() * 2, f.dst.value() * 2 + 1,
-                               f.rate_cap > 0.0 ? f.rate_cap : kInf});
-  }
-
-  while (!unfrozen.empty()) {
-    std::map<std::uint64_t, int> users;
-    for (const auto& p : unfrozen) {
-      ++users[p.up_key];
-      ++users[p.down_key];
-    }
-    const auto fair = [&](std::uint64_t key) {
-      return std::max(0.0, capacity[key]) / static_cast<double>(users[key]);
-    };
-    double share = kInf;
-    for (const auto& [key, n] : users) {
-      share = std::min(share, fair(key));
-    }
-    double min_cap = kInf;
-    for (const auto& p : unfrozen) min_cap = std::min(min_cap, p.cap);
-    const double level = std::min(share, min_cap);
-
-    std::vector<Pending> still;
-    std::vector<Pending> frozen;
-    still.reserve(unfrozen.size());
-    for (const auto& p : unfrozen) {
-      const bool at_cap = p.cap <= level + kEpsRate;
-      const bool at_bottleneck = fair(p.up_key) <= level + kEpsRate ||
-                                 fair(p.down_key) <= level + kEpsRate;
-      if (at_cap || at_bottleneck) {
-        frozen.push_back(p);
-      } else {
-        still.push_back(p);
-      }
-    }
-    if (frozen.empty()) {
-      ADD_FAILURE() << "reference water-filling stalled";
-      return rates;
-    }
-    for (const auto& p : frozen) {
-      const double rate = std::min(level, p.cap);
-      rates[p.id] = rate;
-      capacity[p.up_key] -= rate;
-      capacity[p.down_key] -= rate;
-    }
-    unfrozen = std::move(still);
-  }
-  return rates;
-}
+using reference::RefFlow;
+using reference::reference_rates;
 
 NodeProfile host(const std::string& name, MbitPerSec up, MbitPerSec down) {
   NodeProfile p;
@@ -203,9 +124,13 @@ void run_scenario(std::uint64_t seed) {
 
 TEST(FlowWaterfillProperty, DenseMatchesReferenceBitForBit) {
   // >= 1000 randomized scenarios, each with multiple checked rounds.
-  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+  const std::uint64_t base = peerlab::testing::test_seed();
+  for (std::uint64_t seed = base; seed < base + 1000; ++seed) {
     run_scenario(seed);
-    if (::testing::Test::HasFatalFailure()) return;
+    if (::testing::Test::HasFatalFailure()) {
+      std::cerr << "reproduce with: PEERLAB_TEST_SEED=" << seed << "\n";
+      return;
+    }
   }
 }
 

@@ -179,6 +179,28 @@ TEST(Network, CancelMessageSuppressesCallback) {
   EXPECT_FALSE(fired);
 }
 
+TEST(Network, BrownoutSlowsTransferAndLeavesATraceRecord) {
+  sim::Simulator sim(1);
+  NetworkConfig cfg;
+  cfg.degradation.s0 = 1000 * kGigabyte;  // no large-message cap: exact arithmetic
+  auto net = make_network(sim, {host("a"), host("b")}, cfg);
+  sim::Tracer tracer;
+  net.set_tracer(&tracer);
+  std::optional<Seconds> done;
+  // 1 MB at 8 Mbit/s finishes in 1 s unbrowned; halving the source's
+  // capacity at t = 0.5 stretches the remaining half to 1 s.
+  net.start_message(NodeId(1), NodeId(2), megabytes(1.0),
+                    [&](bool ok, Seconds elapsed) {
+                      EXPECT_TRUE(ok);
+                      done = elapsed;
+                    });
+  sim.schedule(0.5, [&] { net.set_capacity_factor(NodeId(1), 0.5); });
+  sim.run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_NEAR(*done, 1.5, 0.01);
+  EXPECT_EQ(tracer.count_label("node-brownout"), 1u);
+}
+
 TEST(Network, CountersTrackActivity) {
   sim::Simulator sim(1);
   NetworkConfig cfg;

@@ -1,0 +1,376 @@
+#pragma once
+
+// The reference max-min water-filling semantics, in exactly one place.
+//
+// `reference_rates` is the seed implementation's recompute_rates(),
+// retained as the oracle (std::map capacity/user tables, freeze set
+// decided from the round-start snapshot), applied independently to each
+// connected component of the flow/resource sharing graph. Max-min
+// fairness decomposes by component, and decomposing *before* filling is
+// load-bearing: the freeze tolerance (kEpsRate) would otherwise couple
+// near-tied levels of independent components — e.g. a per-flow cap of
+// 4/3 in one component freezing a flow whose fair share is
+// 2 - 1/3 - 1/3 (one ulp away) in another — making rates depend on
+// flows they share no resource with. Component-local filling is the
+// semantics FlowScheduler promises ("untouched components keep their
+// rates byte for byte"), so the oracle pins the same decomposition.
+//
+// `ReferenceFlowScheduler` wraps the oracle in the scheduler's full
+// transition surface (start/cancel/abort/brownout/batch + fluid
+// advance and completion timers) using byte-for-byte the same
+// floating-point expressions as FlowScheduler, so a differential
+// harness can replay one transition sequence through both and demand
+// bit-identical rates and identical completion behaviour. Everything
+// here is deliberately simple and map-based — the readable spec the
+// incremental implementation is held to.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/common/ids.hpp"
+#include "peerlab/common/units.hpp"
+#include "peerlab/net/flow_scheduler.hpp"
+#include "peerlab/net/topology.hpp"
+#include "peerlab/sim/simulator.hpp"
+
+namespace peerlab::net::reference {
+
+constexpr double kRefEpsBits = 1.0;    // flows within 1 bit are done
+constexpr double kRefEpsRate = 1e-12;  // Mbit/s comparison slack
+constexpr double kRefInf = std::numeric_limits<double>::infinity();
+
+struct RefFlow {
+  NodeId src;
+  NodeId dst;
+  double rate_cap = 0.0;  // <= 0 means uncapped
+};
+
+/// Brownout factor lookup; nodes absent from the map are at 1.0.
+using CapacityFactors = std::map<std::uint64_t, double>;
+
+namespace detail {
+
+/// The retained seed water-fill over one flow set (one connected
+/// component). `flows` is keyed by FlowId value, i.e. iterated in
+/// FlowId order — the same order the map-based scheduler iterated its
+/// flow map in.
+inline void waterfill_component(const std::map<std::uint64_t, RefFlow>& flows,
+                                const Topology& topo, double capacity_scale,
+                                const CapacityFactors& factors,
+                                std::map<std::uint64_t, double>& rates) {
+  const auto factor_of = [&](std::uint64_t node) {
+    const auto it = factors.find(node);
+    return it == factors.end() ? 1.0 : it->second;
+  };
+  std::map<std::uint64_t, double> capacity;
+  for (const auto& [id, f] : flows) {
+    const auto& src = topo.node(f.src).profile();
+    const auto& dst = topo.node(f.dst).profile();
+    capacity.emplace(f.src.value() * 2,
+                     src.uplink_mbps * capacity_scale * factor_of(f.src.value()));
+    capacity.emplace(f.dst.value() * 2 + 1,
+                     dst.downlink_mbps * capacity_scale * factor_of(f.dst.value()));
+  }
+
+  struct Pending {
+    std::uint64_t id;
+    std::uint64_t up_key;
+    std::uint64_t down_key;
+    double cap;
+  };
+  std::vector<Pending> unfrozen;
+  unfrozen.reserve(flows.size());
+  for (const auto& [id, f] : flows) {
+    unfrozen.push_back(Pending{id, f.src.value() * 2, f.dst.value() * 2 + 1,
+                               f.rate_cap > 0.0 ? f.rate_cap : kRefInf});
+  }
+
+  while (!unfrozen.empty()) {
+    std::map<std::uint64_t, int> users;
+    for (const auto& p : unfrozen) {
+      ++users[p.up_key];
+      ++users[p.down_key];
+    }
+    const auto fair = [&](std::uint64_t key) {
+      return std::max(0.0, capacity[key]) / static_cast<double>(users[key]);
+    };
+    double share = kRefInf;
+    for (const auto& [key, n] : users) {
+      share = std::min(share, fair(key));
+    }
+    double min_cap = kRefInf;
+    for (const auto& p : unfrozen) min_cap = std::min(min_cap, p.cap);
+    const double level = std::min(share, min_cap);
+
+    std::vector<Pending> still;
+    std::vector<Pending> frozen;
+    still.reserve(unfrozen.size());
+    for (const auto& p : unfrozen) {
+      const bool at_cap = p.cap <= level + kRefEpsRate;
+      const bool at_bottleneck = fair(p.up_key) <= level + kRefEpsRate ||
+                                 fair(p.down_key) <= level + kRefEpsRate;
+      if (at_cap || at_bottleneck) {
+        frozen.push_back(p);
+      } else {
+        still.push_back(p);
+      }
+    }
+    PEERLAB_CHECK_MSG(!frozen.empty(), "reference water-filling stalled");
+    for (const auto& p : frozen) {
+      const double rate = std::min(level, p.cap);
+      rates[p.id] = rate;
+      capacity[p.up_key] -= rate;
+      capacity[p.down_key] -= rate;
+    }
+    unfrozen = std::move(still);
+  }
+}
+
+}  // namespace detail
+
+/// Max-min fair rates for `flows`: partition into connected components
+/// (flows are adjacent when they share an uplink or a downlink), then
+/// run the retained water-fill on each component independently.
+inline std::map<std::uint64_t, double> reference_rates(
+    const std::map<std::uint64_t, RefFlow>& flows, const Topology& topo,
+    double capacity_scale, const CapacityFactors& factors = {}) {
+  std::map<std::uint64_t, double> rates;
+  if (flows.empty()) return rates;
+
+  // resource key -> flow ids using it
+  std::map<std::uint64_t, std::vector<std::uint64_t>> members;
+  for (const auto& [id, f] : flows) {
+    members[f.src.value() * 2].push_back(id);
+    members[f.dst.value() * 2 + 1].push_back(id);
+  }
+
+  std::map<std::uint64_t, bool> visited;
+  for (const auto& [id, f] : flows) {
+    if (visited[id]) continue;
+    std::map<std::uint64_t, RefFlow> component;
+    std::vector<std::uint64_t> frontier{id};
+    visited[id] = true;
+    while (!frontier.empty()) {
+      const std::uint64_t cur = frontier.back();
+      frontier.pop_back();
+      const RefFlow& cf = flows.at(cur);
+      component.emplace(cur, cf);
+      for (const std::uint64_t key : {cf.src.value() * 2, cf.dst.value() * 2 + 1}) {
+        for (const std::uint64_t peer : members[key]) {
+          if (!visited[peer]) {
+            visited[peer] = true;
+            frontier.push_back(peer);
+          }
+        }
+      }
+    }
+    detail::waterfill_component(component, topo, capacity_scale, factors, rates);
+  }
+  return rates;
+}
+
+/// A drop-in FlowScheduler twin built directly on the oracle: every
+/// transition recomputes *all* rates from scratch with
+/// `reference_rates`, and the fluid advance / completion-timer /
+/// abort-callback plumbing mirrors FlowScheduler expression for
+/// expression. Intended for differential testing only — O(everything)
+/// per transition, allocates freely.
+class ReferenceFlowScheduler {
+ public:
+  ReferenceFlowScheduler(sim::Simulator& sim, const Topology& topo,
+                         FlowSchedulerConfig config = {})
+      : sim_(sim), topo_(topo), config_(config) {}
+
+  ReferenceFlowScheduler(const ReferenceFlowScheduler&) = delete;
+  ReferenceFlowScheduler& operator=(const ReferenceFlowScheduler&) = delete;
+
+  FlowId start(FlowSpec spec) {
+    PEERLAB_CHECK_MSG(spec.size > 0, "flow size must be positive");
+    PEERLAB_CHECK_MSG(topo_.contains(spec.src) && topo_.contains(spec.dst),
+                      "flow endpoints must exist");
+    advance_to_now();
+    const FlowId id = ids_.next();
+    Flow flow;
+    flow.spec = RefFlow{spec.src, spec.dst, spec.rate_cap};
+    flow.remaining_bits = static_cast<double>(spec.size) * 8.0;
+    flow.started = sim_.now();
+    flow.on_complete = std::move(spec.on_complete);
+    flow.on_abort = std::move(spec.on_abort);
+    flows_.emplace(id.value(), std::move(flow));
+    settle();
+    return id;
+  }
+
+  void cancel(FlowId id) {
+    const auto it = flows_.find(id.value());
+    if (it == flows_.end()) return;
+    advance_to_now();
+    flows_.erase(it);
+    settle();
+  }
+
+  class Batch {
+   public:
+    explicit Batch(ReferenceFlowScheduler& scheduler) : scheduler_(scheduler) {
+      ++scheduler_.batch_depth_;
+    }
+    ~Batch() { scheduler_.end_batch(); }
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+
+   private:
+    ReferenceFlowScheduler& scheduler_;
+  };
+  [[nodiscard]] Batch start_batch() { return Batch(*this); }
+
+  std::size_t abort_touching(NodeId node) {
+    return abort_where([node](const RefFlow& f) { return f.src == node || f.dst == node; });
+  }
+
+  std::size_t abort_between(NodeId a, NodeId b) {
+    return abort_where([a, b](const RefFlow& f) {
+      return (f.src == a && f.dst == b) || (f.src == b && f.dst == a);
+    });
+  }
+
+  void set_capacity_factor(NodeId node, double factor) {
+    PEERLAB_CHECK_MSG(topo_.contains(node), "brownout target must exist");
+    PEERLAB_CHECK_MSG(factor > 0.0 && factor <= 1.0, "capacity factor must be in (0, 1]");
+    advance_to_now();
+    factors_[node.value()] = factor;
+    settle();
+  }
+
+  [[nodiscard]] double capacity_factor(NodeId node) const noexcept {
+    const auto it = factors_.find(node.value());
+    return it == factors_.end() ? 1.0 : it->second;
+  }
+
+  [[nodiscard]] bool active(FlowId id) const noexcept {
+    return flows_.count(id.value()) > 0;
+  }
+  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+
+  [[nodiscard]] MbitPerSec current_rate(FlowId id) const noexcept {
+    const auto it = flows_.find(id.value());
+    return it == flows_.end() ? 0.0 : it->second.rate;
+  }
+
+  [[nodiscard]] Bytes remaining_bytes(FlowId id) const noexcept {
+    const auto it = flows_.find(id.value());
+    return it == flows_.end() ? 0 : static_cast<Bytes>(it->second.remaining_bits / 8.0);
+  }
+
+ private:
+  struct Flow {
+    RefFlow spec;
+    double remaining_bits = 0.0;
+    double rate = 0.0;
+    Seconds started = 0.0;
+    std::function<void(Seconds)> on_complete;
+    std::function<void(Seconds)> on_abort;
+  };
+
+  void advance_to_now() {
+    const Seconds now = sim_.now();
+    const Seconds dt = now - last_advance_;
+    last_advance_ = now;
+    if (dt <= 0.0) return;
+    for (auto& [id, f] : flows_) {
+      f.remaining_bits = std::max(0.0, f.remaining_bits - f.rate * 1e6 * dt);
+    }
+  }
+
+  void recompute_rates() {
+    std::map<std::uint64_t, RefFlow> specs;
+    for (const auto& [id, f] : flows_) specs.emplace(id, f.spec);
+    const auto rates = reference_rates(specs, topo_, config_.capacity_scale, factors_);
+    for (auto& [id, f] : flows_) f.rate = rates.at(id);
+  }
+
+  void reschedule() {
+    timer_.cancel();
+    if (flows_.empty()) return;
+    double eta = kRefInf;
+    for (const auto& [id, f] : flows_) {
+      if (f.rate <= kRefEpsRate) continue;
+      eta = std::min(eta, f.remaining_bits / (f.rate * 1e6));
+    }
+    PEERLAB_CHECK_MSG(std::isfinite(eta), "active flows but no finite completion time");
+    timer_ = sim_.schedule(std::max(0.0, eta), [this] { on_timer(); });
+  }
+
+  void on_timer() {
+    advance_to_now();
+    std::vector<std::pair<Seconds, std::function<void(Seconds)>>> done;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (it->second.remaining_bits <= kRefEpsBits) {
+        done.emplace_back(sim_.now() - it->second.started, std::move(it->second.on_complete));
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    recompute_rates();
+    reschedule();
+    for (auto& [duration, callback] : done) {
+      if (callback) callback(duration);
+    }
+  }
+
+  void settle() {
+    if (batch_depth_ > 0) {
+      batch_dirty_ = true;
+      return;
+    }
+    recompute_rates();
+    reschedule();
+  }
+
+  void end_batch() {
+    if (--batch_depth_ > 0) return;
+    if (!batch_dirty_) return;
+    batch_dirty_ = false;
+    advance_to_now();
+    recompute_rates();
+    reschedule();
+  }
+
+  template <typename Pred>
+  std::size_t abort_where(Pred pred) {
+    advance_to_now();
+    std::vector<std::pair<Seconds, std::function<void(Seconds)>>> aborted;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (pred(it->second.spec)) {
+        aborted.emplace_back(sim_.now() - it->second.started, std::move(it->second.on_abort));
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!aborted.empty()) settle();
+    for (auto& [elapsed, callback] : aborted) {
+      if (callback) callback(elapsed);
+    }
+    return aborted.size();
+  }
+
+  sim::Simulator& sim_;
+  const Topology& topo_;
+  FlowSchedulerConfig config_;
+  std::map<std::uint64_t, Flow> flows_;  // FlowId order
+  CapacityFactors factors_;
+  IdAllocator<FlowId> ids_;
+  sim::EventHandle timer_;
+  Seconds last_advance_ = 0.0;
+  int batch_depth_ = 0;
+  bool batch_dirty_ = false;
+};
+
+}  // namespace peerlab::net::reference

@@ -20,6 +20,7 @@
 #include "peerlab/core/economic.hpp"
 #include "peerlab/core/user_preference.hpp"
 #include "peerlab/sim/rng.hpp"
+#include "support/test_seed.hpp"
 
 namespace peerlab::core {
 namespace {
@@ -210,8 +211,12 @@ TEST_P(SelectionInvariantsTest, DataEvaluatorCriterionDominance) {
   }
 }
 
+// Ten seeds derived from the repo-wide base (PEERLAB_TEST_SEED); the
+// failing seed is part of the parameterized test's name, so a red run
+// is replayable with PEERLAB_TEST_SEED=<that seed>.
 INSTANTIATE_TEST_SUITE_P(Seeds, SelectionInvariantsTest,
-                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+                         ::testing::Range(peerlab::testing::test_seed(),
+                                          peerlab::testing::test_seed() + 10));
 
 }  // namespace
 }  // namespace peerlab::core

@@ -1,0 +1,32 @@
+#pragma once
+
+// The single seed knob for every randomized test in the repo.
+//
+// Precedence: the PEERLAB_TEST_SEED environment variable (what CI logs
+// tell you to export to replay a failure), then the CMake cache
+// variable of the same name (baked in as PEERLAB_TEST_SEED_DEFAULT),
+// then 1. Tests derive their per-scenario seeds from this base and must
+// include the failing scenario's seed in their assertion messages, so
+// any red run is reproducible from its log alone.
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace peerlab::testing {
+
+inline std::uint64_t test_seed() {
+  if (const char* env = std::getenv("PEERLAB_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && value != 0) {
+      return static_cast<std::uint64_t>(value);
+    }
+  }
+#ifdef PEERLAB_TEST_SEED_DEFAULT
+  return PEERLAB_TEST_SEED_DEFAULT;
+#else
+  return 1;
+#endif
+}
+
+}  // namespace peerlab::testing
