@@ -10,7 +10,8 @@
 int main(int argc, char** argv) {
   using namespace peerlab;
   using namespace peerlab::experiments;
-  const auto options = bench::parse_options(argc, argv);
+  auto options = bench::parse_options(argc, argv);
+  const bench::BenchMetrics metrics(options, "bench_churn");
 
   print_figure_header("Churn sweep",
                       "Distribution makespan and failovers under node churn");

@@ -41,4 +41,26 @@ inline const char* sc_name(int i) {
   return kNames[i];
 }
 
+/// Scope guard wiring observability into a bench run: attaches a fresh
+/// registry to `options` so the experiment drivers record into it, and
+/// writes `<name>.metrics.json` (the registry's flat summary, diffable
+/// by scripts/bench_compare.py) when main() returns.
+class BenchMetrics {
+ public:
+  BenchMetrics(experiments::RunOptions& options, std::string name)
+      : name_(std::move(name)) {
+    options.metrics = &registry_;
+  }
+  ~BenchMetrics() { registry_.write_json(name_ + ".metrics.json", name_); }
+
+  BenchMetrics(const BenchMetrics&) = delete;
+  BenchMetrics& operator=(const BenchMetrics&) = delete;
+
+  [[nodiscard]] obs::MetricRegistry& registry() noexcept { return registry_; }
+
+ private:
+  obs::MetricRegistry registry_;
+  std::string name_;
+};
+
 }  // namespace peerlab::bench

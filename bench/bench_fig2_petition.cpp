@@ -10,7 +10,8 @@
 int main(int argc, char** argv) {
   using namespace peerlab;
   using namespace peerlab::experiments;
-  const auto options = bench::parse_options(argc, argv);
+  auto options = bench::parse_options(argc, argv);
+  const bench::BenchMetrics metrics(options, "bench_fig2_petition");
 
   print_figure_header("Figure 2", "Time in receiving the petition for file transmission");
   const PerPeer result = run_fig2_petition(options);

@@ -7,7 +7,8 @@
 int main(int argc, char** argv) {
   using namespace peerlab;
   using namespace peerlab::experiments;
-  const auto options = bench::parse_options(argc, argv);
+  auto options = bench::parse_options(argc, argv);
+  const bench::BenchMetrics metrics(options, "bench_fig3_transfer50");
 
   print_figure_header("Figure 3", "Transmission time for a file of 50 MB");
   const PerPeer result = run_fig3_transfer50(options);

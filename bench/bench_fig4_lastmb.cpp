@@ -7,7 +7,8 @@
 int main(int argc, char** argv) {
   using namespace peerlab;
   using namespace peerlab::experiments;
-  const auto options = bench::parse_options(argc, argv);
+  auto options = bench::parse_options(argc, argv);
+  const bench::BenchMetrics metrics(options, "bench_fig4_lastmb");
 
   print_figure_header("Figure 4", "Transmission time of the last MB");
   const PerPeer result = run_fig4_last_mb(options);

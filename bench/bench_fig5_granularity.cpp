@@ -9,7 +9,8 @@
 int main(int argc, char** argv) {
   using namespace peerlab;
   using namespace peerlab::experiments;
-  const auto options = bench::parse_options(argc, argv);
+  auto options = bench::parse_options(argc, argv);
+  const bench::BenchMetrics metrics(options, "bench_fig5_granularity");
 
   print_figure_header("Figure 5",
                       "100 MB transmission: complete file vs 4 parts vs 16 parts");

@@ -12,7 +12,8 @@
 int main(int argc, char** argv) {
   using namespace peerlab;
   using namespace peerlab::experiments;
-  const auto options = bench::parse_options(argc, argv);
+  auto options = bench::parse_options(argc, argv);
+  const bench::BenchMetrics metrics(options, "bench_fig6_models");
 
   print_figure_header("Figure 6",
                       "Per-part overhead under three peer selection models");

@@ -8,7 +8,8 @@
 int main(int argc, char** argv) {
   using namespace peerlab;
   using namespace peerlab::experiments;
-  const auto options = bench::parse_options(argc, argv);
+  auto options = bench::parse_options(argc, argv);
+  const bench::BenchMetrics metrics(options, "bench_fig7_execution");
 
   print_figure_header("Figure 7", "Just execution vs transmission & execution");
   const Fig7Result result = run_fig7_execution(options);

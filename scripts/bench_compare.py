@@ -25,6 +25,18 @@ Typical use:
 Exits nonzero when any headline metric regresses by more than the
 threshold relative to the previous snapshot, which is what makes it
 usable as a CI tripwire.
+
+The script can additionally diff observability exports (the
+<bench>.metrics.json files the figure benches write via peerlab::obs):
+
+  scripts/bench_compare.py --obs-json bench_fig6_models.metrics.json \
+                           --obs-baseline saved/bench_fig6_models.metrics.json
+
+Only the selected headline series (per-model selection-latency
+quantiles, failover/backoff counters, datagram totals, fault counts)
+are shown. Obs diffs are always advisory: they never affect the exit
+code, because counter totals shift legitimately with workload edits —
+the table exists so a reviewer sees the shift, not so CI blocks on it.
 """
 
 from __future__ import annotations
@@ -52,8 +64,49 @@ METRICS = {
 }
 
 
+# Observability series worth a reviewer's eye in a diff; everything
+# else in the export is noise at review granularity.
+OBS_SELECTED = [
+    r"^overlay\.selection\.latency_s(\.[\w-]+)?\.(count|p50|p99)$",
+    r"^overlay\.(failovers|backoff_retries)(\.[\w-]+)?$",
+    r"^overlay\.selections_requested(\.[\w-]+)?$",
+    r"^net\.datagrams\.(sent|lost)(\.[\w-]+)?$",
+    r"^net\.messages\.aborted(\.[\w-]+)?$",
+    r"^faults\.[\w]+(\.[\w-]+)?$",
+]
+
+
 def geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def load_obs_metrics(paths: list[pathlib.Path]) -> dict[str, float]:
+    """Merges the flat "metrics" maps of peerlab::obs JSON exports."""
+    merged: dict[str, float] = {}
+    for path in paths:
+        merged.update(json.loads(path.read_text()).get("metrics", {}))
+    return merged
+
+
+def diff_obs_metrics(current_paths: list[pathlib.Path],
+                     baseline_path: pathlib.Path | None) -> None:
+    """Prints the advisory observability table. Never fails the run."""
+    current = load_obs_metrics(current_paths)
+    baseline = load_obs_metrics([baseline_path]) if baseline_path else {}
+    selected = [k for k in sorted(current)
+                if any(re.match(p, k) for p in OBS_SELECTED)]
+    if not selected:
+        print("obs: no selected metrics found in export", file=sys.stderr)
+        return
+    print("\nobservability metrics (advisory, never gating):")
+    print(f"{'metric':44s} {'current':>14s} {'baseline':>14s} {'ratio':>7s}")
+    for key in selected:
+        value = current[key]
+        base = baseline.get(key)
+        if base:
+            print(f"{key:44s} {value:14.4g} {base:14.4g} {value / base:6.2f}x")
+        else:
+            print(f"{key:44s} {value:14.4g} {'-':>14s} {'-':>7s}")
 
 
 def run_benchmarks(build_dir: pathlib.Path, min_time: float, repetitions: int) -> list[dict]:
@@ -127,7 +180,14 @@ def main() -> int:
     parser.add_argument("--from-json", type=pathlib.Path, nargs="+", default=None,
                         help="distil saved --benchmark_format=json outputs instead of running")
     parser.add_argument("--label", default=None, help="free-form label stored in the snapshot")
+    parser.add_argument("--obs-json", type=pathlib.Path, nargs="+", default=None,
+                        help="peerlab::obs metrics exports to diff (advisory)")
+    parser.add_argument("--obs-baseline", type=pathlib.Path, default=None,
+                        help="baseline obs export to diff --obs-json against")
     args = parser.parse_args()
+
+    if args.obs_json:
+        diff_obs_metrics(args.obs_json, args.obs_baseline)
 
     if args.from_json:
         records = load_saved(args.from_json)

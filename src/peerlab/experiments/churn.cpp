@@ -52,9 +52,16 @@ struct ChurnRun {
 /// One seeded world, one model, one churn level: boot, build enough
 /// broker history for the history-driven models, arm the churn plan,
 /// then scatter the file with failover enabled and run to completion.
-ChurnRun churn_run(std::uint64_t seed, Model model, double mttf) {
+/// With options.metrics set, the run's instruments (failovers, backoff
+/// retries, fault counters) fold into the shared registry under a
+/// per-model suffix; the churn plan installed mid-run attaches itself
+/// through the deployment's remembered registry.
+ChurnRun churn_run(const RunOptions& options, std::uint64_t seed, Model model,
+                   double mttf) {
   sim::Simulator sim(seed);
   Deployment dep(sim);
+  obs::MetricRegistry registry;
+  if (options.metrics != nullptr) dep.attach_metrics(registry);
   dep.boot();
 
   // Warm-up: one small transfer + chat per SC, serially, so the
@@ -133,6 +140,8 @@ ChurnRun churn_run(std::uint64_t seed, Model model, double mttf) {
   if (dep.faults() != nullptr) {
     run.crashes = static_cast<double>(dep.faults()->crashes_applied());
   }
+  merge_metrics(options, registry,
+                std::string(".") + kModelNames[static_cast<int>(model)]);
   return run;
 }
 
@@ -140,7 +149,7 @@ ChurnRun churn_run(std::uint64_t seed, Model model, double mttf) {
 
 ChurnResult run_bench_churn(const RunOptions& options) {
   using Rep = std::array<std::array<ChurnRun, kChurnLevels>, 3>;
-  const auto reps = run_repetitions<Rep>(options, [](std::uint64_t seed, int) {
+  const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int) {
     Rep rep;
     for (int m = 0; m < 3; ++m) {
       for (int level = 0; level < kChurnLevels; ++level) {
@@ -148,7 +157,7 @@ ChurnResult run_bench_churn(const RunOptions& options) {
         // per level — identical fault plans, so differences are the
         // model's and the churn rate's.
         rep[static_cast<std::size_t>(m)][static_cast<std::size_t>(level)] =
-            churn_run(seed, static_cast<Model>(m), kChurnMttf[level]);
+            churn_run(options, seed, static_cast<Model>(m), kChurnMttf[level]);
       }
     }
     return rep;

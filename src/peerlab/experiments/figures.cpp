@@ -39,10 +39,13 @@ FileTransferConfig figure_transfer(Bytes size, int parts) {
 /// Runs one staggered transfer per SC in a fresh world and extracts a
 /// per-peer metric from the TransferResult.
 template <typename Extract>
-std::array<double, 8> per_peer_transfer_metric(std::uint64_t seed, Bytes size, int parts,
+std::array<double, 8> per_peer_transfer_metric(const RunOptions& options,
+                                               std::uint64_t seed, Bytes size, int parts,
                                                Seconds stagger, Extract extract) {
   sim::Simulator sim(seed);
   Deployment dep(sim);
+  obs::MetricRegistry registry;
+  if (options.metrics != nullptr) dep.attach_metrics(registry);
   std::array<double, 8> values{};
   std::array<bool, 8> done{};
   for (int i = 1; i <= 8; ++i) {
@@ -60,6 +63,7 @@ std::array<double, 8> per_peer_transfer_metric(std::uint64_t seed, Bytes size, i
   }
   sim.run();
   for (const bool d : done) PEERLAB_CHECK_MSG(d, "transfer never completed");
+  merge_metrics(options, registry);
   return values;
 }
 
@@ -78,8 +82,9 @@ PerPeer run_fig2_petition(const RunOptions& options) {
   // for a file transmission. A small probe file keeps the data phase
   // out of the way.
   const auto reps = run_repetitions<std::array<double, 8>>(
-      options, [](std::uint64_t seed, int) {
-        return per_peer_transfer_metric(seed, megabytes(1.0), 1, /*stagger=*/600.0,
+      options, [&options](std::uint64_t seed, int) {
+        return per_peer_transfer_metric(options, seed, megabytes(1.0), 1,
+                                        /*stagger=*/600.0,
                                         [](const TransferResult& r) {
                                           return r.petition_time();
                                         });
@@ -89,8 +94,9 @@ PerPeer run_fig2_petition(const RunOptions& options) {
 
 PerPeer run_fig3_transfer50(const RunOptions& options) {
   const auto reps = run_repetitions<std::array<double, 8>>(
-      options, [](std::uint64_t seed, int) {
-        return per_peer_transfer_metric(seed, kFig3FileSize, 1, /*stagger=*/30000.0,
+      options, [&options](std::uint64_t seed, int) {
+        return per_peer_transfer_metric(options, seed, kFig3FileSize, 1,
+                                        /*stagger=*/30000.0,
                                         [](const TransferResult& r) {
                                           return r.transmission_time();
                                         });
@@ -100,8 +106,9 @@ PerPeer run_fig3_transfer50(const RunOptions& options) {
 
 PerPeer run_fig4_last_mb(const RunOptions& options) {
   const auto reps = run_repetitions<std::array<double, 8>>(
-      options, [](std::uint64_t seed, int) {
-        return per_peer_transfer_metric(seed, kFig3FileSize, 1, /*stagger=*/30000.0,
+      options, [&options](std::uint64_t seed, int) {
+        return per_peer_transfer_metric(options, seed, kFig3FileSize, 1,
+                                        /*stagger=*/30000.0,
                                         [](const TransferResult& r) {
                                           return r.last_mb_time();
                                         });
@@ -115,19 +122,22 @@ Fig5Result run_fig5_granularity(const RunOptions& options) {
     std::array<double, 8> four;
     std::array<double, 8> sixteen;
   };
-  const auto reps = run_repetitions<Rep>(options, [](std::uint64_t seed, int) {
+  const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int) {
     Rep rep;
     // Distinct sub-seeds per granularity: independent worlds, matching
     // the paper's independently-run configurations.
-    rep.whole = per_peer_transfer_metric(seed ^ 0x51ull, kFig5FileSize, 1, 40000.0,
+    rep.whole = per_peer_transfer_metric(options, seed ^ 0x51ull, kFig5FileSize, 1,
+                                         40000.0,
                                          [](const TransferResult& r) {
                                            return r.transmission_time();
                                          });
-    rep.four = per_peer_transfer_metric(seed ^ 0x52ull, kFig5FileSize, 4, 40000.0,
+    rep.four = per_peer_transfer_metric(options, seed ^ 0x52ull, kFig5FileSize, 4,
+                                        40000.0,
                                         [](const TransferResult& r) {
                                           return r.transmission_time();
                                         });
-    rep.sixteen = per_peer_transfer_metric(seed ^ 0x53ull, kFig5FileSize, 16, 40000.0,
+    rep.sixteen = per_peer_transfer_metric(options, seed ^ 0x53ull, kFig5FileSize, 16,
+                                           40000.0,
                                            [](const TransferResult& r) {
                                              return r.transmission_time();
                                            });
@@ -225,11 +235,18 @@ Seconds ideal_parts_time(Deployment& dep, NodeId node, Bytes part_size, int n_pa
 }
 
 /// Runs the fig6 measurement for one model at one granularity.
-/// Returns the mean per-part selection-and-dispatch overhead.
-double fig6_overhead(std::uint64_t seed, Model model, int parts) {
+/// Returns the mean per-part selection-and-dispatch overhead. With
+/// options.metrics set, the run's instruments (selection latency,
+/// failovers, transfer counters, ...) are folded into the shared
+/// registry under a per-model suffix — attached *after* warmup, so
+/// the series cover only the measured workload.
+double fig6_overhead(const RunOptions& options, std::uint64_t seed, Model model,
+                     int parts) {
   Fig6World world(seed);
   Deployment& dep = world.dep;
   sim::Simulator& sim = world.sim;
+  obs::MetricRegistry registry;
+  if (options.metrics != nullptr) dep.attach_metrics(registry);
 
   switch (model) {
     case Model::kEconomic:
@@ -288,6 +305,8 @@ double fig6_overhead(std::uint64_t seed, Model model, int parts) {
   }
   sim.run();
   PEERLAB_CHECK_MSG(outstanding == 0, "fig6 transfers did not drain");
+  merge_metrics(options, registry,
+                std::string(".") + kModelNames[static_cast<int>(model)]);
   return overhead_sum / static_cast<double>(parts);
 }
 
@@ -298,13 +317,14 @@ Fig6Result run_fig6_models(const RunOptions& options) {
     std::array<double, 3> four;
     std::array<double, 3> sixteen;
   };
-  const auto reps = run_repetitions<Rep>(options, [](std::uint64_t seed, int) {
+  const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int) {
     Rep rep;
     for (int m = 0; m < 3; ++m) {
       // Identical world per model (same seed): apples-to-apples.
-      rep.four[static_cast<std::size_t>(m)] = fig6_overhead(seed, static_cast<Model>(m), 4);
+      rep.four[static_cast<std::size_t>(m)] =
+          fig6_overhead(options, seed, static_cast<Model>(m), 4);
       rep.sixteen[static_cast<std::size_t>(m)] =
-          fig6_overhead(seed, static_cast<Model>(m), 16);
+          fig6_overhead(options, seed, static_cast<Model>(m), 16);
     }
     return rep;
   });
@@ -323,10 +343,12 @@ Fig7Result run_fig7_execution(const RunOptions& options) {
     std::array<double, 8> just_exec;
     std::array<double, 8> trans_exec;
   };
-  const auto reps = run_repetitions<Rep>(options, [](std::uint64_t seed, int) {
+  const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int) {
     Rep rep{};
     sim::Simulator sim(seed);
     Deployment dep(sim);
+    obs::MetricRegistry registry;
+    if (options.metrics != nullptr) dep.attach_metrics(registry);
     dep.boot();
     std::array<bool, 8> done_a{}, done_b{};
 
@@ -370,6 +392,7 @@ Fig7Result run_fig7_execution(const RunOptions& options) {
       PEERLAB_CHECK_MSG(done_a[static_cast<std::size_t>(i)] && done_b[static_cast<std::size_t>(i)],
                         "fig7 task never finished");
     }
+    merge_metrics(options, registry);
     return rep;
   });
 

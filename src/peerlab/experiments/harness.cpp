@@ -1,11 +1,39 @@
 #include "peerlab/experiments/harness.hpp"
 
+#include <mutex>
+
 namespace peerlab::experiments {
 
 std::uint64_t repetition_seed(const RunOptions& options, int rep) {
   // Wide spacing so forked per-component streams of adjacent
   // repetitions never collide.
   return options.base_seed + 0x9E3779B9ull * static_cast<std::uint64_t>(rep + 1);
+}
+
+void merge_metrics(const RunOptions& options, const obs::MetricRegistry& rep_registry,
+                   const std::string& suffix) {
+  if (options.metrics == nullptr) return;
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (suffix.empty()) {
+    options.metrics->merge(rep_registry);
+    return;
+  }
+  for (const auto& entry : rep_registry.entries()) {
+    const std::string name = entry.name + suffix;
+    switch (entry.kind) {
+      case obs::InstrumentKind::kCounter:
+        options.metrics->counter(name, entry.unit).merge(*entry.counter);
+        break;
+      case obs::InstrumentKind::kGauge:
+        options.metrics->gauge(name, entry.unit).merge(*entry.gauge);
+        break;
+      case obs::InstrumentKind::kHistogram:
+        options.metrics->histogram(name, entry.unit, entry.histogram->options())
+            .merge(*entry.histogram);
+        break;
+    }
+  }
 }
 
 sim::Summary summarize(const std::vector<double>& samples) {

@@ -9,10 +9,12 @@
 
 #include <atomic>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "peerlab/common/check.hpp"
+#include "peerlab/obs/metrics.hpp"
 #include "peerlab/sim/histogram.hpp"
 
 namespace peerlab::experiments {
@@ -22,10 +24,23 @@ struct RunOptions {
   std::uint64_t base_seed = 2007;  // the paper's year
   /// 0 = one thread per repetition, capped at hardware concurrency.
   unsigned threads = 0;
+  /// When set, each figure driver attaches its per-repetition
+  /// deployments to fresh registries and folds them in here (see
+  /// merge_metrics); instruments aggregate across repetitions. Must
+  /// outlive the run. Null = observability off (the default).
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Seed for repetition `rep` under `options`.
 [[nodiscard]] std::uint64_t repetition_seed(const RunOptions& options, int rep);
+
+/// Folds one repetition's registry into options.metrics — thread-safe
+/// across concurrent repetitions, a no-op when metrics is null. A
+/// non-empty `suffix` (e.g. ".economic") is appended to every
+/// instrument name, giving per-variant series from per-world
+/// registries that all use the generic names.
+void merge_metrics(const RunOptions& options, const obs::MetricRegistry& rep_registry,
+                   const std::string& suffix = "");
 
 /// Runs `body(seed, rep)` once per repetition across a thread pool and
 /// returns the results ordered by repetition index. `Result` must be

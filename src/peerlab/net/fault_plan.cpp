@@ -77,27 +77,40 @@ FaultInjector::FaultInjector(Network& network, FaultPlan plan, Hooks hooks)
   }
 }
 
+void FaultInjector::attach_metrics(obs::MetricRegistry& registry) {
+  m_.crashes = &registry.counter("faults.crashes", "events");
+  m_.restarts = &registry.counter("faults.restarts", "events");
+  m_.partitions = &registry.counter("faults.partitions", "events");
+  m_.heals = &registry.counter("faults.heals", "events");
+  m_.brownouts = &registry.counter("faults.brownouts", "events");
+}
+
 void FaultInjector::apply(const FaultEvent& event) {
   switch (event.kind) {
     case FaultKind::kCrash:
       ++crashes_;
+      if (m_.crashes != nullptr) m_.crashes->add(1);
       network_.crash_node(event.node);
       if (hooks_.on_crash) hooks_.on_crash(event.node);
       break;
     case FaultKind::kRestart:
       ++restarts_;
+      if (m_.restarts != nullptr) m_.restarts->add(1);
       network_.restore_node(event.node);
       if (hooks_.on_restart) hooks_.on_restart(event.node);
       break;
     case FaultKind::kPartition:
       ++partitions_;
+      if (m_.partitions != nullptr) m_.partitions->add(1);
       network_.partition(event.node, event.peer);
       break;
     case FaultKind::kHeal:
+      if (m_.heals != nullptr) m_.heals->add(1);
       network_.heal(event.node, event.peer);
       break;
     case FaultKind::kBrownout:
       ++brownouts_;
+      if (m_.brownouts != nullptr) m_.brownouts->add(1);
       network_.set_capacity_factor(event.node, event.factor);
       break;
   }

@@ -90,12 +90,26 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t partitions_applied() const noexcept { return partitions_; }
   [[nodiscard]] std::uint64_t brownouts_applied() const noexcept { return brownouts_; }
 
+  /// Registers per-kind fault counters in `registry`; each applied
+  /// event then also bumps its counter. Zero-cost when never called.
+  void attach_metrics(obs::MetricRegistry& registry);
+
  private:
+  /// Cached instrument handles; all null while detached.
+  struct Metrics {
+    obs::Counter* crashes = nullptr;
+    obs::Counter* restarts = nullptr;
+    obs::Counter* partitions = nullptr;
+    obs::Counter* heals = nullptr;
+    obs::Counter* brownouts = nullptr;
+  };
+
   void apply(const FaultEvent& event);
 
   Network& network_;
   FaultPlan plan_;
   Hooks hooks_;
+  Metrics m_;
   std::uint64_t crashes_ = 0;
   std::uint64_t restarts_ = 0;
   std::uint64_t partitions_ = 0;

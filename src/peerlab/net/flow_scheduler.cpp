@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "peerlab/common/check.hpp"
+#include "peerlab/obs/span.hpp"
 
 namespace peerlab::net {
 
@@ -24,6 +25,24 @@ FlowScheduler::FlowScheduler(sim::Simulator& sim, const Topology& topo,
   // later are picked up lazily. Doing it here keeps the first start()
   // on the same allocation-free path as every later one.
   ensure_node_arrays();
+}
+
+void FlowScheduler::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling) {
+  m_.flows_started = &registry.counter("net.flows.started", "flows");
+  m_.flows_completed = &registry.counter("net.flows.completed", "flows");
+  m_.flows_aborted = &registry.counter("net.flows.aborted", "flows");
+  m_.flows_cancelled = &registry.counter("net.flows.cancelled", "flows");
+  m_.relevels = &registry.counter("net.flows.relevels", "transitions");
+  m_.components_releveled = &registry.counter("net.flows.components_releveled", "components");
+  m_.flows_releveled = &registry.counter("net.flows.flows_releveled", "flows");
+  if (wall_profiling) {
+    obs::Histogram::Options opts;
+    opts.lo = 1e-9;  // nanosecond resolution: re-levels are sub-microsecond
+    opts.hi = 1.0;
+    m_.relevel_wall_s = &registry.histogram("net.flows.relevel_wall_s", "s", opts);
+  } else {
+    m_.relevel_wall_s = nullptr;
+  }
 }
 
 FlowId FlowScheduler::start(FlowSpec spec) {
@@ -68,6 +87,7 @@ FlowId FlowScheduler::start(FlowSpec spec) {
     mono_ = false;
   }
 
+  if (m_.flows_started != nullptr) m_.flows_started->add(1);
   settle();
   return id;
 }
@@ -77,6 +97,7 @@ void FlowScheduler::cancel(FlowId id) {
   if (slot == nullptr) return;
   advance_to_now();
   remove_flow(active_position(*slot));
+  if (m_.flows_cancelled != nullptr) m_.flows_cancelled->add(1);
   settle();
 }
 
@@ -117,7 +138,10 @@ std::size_t FlowScheduler::abort_where(Pred pred) {
       ++i;
     }
   }
-  if (!aborted.empty()) settle();
+  if (!aborted.empty()) {
+    if (m_.flows_aborted != nullptr) m_.flows_aborted->add(aborted.size());
+    settle();
+  }
   for (Completion& c : aborted) {
     if (c.callback) c.callback(c.duration);
   }
@@ -224,10 +248,16 @@ void FlowScheduler::unlink_from(std::uint32_t slot, int dir, std::uint32_t key) 
 void FlowScheduler::relevel_dirty() {
   if (dirty_res_.empty()) return;
   ensure_node_arrays();
+  const obs::WallSpan wall_span(m_.relevel_wall_s);
+  if (m_.relevels != nullptr) m_.relevels->add(1);
   // Single known component: it necessarily contains every dirty
   // resource that has flows at all, so the flood fill below would just
   // rediscover `active_`. Fill it directly.
   if (mono_) {
+    if (m_.components_releveled != nullptr) {
+      m_.components_releveled->add(1);
+      m_.flows_releveled->add(active_.size());
+    }
     waterfill(active_);
     dirty_res_.clear();
     return;
@@ -275,6 +305,10 @@ void FlowScheduler::relevel_dirty() {
     }
     if (comp_flows_.empty()) continue;
     ++comps;
+    if (m_.components_releveled != nullptr) {
+      m_.components_releveled->add(1);
+      m_.flows_releveled->add(comp_flows_.size());
+    }
     // Water-filling must accumulate floating point in FlowId order to
     // stay bit-identical to the reference; the flood fill discovers
     // flows in adjacency order. When the component spans every active
@@ -404,6 +438,7 @@ void FlowScheduler::on_timer() {
       ++i;
     }
   }
+  if (m_.flows_completed != nullptr) m_.flows_completed->add(done_.size());
   relevel_dirty();
   reschedule();
   for (Completion& c : done_) {

@@ -46,6 +46,7 @@
 #include "peerlab/common/slot_index.hpp"
 #include "peerlab/common/units.hpp"
 #include "peerlab/net/topology.hpp"
+#include "peerlab/obs/metrics.hpp"
 #include "peerlab/sim/simulator.hpp"
 
 namespace peerlab::net {
@@ -138,6 +139,15 @@ class FlowScheduler {
   /// Number of active downloads entering `node` (inbox pressure signal).
   /// Incrementally maintained: O(1).
   [[nodiscard]] int downloads_at(NodeId node) const noexcept;
+
+  /// Registers this scheduler's instruments in `registry` and starts
+  /// recording into them; zero-cost when never called (every record
+  /// site is one null test, like Network::set_tracer). With
+  /// `wall_profiling` the re-level path also times itself with the
+  /// steady clock into `net.flows.relevel_wall_s` — re-levels run
+  /// within one sim instant, so only wall time can profile them.
+  void attach_metrics(obs::MetricRegistry& registry, bool wall_profiling = false);
+  void detach_metrics() noexcept { m_ = Metrics(); }
 
  private:
   /// Hot per-flow state: everything the advance/recompute/reschedule
@@ -276,6 +286,19 @@ class FlowScheduler {
   std::vector<Pending> wf_still_;
   std::vector<Pending> wf_frozen_;
   std::vector<Completion> done_;  // completion staging, reused
+
+  /// Cached instrument handles; all null while detached.
+  struct Metrics {
+    obs::Counter* flows_started = nullptr;
+    obs::Counter* flows_completed = nullptr;
+    obs::Counter* flows_aborted = nullptr;
+    obs::Counter* flows_cancelled = nullptr;
+    obs::Counter* relevels = nullptr;
+    obs::Counter* components_releveled = nullptr;
+    obs::Counter* flows_releveled = nullptr;
+    obs::Histogram* relevel_wall_s = nullptr;
+  };
+  Metrics m_;
 
   IdAllocator<FlowId> ids_;
   sim::EventHandle timer_;

@@ -1,6 +1,8 @@
 #include "peerlab/net/network.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "peerlab/common/check.hpp"
 
@@ -14,6 +16,39 @@ Network::Network(sim::Simulator& sim, Topology topology, NetworkConfig config)
       loss_rng_(sim.rng().fork(0x10055ull)) {
   PEERLAB_CHECK_MSG(config_.datagram_loss >= 0.0 && config_.datagram_loss < 1.0,
                     "datagram_loss must be in [0, 1)");
+}
+
+void Network::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling) {
+  m_.datagrams_sent = &registry.counter("net.datagrams.sent", "datagrams");
+  m_.datagrams_lost = &registry.counter("net.datagrams.lost", "datagrams");
+  m_.datagrams_blocked = &registry.counter("net.datagrams.blocked", "datagrams");
+  m_.messages_started = &registry.counter("net.messages.started", "messages");
+  m_.messages_lost = &registry.counter("net.messages.lost", "messages");
+  m_.messages_blocked = &registry.counter("net.messages.blocked", "messages");
+  m_.messages_aborted = &registry.counter("net.messages.aborted", "messages");
+  m_.brownout_seconds = &registry.gauge("net.brownout_seconds", "s");
+  obs::Histogram::Options delay_opts;
+  delay_opts.lo = 1e-4;  // control delays run 1 ms .. tens of seconds
+  delay_opts.hi = 1e3;
+  m_.datagram_delay_s = &registry.histogram("net.datagram_delay_s", "s", delay_opts);
+  flows_.attach_metrics(registry, wall_profiling);
+}
+
+void Network::account_brownout(NodeId node, double new_factor) {
+  if (m_.brownout_seconds == nullptr) return;
+  if (brownout_since_.size() <= node.value()) {
+    brownout_since_.resize(topology_.size() + 1,
+                           std::numeric_limits<Seconds>::quiet_NaN());
+  }
+  Seconds& since = brownout_since_[node.value()];
+  // Close the running degraded interval (a factor change ends one
+  // segment and may start another), then open a new one unless the
+  // node is back to nominal.
+  if (!std::isnan(since)) {
+    m_.brownout_seconds->add(sim_.now() - since);
+    since = std::numeric_limits<Seconds>::quiet_NaN();
+  }
+  if (new_factor < 1.0) since = sim_.now();
 }
 
 bool Network::node_up(NodeId node) const noexcept {
@@ -35,10 +70,13 @@ void Network::crash_node(NodeId node) {
   // re-levels exactly once, then every victim's failure callback fires
   // (spec.on_abort, wired in start_message).
   const auto batch = flows_.start_batch();
-  messages_aborted_ += flows_.abort_touching(node);
+  const std::size_t aborted = flows_.abort_touching(node);
+  messages_aborted_ += aborted;
+  if (m_.messages_aborted != nullptr) m_.messages_aborted->add(aborted);
 }
 
 void Network::set_capacity_factor(NodeId node, double factor) {
+  account_brownout(node, factor);
   flows_.set_capacity_factor(node, factor);
   // Brownouts are faults like crashes and partitions: record them so a
   // trace of a degraded run explains its throughput dips.
@@ -69,7 +107,9 @@ void Network::partition(NodeId a, NodeId b) {
     tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "link-partition",
                     to_string(a) + "-" + to_string(b), a.value(), b.value());
   }
-  messages_aborted_ += flows_.abort_between(a, b);
+  const std::size_t aborted = flows_.abort_between(a, b);
+  messages_aborted_ += aborted;
+  if (m_.messages_aborted != nullptr) m_.messages_aborted->add(aborted);
 }
 
 void Network::heal(NodeId a, NodeId b) {
@@ -90,9 +130,14 @@ void Network::send_datagram(NodeId src, NodeId dst, Bytes size,
                             std::function<void()> on_delivered) {
   PEERLAB_CHECK_MSG(size >= 0, "datagram size must be non-negative");
   ++datagrams_sent_;
+  if (m_.datagrams_sent != nullptr) m_.datagrams_sent->add(1);
   if (!reachable(src, dst)) {
     ++datagrams_lost_;
     ++datagrams_blocked_;
+    if (m_.datagrams_lost != nullptr) {
+      m_.datagrams_lost->add(1);
+      m_.datagrams_blocked->add(1);
+    }
     if (tracer_ != nullptr) {
       tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "datagram-blocked",
                       to_string(src) + "->" + to_string(dst), src.value(), dst.value());
@@ -103,6 +148,7 @@ void Network::send_datagram(NodeId src, NodeId dst, Bytes size,
       (1.0 - config_.datagram_loss) * topology_.node(dst).delivery_probability(size);
   if (!loss_rng_.bernoulli(p_deliver)) {
     ++datagrams_lost_;
+    if (m_.datagrams_lost != nullptr) m_.datagrams_lost->add(1);
     if (tracer_ != nullptr) {
       tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "datagram-lost",
                       to_string(src) + "->" + to_string(dst), src.value(), dst.value());
@@ -110,6 +156,7 @@ void Network::send_datagram(NodeId src, NodeId dst, Bytes size,
     return;  // silently dropped; sender's timer handles it
   }
   const Seconds delay = sample_control_delay(src, dst);
+  if (m_.datagram_delay_s != nullptr) m_.datagram_delay_s->record(delay);
   if (tracer_ != nullptr) {
     tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "datagram-sent",
                     to_string(src) + "->" + to_string(dst), src.value(), dst.value());
@@ -121,6 +168,10 @@ void Network::send_datagram(NodeId src, NodeId dst, Bytes size,
     if (!node_up(dst)) {
       ++datagrams_lost_;
       ++datagrams_blocked_;
+      if (m_.datagrams_lost != nullptr) {
+        m_.datagrams_lost->add(1);
+        m_.datagrams_blocked->add(1);
+      }
       return;
     }
     if (cb) cb();
@@ -131,6 +182,7 @@ FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
                               std::function<void(bool, Seconds)> on_done) {
   PEERLAB_CHECK_MSG(size > 0, "bulk message size must be positive");
   ++messages_started_;
+  if (m_.messages_started != nullptr) m_.messages_started->add(1);
   const Seconds begun = sim_.now();
 
   if (!reachable(src, dst)) {
@@ -138,6 +190,10 @@ FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
     // sender's transport notices after a connect-timeout-ish stall.
     ++messages_lost_;
     ++messages_blocked_;
+    if (m_.messages_lost != nullptr) {
+      m_.messages_lost->add(1);
+      m_.messages_blocked->add(1);
+    }
     if (tracer_ != nullptr) {
       tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "message-blocked",
                       to_string(src) + "->" + to_string(dst),
@@ -161,6 +217,7 @@ FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
   Bytes flow_size = size;
   if (!survives) {
     ++messages_lost_;
+    if (m_.messages_lost != nullptr) m_.messages_lost->add(1);
     const double fraction = loss_rng_.uniform(0.15, 0.95);
     flow_size = std::max<Bytes>(1, static_cast<Bytes>(static_cast<double>(size) * fraction));
   }

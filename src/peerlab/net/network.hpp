@@ -113,6 +113,17 @@ class Network {
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] sim::Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Registers the network's instruments (datagram/message counters,
+  /// control-delay histogram, accumulated brownout seconds) in
+  /// `registry` and the flow scheduler's alongside; zero-cost when
+  /// never called. `wall_profiling` forwards to the scheduler's
+  /// re-level wall-clock histogram.
+  void attach_metrics(obs::MetricRegistry& registry, bool wall_profiling = false);
+  void detach_metrics() noexcept {
+    m_ = Metrics();
+    flows_.detach_metrics();
+  }
+
   /// Statistics for tests and reporting.
   [[nodiscard]] std::uint64_t datagrams_sent() const noexcept { return datagrams_sent_; }
   [[nodiscard]] std::uint64_t datagrams_lost() const noexcept { return datagrams_lost_; }
@@ -126,12 +137,32 @@ class Network {
   [[nodiscard]] std::uint64_t messages_aborted() const noexcept { return messages_aborted_; }
 
  private:
+  /// Cached instrument handles; all null while detached.
+  struct Metrics {
+    obs::Counter* datagrams_sent = nullptr;
+    obs::Counter* datagrams_lost = nullptr;
+    obs::Counter* datagrams_blocked = nullptr;
+    obs::Counter* messages_started = nullptr;
+    obs::Counter* messages_lost = nullptr;
+    obs::Counter* messages_blocked = nullptr;
+    obs::Counter* messages_aborted = nullptr;
+    obs::Gauge* brownout_seconds = nullptr;
+    obs::Histogram* datagram_delay_s = nullptr;
+  };
+
+  /// Closes the open brownout interval of `node` (if any) into the
+  /// brownout-seconds gauge; called on every factor change.
+  void account_brownout(NodeId node, double new_factor);
+
   sim::Simulator& sim_;
   Topology topology_;
   NetworkConfig config_;
   FlowScheduler flows_;
   sim::Rng loss_rng_;
   sim::Tracer* tracer_ = nullptr;
+  Metrics m_;
+  /// Start time of each node's ongoing brownout; NaN = not degraded.
+  std::vector<Seconds> brownout_since_;
   std::vector<std::uint8_t> node_down_;  // index = node id; 1 = down
   std::set<std::pair<std::uint64_t, std::uint64_t>> partitions_;  // (min, max) node ids
   std::uint64_t datagrams_sent_ = 0;

@@ -1,0 +1,327 @@
+#include "peerlab/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::obs {
+
+namespace {
+
+// Octave index of v relative to lo: floor(log2(v / lo)). Computed via
+// frexp to stay exact at power-of-two boundaries where log2() rounding
+// could misplace a sample by one octave.
+int octave_of(double v, double lo) noexcept {
+  int ev = 0;
+  int el = 0;
+  const double mv = std::frexp(v, &ev);
+  const double ml = std::frexp(lo, &el);
+  int oct = ev - el;
+  if (mv < ml) --oct;  // same exponent but smaller mantissa → previous octave
+  return oct;
+}
+
+}  // namespace
+
+Histogram::Histogram() : Histogram(Options()) {}
+
+Histogram::Histogram(Options options) : options_(options) {
+  PEERLAB_CHECK_MSG(options_.lo > 0.0 && options_.hi > options_.lo,
+                    "histogram bounds must satisfy 0 < lo < hi");
+  PEERLAB_CHECK_MSG(options_.sub_buckets >= 1, "histogram needs >= 1 sub-bucket per octave");
+  octaves_ = octave_of(std::nextafter(options_.hi, 0.0), options_.lo) + 1;
+  if (octaves_ < 1) octaves_ = 1;
+  // [underflow] [octaves * sub_buckets] [overflow]
+  counts_.assign(2 + static_cast<std::size_t>(octaves_) *
+                         static_cast<std::size_t>(options_.sub_buckets),
+                 0);
+}
+
+std::size_t Histogram::bucket_index(double v) const noexcept {
+  if (!(v >= options_.lo)) return 0;  // underflow; NaN also lands here
+  if (v >= options_.hi) return counts_.size() - 1;
+  const int oct = octave_of(v, options_.lo);
+  const double base = std::ldexp(options_.lo, oct);
+  int sub = static_cast<int>((v / base - 1.0) * options_.sub_buckets);
+  sub = std::clamp(sub, 0, options_.sub_buckets - 1);
+  std::size_t idx = 1 + static_cast<std::size_t>(oct) *
+                            static_cast<std::size_t>(options_.sub_buckets) +
+                    static_cast<std::size_t>(sub);
+  if (idx >= counts_.size() - 1) idx = counts_.size() - 2;
+  return idx;
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  if (i == 0) return 0.0;
+  if (i >= counts_.size() - 1) return options_.hi;
+  const std::size_t linear = i - 1;
+  const std::size_t oct = linear / static_cast<std::size_t>(options_.sub_buckets);
+  const std::size_t sub = linear % static_cast<std::size_t>(options_.sub_buckets);
+  const double base = std::ldexp(options_.lo, static_cast<int>(oct));
+  return base * (1.0 + static_cast<double>(sub) / options_.sub_buckets);
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  if (i == 0) return options_.lo;
+  if (i >= counts_.size() - 1) return options_.hi;  // conceptually +inf; hi for display
+  const std::size_t linear = i - 1;
+  const std::size_t oct = linear / static_cast<std::size_t>(options_.sub_buckets);
+  const std::size_t sub = linear % static_cast<std::size_t>(options_.sub_buckets);
+  const double base = std::ldexp(options_.lo, static_cast<int>(oct));
+  return base * (1.0 + static_cast<double>(sub + 1) / options_.sub_buckets);
+}
+
+void Histogram::record(double v) noexcept {
+  ++counts_[bucket_index(v)];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q=0 → first sample, q=1 → last.
+  const double rank = 1.0 + q * static_cast<double>(count_ - 1);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double in_bucket = static_cast<double>(counts_[i]);
+    if (seen + in_bucket >= rank) {
+      const double frac = (rank - seen - 1.0) / in_bucket;  // position inside bucket
+      // Clamp interpolation to the exact observed extremes so
+      // quantiles never stray outside [min, max].
+      double lo = std::max(bucket_lo(i), min_);
+      double hi = std::min(bucket_hi(i), max_);
+      if (hi < lo) hi = lo;
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+    seen += in_bucket;
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  PEERLAB_CHECK_MSG(other.options_.lo == options_.lo && other.options_.hi == options_.hi &&
+                        other.options_.sub_buckets == options_.sub_buckets,
+                    "histogram merge requires identical bucket geometry");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+const char* to_string(InstrumentKind kind) noexcept {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+MetricRegistry::Slot& MetricRegistry::slot_for(std::string_view name, std::string_view unit,
+                                               InstrumentKind kind) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    PEERLAB_CHECK_MSG(it->second.kind == kind,
+                      "metric re-registered as a different instrument kind");
+    return it->second;
+  }
+  Slot slot;
+  slot.name = std::string(name);
+  slot.unit = std::string(unit);
+  slot.kind = kind;
+  auto [pos, inserted] = by_name_.emplace(slot.name, std::move(slot));
+  order_.push_back(&pos->second);
+  return pos->second;
+}
+
+Counter& MetricRegistry::counter(std::string_view name, std::string_view unit) {
+  Slot& slot = slot_for(name, unit, InstrumentKind::kCounter);
+  if (slot.index == kUnassigned) {
+    slot.index = counters_.size();
+    counters_.push_back(std::make_unique<Counter>());
+  }
+  return *counters_[slot.index];
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, std::string_view unit) {
+  Slot& slot = slot_for(name, unit, InstrumentKind::kGauge);
+  if (slot.index == kUnassigned) {
+    slot.index = gauges_.size();
+    gauges_.push_back(std::make_unique<Gauge>());
+  }
+  return *gauges_[slot.index];
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name, std::string_view unit,
+                                     Histogram::Options options) {
+  Slot& slot = slot_for(name, unit, InstrumentKind::kHistogram);
+  if (slot.index == kUnassigned) {
+    slot.index = histograms_.size();
+    histograms_.push_back(std::make_unique<Histogram>(options));
+  }
+  return *histograms_[slot.index];
+}
+
+const Counter* MetricRegistry::find_counter(std::string_view name) const noexcept {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.kind != InstrumentKind::kCounter) return nullptr;
+  return counters_[it->second.index].get();
+}
+
+const Gauge* MetricRegistry::find_gauge(std::string_view name) const noexcept {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.kind != InstrumentKind::kGauge) return nullptr;
+  return gauges_[it->second.index].get();
+}
+
+const Histogram* MetricRegistry::find_histogram(std::string_view name) const noexcept {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.kind != InstrumentKind::kHistogram) return nullptr;
+  return histograms_[it->second.index].get();
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const Slot* slot : other.order_) {
+    switch (slot->kind) {
+      case InstrumentKind::kCounter:
+        counter(slot->name, slot->unit).merge(*other.counters_[slot->index]);
+        break;
+      case InstrumentKind::kGauge:
+        gauge(slot->name, slot->unit).merge(*other.gauges_[slot->index]);
+        break;
+      case InstrumentKind::kHistogram: {
+        const Histogram& src = *other.histograms_[slot->index];
+        histogram(slot->name, slot->unit, src.options()).merge(src);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<MetricRegistry::Entry> MetricRegistry::entries() const {
+  std::vector<Entry> out;
+  out.reserve(order_.size());
+  for (const Slot* slot : order_) {
+    Entry e;
+    e.name = slot->name;
+    e.unit = slot->unit;
+    e.kind = slot->kind;
+    switch (slot->kind) {
+      case InstrumentKind::kCounter: e.counter = counters_[slot->index].get(); break;
+      case InstrumentKind::kGauge: e.gauge = gauges_[slot->index].get(); break;
+      case InstrumentKind::kHistogram: e.histogram = histograms_[slot->index].get(); break;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+namespace {
+
+void json_escape(std::ostream& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+}
+
+void json_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "0";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  out << tmp.str();
+}
+
+}  // namespace
+
+std::string MetricRegistry::json(std::string_view label) const {
+  std::ostringstream out;
+  out << "{\n  \"label\": \"";
+  json_escape(out, label);
+  out << "\",\n  \"metrics\": {";
+  bool first = true;
+  auto key = [&](const std::string& name, const char* suffix) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    json_escape(out, name);
+    out << suffix << "\": ";
+    first = false;
+  };
+  for (const Slot* slot : order_) {
+    switch (slot->kind) {
+      case InstrumentKind::kCounter:
+        key(slot->name, "");
+        out << counters_[slot->index]->value();
+        break;
+      case InstrumentKind::kGauge:
+        key(slot->name, "");
+        json_number(out, gauges_[slot->index]->value());
+        break;
+      case InstrumentKind::kHistogram: {
+        const Histogram& h = *histograms_[slot->index];
+        key(slot->name, ".count");
+        out << h.count();
+        key(slot->name, ".mean");
+        json_number(out, h.mean());
+        key(slot->name, ".p50");
+        json_number(out, h.quantile(0.50));
+        key(slot->name, ".p90");
+        json_number(out, h.quantile(0.90));
+        key(slot->name, ".p99");
+        json_number(out, h.quantile(0.99));
+        key(slot->name, ".min");
+        json_number(out, h.min());
+        key(slot->name, ".max");
+        json_number(out, h.max());
+        break;
+      }
+    }
+  }
+  out << "\n  },\n  \"instruments\": {";
+  first = true;
+  for (const Slot* slot : order_) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    json_escape(out, slot->name);
+    out << "\": {\"kind\": \"" << to_string(slot->kind) << "\", \"unit\": \"";
+    json_escape(out, slot->unit);
+    out << "\"}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+void MetricRegistry::write_json(const std::string& path, std::string_view label) const {
+  std::ofstream out(path);
+  PEERLAB_CHECK_MSG(out.good(), "cannot open metrics JSON output path");
+  out << json(label);
+}
+
+}  // namespace peerlab::obs

@@ -113,9 +113,17 @@ std::vector<PeerId> BrokerPeer::select_peers(const core::SelectionContext& conte
   return model_->select_k(snapshots, context, k);
 }
 
+void BrokerPeer::attach_metrics(obs::MetricRegistry& registry) {
+  m_.heartbeats = &registry.counter("overlay.heartbeats", "heartbeats");
+  m_.stats_reports = &registry.counter("overlay.stats_reports", "reports");
+  m_.selections_served = &registry.counter("overlay.selections_served", "selections");
+  m_.federated_queries = &registry.counter("overlay.federated_queries", "queries");
+}
+
 void BrokerPeer::apply_stats(const StatsDelta& delta) {
   if (!delta.subject.valid()) return;
   ++reports_;
+  if (m_.stats_reports != nullptr) m_.stats_reports->add(1);
   auto& s = statistics_for(delta.subject);
   const Seconds now = sim().now();
   for (int i = 0; i < delta.msg_ok; ++i) s.record_message(now, true);
@@ -143,6 +151,7 @@ void BrokerPeer::begin_session() {
 
 void BrokerPeer::on_heartbeat(const transport::Message& m) {
   ++heartbeats_;
+  if (m_.heartbeats != nullptr) m_.heartbeats->add(1);
   const PeerId peer(m.correlation);
   auto [it, inserted] = clients_.try_emplace(peer);
   ClientRecord& record = it->second;
@@ -185,6 +194,7 @@ void BrokerPeer::federate_with(NodeId peer_broker) {
           return;
         }
         ++federated_queries_;
+        if (m_.federated_queries != nullptr) m_.federated_queries->add(1);
         forward_query(query, 0, std::make_shared<std::vector<jxta::Advertisement>>(),
                       std::move(done));
       });
@@ -215,6 +225,7 @@ void BrokerPeer::forward_query(const jxta::AdvertisementQuery& query, std::size_
 
 void BrokerPeer::serve_selection(const transport::Message& m) {
   ++selections_served_;
+  if (m_.selections_served != nullptr) m_.selections_served->add(1);
   // Peek, not claim: the client's channel may retransmit this request.
   core::SelectionContext context;
   if (const auto* parked = directories_.selection_contexts.peek(m.correlation)) {

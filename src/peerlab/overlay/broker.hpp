@@ -14,6 +14,7 @@
 
 #include "peerlab/core/blind.hpp"
 #include "peerlab/core/selection_model.hpp"
+#include "peerlab/obs/metrics.hpp"
 #include "peerlab/overlay/directories.hpp"
 #include "peerlab/transport/reliable_channel.hpp"
 
@@ -109,7 +110,19 @@ class BrokerPeer {
   [[nodiscard]] std::uint64_t reports_applied() const noexcept { return reports_; }
   [[nodiscard]] std::uint64_t selections_served() const noexcept { return selections_served_; }
 
+  /// Registers the broker's counters in `registry` (shared by name
+  /// across all brokers of a deployment). Zero-cost when never called.
+  void attach_metrics(obs::MetricRegistry& registry);
+
  private:
+  /// Cached instrument handles; all null while detached.
+  struct Metrics {
+    obs::Counter* heartbeats = nullptr;
+    obs::Counter* stats_reports = nullptr;
+    obs::Counter* selections_served = nullptr;
+    obs::Counter* federated_queries = nullptr;
+  };
+
   void on_heartbeat(const transport::Message& m);
   void on_stats_report(const transport::Message& m);
   void serve_selection(const transport::Message& m);
@@ -123,6 +136,7 @@ class BrokerPeer {
   NodeId node_;
   OverlayDirectories& directories_;
   BrokerConfig config_;
+  Metrics m_;
   jxta::RendezvousIndex rendezvous_;
   jxta::PeerGroupRegistry groups_;
   jxta::DiscoveryService discovery_;

@@ -117,17 +117,35 @@ void ClientPeer::rehome(NodeId new_broker) {
   }
 }
 
+void ClientPeer::attach_metrics(obs::MetricRegistry& registry) {
+  m_.selections_requested = &registry.counter("overlay.selections_requested", "requests");
+  m_.selection_failures = &registry.counter("overlay.selection_failures", "requests");
+  obs::Histogram::Options latency_opts;
+  latency_opts.lo = 1e-3;  // a selection round trip runs ms .. minutes
+  latency_opts.hi = 1e4;
+  m_.selection_latency_s =
+      &registry.histogram("overlay.selection.latency_s", "s", latency_opts);
+  files_->attach_metrics(registry);
+}
+
 void ClientPeer::request_selection(const core::SelectionContext& context, std::size_t k,
                                    SelectionCallback done) {
   PEERLAB_CHECK_MSG(static_cast<bool>(done), "selection callback required");
+  if (m_.selections_requested != nullptr) m_.selections_requested->add(1);
+  const Seconds begun = sim().now();
   const std::uint64_t context_ticket = directories_.selection_contexts.park(context);
   select_channel_.request(
       broker_node_, context_ticket, static_cast<std::int64_t>(k),
-      [this, context_ticket, done = std::move(done)](const transport::RequestOutcome& outcome) {
+      [this, begun, context_ticket,
+       done = std::move(done)](const transport::RequestOutcome& outcome) {
         directories_.selection_contexts.release(context_ticket);
         if (!outcome.ok) {
+          if (m_.selection_failures != nullptr) m_.selection_failures->add(1);
           done({});
           return;
+        }
+        if (m_.selection_latency_s != nullptr) {
+          m_.selection_latency_s->record(sim().now() - begun);
         }
         done(directories_.selections.claim(
             static_cast<std::uint64_t>(outcome.response.arg)));

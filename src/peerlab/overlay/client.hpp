@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "peerlab/obs/metrics.hpp"
 #include "peerlab/overlay/directories.hpp"
 #include "peerlab/overlay/file_service.hpp"
 #include "peerlab/overlay/messaging.hpp"
@@ -80,7 +81,22 @@ class ClientPeer {
 
   [[nodiscard]] std::uint64_t heartbeats_sent() const noexcept { return heartbeats_sent_; }
 
+  /// Registers the client-side selection instruments in `registry`:
+  /// the client-observed selection latency histogram (request issued →
+  /// peers delivered, virtual time — the broker-selection latency the
+  /// paper's models are compared on) plus request/failure counters,
+  /// and forwards to the file service's distribution instruments.
+  /// Zero-cost when never called.
+  void attach_metrics(obs::MetricRegistry& registry);
+
  private:
+  /// Cached instrument handles; all null while detached.
+  struct Metrics {
+    obs::Counter* selections_requested = nullptr;
+    obs::Counter* selection_failures = nullptr;
+    obs::Histogram* selection_latency_s = nullptr;
+  };
+
   void heartbeat();
   void publish_advert();
 
@@ -99,6 +115,7 @@ class ClientPeer {
   std::unique_ptr<TaskService> task_service_;
   std::unique_ptr<MessagingService> messaging_;
   transport::ReliableChannel select_channel_;
+  Metrics m_;
   sim::EventHandle heartbeat_timer_;
   bool started_ = false;
   std::uint64_t heartbeats_sent_ = 0;

@@ -17,6 +17,18 @@ FileService::FileService(transport::Endpoint& endpoint, OverlayDirectories& dire
   PEERLAB_CHECK_MSG(static_cast<bool>(reporter_), "file service needs a reporter");
 }
 
+void FileService::attach_metrics(obs::MetricRegistry& registry) {
+  m_.distributions = &registry.counter("overlay.distributions", "runs");
+  m_.distributions_complete = &registry.counter("overlay.distributions_complete", "runs");
+  m_.failovers = &registry.counter("overlay.failovers", "shares");
+  m_.backoff_retries = &registry.counter("overlay.backoff_retries", "retries");
+  obs::Histogram::Options makespan_opts;
+  makespan_opts.lo = 0.1;  // a scatter runs seconds .. hours
+  makespan_opts.hi = 1e5;
+  m_.makespan_s = &registry.histogram("overlay.distribution.makespan_s", "s", makespan_opts);
+  peer_.attach_metrics(registry);
+}
+
 sim::Simulator& FileService::sim() noexcept { return endpoint_.fabric().simulator(); }
 
 net::FlowScheduler& FileService::flows() noexcept {
@@ -136,6 +148,7 @@ void FileService::distribute(Bytes file_size, int parts, const std::vector<PeerI
   }
   state->shares.back().bytes += file_size - assigned;  // rounding remainder
   state->outstanding = static_cast<int>(state->shares.size());
+  if (m_.distributions != nullptr) m_.distributions->add(1);
 
   // One rate recomputation for the whole fan-out, not one per share.
   const auto batch = flows().start_batch();
@@ -182,6 +195,7 @@ void FileService::share_finished(const std::shared_ptr<DistributionState>& state
   ++share.failovers;
   ++state->result.failovers;
   ++failovers_;
+  if (m_.backoff_retries != nullptr) m_.backoff_retries->add(1);
 
   sim().schedule(delay, [this, state, index] {
     replacement_(state->shares[index].bytes, state->used,
@@ -191,6 +205,7 @@ void FileService::share_finished(const std::shared_ptr<DistributionState>& state
                      finalize_share(state, index);
                      return;
                    }
+                   if (m_.failovers != nullptr) m_.failovers->add(1);
                    state->shares[index].current = replacement;
                    state->used.push_back(replacement);
                    launch_share(state, index);
@@ -219,6 +234,12 @@ void FileService::finalize_share(const std::shared_ptr<DistributionState>& state
   // exclusion discipline, so the order is total).
   std::sort(state->result.shares.begin(), state->result.shares.end(),
             [](const auto& a, const auto& b) { return a.peer < b.peer; });
+  if (m_.makespan_s != nullptr) {
+    if (m_.distributions_complete != nullptr && state->result.complete) {
+      m_.distributions_complete->add(1);
+    }
+    m_.makespan_s->record(state->result.makespan());
+  }
   state->done(state->result);
 }
 

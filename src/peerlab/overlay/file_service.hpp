@@ -112,7 +112,21 @@ class FileService {
     return cancelled_.size();
   }
 
+  /// Registers the distribution instruments (failovers, backoff
+  /// retries, per-distribution makespan) in `registry` and the wrapped
+  /// transfer peer's counters alongside. Zero-cost when never called.
+  void attach_metrics(obs::MetricRegistry& registry);
+
  private:
+  /// Cached instrument handles; all null while detached.
+  struct Metrics {
+    obs::Counter* distributions = nullptr;
+    obs::Counter* distributions_complete = nullptr;
+    obs::Counter* failovers = nullptr;
+    obs::Counter* backoff_retries = nullptr;
+    obs::Histogram* makespan_s = nullptr;
+  };
+
   struct DistributionState;
 
   void launch_share(const std::shared_ptr<DistributionState>& state, std::size_t index);
@@ -125,6 +139,7 @@ class FileService {
 
   transport::Endpoint& endpoint_;
   transport::FileTransferPeer peer_;
+  Metrics m_;
   Reporter reporter_;
   ReplacementProvider replacement_;
   std::set<std::uint64_t> cancelled_;  // TransferId values we cancelled

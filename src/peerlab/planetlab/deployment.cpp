@@ -126,7 +126,17 @@ net::FaultInjector& Deployment::install_faults(net::FaultPlan plan) {
   };
   injector_ = std::make_unique<net::FaultInjector>(*network_, std::move(plan),
                                                    std::move(hooks));
+  if (metrics_ != nullptr) injector_->attach_metrics(*metrics_);
   return *injector_;
+}
+
+void Deployment::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling) {
+  metrics_ = &registry;
+  network_->attach_metrics(registry, wall_profiling);
+  for (auto& broker : brokers_) broker->attach_metrics(registry);
+  control_->attach_metrics(registry);
+  for (auto& client : clients_) client->attach_metrics(registry);
+  if (injector_ != nullptr) injector_->attach_metrics(registry);
 }
 
 }  // namespace peerlab::planetlab

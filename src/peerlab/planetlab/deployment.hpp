@@ -80,6 +80,15 @@ class Deployment {
   net::FaultInjector& install_faults(net::FaultPlan plan);
   [[nodiscard]] net::FaultInjector* faults() noexcept { return injector_.get(); }
 
+  /// Attaches the whole deployment to `registry`: network + flow
+  /// scheduler, every broker and client (the overlay instruments are
+  /// shared by name, so e.g. overlay.heartbeats aggregates across all
+  /// peers), and the fault injector — including one installed later.
+  /// `registry` must outlive the deployment. Zero-cost when never
+  /// called; `wall_profiling` additionally enables the wall-clock
+  /// re-level histogram (see FlowScheduler::attach_metrics).
+  void attach_metrics(obs::MetricRegistry& registry, bool wall_profiling = false);
+
  private:
   sim::Simulator& sim_;
   DeploymentOptions options_;
@@ -90,6 +99,7 @@ class Deployment {
   std::vector<std::unique_ptr<overlay::ClientPeer>> clients_;
   std::unique_ptr<overlay::ClientPeer> control_;
   std::unique_ptr<net::FaultInjector> injector_;
+  obs::MetricRegistry* metrics_ = nullptr;  // set by attach_metrics
   std::array<NodeId, 8> sc_nodes_{};
 };
 

@@ -7,6 +7,25 @@
 
 namespace peerlab::sim {
 
+namespace {
+
+/// RFC-4180 field: quoted iff it contains a comma, quote, CR or LF;
+/// embedded quotes are doubled.
+void append_csv_field(std::string& out, std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    out.append(field);
+    return;
+  }
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
 const char* to_string(TraceCategory category) noexcept {
   switch (category) {
     case TraceCategory::kNetwork: return "network";
@@ -23,65 +42,89 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
   PEERLAB_CHECK_MSG(capacity_ > 0, "tracer needs capacity");
 }
 
-void Tracer::record(Seconds time, TraceCategory category, std::string label,
-                    std::string detail, std::uint64_t a, std::uint64_t b) {
+void Tracer::record(Seconds time, TraceCategory category, std::string_view label,
+                    std::string_view detail, std::uint64_t a, std::uint64_t b) {
   ++recorded_;
-  if (events_.size() >= capacity_) {
-    events_.pop_front();
+  TraceEvent* slot;
+  if (ring_.size() < capacity_) {
+    slot = &ring_.emplace_back();
+  } else {
+    // Overwrite the oldest slot in place; its strings keep their
+    // capacity, so a warm ring records without allocating.
+    slot = &ring_[head_];
+    head_ = (head_ + 1) % capacity_;
     ++dropped_;
   }
-  TraceEvent event;
-  event.time = time;
-  event.category = category;
-  event.label = std::move(label);
-  event.detail = std::move(detail);
-  event.a = a;
-  event.b = b;
-  events_.push_back(std::move(event));
+  slot->time = time;
+  slot->category = category;
+  slot->label.assign(label);
+  slot->detail.assign(detail);
+  slot->a = a;
+  slot->b = b;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for_each([&](const TraceEvent& e) { out.push_back(e); });
+  return out;
 }
 
 std::vector<TraceEvent> Tracer::by_category(TraceCategory category) const {
   std::vector<TraceEvent> out;
-  for (const auto& e : events_) {
+  for_each([&](const TraceEvent& e) {
     if (e.category == category) out.push_back(e);
-  }
+  });
   return out;
 }
 
-std::vector<TraceEvent> Tracer::by_label(const std::string& label) const {
+std::vector<TraceEvent> Tracer::by_label(std::string_view label) const {
   std::vector<TraceEvent> out;
-  for (const auto& e : events_) {
+  for_each([&](const TraceEvent& e) {
     if (e.label == label) out.push_back(e);
-  }
+  });
   return out;
 }
 
 std::size_t Tracer::count(TraceCategory category) const {
   std::size_t n = 0;
-  for (const auto& e : events_) n += (e.category == category) ? 1 : 0;
+  for_each([&](const TraceEvent& e) { n += (e.category == category) ? 1 : 0; });
   return n;
 }
 
-std::size_t Tracer::count_label(const std::string& label) const {
+std::size_t Tracer::count_label(std::string_view label) const {
   std::size_t n = 0;
-  for (const auto& e : events_) n += (e.label == label) ? 1 : 0;
+  for_each([&](const TraceEvent& e) { n += (e.label == label) ? 1 : 0; });
   return n;
 }
 
 void Tracer::clear() {
-  events_.clear();
+  ring_.clear();
+  head_ = 0;
   recorded_ = 0;
   dropped_ = 0;
 }
 
 std::string Tracer::csv() const {
-  std::ostringstream out;
-  out << "time,category,label,detail,a,b\n";
-  for (const auto& e : events_) {
-    out << e.time << ',' << to_string(e.category) << ',' << e.label << ',' << e.detail
-        << ',' << e.a << ',' << e.b << '\n';
-  }
-  return out.str();
+  std::string out = "time,category,label,detail,a,b\n";
+  std::ostringstream num;
+  for_each([&](const TraceEvent& e) {
+    num.str("");
+    num << e.time;
+    out.append(num.str());
+    out.push_back(',');
+    out.append(to_string(e.category));
+    out.push_back(',');
+    append_csv_field(out, e.label);
+    out.push_back(',');
+    append_csv_field(out, e.detail);
+    out.push_back(',');
+    out.append(std::to_string(e.a));
+    out.push_back(',');
+    out.append(std::to_string(e.b));
+    out.push_back('\n');
+  });
+  return out;
 }
 
 void Tracer::write_csv(const std::string& path) const {

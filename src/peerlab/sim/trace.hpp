@@ -4,9 +4,14 @@
 // events that subsystems append to when one is attached (tracing off =
 // zero cost beyond a pointer test). Experiments attach a Tracer to
 // inspect protocol timelines or dump a CSV for offline analysis.
+//
+// The ring is a fixed-capacity vector written in place: once warm,
+// record() allocates nothing (slot strings reuse their capacity), so
+// tracing stays cheap enough to leave on under load. Overwritten
+// events are counted in dropped().
 
-#include <deque>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "peerlab/common/units.hpp"
@@ -38,31 +43,48 @@ struct TraceEvent {
 
 class Tracer {
  public:
-  /// Ring capacity; oldest events are dropped (and counted) once full.
+  /// Ring capacity; oldest events are overwritten (and counted as
+  /// dropped) once full.
   explicit Tracer(std::size_t capacity = 65536);
 
-  void record(Seconds time, TraceCategory category, std::string label,
-              std::string detail = "", std::uint64_t a = 0, std::uint64_t b = 0);
+  void record(Seconds time, TraceCategory category, std::string_view label,
+              std::string_view detail = {}, std::uint64_t a = 0, std::uint64_t b = 0);
 
-  [[nodiscard]] const std::deque<TraceEvent>& events() const noexcept { return events_; }
-  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  /// Retained events, oldest first (materialized from the ring).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Events overwritten by the ring; recorded() - dropped() == size().
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
   [[nodiscard]] std::vector<TraceEvent> by_category(TraceCategory category) const;
-  [[nodiscard]] std::vector<TraceEvent> by_label(const std::string& label) const;
+  [[nodiscard]] std::vector<TraceEvent> by_label(std::string_view label) const;
   [[nodiscard]] std::size_t count(TraceCategory category) const;
-  [[nodiscard]] std::size_t count_label(const std::string& label) const;
+  [[nodiscard]] std::size_t count_label(std::string_view label) const;
 
   void clear();
 
   /// time,category,label,detail,a,b per line (header included).
+  /// RFC-4180: fields containing commas, quotes, or newlines are
+  /// quoted, embedded quotes doubled — the output round-trips through
+  /// any conforming CSV reader.
   [[nodiscard]] std::string csv() const;
   void write_csv(const std::string& path) const;
 
  private:
+  /// Calls `fn(event)` for each retained event, oldest first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = ring_.size();
+    for (std::size_t i = 0; i < n; ++i) fn(ring_[(head_ + i) % n]);
+  }
+
   std::size_t capacity_;
-  std::deque<TraceEvent> events_;
+  /// Grows to capacity_, then becomes a circular buffer: head_ is the
+  /// oldest slot, record() overwrites it in place.
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
   std::uint64_t recorded_ = 0;
   std::uint64_t dropped_ = 0;
 };

@@ -43,6 +43,16 @@ FileTransferPeer::~FileTransferPeer() {
   }
 }
 
+void FileTransferPeer::attach_metrics(obs::MetricRegistry& registry) {
+  m_.transfers_started = &registry.counter("transport.transfers.started", "transfers");
+  m_.transfers_completed = &registry.counter("transport.transfers.completed", "transfers");
+  m_.transfers_failed = &registry.counter("transport.transfers.failed", "transfers");
+  m_.transfers_cancelled = &registry.counter("transport.transfers.cancelled", "transfers");
+  m_.parts_confirmed = &registry.counter("transport.parts.confirmed", "parts");
+  m_.bytes_confirmed = &registry.counter("transport.bytes.confirmed", "bytes");
+  m_.petitions_served = &registry.counter("transport.petitions.served", "petitions");
+}
+
 TransferId FileTransferPeer::send_file(NodeId dst, const FileTransferConfig& config,
                                        Completion done) {
   PEERLAB_CHECK_MSG(config.file_size > 0, "file must be non-empty");
@@ -66,6 +76,7 @@ TransferId FileTransferPeer::send_file(NodeId dst, const FileTransferConfig& con
   PEERLAB_CHECK_MSG(s.part_size > 0, "more parts than bytes");
   s.done = std::move(done);
   sending_.emplace(corr, std::move(s));
+  if (m_.transfers_started != nullptr) m_.transfers_started->add(1);
 
   petition_channel_.request(
       dst, corr, /*arg=*/config.parts, config.petition_retry,
@@ -98,6 +109,7 @@ void FileTransferPeer::cancel(TransferId id) {
   if (network().flows().active(it->second.active_flow)) {
     network().cancel_message(it->second.active_flow);
   }
+  if (m_.transfers_cancelled != nullptr) m_.transfers_cancelled->add(1);
   finish(corr, false, "cancelled by sender");
 }
 
@@ -179,6 +191,10 @@ void FileTransferPeer::on_confirm(const Message& message) {
   if (rec.data_completed == 0.0) return;  // confirm raced a retransmit
   rec.confirmed = sim().now();
   s.confirm_timer.cancel();
+  if (m_.parts_confirmed != nullptr) {
+    m_.parts_confirmed->add(1);
+    m_.bytes_confirmed->add(static_cast<std::uint64_t>(rec.size));
+  }
 
   if (s.current_part + 1 < s.config.parts) {
     ++s.current_part;
@@ -211,6 +227,9 @@ void FileTransferPeer::finish(std::uint64_t correlation, bool complete, const ch
   result.complete = complete;
   result.failure = failure;
   result.finished = sim().now();
+  if (m_.transfers_completed != nullptr) {
+    (complete ? m_.transfers_completed : m_.transfers_failed)->add(1);
+  }
   done(result);
 }
 
@@ -220,6 +239,7 @@ void FileTransferPeer::serve_petition(const Message& message) {
     it->second.petition_received = sim().now();
     it->second.sender = message.src;
     ++petitions_received_;
+    if (m_.petitions_served != nullptr) m_.petitions_served->add(1);
   }
   // Idempotent ack carrying the (first) arrival time in microseconds.
   endpoint_.reply(message, MessageType::kTransferPetitionAck,

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "peerlab/obs/metrics.hpp"
 #include "peerlab/transport/reliable_channel.hpp"
 
 namespace peerlab::transport {
@@ -134,10 +135,27 @@ class FileTransferPeer {
   [[nodiscard]] std::uint64_t parts_received() const noexcept { return parts_received_; }
   [[nodiscard]] std::uint64_t petitions_received() const noexcept { return petitions_received_; }
 
+  /// Registers the transport counters in `registry`. All peers of a
+  /// deployment share the same named instruments (registration is
+  /// get-or-create), so the readout is per-world. Zero-cost when never
+  /// called.
+  void attach_metrics(obs::MetricRegistry& registry);
+
   /// Internal: data plane hands an arrived part to the receiving peer.
   void on_part_delivered(std::uint64_t correlation, int part_index, NodeId sender);
 
  private:
+  /// Cached instrument handles; all null while detached.
+  struct Metrics {
+    obs::Counter* transfers_started = nullptr;
+    obs::Counter* transfers_completed = nullptr;
+    obs::Counter* transfers_failed = nullptr;
+    obs::Counter* transfers_cancelled = nullptr;
+    obs::Counter* parts_confirmed = nullptr;
+    obs::Counter* bytes_confirmed = nullptr;
+    obs::Counter* petitions_served = nullptr;
+  };
+
   struct Sending {
     TransferResult result;
     FileTransferConfig config;
@@ -171,6 +189,7 @@ class FileTransferPeer {
 
   Endpoint& endpoint_;
   FileTransferDirectory& directory_;
+  Metrics m_;
   ReliableChannel petition_channel_;
   IdAllocator<TransferId> transfer_ids_;
   std::map<std::uint64_t, Sending> sending_;      // key: correlation

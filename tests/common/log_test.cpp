@@ -53,6 +53,35 @@ TEST_F(LogTest, LevelNames) {
   EXPECT_STREQ(level_name(Level::kError), "ERROR");
 }
 
+TEST_F(LogTest, ReplacingSinkStopsDeliveryToOldSink) {
+  std::vector<std::string> other;
+  set_sink([&other](Level, std::string_view line) { other.emplace_back(line); });
+  PEERLAB_LOG(kInfo, "m") << "to the new sink";
+  EXPECT_TRUE(lines_.empty());  // fixture sink was replaced, not stacked
+  ASSERT_EQ(other.size(), 1u);
+  set_sink(nullptr);
+}
+
+TEST_F(LogTest, NullSinkRestoresStderr) {
+  set_sink(nullptr);
+  ::testing::internal::CaptureStderr();
+  PEERLAB_LOG(kWarn, "restore") << "back on stderr";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  // The fixture sink must not see the line, and stderr gets the same
+  // format the sink path would have produced.
+  EXPECT_TRUE(lines_.empty());
+  EXPECT_EQ(captured, "[WARN] restore: back on stderr\n");
+
+  // A sink installed afterwards receives lines again (restore is not
+  // one-way).
+  set_sink([this](Level level, std::string_view line) {
+    lines_.emplace_back(level, std::string(line));
+  });
+  PEERLAB_LOG(kWarn, "restore") << "back on the sink";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].second, "[WARN] restore: back on the sink");
+}
+
 TEST_F(LogTest, MacroDoesNotEvaluateArgsWhenFiltered) {
   set_level(Level::kOff);
   int evaluations = 0;

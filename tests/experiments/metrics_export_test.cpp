@@ -1,0 +1,82 @@
+// The acceptance path for the observability subsystem: run the
+// Figure 6 driver exactly as the bench binary does — registry attached
+// through RunOptions — write the JSON export, and parse it back. Pins
+// the contract consumers rely on: a flat "metrics" map holding
+// per-model selection-latency histogram stats (p50/p99) and failover
+// counters, aggregated across every world of the run.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "peerlab/experiments/figures.hpp"
+#include "peerlab/obs/metrics.hpp"
+
+namespace peerlab::experiments {
+namespace {
+
+/// Extracts the number following `"key": ` in the export. The format
+/// is one `"name": value` pair per line under "metrics", so a literal
+/// scan is a faithful parser for this fixture.
+double metric_value(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto at = json.find(needle);
+  EXPECT_NE(at, std::string::npos) << "export lacks " << key;
+  if (at == std::string::npos) return -1.0;
+  return std::stod(json.substr(at + needle.size()));
+}
+
+TEST(MetricsExport, Fig6EmitsPerModelHistogramsAndFailoverCounters) {
+  RunOptions options;
+  options.repetitions = 1;
+  options.threads = 1;
+  obs::MetricRegistry registry;
+  options.metrics = &registry;
+
+  const Fig6Result result = run_fig6_models(options);
+  // The driver still returns its figures; metrics ride along.
+  EXPECT_GT(result.four_parts[0].mean(), 0.0);
+
+  const std::string path = ::testing::TempDir() + "/fig6_metrics.json";
+  registry.write_json(path, "bench_fig6_models");
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(path.c_str());
+
+  EXPECT_NE(json.find("\"label\": \"bench_fig6_models\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
+
+  for (const char* model : kModelNames) {
+    const std::string latency = std::string("overlay.selection.latency_s.") + model;
+    // Each model ran two worlds (4 and 16 parts) with one selection
+    // each, plus any failover re-petitions.
+    EXPECT_GE(metric_value(json, latency + ".count"), 2.0) << model;
+    const double p50 = metric_value(json, latency + ".p50");
+    const double p99 = metric_value(json, latency + ".p99");
+    EXPECT_GT(p50, 0.0) << model;
+    EXPECT_GE(p99, p50) << model;
+
+    // Failover counters exist per model (zero on clean runs) and the
+    // instrument table declares them as counters.
+    EXPECT_GE(metric_value(json, std::string("overlay.failovers.") + model), 0.0);
+    EXPECT_GE(metric_value(json, std::string("overlay.backoff_retries.") + model), 0.0);
+    EXPECT_NE(json.find(std::string("\"overlay.failovers.") + model +
+                        "\": {\"kind\": \"counter\""),
+              std::string::npos)
+        << model;
+
+    // The wire-level series aggregate across the model's worlds too.
+    EXPECT_GT(metric_value(json, std::string("net.datagrams.sent.") + model), 0.0);
+    EXPECT_GE(metric_value(json, std::string("overlay.selections_requested.") + model),
+              2.0);
+  }
+}
+
+}  // namespace
+}  // namespace peerlab::experiments

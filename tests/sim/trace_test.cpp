@@ -75,6 +75,102 @@ TEST(Tracer, CategoryNames) {
 
 TEST(Tracer, RejectsZeroCapacity) { EXPECT_THROW(Tracer(0), InvariantError); }
 
+TEST(Tracer, RingAccountingAcrossManyWraps) {
+  Tracer tracer(4);
+  for (int i = 0; i < 1000; ++i) {
+    tracer.record(static_cast<double>(i), TraceCategory::kOther, std::to_string(i));
+  }
+  EXPECT_EQ(tracer.capacity(), 4u);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.recorded(), 1000u);
+  EXPECT_EQ(tracer.dropped(), 996u);
+  EXPECT_EQ(tracer.recorded() - tracer.dropped(), tracer.size());
+  // The survivors are exactly the newest four, oldest first.
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].label, std::to_string(996 + i));
+  }
+}
+
+TEST(Tracer, CsvQuotesSpecialCharacters) {
+  Tracer tracer;
+  tracer.record(1.0, TraceCategory::kOther, "plain", "a,b");
+  tracer.record(2.0, TraceCategory::kOther, "say \"hi\"", "line1\nline2");
+  const std::string csv = tracer.csv();
+  EXPECT_NE(csv.find("plain,\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line1\nline2\""), std::string::npos);
+}
+
+namespace {
+
+/// Minimal conforming RFC-4180 reader: records of fields, quoted
+/// fields may contain commas/newlines/doubled quotes.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (!field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+TEST(Tracer, CsvRoundTripsThroughConformingReader) {
+  Tracer tracer;
+  tracer.record(0.5, TraceCategory::kNetwork, "ev,1", "detail with \"quotes\"", 10, 20);
+  tracer.record(1.5, TraceCategory::kTask, "multi\nline", "plain", 3, 4);
+  tracer.record(2.5, TraceCategory::kOther, "", ",", 0, 0);
+
+  const auto rows = parse_csv(tracer.csv());
+  ASSERT_EQ(rows.size(), 4u);  // header + 3 events
+  ASSERT_EQ(rows[0].size(), 6u);
+  EXPECT_EQ(rows[0][2], "label");
+
+  const auto events = tracer.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& row = rows[i + 1];
+    ASSERT_EQ(row.size(), 6u);
+    EXPECT_EQ(row[1], to_string(events[i].category));
+    EXPECT_EQ(row[2], events[i].label);
+    EXPECT_EQ(row[3], events[i].detail);
+    EXPECT_EQ(row[4], std::to_string(events[i].a));
+    EXPECT_EQ(row[5], std::to_string(events[i].b));
+  }
+}
+
 // ---- integration: the subsystems actually emit ----
 
 TEST(TracerIntegration, DeploymentEmitsNetworkTaskAndSelectionEvents) {
