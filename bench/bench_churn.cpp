@@ -3,6 +3,12 @@
 // models. Verifies the failover machinery: every share must complete
 // even when its peer dies mid-transfer (the service re-petitions the
 // broker for a substitute), at the price of a longer makespan.
+//
+// Each cell also runs a broker-crash arm from the same seed: the
+// primary broker dies mid-distribution, the standby is elected from
+// the replication stream and the whole flock re-homes to it. The
+// "bkill penalty s" column is the per-seed makespan cost of losing the
+// broker; completion must stay at 100% in both arms.
 
 #include "bench_common.hpp"
 #include "peerlab/experiments/churn.hpp"
@@ -14,20 +20,25 @@ int main(int argc, char** argv) {
   const bench::BenchMetrics metrics(options, "bench_churn");
 
   print_figure_header("Churn sweep",
-                      "Distribution makespan and failovers under node churn");
+                      "Distribution makespan and failovers under node churn, with and "
+                      "without losing the primary broker");
   const ChurnResult result = run_bench_churn(options);
 
   Table table("Scatter distribution under churn (mean of " +
                   std::to_string(options.repetitions) + " runs; MTTR " +
-                  std::to_string(static_cast<int>(kChurnMttr)) + " s)",
-              {"model", "churn", "makespan s", "failovers", "crashes", "complete %"});
+                  std::to_string(static_cast<int>(kChurnMttr)) +
+                  " s; bkill = primary broker crashed mid-distribution)",
+              {"model", "churn", "makespan s", "failovers", "crashes", "complete %",
+               "bkill makespan s", "bkill penalty s", "bkill complete %"});
   for (int m = 0; m < 3; ++m) {
     for (int level = 0; level < kChurnLevels; ++level) {
       const auto& c =
           result.cells[static_cast<std::size_t>(m)][static_cast<std::size_t>(level)];
       table.add_row({kModelNames[m], kChurnLabels[level], cell(c.makespan.mean(), 1),
                      cell(c.failovers.mean(), 2), cell(c.crashes.mean(), 1),
-                     cell(100.0 * c.completion_rate(), 1)});
+                     cell(100.0 * c.completion_rate(), 1),
+                     cell(c.broker_makespan.mean(), 1), cell(c.broker_penalty.mean(), 1),
+                     cell(100.0 * c.broker_completion_rate(), 1)});
     }
   }
   std::printf("%s\n", table.render().c_str());
@@ -35,18 +46,27 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   double failovers_heaviest = 0.0;
+  double penalty_heaviest = 0.0;
   for (int m = 0; m < 3; ++m) {
     const auto& row = result.cells[static_cast<std::size_t>(m)];
     const auto& clean = row[0];
     const auto& heaviest = row[static_cast<std::size_t>(kChurnLevels - 1)];
     failovers_heaviest += heaviest.failovers.mean();
+    penalty_heaviest += heaviest.broker_penalty.mean();
 
     ok &= shape_check(std::string(kModelNames[m]) + ": fault-free run needs no failover",
                       clean.failovers.mean() == 0.0);
     for (int level = 0; level < kChurnLevels; ++level) {
+      const auto& c = row[static_cast<std::size_t>(level)];
       ok &= shape_check(std::string(kModelNames[m]) + "/" + kChurnLabels[level] +
                             ": every share completes (failover leaves none behind)",
-                        row[static_cast<std::size_t>(level)].completion_rate() == 1.0);
+                        c.completion_rate() == 1.0);
+      ok &= shape_check(std::string(kModelNames[m]) + "/" + kChurnLabels[level] +
+                            ": broker crash still completes 100% (standby failover)",
+                        c.broker_completion_rate() == 1.0);
+      ok &= shape_check(std::string(kModelNames[m]) + "/" + kChurnLabels[level] +
+                            ": every broker-crash run elects a replacement",
+                        c.broker_elections.min() >= 1.0);
     }
     ok &= shape_check(std::string(kModelNames[m]) +
                           ": churn degrades makespan (heaviest >= fault-free)",
@@ -54,5 +74,7 @@ int main(int argc, char** argv) {
   }
   ok &= shape_check("heaviest churn actually exercises failover",
                     failovers_heaviest > 0.0);
+  ok &= shape_check("broker loss under heavy churn costs makespan (penalty >= 0)",
+                    penalty_heaviest >= 0.0);
   return ok ? 0 : 1;
 }

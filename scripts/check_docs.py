@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo documentation.
+
+Verifies every *relative* link in README.md, DESIGN.md,
+EXPERIMENTS.md, ROADMAP.md, CHANGES.md and docs/*.md:
+
+* the target file exists (relative to the file containing the link);
+* a `#fragment` (with or without a file part) matches a heading in the
+  target file, using GitHub's anchor slugification.
+
+External links (http/https/mailto/...) are ignored — this is a
+structural check, not a crawler — as are links inside fenced code
+blocks and inline code spans. Stdlib only; exit code 1 on any broken
+link.
+
+Usage: python3 scripts/check_docs.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+SCHEME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9+.-]*:")
+
+
+def doc_files(root: str) -> list[str]:
+    names = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md"]
+    files = [os.path.join(root, n) for n in names if os.path.isfile(os.path.join(root, n))]
+    files += sorted(glob.glob(os.path.join(root, "docs", "**", "*.md"), recursive=True))
+    return files
+
+
+def strip_code(text: str) -> str:
+    """Blanks out fenced code blocks and inline code spans so C++
+    lambdas like `[&](NodeId)` are not mistaken for links."""
+    out_lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            out_lines.append("")
+            continue
+        out_lines.append("" if in_fence else re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out_lines)
+
+
+def github_slug(heading: str) -> str:
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)  # drop punctuation (keeps word chars, -, space)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set[str]:
+    anchors: set[str] = set()
+    with open(path, encoding="utf-8") as fh:
+        text = strip_code(fh.read())
+    for line in text.splitlines():
+        m = HEADING_RE.match(line)
+        if m:
+            base = github_slug(m.group(1))
+            anchors.add(base)
+            # Duplicate headings get -1, -2, ... suffixes on GitHub;
+            # accept the base form for all of them (structural check).
+    return anchors
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    errors: list[str] = []
+    checked = 0
+    anchor_cache: dict[str, set[str]] = {}
+
+    for doc in doc_files(root):
+        with open(doc, encoding="utf-8") as fh:
+            text = strip_code(fh.read())
+        rel_doc = os.path.relpath(doc, root)
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if SCHEME_RE.match(target) or target.startswith("//"):
+                    continue  # external
+                checked += 1
+                path_part, _, fragment = target.partition("#")
+                if path_part:
+                    dest = os.path.normpath(
+                        os.path.join(os.path.dirname(doc), path_part))
+                else:
+                    dest = doc  # same-file anchor
+                if not os.path.exists(dest):
+                    errors.append(f"{rel_doc}:{lineno}: broken link target "
+                                  f"'{target}' ({path_part} not found)")
+                    continue
+                if fragment:
+                    if not dest.endswith(".md") or os.path.isdir(dest):
+                        continue  # anchors only checked inside markdown
+                    if dest not in anchor_cache:
+                        anchor_cache[dest] = anchors_of(dest)
+                    if fragment.lower() not in anchor_cache[dest]:
+                        errors.append(f"{rel_doc}:{lineno}: broken anchor "
+                                      f"'#{fragment}' in '{target}'")
+
+    for err in errors:
+        print(f"check_docs: {err}", file=sys.stderr)
+    print(f"check_docs: {checked} relative links checked, "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

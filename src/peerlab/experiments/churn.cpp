@@ -46,20 +46,27 @@ struct ChurnRun {
   double makespan = 0.0;
   double failovers = 0.0;
   double crashes = 0.0;
+  double elections = 0.0;
+  double deltas_streamed = 0.0;
   bool complete = false;
 };
 
 /// One seeded world, one model, one churn level: boot, build enough
 /// broker history for the history-driven models, arm the churn plan,
 /// then scatter the file with failover enabled and run to completion.
-/// With options.metrics set, the run's instruments (failovers, backoff
-/// retries, fault counters) fold into the shared registry under a
-/// per-model suffix; the churn plan installed mid-run attaches itself
-/// through the deployment's remembered registry.
+/// Every world carries one standby broker replicating the primary;
+/// with `crash_broker` the primary is crashed kBrokerCrashDelay after
+/// the distribution starts, so completion must come through election +
+/// re-homing. With options.metrics set, the run's instruments fold
+/// into the shared registry under a per-model (and per-arm) suffix;
+/// the churn plan installed mid-run attaches itself through the
+/// deployment's remembered registry.
 ChurnRun churn_run(const RunOptions& options, std::uint64_t seed, Model model,
-                   double mttf) {
+                   double mttf, bool crash_broker) {
   sim::Simulator sim(seed);
-  Deployment dep(sim);
+  planetlab::DeploymentOptions dep_options;
+  dep_options.standby_brokers = 1;
+  Deployment dep(sim, dep_options);
   obs::MetricRegistry registry;
   if (options.metrics != nullptr) dep.attach_metrics(registry);
   dep.boot();
@@ -80,32 +87,50 @@ ChurnRun churn_run(const RunOptions& options, std::uint64_t seed, Model model,
   }
   sim.run_until(at + 300.0);
 
-  switch (model) {
-    case Model::kEconomic:
-      dep.broker().set_selection_model(std::make_unique<core::EconomicSchedulingModel>());
-      break;
-    case Model::kSamePriority:
-      dep.broker().set_selection_model(
-          std::make_unique<core::DataEvaluatorModel>(core::DataEvaluatorModel::same_priority()));
-      break;
-    case Model::kQuickPeer: {
-      std::vector<PeerId> known;
-      for (int i = 1; i <= 8; ++i) known.push_back(dep.sc_peer(i));
-      dep.broker().set_selection_model(std::make_unique<core::UserPreferenceModel>(
-          core::UserPreferenceModel::quick_peer(dep.broker().history(), known)));
-      break;
+  // Both brokers get the model: the standby's copy binds to its own
+  // (replicated) history, so a post-failover selection judges peers on
+  // the warm-up record the primary streamed over — not on cold state.
+  // This matters most for quick-peer, which freezes its ranking at
+  // construction from whatever history it is handed.
+  const auto set_model = [&](overlay::BrokerPeer& broker) {
+    switch (model) {
+      case Model::kEconomic:
+        broker.set_selection_model(std::make_unique<core::EconomicSchedulingModel>());
+        break;
+      case Model::kSamePriority:
+        broker.set_selection_model(std::make_unique<core::DataEvaluatorModel>(
+            core::DataEvaluatorModel::same_priority()));
+        break;
+      case Model::kQuickPeer: {
+        std::vector<PeerId> known;
+        for (int i = 1; i <= 8; ++i) known.push_back(dep.sc_peer(i));
+        broker.set_selection_model(std::make_unique<core::UserPreferenceModel>(
+            core::UserPreferenceModel::quick_peer(broker.history(), known)));
+        break;
+      }
     }
-  }
+  };
+  set_model(dep.broker());
+  set_model(dep.standby_at(0));
 
-  // Churn window: covers selection and the whole distribution. Only
-  // client nodes churn; broker and control stay up (broker outage is
-  // exercised separately — see tests/overlay/failover_test).
+  // Churn window: covers selection and the whole distribution. Client
+  // nodes churn per the MTTF/MTTR renewal plan; in the broker-crash
+  // arm the primary additionally dies for good shortly after the
+  // distribution starts (the selection phase below runs a fixed 300 s
+  // window, so the distribution start time is deterministic).
+  const Seconds distribution_start = sim.now() + 300.0;
+  net::FaultPlan plan;
   if (mttf > 0.0) {
     sim::Rng churn_rng = sim.rng().fork(0xC4A54ull);
-    dep.install_faults(net::FaultPlan::random_churn(churn_rng, dep.client_nodes(), mttf,
-                                                    kChurnMttr, sim.now(),
-                                                    sim.now() + 6000.0));
+    plan = net::FaultPlan::random_churn(churn_rng, dep.client_nodes(), mttf, kChurnMttr,
+                                        sim.now(), sim.now() + 6000.0);
   }
+  if (crash_broker) {
+    net::FaultPlan broker_kill;
+    broker_kill.crash_forever(distribution_start + kBrokerCrashDelay, dep.broker().node());
+    plan.merge(broker_kill);
+  }
+  if (!plan.empty()) dep.install_faults(std::move(plan));
 
   // Broker-mediated selection of the initial share holders.
   std::vector<PeerId> selected;
@@ -137,27 +162,47 @@ ChurnRun churn_run(const RunOptions& options, std::uint64_t seed, Model model,
       churn_failover());
   sim.run();
   PEERLAB_CHECK_MSG(done, "churn distribution never resolved");
+  if (crash_broker) {
+    // A fast distribution can outrun the crash+detection window; keep
+    // the clock moving a little so the election always happens and the
+    // arm's replica metrics mean the same thing in every cell.
+    sim.run_until(sim.now() + kBrokerElectionGrace);
+  }
   if (dep.faults() != nullptr) {
     run.crashes = static_cast<double>(dep.faults()->crashes_applied());
   }
+  if (dep.replicas() != nullptr) {
+    run.elections = static_cast<double>(dep.replicas()->elections());
+    run.deltas_streamed = static_cast<double>(dep.replicas()->deltas_streamed());
+  }
   merge_metrics(options, registry,
-                std::string(".") + kModelNames[static_cast<int>(model)]);
+                std::string(".") + kModelNames[static_cast<int>(model)] +
+                    (crash_broker ? ".broker-crash" : ""));
   return run;
 }
 
 }  // namespace
 
 ChurnResult run_bench_churn(const RunOptions& options) {
-  using Rep = std::array<std::array<ChurnRun, kChurnLevels>, 3>;
+  struct CellRuns {
+    ChurnRun base;
+    ChurnRun broker;
+  };
+  using Rep = std::array<std::array<CellRuns, kChurnLevels>, 3>;
   const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int) {
     Rep rep;
     for (int m = 0; m < 3; ++m) {
       for (int level = 0; level < kChurnLevels; ++level) {
-        // Same seed across models and levels: identical worlds and —
-        // per level — identical fault plans, so differences are the
-        // model's and the churn rate's.
-        rep[static_cast<std::size_t>(m)][static_cast<std::size_t>(level)] =
-            churn_run(options, seed, static_cast<Model>(m), kChurnMttf[level]);
+        // Same seed across models, levels and arms: identical worlds
+        // and — per level — identical client fault plans, so the two
+        // arms only diverge at the broker-crash instant and the
+        // per-seed makespan difference isolates the cost of losing
+        // the broker.
+        auto& cell = rep[static_cast<std::size_t>(m)][static_cast<std::size_t>(level)];
+        cell.base = churn_run(options, seed, static_cast<Model>(m), kChurnMttf[level],
+                              /*crash_broker=*/false);
+        cell.broker = churn_run(options, seed, static_cast<Model>(m), kChurnMttf[level],
+                                /*crash_broker=*/true);
       }
     }
     return rep;
@@ -168,12 +213,17 @@ ChurnResult run_bench_churn(const RunOptions& options) {
     for (std::size_t m = 0; m < 3; ++m) {
       for (std::size_t level = 0; level < kChurnLevels; ++level) {
         ChurnCell& cell = result.cells[m][level];
-        const ChurnRun& run = rep[m][level];
-        cell.makespan.add(run.makespan);
-        cell.failovers.add(run.failovers);
-        cell.crashes.add(run.crashes);
-        cell.complete_runs += run.complete ? 1 : 0;
+        const CellRuns& runs = rep[m][level];
+        cell.makespan.add(runs.base.makespan);
+        cell.failovers.add(runs.base.failovers);
+        cell.crashes.add(runs.base.crashes);
+        cell.complete_runs += runs.base.complete ? 1 : 0;
         ++cell.runs;
+        cell.broker_makespan.add(runs.broker.makespan);
+        cell.broker_penalty.add(runs.broker.makespan - runs.base.makespan);
+        cell.broker_elections.add(runs.broker.elections);
+        cell.broker_complete_runs += runs.broker.complete ? 1 : 0;
+        ++cell.broker_runs;
       }
     }
   }

@@ -9,6 +9,15 @@
 // re-sends the share. Reported per (model, churn level): distribution
 // makespan, failovers consumed, crash events applied, and the share
 // completion rate (the failover machinery must keep it at 100%).
+//
+// Every world runs with one standby broker replicating the primary
+// (ReplicaSet). Each cell is measured twice from the same seed: the
+// baseline arm (clients churn, broker immortal) and the broker-crash
+// arm, where the primary is additionally crashed kBrokerCrashDelay
+// seconds into the distribution — the standby is elected, the flock
+// re-homes, in-flight petitions are re-issued against the replicated
+// history, and every share must still complete. The per-seed makespan
+// difference is the makespan penalty of broker loss.
 
 #include <array>
 
@@ -30,6 +39,16 @@ inline constexpr Bytes kChurnFileSize = 32 * kMegabyte;
 inline constexpr int kChurnParts = 6;
 inline constexpr std::size_t kChurnFanout = 3;
 
+/// Broker-crash arm: the primary dies this long after the distribution
+/// starts (mid-flight for churny runs; after completion for fast
+/// fault-free ones, where the penalty is then ~0 — broker loss only
+/// costs when a selection is needed while the broker is being
+/// replaced).
+inline constexpr Seconds kBrokerCrashDelay = 30.0;
+/// Post-distribution grace run in the broker-crash arm so the failure
+/// detector always gets to elect (daemons need the clock to advance).
+inline constexpr Seconds kBrokerElectionGrace = 120.0;
+
 struct ChurnCell {
   sim::Summary makespan;   // distribution makespan (seconds)
   sim::Summary failovers;  // replacement petitions consumed per run
@@ -37,8 +56,20 @@ struct ChurnCell {
   int complete_runs = 0;   // runs where every share completed
   int runs = 0;
 
+  // Broker-crash arm (same seeds, same client-churn plan, plus the
+  // primary broker crashing mid-distribution).
+  sim::Summary broker_makespan;
+  sim::Summary broker_penalty;    // broker_makespan - makespan, per seed
+  sim::Summary broker_elections;  // replica elections per run (>= 1)
+  int broker_complete_runs = 0;
+  int broker_runs = 0;
+
   [[nodiscard]] double completion_rate() const noexcept {
     return runs == 0 ? 0.0 : static_cast<double>(complete_runs) / runs;
+  }
+  [[nodiscard]] double broker_completion_rate() const noexcept {
+    return broker_runs == 0 ? 0.0
+                            : static_cast<double>(broker_complete_runs) / broker_runs;
   }
 };
 

@@ -47,6 +47,10 @@ void FaultPlan::add(FaultEvent event) {
   events_.push_back(event);
 }
 
+void FaultPlan::merge(const FaultPlan& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
 FaultPlan FaultPlan::random_churn(sim::Rng& rng, const std::vector<NodeId>& nodes,
                                   Seconds mttf, Seconds mttr, Seconds start,
                                   Seconds horizon) {

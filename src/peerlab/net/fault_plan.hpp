@@ -48,6 +48,9 @@ class FaultPlan {
   void brownout(Seconds at, NodeId node, double factor, Seconds duration);
   /// Raw event append for custom schedules.
   void add(FaultEvent event);
+  /// Appends every event of `other`: composes scripted faults (e.g. a
+  /// broker crash) with a generated churn schedule into one plan.
+  void merge(const FaultPlan& other);
 
   /// MTTF/MTTR renewal churn: each node alternates exponential
   /// up-times (mean `mttf`) and down-times (mean `mttr`), first crash

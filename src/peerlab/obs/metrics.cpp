@@ -262,6 +262,19 @@ void json_number(std::ostream& out, double v) {
 
 }  // namespace
 
+std::string MetricRegistry::describe() const {
+  std::string out;
+  for (const Slot* slot : order_) {
+    out += slot->name;
+    out += '\t';
+    out += to_string(slot->kind);
+    out += '\t';
+    out += slot->unit;
+    out += '\n';
+  }
+  return out;
+}
+
 std::string MetricRegistry::json(std::string_view label) const {
   std::ostringstream out;
   out << "{\n  \"label\": \"";

@@ -163,6 +163,12 @@ class MetricRegistry {
   [[nodiscard]] std::string json(std::string_view label = "") const;
   void write_json(const std::string& path, std::string_view label = "") const;
 
+  /// Plain-text instrument inventory, one "name<TAB>kind<TAB>unit"
+  /// line per instrument in registration order. docs/METRICS.md is
+  /// diffed against this dump (tests/obs/metrics_doc_test), so the
+  /// catalogue cannot silently drift from the code.
+  [[nodiscard]] std::string describe() const;
+
  private:
   static constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
 

@@ -124,6 +124,12 @@ void BrokerPeer::apply_stats(const StatsDelta& delta) {
   if (!delta.subject.valid()) return;
   ++reports_;
   if (m_.stats_reports != nullptr) m_.stats_reports->add(1);
+  apply_replicated(delta);
+  if (delta_observer_) delta_observer_(delta);
+}
+
+void BrokerPeer::apply_replicated(const StatsDelta& delta) {
+  if (!delta.subject.valid()) return;
   auto& s = statistics_for(delta.subject);
   const Seconds now = sim().now();
   for (int i = 0; i < delta.msg_ok; ++i) s.record_message(now, true);
@@ -147,6 +153,20 @@ void BrokerPeer::apply_stats(const StatsDelta& delta) {
 
 void BrokerPeer::begin_session() {
   for (auto& [peer, s] : statistics_) s.begin_session();
+}
+
+BrokerPeer::ReplicatedState BrokerPeer::export_state() const {
+  ReplicatedState state;
+  state.clients = clients_;
+  state.statistics = statistics_;
+  state.history = history_;
+  return state;
+}
+
+void BrokerPeer::adopt_state(ReplicatedState state) {
+  clients_ = std::move(state.clients);
+  statistics_ = std::move(state.statistics);
+  history_ = std::move(state.history);
 }
 
 void BrokerPeer::on_heartbeat(const transport::Message& m) {

@@ -92,6 +92,29 @@ class BrokerPeer {
   /// Starts a fresh statistics session for every known peer.
   void begin_session();
 
+  // ---- replication hooks (used by ReplicaSet) ----
+  /// Observer invoked after every delta applied through the normal
+  /// report path; a primary's ReplicaSet streams these to standbys.
+  /// Pass nullptr to detach.
+  using DeltaObserver = std::function<void(const StatsDelta&)>;
+  void set_delta_observer(DeltaObserver observer) { delta_observer_ = std::move(observer); }
+
+  /// Applies a delta received from the replication stream: same state
+  /// mutation as apply_stats, but without bumping the report counters
+  /// and without re-triggering the delta observer (no echo loops).
+  void apply_replicated(const StatsDelta& delta);
+
+  /// Everything a standby needs to take over selection: the client
+  /// registry, per-peer statistics and the history store. Plain data,
+  /// copied wholesale by anti-entropy snapshots.
+  struct ReplicatedState {
+    std::map<PeerId, ClientRecord> clients;
+    std::map<PeerId, stats::PeerStatistics> statistics;
+    stats::HistoryStore history;
+  };
+  [[nodiscard]] ReplicatedState export_state() const;
+  void adopt_state(ReplicatedState state);
+
   // ---- broker federation ----
   /// Federates with another broker: discovery queries that miss the
   /// local rendezvous are forwarded one hop to peer brokers and the
@@ -144,6 +167,7 @@ class BrokerPeer {
   stats::HistoryStore history_;
   std::unique_ptr<core::SelectionModel> model_;
   transport::ReliableChannel select_channel_;
+  DeltaObserver delta_observer_;
   std::map<PeerId, ClientRecord> clients_;
   std::map<PeerId, stats::PeerStatistics> statistics_;
   std::vector<NodeId> peer_brokers_;

@@ -106,6 +106,7 @@ void ClientPeer::publish_advert() {
 void ClientPeer::rehome(NodeId new_broker) {
   PEERLAB_CHECK_MSG(new_broker.valid() && new_broker != node_,
                     "client must re-home to a different node");
+  const NodeId old_broker = broker_node_;
   broker_node_ = new_broker;
   discovery_.set_rendezvous(new_broker);
   membership_.set_broker(new_broker);
@@ -115,11 +116,19 @@ void ClientPeer::rehome(NodeId new_broker) {
     heartbeat_timer_.cancel();
     heartbeat();
   }
+  // Selection petitions still in flight towards the old broker would
+  // otherwise burn their whole retry budget against a dead node; fail
+  // them now — request_selection's outcome handler re-issues each one
+  // against the new broker (broker_node_ is already updated above).
+  if (old_broker != new_broker) {
+    select_channel_.fail_pending_to(old_broker);
+  }
 }
 
 void ClientPeer::attach_metrics(obs::MetricRegistry& registry) {
   m_.selections_requested = &registry.counter("overlay.selections_requested", "requests");
   m_.selection_failures = &registry.counter("overlay.selection_failures", "requests");
+  m_.selection_reissues = &registry.counter("overlay.selection_reissues", "requests");
   obs::Histogram::Options latency_opts;
   latency_opts.lo = 1e-3;  // a selection round trip runs ms .. minutes
   latency_opts.hi = 1e4;
@@ -133,13 +142,23 @@ void ClientPeer::request_selection(const core::SelectionContext& context, std::s
   PEERLAB_CHECK_MSG(static_cast<bool>(done), "selection callback required");
   if (m_.selections_requested != nullptr) m_.selections_requested->add(1);
   const Seconds begun = sim().now();
+  const NodeId issued_to = broker_node_;
   const std::uint64_t context_ticket = directories_.selection_contexts.park(context);
   select_channel_.request(
       broker_node_, context_ticket, static_cast<std::int64_t>(k),
-      [this, begun, context_ticket,
-       done = std::move(done)](const transport::RequestOutcome& outcome) {
+      [this, begun, issued_to, context, k, context_ticket,
+       done = std::move(done)](const transport::RequestOutcome& outcome) mutable {
         directories_.selection_contexts.release(context_ticket);
         if (!outcome.ok) {
+          // Broker failover: the petition died against a broker we have
+          // since re-homed away from — re-issue it against the current
+          // one (selection is served there from replicated history).
+          if (broker_node_ != issued_to) {
+            ++selection_reissues_;
+            if (m_.selection_reissues != nullptr) m_.selection_reissues->add(1);
+            request_selection(context, k, std::move(done));
+            return;
+          }
           if (m_.selection_failures != nullptr) m_.selection_failures->add(1);
           done({});
           return;

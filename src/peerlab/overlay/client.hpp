@@ -80,6 +80,10 @@ class ClientPeer {
   void report(StatsDelta delta);
 
   [[nodiscard]] std::uint64_t heartbeats_sent() const noexcept { return heartbeats_sent_; }
+  /// Selection petitions re-issued against a new broker after rehome.
+  [[nodiscard]] std::uint64_t selection_reissues() const noexcept {
+    return selection_reissues_;
+  }
 
   /// Registers the client-side selection instruments in `registry`:
   /// the client-observed selection latency histogram (request issued →
@@ -94,6 +98,7 @@ class ClientPeer {
   struct Metrics {
     obs::Counter* selections_requested = nullptr;
     obs::Counter* selection_failures = nullptr;
+    obs::Counter* selection_reissues = nullptr;
     obs::Histogram* selection_latency_s = nullptr;
   };
 
@@ -119,6 +124,7 @@ class ClientPeer {
   sim::EventHandle heartbeat_timer_;
   bool started_ = false;
   std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t selection_reissues_ = 0;
 };
 
 }  // namespace peerlab::overlay

@@ -1,0 +1,363 @@
+#include "peerlab/overlay/replica_set.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/common/log.hpp"
+
+namespace peerlab::overlay {
+
+using transport::Message;
+using transport::MessageType;
+
+ReplicaSet::ReplicaSet(transport::TransportFabric& fabric, ReplicaConfig config)
+    : fabric_(fabric), config_(config) {
+  PEERLAB_CHECK_MSG(config_.heartbeat_interval > 0.0, "beacon period must be positive");
+  PEERLAB_CHECK_MSG(config_.failover_after_missed >= 1.0,
+                    "failover threshold below one beacon period");
+  PEERLAB_CHECK_MSG(config_.anti_entropy_interval > 0.0,
+                    "anti-entropy period must be positive");
+}
+
+ReplicaSet::~ReplicaSet() {
+  for (auto& member : members_) {
+    member->heartbeat_timer.cancel();
+    member->anti_entropy_timer.cancel();
+    member->detector_timer.cancel();
+    member->endpoint->clear_handler(MessageType::kReplicaHeartbeat);
+    member->endpoint->clear_handler(MessageType::kReplicaSnapshot);
+    member->endpoint->clear_handler(MessageType::kReplicaJoin);
+    member->broker->set_delta_observer(nullptr);
+  }
+}
+
+void ReplicaSet::add_primary(BrokerPeer& broker) {
+  PEERLAB_CHECK_MSG(members_.empty(), "primary must be the first member");
+  add_member(broker, /*as_primary=*/true);
+}
+
+void ReplicaSet::add_standby(BrokerPeer& broker) {
+  PEERLAB_CHECK_MSG(!members_.empty(), "add the primary before standbys");
+  add_member(broker, /*as_primary=*/false);
+}
+
+void ReplicaSet::add_member(BrokerPeer& broker, bool as_primary) {
+  PEERLAB_CHECK_MSG(!started_, "membership is fixed once started");
+  PEERLAB_CHECK_MSG(find(broker.node()) == nullptr, "broker already a member");
+  auto member = std::make_unique<Member>();
+  Member* raw = member.get();
+  raw->broker = &broker;
+  raw->endpoint = &fabric_.attach(broker.node());
+  raw->delta_channel = std::make_unique<transport::ReliableChannel>(
+      *raw->endpoint, MessageType::kReplicaDelta, MessageType::kReplicaDeltaAck,
+      config_.delta_retry);
+  raw->delta_channel->serve([this, raw](const Message& m) { on_delta(*raw, m); });
+  raw->endpoint->set_handler(MessageType::kReplicaHeartbeat,
+                             [this, raw](const Message& m) { on_heartbeat(*raw, m); });
+  raw->endpoint->set_handler(MessageType::kReplicaSnapshot,
+                             [this, raw](const Message& m) { on_snapshot(*raw, m); });
+  raw->endpoint->set_handler(MessageType::kReplicaJoin,
+                             [this, raw](const Message& m) { on_join(*raw, m); });
+  if (as_primary) primary_index_ = members_.size();
+  members_.push_back(std::move(member));
+}
+
+void ReplicaSet::start() {
+  PEERLAB_CHECK_MSG(!started_, "already started");
+  PEERLAB_CHECK_MSG(!members_.empty(), "a replica set needs a primary");
+  started_ = true;
+  const Seconds now = sim().now();
+  for (auto& member : members_) member->primary_last_seen = now;
+  Member& primary = current_primary();
+  primary.broker->set_delta_observer(
+      [this](const StatsDelta& delta) { stream_delta(delta); });
+  arm_primary(primary);
+  for (auto& member : members_) {
+    if (member.get() == &primary) continue;
+    Member* raw = member.get();
+    raw->detector_timer = sim().schedule_daemon(config_.heartbeat_interval,
+                                                [this, raw] { detector_tick(*raw); });
+  }
+}
+
+BrokerPeer& ReplicaSet::primary() noexcept { return *current_primary().broker; }
+
+NodeId ReplicaSet::primary_node() const noexcept {
+  return members_[primary_index_]->broker->node();
+}
+
+bool ReplicaSet::is_primary(NodeId node) const noexcept {
+  return !members_.empty() && primary_node() == node;
+}
+
+bool ReplicaSet::is_member(NodeId node) const noexcept {
+  for (const auto& member : members_) {
+    if (member->broker->node() == node) return true;
+  }
+  return false;
+}
+
+std::uint64_t ReplicaSet::applied_seq(NodeId node) const noexcept {
+  for (const auto& member : members_) {
+    if (member->broker->node() == node) return member->applied_seq;
+  }
+  return 0;
+}
+
+ReplicaSet::Member* ReplicaSet::find(NodeId node) noexcept {
+  for (auto& member : members_) {
+    if (member->broker->node() == node) return member.get();
+  }
+  return nullptr;
+}
+
+void ReplicaSet::attach_metrics(obs::MetricRegistry& registry) {
+  m_.deltas_streamed = &registry.counter("overlay.replica.deltas_streamed", "deltas");
+  m_.deltas_applied = &registry.counter("overlay.replica.deltas_applied", "deltas");
+  m_.snapshots_sent = &registry.counter("overlay.replica.snapshots_sent", "snapshots");
+  m_.snapshots_applied =
+      &registry.counter("overlay.replica.snapshots_applied", "snapshots");
+  m_.elections = &registry.counter("overlay.replica.elections", "elections");
+  m_.rejoins = &registry.counter("overlay.replica.rejoins", "rejoins");
+  obs::Histogram::Options lag_opts;
+  lag_opts.lo = 1.0;  // deltas behind; 0 (fully caught up) underflows
+  lag_opts.hi = 1e5;
+  m_.lag_deltas = &registry.histogram("overlay.replica.lag_deltas", "deltas", lag_opts);
+  obs::Histogram::Options failover_opts;
+  failover_opts.lo = 1e-2;  // detection runs a few beacon periods
+  failover_opts.hi = 1e4;
+  m_.failover_time_s =
+      &registry.histogram("overlay.replica.failover_time_s", "s", failover_opts);
+  m_.staleness_at_election =
+      &registry.histogram("overlay.replica.staleness_at_election", "deltas", lag_opts);
+}
+
+// ---- primary role -------------------------------------------------------
+
+void ReplicaSet::stream_delta(const StatsDelta& delta) {
+  Member& primary = current_primary();
+  if (primary.down) return;
+  ++stream_seq_;
+  for (auto& member : members_) {
+    Member* standby = member.get();
+    if (standby == &primary || standby->down) continue;
+    // One parked frame per standby: each claim is claim-once, which is
+    // what makes retransmitted deltas idempotent at the receiver.
+    const std::uint64_t ticket = delta_frames_.park({stream_seq_, delta});
+    ++deltas_streamed_;
+    if (m_.deltas_streamed != nullptr) m_.deltas_streamed->add(1);
+    primary.delta_channel->request(
+        standby->broker->node(), /*correlation=*/stream_seq_,
+        /*arg=*/static_cast<std::int64_t>(ticket),
+        [](const transport::RequestOutcome&) {
+          // Lost deltas (retries exhausted against a down standby) are
+          // healed by the next anti-entropy snapshot.
+        });
+  }
+}
+
+void ReplicaSet::heartbeat_tick(Member& member) {
+  if (&member != &current_primary() || member.down) return;
+  for (auto& other : members_) {
+    if (other.get() == &member || other->down) continue;
+    member.endpoint->send(other->broker->node(), MessageType::kReplicaHeartbeat,
+                          /*correlation=*/epoch_, /*seq=*/stream_seq_);
+  }
+  member.heartbeat_timer = sim().schedule_daemon(config_.heartbeat_interval,
+                                                 [this, &member] { heartbeat_tick(member); });
+}
+
+void ReplicaSet::anti_entropy_tick(Member& member) {
+  if (&member != &current_primary() || member.down) return;
+  for (auto& other : members_) {
+    if (other.get() == &member || other->down) continue;
+    send_snapshot_to(member, *other);
+  }
+  member.anti_entropy_timer = sim().schedule_daemon(
+      config_.anti_entropy_interval, [this, &member] { anti_entropy_tick(member); });
+}
+
+void ReplicaSet::send_snapshot_to(Member& from, Member& to) {
+  const std::uint64_t ticket =
+      snapshot_frames_.park({stream_seq_, from.broker->export_state(), true});
+  // Snapshots ride plain datagrams: one lost snapshot is healed by the
+  // next interval, so retransmission machinery would buy nothing.
+  from.endpoint->send(to.broker->node(), MessageType::kReplicaSnapshot,
+                      /*correlation=*/stream_seq_, /*seq=*/0,
+                      /*arg=*/static_cast<std::int64_t>(ticket));
+  ++snapshots_sent_;
+  if (m_.snapshots_sent != nullptr) m_.snapshots_sent->add(1);
+}
+
+void ReplicaSet::arm_primary(Member& member) {
+  member.heartbeat_timer = sim().schedule_daemon(config_.heartbeat_interval,
+                                                 [this, &member] { heartbeat_tick(member); });
+  member.anti_entropy_timer = sim().schedule_daemon(
+      config_.anti_entropy_interval, [this, &member] { anti_entropy_tick(member); });
+}
+
+void ReplicaSet::demote(Member& member) {
+  member.heartbeat_timer.cancel();
+  member.anti_entropy_timer.cancel();
+  member.broker->set_delta_observer(nullptr);
+}
+
+// ---- standby role -------------------------------------------------------
+
+void ReplicaSet::detector_tick(Member& member) {
+  Member* raw = &member;
+  member.detector_timer = sim().schedule_daemon(config_.heartbeat_interval,
+                                                [this, raw] { detector_tick(*raw); });
+  if (member.down || &member == &current_primary()) return;
+  const Seconds silence = sim().now() - member.primary_last_seen;
+  if (silence > config_.heartbeat_interval * config_.failover_after_missed) {
+    elect(member, silence);
+  }
+}
+
+void ReplicaSet::elect(Member& trigger, Seconds silence) {
+  Member& old_primary = current_primary();
+  // The most-caught-up live standby wins; sequence ties break towards
+  // the lowest node id (a deterministic rule every member can compute).
+  Member* winner = nullptr;
+  for (auto& member : members_) {
+    Member* candidate = member.get();
+    if (candidate == &old_primary || candidate->down) continue;
+    if (!fabric_.network().node_up(candidate->broker->node())) continue;
+    if (winner == nullptr || candidate->applied_seq > winner->applied_seq ||
+        (candidate->applied_seq == winner->applied_seq &&
+         candidate->broker->node() < winner->broker->node())) {
+      winner = candidate;
+    }
+  }
+  if (winner == nullptr) return;  // nobody electable; retry next tick
+  std::uint64_t best_seen = winner->applied_seq;
+  for (const auto& member : members_) {
+    best_seen = std::max(best_seen, member->primary_seq_seen);
+  }
+  const std::uint64_t staleness = best_seen - winner->applied_seq;
+
+  const NodeId old_node = old_primary.broker->node();
+  demote(old_primary);
+  primary_index_ =
+      static_cast<std::size_t>(std::find_if(members_.begin(), members_.end(),
+                                            [winner](const auto& m) {
+                                              return m.get() == winner;
+                                            }) -
+                               members_.begin());
+  winner->detector_timer.cancel();
+  winner->broker->set_delta_observer(
+      [this](const StatsDelta& delta) { stream_delta(delta); });
+  // The new primary continues the stream where its knowledge ends;
+  // sequence numbers stay monotonic across the whole set's lifetime.
+  stream_seq_ = std::max(stream_seq_, winner->applied_seq);
+  ++epoch_;
+  arm_primary(*winner);
+  for (auto& member : members_) {
+    if (member.get() == winner) continue;
+    member->primary_last_seen = sim().now();  // grace for the new primary
+  }
+  ++elections_;
+  if (m_.elections != nullptr) m_.elections->add(1);
+  if (m_.failover_time_s != nullptr) m_.failover_time_s->record(silence);
+  if (m_.staleness_at_election != nullptr) {
+    m_.staleness_at_election->record(static_cast<double>(staleness));
+  }
+  PEERLAB_LOG(kInfo, "replica") << "elected " << to_string(winner->broker->node())
+                                << " to replace " << to_string(old_node) << " (silence "
+                                << silence << " s, staleness " << staleness << ")";
+  (void)trigger;
+  if (failover_) {
+    FailoverEvent event;
+    event.old_primary = old_node;
+    event.new_primary = winner->broker->node();
+    event.at = sim().now();
+    event.silence = silence;
+    event.staleness = staleness;
+    failover_(event);
+  }
+}
+
+// ---- message handlers ---------------------------------------------------
+
+void ReplicaSet::on_delta(Member& member, const Message& message) {
+  if (member.down) return;
+  DeltaFrame frame = delta_frames_.claim(static_cast<std::uint64_t>(message.arg));
+  if (frame.seq != 0) {  // 0 = duplicate of an already-claimed ticket
+    member.broker->apply_replicated(frame.delta);
+    member.applied_seq = std::max(member.applied_seq, frame.seq);
+    ++deltas_applied_;
+    if (m_.deltas_applied != nullptr) m_.deltas_applied->add(1);
+  }
+  // Restate receiver state (idempotent under retransmission).
+  member.endpoint->reply(message, MessageType::kReplicaDeltaAck,
+                         static_cast<std::int64_t>(member.applied_seq));
+}
+
+void ReplicaSet::on_heartbeat(Member& member, const Message& message) {
+  if (member.down) return;
+  member.primary_last_seen = sim().now();
+  member.primary_seq_seen = std::max(member.primary_seq_seen, message.seq);
+  if (m_.lag_deltas != nullptr && message.seq >= member.applied_seq) {
+    m_.lag_deltas->record(static_cast<double>(message.seq - member.applied_seq));
+  }
+}
+
+void ReplicaSet::on_snapshot(Member& member, const Message& message) {
+  if (member.down) return;
+  SnapshotFrame frame = snapshot_frames_.claim(static_cast<std::uint64_t>(message.arg));
+  if (!frame.valid || frame.seq < member.applied_seq) return;  // stale or unknown
+  member.broker->adopt_state(std::move(frame.state));
+  member.applied_seq = std::max(member.applied_seq, frame.seq);
+  ++snapshots_applied_;
+  if (m_.snapshots_applied != nullptr) m_.snapshots_applied->add(1);
+}
+
+void ReplicaSet::on_join(Member& member, const Message& message) {
+  if (member.down || &member != &current_primary()) return;
+  Member* joiner = find(message.src);
+  if (joiner == nullptr || joiner->down || joiner == &member) return;
+  send_snapshot_to(member, *joiner);
+}
+
+// ---- fault hooks --------------------------------------------------------
+
+void ReplicaSet::notify_crash(NodeId node) {
+  Member* member = find(node);
+  if (member == nullptr || member->down) return;
+  member->down = true;
+  if (member == &current_primary()) {
+    // Fencing stand-in: the dead primary's software stops acting at
+    // once; standbys still only learn of the loss through silence.
+    demote(*member);
+  }
+}
+
+void ReplicaSet::notify_restart(NodeId node) {
+  Member* member = find(node);
+  if (member == nullptr || !member->down) return;
+  member->down = false;
+  member->primary_last_seen = sim().now();  // a stale detector must not fire
+  if (member == &current_primary()) {
+    // Blip shorter than the detection threshold: no election happened,
+    // so the primary simply resumes its duties.
+    member->broker->set_delta_observer(
+        [this](const StatsDelta& delta) { stream_delta(delta); });
+    arm_primary(*member);
+    return;
+  }
+  // Durable state survives a reboot (applied_seq kept); the missed
+  // window is healed by an on-demand snapshot from the primary.
+  ++rejoins_;
+  if (m_.rejoins != nullptr) m_.rejoins->add(1);
+  if (started_ && !member->detector_timer.pending()) {
+    Member* raw = member;
+    raw->detector_timer = sim().schedule_daemon(config_.heartbeat_interval,
+                                                [this, raw] { detector_tick(*raw); });
+  }
+  member->endpoint->send(primary_node(), MessageType::kReplicaJoin,
+                         /*correlation=*/epoch_);
+}
+
+}  // namespace peerlab::overlay

@@ -1,0 +1,207 @@
+#pragma once
+
+// ReplicaSet — primary/standby broker replication and failover.
+//
+// The paper's broker is a single point of failure: every selection
+// model feeds on broker-kept history and statistics, so a broker crash
+// mid-experiment destroys exactly the state that scheduling-based and
+// data-evaluator selection need. A ReplicaSet keeps one primary broker
+// and any number of standbys in sync over the ordinary control plane:
+//
+//  * Delta stream — every StatsDelta the primary applies is forwarded
+//    to each standby as a sequence-numbered kReplicaDelta on a
+//    reliable channel; the standby applies it through
+//    BrokerPeer::apply_replicated and acks its cumulative applied
+//    sequence.
+//  * Anti-entropy — every `anti_entropy_interval` the primary ships a
+//    full state snapshot (client registry + statistics + history) as a
+//    plain datagram; a standby adopts it when it is at least as fresh
+//    as what it has, healing any deltas lost to datagram loss or
+//    downtime. A (re)joining standby asks for one immediately with
+//    kReplicaJoin.
+//  * Failure detection & election — the primary heartbeats its stream
+//    sequence every `heartbeat_interval`; a standby silent-counted
+//    past `failover_after_missed` intervals triggers an election. The
+//    most-caught-up live standby (highest applied sequence, ties to
+//    the lowest node id) is promoted: it starts streaming and
+//    heartbeating, and the failover callback lets the deployment
+//    re-home clients to it.
+//
+// The ReplicaSet object is an in-process coordinator (like
+// OverlayDirectories): promotion atomically demotes the old primary,
+// which stands in for the fencing/quorum machinery a real deployment
+// would need. Consistency is deliberately best-effort — a standby's
+// history may lag the primary by the deltas still in flight, so
+// selection immediately after failover is as good as the replicated
+// state, not the lost primary's (see DESIGN.md §12).
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "peerlab/obs/metrics.hpp"
+#include "peerlab/overlay/broker.hpp"
+
+namespace peerlab::overlay {
+
+struct ReplicaConfig {
+  /// Primary liveness beacon period. Much shorter than the client
+  /// heartbeat: broker failover should complete before the file
+  /// service's failover backoff gives up on a share.
+  Seconds heartbeat_interval = 5.0;
+  /// A standby that heard nothing for this many beacon periods starts
+  /// an election.
+  double failover_after_missed = 3.0;
+  /// Full-state snapshot cadence (anti-entropy repair of lost deltas).
+  Seconds anti_entropy_interval = 60.0;
+  /// Retry policy of the delta stream. Deliberately tighter than the
+  /// default control-plane policy: a delta that cannot be delivered in
+  /// a few tries will be healed by the next snapshot anyway.
+  transport::RetryPolicy delta_retry{/*initial_timeout=*/10.0, /*backoff=*/2.0,
+                                     /*max_attempts=*/3};
+};
+
+class ReplicaSet {
+ public:
+  struct FailoverEvent {
+    NodeId old_primary;
+    NodeId new_primary;
+    Seconds at = 0.0;
+    /// How long the winner had heard nothing from the old primary.
+    Seconds silence = 0.0;
+    /// Stream sequences the winner is known to be missing at election.
+    std::uint64_t staleness = 0;
+  };
+  using FailoverCallback = std::function<void(const FailoverEvent&)>;
+
+  ReplicaSet(transport::TransportFabric& fabric, ReplicaConfig config = {});
+  ~ReplicaSet();
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  /// Membership is fixed before start(): one primary, then standbys.
+  void add_primary(BrokerPeer& broker);
+  void add_standby(BrokerPeer& broker);
+
+  /// Arms the daemons (delta observer, heartbeats, anti-entropy,
+  /// failure detectors). Call once, after membership is complete.
+  void start();
+
+  /// Invoked after every election, once the new primary is serving.
+  void set_failover_callback(FailoverCallback callback) {
+    failover_ = std::move(callback);
+  }
+
+  [[nodiscard]] BrokerPeer& primary() noexcept;
+  [[nodiscard]] NodeId primary_node() const noexcept;
+  [[nodiscard]] bool is_primary(NodeId node) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool is_member(NodeId node) const noexcept;
+
+  /// Highest delta sequence the primary has streamed.
+  [[nodiscard]] std::uint64_t stream_seq() const noexcept { return stream_seq_; }
+  /// Highest sequence `node` has applied (0 for non-members).
+  [[nodiscard]] std::uint64_t applied_seq(NodeId node) const noexcept;
+  [[nodiscard]] std::uint64_t deltas_streamed() const noexcept { return deltas_streamed_; }
+  [[nodiscard]] std::uint64_t deltas_applied() const noexcept { return deltas_applied_; }
+  [[nodiscard]] std::uint64_t snapshots_sent() const noexcept { return snapshots_sent_; }
+  [[nodiscard]] std::uint64_t snapshots_applied() const noexcept {
+    return snapshots_applied_;
+  }
+  [[nodiscard]] std::uint64_t elections() const noexcept { return elections_; }
+  [[nodiscard]] std::uint64_t rejoins() const noexcept { return rejoins_; }
+
+  /// Fault hooks (wired by Deployment::install_faults): a crashed
+  /// member stops acting (a crashed primary stops streaming — its
+  /// silence is what standbys detect); a restarted member rejoins as a
+  /// standby and requests an immediate snapshot. If no election
+  /// happened during a short primary blip, the restarted primary
+  /// simply resumes.
+  void notify_crash(NodeId node);
+  void notify_restart(NodeId node);
+
+  /// Registers the replication instruments (overlay.replica.*) in
+  /// `registry`. Zero-cost when never called.
+  void attach_metrics(obs::MetricRegistry& registry);
+
+ private:
+  struct DeltaFrame {
+    std::uint64_t seq = 0;  // 0 marks an unknown/duplicate ticket claim
+    StatsDelta delta;
+  };
+  struct SnapshotFrame {
+    std::uint64_t seq = 0;
+    BrokerPeer::ReplicatedState state;
+    bool valid = false;
+  };
+
+  struct Member {
+    BrokerPeer* broker = nullptr;
+    transport::Endpoint* endpoint = nullptr;
+    std::unique_ptr<transport::ReliableChannel> delta_channel;
+    bool down = false;
+    /// Standby view of the stream.
+    std::uint64_t applied_seq = 0;
+    std::uint64_t primary_seq_seen = 0;
+    Seconds primary_last_seen = 0.0;
+    /// Primary-role daemons.
+    sim::EventHandle heartbeat_timer;
+    sim::EventHandle anti_entropy_timer;
+    /// Standby-role daemon.
+    sim::EventHandle detector_timer;
+  };
+
+  /// Cached instrument handles; all null while detached.
+  struct Metrics {
+    obs::Counter* deltas_streamed = nullptr;
+    obs::Counter* deltas_applied = nullptr;
+    obs::Counter* snapshots_sent = nullptr;
+    obs::Counter* snapshots_applied = nullptr;
+    obs::Counter* elections = nullptr;
+    obs::Counter* rejoins = nullptr;
+    obs::Histogram* lag_deltas = nullptr;
+    obs::Histogram* failover_time_s = nullptr;
+    obs::Histogram* staleness_at_election = nullptr;
+  };
+
+  void add_member(BrokerPeer& broker, bool as_primary);
+  [[nodiscard]] Member* find(NodeId node) noexcept;
+  [[nodiscard]] Member& current_primary() noexcept { return *members_[primary_index_]; }
+
+  void stream_delta(const StatsDelta& delta);
+  void heartbeat_tick(Member& member);
+  void anti_entropy_tick(Member& member);
+  void detector_tick(Member& member);
+  void send_snapshot_to(Member& from, Member& to);
+  void elect(Member& trigger, Seconds silence);
+  void arm_primary(Member& member);
+  void demote(Member& member);
+
+  void on_delta(Member& member, const transport::Message& message);
+  void on_heartbeat(Member& member, const transport::Message& message);
+  void on_snapshot(Member& member, const transport::Message& message);
+  void on_join(Member& member, const transport::Message& message);
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return fabric_.simulator(); }
+
+  transport::TransportFabric& fabric_;
+  ReplicaConfig config_;
+  Metrics m_;
+  std::vector<std::unique_ptr<Member>> members_;
+  std::size_t primary_index_ = 0;
+  FailoverCallback failover_;
+  TicketStore<DeltaFrame> delta_frames_{8192};
+  TicketStore<SnapshotFrame> snapshot_frames_{64};
+  std::uint64_t stream_seq_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t deltas_streamed_ = 0;
+  std::uint64_t deltas_applied_ = 0;
+  std::uint64_t snapshots_sent_ = 0;
+  std::uint64_t snapshots_applied_ = 0;
+  std::uint64_t elections_ = 0;
+  std::uint64_t rejoins_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace peerlab::overlay

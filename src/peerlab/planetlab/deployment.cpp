@@ -21,6 +21,17 @@ Deployment::Deployment(sim::Simulator& sim, DeploymentOptions options)
     broker_nodes.push_back(topo.add_node(extra));
   }
 
+  PEERLAB_CHECK_MSG(options_.standby_brokers >= 0, "standby count must be non-negative");
+  PEERLAB_CHECK_MSG(options_.standby_brokers == 0 || options_.brokers == 1,
+                    "standby replication assumes a single governing broker");
+  std::vector<NodeId> standby_nodes;
+  for (int s = 0; s < options_.standby_brokers; ++s) {
+    net::NodeProfile standby = broker_profile();
+    standby.hostname = "nozomi-s" + std::to_string(s + 1) + ".lsi.upc.edu";
+    standby.site = "UPC Barcelona (standby cluster node " + std::to_string(s + 1) + ")";
+    standby_nodes.push_back(topo.add_node(standby));
+  }
+
   net::NodeProfile control_profile = broker_profile();
   control_profile.hostname = "nozomi-c1.lsi.upc.edu";
   control_profile.site = "UPC Barcelona (cluster compute node)";
@@ -58,6 +69,23 @@ Deployment::Deployment(sim::Simulator& sim, DeploymentOptions options)
     for (auto& b : brokers_) {
       if (a->node() != b->node()) a->federate_with(b->node());
     }
+  }
+  // Standbys run full broker software but govern no clients and do not
+  // federate; until an election they only consume the primary's
+  // replication stream.
+  for (const NodeId node : standby_nodes) {
+    standbys_.push_back(std::make_unique<overlay::BrokerPeer>(*fabric_, node, directories_,
+                                                              options_.broker));
+  }
+  if (!standbys_.empty()) {
+    replicas_ = std::make_unique<overlay::ReplicaSet>(*fabric_, options_.replication);
+    replicas_->add_primary(*brokers_.front());
+    for (auto& standby : standbys_) replicas_->add_standby(*standby);
+    replicas_->set_failover_callback(
+        [this](const overlay::ReplicaSet::FailoverEvent& event) {
+          on_broker_failover(event);
+        });
+    replicas_->start();
   }
   control_ = std::make_unique<overlay::ClientPeer>(*fabric_, control_node, broker_nodes[0],
                                                    directories_, options_.client);
@@ -117,12 +145,19 @@ net::FaultInjector& Deployment::install_faults(net::FaultPlan plan) {
   net::FaultInjector::Hooks hooks;
   // Co-simulate the software side of a node fault: a crash silences the
   // client (heartbeats stop, so the broker ages it out), a restart
-  // brings it back — its first heartbeat re-registers it.
-  hooks.on_crash = [client_by_node](NodeId node) {
+  // brings it back — its first heartbeat re-registers it. Replica-set
+  // members get the equivalent treatment: a crashed primary stops
+  // streaming (standbys detect the silence and elect), a restarted
+  // member rejoins as a standby and snapshot-heals.
+  hooks.on_crash = [this, client_by_node](NodeId node) {
     if (auto* client = client_by_node(node)) client->stop();
+    if (replicas_ != nullptr && replicas_->is_member(node)) replicas_->notify_crash(node);
   };
-  hooks.on_restart = [client_by_node](NodeId node) {
+  hooks.on_restart = [this, client_by_node](NodeId node) {
     if (auto* client = client_by_node(node)) client->start();
+    if (replicas_ != nullptr && replicas_->is_member(node)) {
+      replicas_->notify_restart(node);
+    }
   };
   injector_ = std::make_unique<net::FaultInjector>(*network_, std::move(plan),
                                                    std::move(hooks));
@@ -134,9 +169,23 @@ void Deployment::attach_metrics(obs::MetricRegistry& registry, bool wall_profili
   metrics_ = &registry;
   network_->attach_metrics(registry, wall_profiling);
   for (auto& broker : brokers_) broker->attach_metrics(registry);
+  for (auto& standby : standbys_) standby->attach_metrics(registry);
+  if (replicas_ != nullptr) replicas_->attach_metrics(registry);
   control_->attach_metrics(registry);
   for (auto& client : clients_) client->attach_metrics(registry);
   if (injector_ != nullptr) injector_->attach_metrics(registry);
+}
+
+void Deployment::on_broker_failover(const overlay::ReplicaSet::FailoverEvent& event) {
+  // The crashed primary's whole flock re-homes to the elected standby
+  // (the control peer included — its in-flight selection petitions are
+  // re-issued there by ClientPeer::rehome).
+  if (control_->broker_node() == event.old_primary) {
+    control_->rehome(event.new_primary);
+  }
+  for (auto& client : clients_) {
+    if (client->broker_node() == event.old_primary) client->rehome(event.new_primary);
+  }
 }
 
 }  // namespace peerlab::planetlab

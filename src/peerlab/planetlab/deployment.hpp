@@ -13,6 +13,7 @@
 #include "peerlab/overlay/broker.hpp"
 #include "peerlab/overlay/client.hpp"
 #include "peerlab/overlay/primitives.hpp"
+#include "peerlab/overlay/replica_set.hpp"
 #include "peerlab/planetlab/profiles.hpp"
 
 namespace peerlab::planetlab {
@@ -25,6 +26,11 @@ struct DeploymentOptions {
   /// brokers"). Clients are assigned round-robin; brokers federate
   /// their rendezvous.
   int brokers = 1;
+  /// Standby brokers replicating the primary's state (requires
+  /// brokers == 1). Standbys govern no clients and answer no queries
+  /// until an election promotes one; clients then re-home to it.
+  int standby_brokers = 0;
+  overlay::ReplicaConfig replication{};
   net::NetworkConfig network{};
   overlay::BrokerConfig broker{};
   overlay::ClientConfig client{};
@@ -52,6 +58,12 @@ class Deployment {
   [[nodiscard]] overlay::BrokerPeer& broker() noexcept { return *brokers_.front(); }
   [[nodiscard]] std::size_t broker_count() const noexcept { return brokers_.size(); }
   [[nodiscard]] overlay::BrokerPeer& broker_at(std::size_t i) { return *brokers_.at(i); }
+
+  /// Standby brokers and the replica set coordinating them (null when
+  /// standby_brokers == 0).
+  [[nodiscard]] std::size_t standby_count() const noexcept { return standbys_.size(); }
+  [[nodiscard]] overlay::BrokerPeer& standby_at(std::size_t i) { return *standbys_.at(i); }
+  [[nodiscard]] overlay::ReplicaSet* replicas() noexcept { return replicas_.get(); }
 
   /// The workload driver: a peer on a second nozomi cluster node that
   /// originates transfers/tasks (like the paper's control machine).
@@ -95,7 +107,12 @@ class Deployment {
   overlay::OverlayDirectories directories_;
   std::optional<net::Network> network_;
   std::optional<transport::TransportFabric> fabric_;
+  void on_broker_failover(const overlay::ReplicaSet::FailoverEvent& event);
+
   std::vector<std::unique_ptr<overlay::BrokerPeer>> brokers_;
+  std::vector<std::unique_ptr<overlay::BrokerPeer>> standbys_;
+  // Declared after the brokers it references (destroyed first).
+  std::unique_ptr<overlay::ReplicaSet> replicas_;
   std::vector<std::unique_ptr<overlay::ClientPeer>> clients_;
   std::unique_ptr<overlay::ClientPeer> control_;
   std::unique_ptr<net::FaultInjector> injector_;

@@ -27,6 +27,11 @@ const char* to_string(MessageType type) noexcept {
     case MessageType::kPipeData: return "pipe-data";
     case MessageType::kSelectRequest: return "select-request";
     case MessageType::kSelectResponse: return "select-response";
+    case MessageType::kReplicaDelta: return "replica-delta";
+    case MessageType::kReplicaDeltaAck: return "replica-delta-ack";
+    case MessageType::kReplicaHeartbeat: return "replica-heartbeat";
+    case MessageType::kReplicaSnapshot: return "replica-snapshot";
+    case MessageType::kReplicaJoin: return "replica-join";
   }
   return "?";
 }
@@ -45,6 +50,10 @@ Bytes nominal_size(MessageType type) noexcept {
       return 1 * kKilobyte;
     case MessageType::kTaskResult:
       return 8 * kKilobyte;
+    case MessageType::kReplicaDelta:
+      return 4 * kKilobyte;  // mirrors the stats report it carries
+    case MessageType::kReplicaSnapshot:
+      return 64 * kKilobyte;  // full history + statistics dump
     default:
       return 512;
   }

@@ -46,6 +46,12 @@ enum class MessageType : std::uint8_t {
   // Broker-mediated peer selection.
   kSelectRequest,
   kSelectResponse,
+  // Broker replication (primary -> standby state streaming).
+  kReplicaDelta,      // one sequence-numbered StatsDelta, via ticket
+  kReplicaDeltaAck,   // standby's cumulative applied sequence
+  kReplicaHeartbeat,  // primary liveness + current stream sequence
+  kReplicaSnapshot,   // anti-entropy full-state snapshot, via ticket
+  kReplicaJoin,       // (re)joining standby asks for a snapshot now
 };
 
 [[nodiscard]] const char* to_string(MessageType type) noexcept;

@@ -1,6 +1,7 @@
 #include "peerlab/transport/reliable_channel.hpp"
 
 #include <utility>
+#include <vector>
 
 #include "peerlab/common/check.hpp"
 
@@ -57,6 +58,30 @@ void ReliableChannel::request(NodeId dst, std::uint64_t correlation, std::int64_
   p.done = std::move(done);
   pending_.emplace(seq, std::move(p));
   transmit(seq);
+}
+
+std::size_t ReliableChannel::fail_pending_to(NodeId dst) {
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [seq, p] : pending_) {
+    if (p.dst == dst) doomed.push_back(seq);
+  }
+  // Two passes: the callbacks may add new pending requests (re-issue
+  // against a replacement destination), which must not be visited.
+  std::size_t failed = 0;
+  for (const std::uint64_t seq : doomed) {
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) continue;
+    it->second.timer.cancel();
+    RequestOutcome outcome;
+    outcome.ok = false;
+    outcome.attempts = it->second.attempts;
+    outcome.elapsed = endpoint_.fabric().simulator().now() - it->second.first_sent;
+    auto done = std::move(it->second.done);
+    pending_.erase(it);
+    done(outcome);
+    ++failed;
+  }
+  return failed;
 }
 
 void ReliableChannel::transmit(std::uint64_t seq) {

@@ -63,6 +63,14 @@ class ReliableChannel {
   void request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
                const RetryPolicy& policy, std::function<void(const RequestOutcome&)> done);
 
+  /// Fails every pending request addressed to `dst` right now (its
+  /// `done` fires with ok=false) instead of burning the remaining
+  /// retry budget. Used when the caller learns the destination is
+  /// gone, e.g. a client re-homing off a crashed broker. Callbacks may
+  /// re-issue requests on this channel re-entrantly. Returns the
+  /// number of requests failed.
+  std::size_t fail_pending_to(NodeId dst);
+
   [[nodiscard]] std::size_t outstanding() const noexcept { return pending_.size(); }
   [[nodiscard]] std::uint64_t retransmissions() const noexcept { return retransmissions_; }
   [[nodiscard]] Endpoint& endpoint() noexcept { return endpoint_; }

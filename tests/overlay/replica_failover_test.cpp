@@ -1,0 +1,179 @@
+// Broker-failover acceptance: the primary broker crashes for good in
+// the middle of a scatter distribution (together with one share
+// holder), and the distribution must still complete — the standby is
+// elected from the replication stream, the flock re-homes to it, and
+// the replacement petition is answered from the *replicated* warm-up
+// history rather than cold state. A second test pins the in-flight
+// petition path: a selection issued against the already-dead primary
+// is re-issued to the elected standby and answered.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "peerlab/core/economic.hpp"
+#include "peerlab/net/fault_plan.hpp"
+#include "peerlab/planetlab/deployment.hpp"
+
+namespace peerlab::overlay {
+namespace {
+
+using planetlab::Deployment;
+using planetlab::DeploymentOptions;
+using transport::FileTransferConfig;
+using transport::TransferResult;
+
+/// Churn-tuned knobs (as in bench_churn): fail fast so a dead peer
+/// triggers failover well before the test's patience runs out.
+FileTransferConfig churn_transfer() {
+  FileTransferConfig cfg;
+  cfg.petition_retry.initial_timeout = 15.0;
+  cfg.petition_retry.backoff = 1.5;
+  cfg.petition_retry.max_attempts = 4;
+  cfg.confirm_timeout = 30.0;
+  cfg.max_confirm_queries = 6;
+  cfg.max_part_attempts = 6;
+  return cfg;
+}
+
+DistributionOptions churn_failover() {
+  DistributionOptions options;
+  options.max_failovers_per_share = 4;
+  options.backoff_initial = 10.0;
+  options.backoff_factor = 2.0;
+  options.backoff_cap = 120.0;
+  return options;
+}
+
+/// Serial warm-up transfers so the broker's history ranks every SC —
+/// and, through the delta stream, the standby's history too.
+void warm_up(Deployment& dep) {
+  sim::Simulator& sim = dep.simulator();
+  Seconds at = sim.now() + 10.0;
+  for (int i = 1; i <= 8; ++i) {
+    sim.schedule_at(at, [&dep, i] {
+      FileTransferConfig cfg = churn_transfer();
+      cfg.file_size = megabytes(2.0);
+      cfg.parts = 2;
+      dep.control().files().send_file(dep.sc_peer(i), cfg, [](const TransferResult&) {});
+    });
+    at += 300.0;
+  }
+  sim.run_until(at + 300.0);
+}
+
+TEST(ReplicaFailover, CrashPrimaryMidDistributeCompletesOnReplicatedState) {
+  sim::Simulator sim(11);
+  DeploymentOptions options;
+  options.standby_brokers = 1;
+  Deployment dep(sim, options);
+  dep.boot();
+  warm_up(dep);
+
+  dep.broker().set_selection_model(std::make_unique<core::EconomicSchedulingModel>());
+  dep.standby_at(0).set_selection_model(std::make_unique<core::EconomicSchedulingModel>());
+
+  // The standby already carries the replicated warm-up history: this is
+  // the state a post-failover selection feeds on (not a cold store).
+  ASSERT_FALSE(dep.standby_at(0).history().transfers_for(dep.sc_peer(1)).empty());
+  ASSERT_EQ(dep.replicas()->applied_seq(dep.standby_at(0).node()),
+            dep.replicas()->stream_seq());
+
+  // Broker-mediated selection of the initial share holders.
+  std::vector<PeerId> selected;
+  {
+    core::SelectionContext ctx;
+    ctx.purpose = core::SelectionContext::Purpose::kFileTransfer;
+    ctx.payload_size = 32 * kMegabyte;
+    ctx.now = sim.now();
+    bool got = false;
+    dep.control().request_selection(ctx, 3, [&](std::vector<PeerId> peers) {
+      selected = std::move(peers);
+      got = true;
+    });
+    sim.run_until(sim.now() + 60.0);
+    ASSERT_TRUE(got);
+    ASSERT_GE(selected.size(), 2u);
+    if (selected.size() > 3) selected.resize(3);
+  }
+
+  const NodeId old_primary = dep.broker().node();
+  const NodeId standby_node = dep.standby_at(0).node();
+  // 1.5 s into the distribution — first parts on the wire — one share
+  // holder dies mid-transfer (forcing a replacement petition) and so
+  // does the primary broker (forcing that petition through election +
+  // re-homing).
+  net::FaultPlan plan;
+  plan.crash_forever(sim.now() + 1.5, node_of(selected.front()));
+  plan.crash_forever(sim.now() + 1.5, old_primary);
+  dep.install_faults(std::move(plan));
+
+  std::optional<FileService::DistributionResult> result;
+  dep.control().files().distribute(
+      32 * kMegabyte, 6, selected, churn_transfer(),
+      [&](const FileService::DistributionResult& r) { result = r; }, churn_failover());
+  sim.run();
+  // The failure detector is a daemon: give it a window in case the
+  // distribution outran the election.
+  sim.run_until(sim.now() + 60.0);
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->complete);  // nothing stranded by the dead broker
+  EXPECT_GE(result->failovers, 1);
+  EXPECT_GE(dep.replicas()->elections(), 1u);
+  EXPECT_TRUE(dep.replicas()->is_primary(standby_node));
+  EXPECT_EQ(dep.control().broker_node(), standby_node);  // flock re-homed
+
+  // Post-failover selection is served by the new primary from the
+  // replicated history.
+  const std::uint64_t served_before = dep.standby_at(0).selections_served();
+  std::optional<std::vector<PeerId>> after;
+  core::SelectionContext ctx;
+  ctx.purpose = core::SelectionContext::Purpose::kFileTransfer;
+  ctx.now = sim.now();
+  dep.control().request_selection(ctx, 2,
+                                  [&](std::vector<PeerId> peers) { after = peers; });
+  sim.run();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_FALSE(after->empty());
+  EXPECT_GT(dep.standby_at(0).selections_served(), served_before);
+}
+
+TEST(ReplicaFailover, InFlightSelectionIsReissuedToTheNewPrimary) {
+  sim::Simulator sim(7);
+  DeploymentOptions options;
+  options.standby_brokers = 1;
+  Deployment dep(sim, options);
+  dep.boot();
+  // Let a few anti-entropy snapshots ship so the standby's client
+  // registry is warm before the primary disappears.
+  sim.run_until(sim.now() + 200.0);
+
+  const NodeId old_primary = dep.broker().node();
+  const NodeId standby_node = dep.standby_at(0).node();
+  net::FaultPlan plan;
+  plan.crash_forever(sim.now() + 1.0, old_primary);
+  dep.install_faults(std::move(plan));
+  sim.run_until(sim.now() + 2.0);  // primary is now dead, election pending
+
+  // Petition the dead primary: the request sits in the reliable
+  // channel until the election re-homes the client, which fails the
+  // pending request and re-issues it against the new primary.
+  std::optional<std::vector<PeerId>> peers;
+  core::SelectionContext ctx;
+  ctx.purpose = core::SelectionContext::Purpose::kFileTransfer;
+  ctx.now = sim.now();
+  dep.control().request_selection(ctx, 2,
+                                  [&](std::vector<PeerId> p) { peers = std::move(p); });
+  sim.run();
+
+  EXPECT_GE(dep.replicas()->elections(), 1u);
+  EXPECT_EQ(dep.control().broker_node(), standby_node);
+  EXPECT_GE(dep.control().selection_reissues(), 1u);
+  ASSERT_TRUE(peers.has_value());
+  EXPECT_FALSE(peers->empty());  // answered by the elected standby
+}
+
+}  // namespace
+}  // namespace peerlab::overlay

@@ -1,0 +1,239 @@
+// ReplicaSet unit behaviour: the delta stream keeps a standby's
+// applied sequence (and history) in step with the primary, claim-once
+// tickets make retransmissions idempotent, anti-entropy snapshots heal
+// deltas lost to downtime, a short primary blip does not trigger an
+// election, and a scripted crash + restart of the primary (through the
+// fault-plan path, as a deployment wires it) elects the standby and
+// rejoins the old primary as a standby.
+
+#include "peerlab/overlay/replica_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "peerlab/net/fault_plan.hpp"
+#include "peerlab/planetlab/deployment.hpp"
+
+namespace peerlab::overlay {
+namespace {
+
+struct ReplicaWorldOptions {
+  int standbys = 1;
+  double datagram_loss = 0.0;
+  std::uint64_t seed = 1;
+  ReplicaConfig config{};
+};
+
+/// Minimal replication testbed: brokers only (node 1 primary, nodes
+/// 2.. standbys), no clients — deltas are injected straight through
+/// BrokerPeer::apply_stats, which is exactly what the report path does.
+struct ReplicaWorld {
+  explicit ReplicaWorld(ReplicaWorldOptions options = {}) : sim(options.seed) {
+    net::Topology topo(sim.rng().fork(1));
+    for (int i = 0; i < 1 + options.standbys; ++i) {
+      net::NodeProfile p;
+      p.hostname = "broker" + std::to_string(i + 1) + ".example";
+      p.control_delay_mean = 0.05;
+      p.control_delay_sigma = 0.0;
+      p.loss_per_megabyte = 0.0;
+      topo.add_node(p);
+    }
+    net::NetworkConfig cfg;
+    cfg.datagram_loss = options.datagram_loss;
+    network.emplace(sim, std::move(topo), cfg);
+    fabric.emplace(*network);
+    for (int i = 0; i < 1 + options.standbys; ++i) {
+      brokers.push_back(
+          std::make_unique<BrokerPeer>(*fabric, NodeId(i + 1), directories));
+    }
+    replicas.emplace(*fabric, options.config);
+    replicas->add_primary(*brokers.front());
+    for (int i = 1; i < 1 + options.standbys; ++i) replicas->add_standby(*brokers[i]);
+  }
+
+  BrokerPeer& primary() { return *brokers.front(); }
+  BrokerPeer& standby(int i) { return *brokers.at(static_cast<std::size_t>(i + 1)); }
+
+  sim::Simulator sim;
+  std::optional<net::Network> network;
+  std::optional<transport::TransportFabric> fabric;
+  OverlayDirectories directories;
+  std::vector<std::unique_ptr<BrokerPeer>> brokers;
+  std::optional<ReplicaSet> replicas;
+};
+
+StatsDelta transfer_delta(PeerId peer, std::uint64_t id) {
+  StatsDelta d;
+  d.subject = peer;
+  d.file_done = 1;
+  stats::TransferRecord rec;
+  rec.transfer = TransferId(id);
+  rec.peer = peer;
+  rec.size = megabytes(1.0);
+  rec.duration = 4.0;
+  rec.petition_time = 0.1;
+  rec.ok = true;
+  d.transfer_records.push_back(rec);
+  return d;
+}
+
+TEST(ReplicaSet, DeltaStreamAdvancesAppliedSeqAndHistory) {
+  ReplicaWorld w;
+  obs::MetricRegistry registry;
+  w.replicas->attach_metrics(registry);
+  w.replicas->start();
+
+  w.primary().apply_stats(transfer_delta(PeerId(50), 1));
+  w.sim.run();
+
+  EXPECT_EQ(w.replicas->stream_seq(), 1u);
+  EXPECT_EQ(w.replicas->applied_seq(w.standby(0).node()), 1u);
+  EXPECT_EQ(w.replicas->deltas_streamed(), 1u);
+  EXPECT_EQ(w.replicas->deltas_applied(), 1u);
+  // The standby holds the replicated record and statistics, not cold state.
+  const auto transfers = w.standby(0).history().transfers_for(PeerId(50));
+  ASSERT_EQ(transfers.size(), 1u);
+  EXPECT_EQ(transfers[0].size, megabytes(1.0));
+  EXPECT_NE(w.standby(0).find_statistics(PeerId(50)), nullptr);
+  // Replication did not inflate the standby's report counter (the
+  // replicated-apply path is separate from the wire report path).
+  EXPECT_EQ(w.standby(0).reports_applied(), 0u);
+  // The attached instruments saw the same traffic as the getters.
+  EXPECT_EQ(registry.find_counter("overlay.replica.deltas_streamed")->value(), 1u);
+  EXPECT_EQ(registry.find_counter("overlay.replica.deltas_applied")->value(), 1u);
+}
+
+TEST(ReplicaSet, BurstOfDeltasIsFullyAppliedInOrder) {
+  ReplicaWorld w;
+  w.replicas->start();
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    w.primary().apply_stats(transfer_delta(PeerId(50), i));
+  }
+  w.sim.run();
+  EXPECT_EQ(w.replicas->stream_seq(), 100u);
+  EXPECT_EQ(w.replicas->applied_seq(w.standby(0).node()), 100u);
+  EXPECT_EQ(w.standby(0).history().transfers_for(PeerId(50)).size(),
+            w.primary().history().transfers_for(PeerId(50)).size());
+}
+
+TEST(ReplicaSet, LossyStreamNeverDuplicatesRecords) {
+  // 25% datagram loss forces retransmissions on the delta channel. The
+  // claim-once ticket store makes a retransmitted delta a no-op apply,
+  // so the standby's record count must equal the applied-delta count
+  // exactly — a duplicate apply would inflate it. Anti-entropy is
+  // pushed out of the test window so only the delta stream is at work.
+  ReplicaWorldOptions options;
+  options.datagram_loss = 0.25;
+  options.seed = 9;
+  options.config.anti_entropy_interval = 1e9;
+  options.config.delta_retry = transport::RetryPolicy{2.0, 2.0, 3};
+  ReplicaWorld w(options);
+  w.replicas->start();
+
+  constexpr std::uint64_t kDeltas = 40;
+  for (std::uint64_t i = 1; i <= kDeltas; ++i) {
+    w.sim.schedule_at(5.0 * static_cast<double>(i), [&w, i] {
+      w.primary().apply_stats(transfer_delta(PeerId(50), i));
+    });
+  }
+  w.sim.run();
+
+  EXPECT_EQ(w.replicas->stream_seq(), kDeltas);
+  EXPECT_GE(w.replicas->deltas_applied(), kDeltas / 2);  // the stream mostly gets through
+  EXPECT_EQ(w.standby(0).history().transfers_for(PeerId(50)).size(),
+            w.replicas->deltas_applied());
+}
+
+TEST(ReplicaSet, SnapshotHealsStandbyDowntime) {
+  ReplicaWorldOptions options;
+  options.config.anti_entropy_interval = 30.0;
+  options.config.delta_retry = transport::RetryPolicy{2.0, 2.0, 3};
+  ReplicaWorld w(options);
+  w.replicas->start();
+
+  w.primary().apply_stats(transfer_delta(PeerId(50), 1));
+  w.sim.run();
+  ASSERT_EQ(w.replicas->applied_seq(w.standby(0).node()), 1u);
+
+  // Standby down: deltas 2..5 exhaust their retries and are lost.
+  const NodeId standby_node = w.standby(0).node();
+  w.network->crash_node(standby_node);
+  w.replicas->notify_crash(standby_node);
+  for (std::uint64_t i = 2; i <= 5; ++i) {
+    w.primary().apply_stats(transfer_delta(PeerId(50), i));
+  }
+  w.sim.run();
+  EXPECT_EQ(w.replicas->stream_seq(), 5u);
+  EXPECT_EQ(w.replicas->applied_seq(standby_node), 1u);
+
+  // Restart: the rejoin snapshot catches the standby up immediately.
+  w.network->restore_node(standby_node);
+  w.replicas->notify_restart(standby_node);
+  w.sim.run_until(w.sim.now() + 40.0);
+  EXPECT_EQ(w.replicas->applied_seq(standby_node), 5u);
+  EXPECT_GE(w.replicas->snapshots_applied(), 1u);
+  EXPECT_EQ(w.replicas->rejoins(), 1u);
+  EXPECT_EQ(w.standby(0).history().transfers_for(PeerId(50)).size(), 5u);
+}
+
+TEST(ReplicaSet, ShortPrimaryBlipDoesNotTriggerElection) {
+  ReplicaWorld w;  // heartbeat 5 s, election after >15 s of silence
+  w.replicas->start();
+  w.sim.run_until(20.0);
+
+  const NodeId primary_node = w.primary().node();
+  w.network->crash_node(primary_node);
+  w.replicas->notify_crash(primary_node);
+  w.sim.run_until(w.sim.now() + 6.0);  // well under the detection threshold
+  w.network->restore_node(primary_node);
+  w.replicas->notify_restart(primary_node);
+  w.sim.run_until(w.sim.now() + 40.0);
+
+  EXPECT_EQ(w.replicas->elections(), 0u);
+  EXPECT_TRUE(w.replicas->is_primary(primary_node));
+  // The resumed primary still streams.
+  w.primary().apply_stats(transfer_delta(PeerId(50), 1));
+  w.sim.run();
+  EXPECT_EQ(w.replicas->applied_seq(w.standby(0).node()), w.replicas->stream_seq());
+}
+
+TEST(ReplicaSet, ScriptedPrimaryCrashElectsStandbyAndRejoinsOldPrimary) {
+  // The deployment-wired fault-plan path: a scripted crash of the
+  // primary broker node elects the standby and re-homes the flock; the
+  // scripted restart rejoins the old primary as a standby that is
+  // caught up (via the join snapshot) on state it never saw.
+  sim::Simulator sim(3);
+  planetlab::DeploymentOptions options;
+  options.standby_brokers = 1;
+  planetlab::Deployment dep(sim, options);
+  dep.boot();
+  ASSERT_NE(dep.replicas(), nullptr);
+  const NodeId old_primary = dep.broker().node();
+  const NodeId standby_node = dep.standby_at(0).node();
+
+  net::FaultPlan plan;
+  plan.crash(sim.now() + 5.0, old_primary, 120.0);
+  dep.install_faults(std::move(plan));
+
+  sim.run_until(sim.now() + 60.0);
+  EXPECT_EQ(dep.replicas()->elections(), 1u);
+  EXPECT_TRUE(dep.replicas()->is_primary(standby_node));
+  EXPECT_FALSE(dep.replicas()->is_primary(old_primary));
+  EXPECT_EQ(dep.control().broker_node(), standby_node);
+
+  // State only the new primary ever saw, applied while the old primary
+  // is still down: the rejoin snapshot must carry it over.
+  StatsDelta marker = transfer_delta(PeerId(77), 777);
+  dep.standby_at(0).apply_stats(marker);
+
+  sim.run_until(sim.now() + 150.0);  // past the scripted restart
+  EXPECT_GE(dep.replicas()->rejoins(), 1u);
+  EXPECT_FALSE(dep.replicas()->is_primary(old_primary));  // rejoined as standby
+  EXPECT_TRUE(dep.replicas()->is_primary(standby_node));
+  EXPECT_FALSE(dep.broker().history().transfers_for(PeerId(77)).empty());
+}
+
+}  // namespace
+}  // namespace peerlab::overlay

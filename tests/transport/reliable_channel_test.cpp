@@ -11,7 +11,7 @@ namespace {
 struct World {
   explicit World(double datagram_loss = 0.0, std::uint64_t seed = 1) : sim(seed) {
     net::Topology topo(sim.rng().fork(1));
-    for (const char* name : {"client", "server"}) {
+    for (const char* name : {"client", "server", "spare"}) {
       net::NodeProfile p;
       p.hostname = name;
       p.control_delay_mean = 0.05;
@@ -174,6 +174,53 @@ TEST(ReliableChannel, DuplicateResponsesAreDropped) {
   req.request(NodeId(2), 1, 0, [&](const RequestOutcome&) { ++completions; });
   w.sim.run();
   EXPECT_EQ(completions, 1);
+}
+
+TEST(ReliableChannel, FailPendingToFailsOnlyThatDestination) {
+  World w;
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  // No responders anywhere: requests sit in the retry loop.
+  ReliableChannel req(client, MessageType::kChat, MessageType::kChatAck, fast_retry());
+  int failed_to_2 = 0;
+  req.request(NodeId(2), 1, 0, [&](const RequestOutcome& o) { failed_to_2 += !o.ok; });
+  req.request(NodeId(2), 2, 0, [&](const RequestOutcome& o) { failed_to_2 += !o.ok; });
+  std::optional<RequestOutcome> spare;
+  req.request(NodeId(3), 3, 0, [&](const RequestOutcome& o) { spare = o; });
+  EXPECT_EQ(req.outstanding(), 3u);
+
+  // Fails the node-2 requests now (synchronously); node 3 is untouched.
+  EXPECT_EQ(req.fail_pending_to(NodeId(2)), 2u);
+  EXPECT_EQ(failed_to_2, 2);
+  EXPECT_FALSE(spare.has_value());
+  EXPECT_EQ(req.outstanding(), 1u);
+
+  w.sim.run();  // the node-3 request still exhausts its retries normally
+  ASSERT_TRUE(spare.has_value());
+  EXPECT_FALSE(spare->ok);
+  EXPECT_EQ(spare->attempts, 4);
+  EXPECT_EQ(req.outstanding(), 0u);
+}
+
+TEST(ReliableChannel, FailPendingToSupportsReentrantReissue) {
+  World w;
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  Endpoint& server = w.fabric->attach(NodeId(3));
+  ReliableChannel req(client, MessageType::kChat, MessageType::kChatAck, fast_retry());
+  ReliableChannel resp(server, MessageType::kChat, MessageType::kChatAck, fast_retry());
+  resp.serve([&](const Message& m) { server.reply(m, MessageType::kChatAck); });
+
+  // The failure callback re-issues against a live node from inside
+  // fail_pending_to — the sweep must not visit the new request.
+  std::optional<RequestOutcome> reissued;
+  req.request(NodeId(2), 7, 0, [&](const RequestOutcome& o) {
+    ASSERT_FALSE(o.ok);
+    req.request(NodeId(3), 7, 0, [&](const RequestOutcome& o2) { reissued = o2; });
+  });
+  EXPECT_EQ(req.fail_pending_to(NodeId(2)), 1u);
+  EXPECT_EQ(req.outstanding(), 1u);  // the re-issued request survived the sweep
+  w.sim.run();
+  ASSERT_TRUE(reissued.has_value());
+  EXPECT_TRUE(reissued->ok);
 }
 
 TEST(ReliableChannel, RejectsDegeneratePolicies) {
