@@ -4,15 +4,19 @@
 //   --reps N    repetitions (default 5, like the paper)
 //   --seed S    base seed (default 2007)
 //   --threads T worker threads (default: hardware)
+//   --profile   wall-clock span profiling (writes <name>.profile.txt)
 // and prints a paper-style table plus shape verdicts. Exit code 0 only
 // if every shape check passes.
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "peerlab/experiments/figures.hpp"
 #include "peerlab/experiments/reporter.hpp"
+#include "peerlab/obs/profile.hpp"
 
 namespace peerlab::bench {
 
@@ -29,6 +33,8 @@ inline experiments::RunOptions parse_options(int argc, char** argv) {
       options.base_seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--threads") {
       options.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--profile") {
+      options.profile = true;
     }
   }
   if (options.repetitions <= 0) options.repetitions = 5;
@@ -44,14 +50,25 @@ inline const char* sc_name(int i) {
 /// Scope guard wiring observability into a bench run: attaches a fresh
 /// registry to `options` so the experiment drivers record into it, and
 /// writes `<name>.metrics.json` (the registry's flat summary, diffable
-/// by scripts/bench_compare.py) when main() returns.
+/// by scripts/bench_compare.py) when main() returns. Under --profile it
+/// additionally prints the flat wall-clock span table (self-time
+/// ranked; see obs::profile_table) and writes it to <name>.profile.txt.
 class BenchMetrics {
  public:
   BenchMetrics(experiments::RunOptions& options, std::string name)
-      : name_(std::move(name)) {
+      : profile_(options.profile), name_(std::move(name)) {
     options.metrics = &registry_;
   }
-  ~BenchMetrics() { registry_.write_json(name_ + ".metrics.json", name_); }
+  ~BenchMetrics() {
+    registry_.write_json(name_ + ".metrics.json", name_);
+    if (!profile_) return;
+    const std::string table = obs::profile_table(registry_);
+    if (table.empty()) return;
+    std::fprintf(stderr, "\n-- wall-clock profile (%s) --\n%s", name_.c_str(),
+                 table.c_str());
+    std::ofstream out(name_ + ".profile.txt");
+    out << table;
+  }
 
   BenchMetrics(const BenchMetrics&) = delete;
   BenchMetrics& operator=(const BenchMetrics&) = delete;
@@ -60,6 +77,7 @@ class BenchMetrics {
 
  private:
   obs::MetricRegistry registry_;
+  bool profile_;
   std::string name_;
 };
 

@@ -23,8 +23,10 @@ Typical use:
                                                  # distil saved runs instead of executing
 
 Exits nonzero when any headline metric regresses by more than the
-threshold relative to the previous snapshot, which is what makes it
-usable as a CI tripwire.
+threshold relative to the previous snapshot, or when a metric present
+in the baseline is missing from the candidate run entirely (a deleted
+or renamed benchmark must be an explicit decision, not a silent pass);
+that is what makes it usable as a CI tripwire.
 
 The script can additionally diff observability exports (the
 <bench>.metrics.json files the figure benches write via peerlab::obs):
@@ -219,6 +221,14 @@ def main() -> int:
         else:
             print(f"{metric:28s} {value:14.3e} {'-':>14s} {'-':>7s}")
 
+    # A baseline metric the candidate run never produced is a silently
+    # deleted benchmark (renamed binary, filtered-out suite), which would
+    # otherwise read as "no regression" forever.
+    missing = sorted(set((previous or {}).get("metrics", {})) - set(metrics))
+    if missing:
+        print(f"FAIL: baseline metrics missing from candidate run: {', '.join(missing)}",
+              file=sys.stderr)
+
     if args.emit:
         number = snapshots[-1][0] + 1 if snapshots else 0
         out_path = args.bench_dir / f"BENCH_{number}.json"
@@ -237,6 +247,8 @@ def main() -> int:
         print(f"FAIL: regression beyond {args.threshold:.0%} in: {', '.join(failed)}",
               file=sys.stderr)
         return 1
+    if missing:
+        return 2
     return 0
 
 

@@ -4,29 +4,27 @@
 
 namespace peerlab::core {
 
-std::vector<PeerId> BlindModel::rank(std::span<const PeerSnapshot> candidates,
-                                     const SelectionContext& context) {
-  std::vector<PeerId> online;
-  online.reserve(candidates.size());
+void BlindModel::rank_into(std::span<const PeerSnapshot> candidates,
+                           const SelectionContext& context, std::vector<PeerId>& out) {
+  out.clear();
+  out.reserve(candidates.size());
   // Two loops so the common fault-free (no-exclude) path stays as tight
   // as before exclusion existed.
   if (context.exclude.empty()) {
     for (const auto& c : candidates) {
-      if (c.online) online.push_back(c.peer);
+      if (c.online) out.push_back(c.peer);
     }
   } else {
     for (const auto& c : candidates) {
-      if (c.online && !context.excluded(c.peer)) online.push_back(c.peer);
+      if (c.online && !context.excluded(c.peer)) out.push_back(c.peer);
     }
   }
-  if (online.empty()) return {};
-  std::sort(online.begin(), online.end());
+  if (out.empty()) return;
+  std::sort(out.begin(), out.end());
   if (mode_ == Mode::kRoundRobin) {
-    const std::size_t start = static_cast<std::size_t>(next_++ % online.size());
-    std::rotate(online.begin(), online.begin() + static_cast<std::ptrdiff_t>(start),
-                online.end());
+    const std::size_t start = static_cast<std::size_t>(next_++ % out.size());
+    std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
   }
-  return online;
 }
 
 }  // namespace peerlab::core

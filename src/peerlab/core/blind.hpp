@@ -19,8 +19,8 @@ class BlindModel final : public SelectionModel {
 
   [[nodiscard]] std::string name() const override { return "blind"; }
 
-  [[nodiscard]] std::vector<PeerId> rank(std::span<const PeerSnapshot> candidates,
-                                         const SelectionContext& context) override;
+  void rank_into(std::span<const PeerSnapshot> candidates, const SelectionContext& context,
+                 std::vector<PeerId>& out) override;
 
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
 

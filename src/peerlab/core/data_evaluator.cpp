@@ -55,16 +55,19 @@ double DataEvaluatorModel::cost(const PeerSnapshot& peer,
   return 1.0 - weighted / weight_sum_;
 }
 
-std::vector<PeerId> DataEvaluatorModel::rank(std::span<const PeerSnapshot> candidates,
-                                             const SelectionContext& context) {
-  std::vector<ScoredPeer> scored;
-  scored.reserve(candidates.size());
+void DataEvaluatorModel::rank_into(std::span<const PeerSnapshot> candidates,
+                                   const SelectionContext& context,
+                                   std::vector<PeerId>& out) {
+  out.clear();
+  arena().reset();
+  auto scored = mem::make_scratch<ScoredPeer>(arena(), candidates.size());
   const bool has_excludes = !context.exclude.empty();
   for (const auto& c : candidates) {
     if (!c.online || (has_excludes && context.excluded(c.peer))) continue;
     scored.push_back(ScoredPeer{c.peer, cost(c, context)});
   }
-  return ranked_by_cost(std::move(scored));
+  out.reserve(scored.size());
+  append_ranked({scored.data(), scored.size()}, out);
 }
 
 }  // namespace peerlab::core

@@ -69,16 +69,18 @@ double EconomicSchedulingModel::estimate_cost(const PeerSnapshot& peer,
   return peer.price_per_cpu_second * cpu_time;
 }
 
-std::vector<PeerId> EconomicSchedulingModel::rank(std::span<const PeerSnapshot> candidates,
-                                                  const SelectionContext& context) {
+void EconomicSchedulingModel::rank_into(std::span<const PeerSnapshot> candidates,
+                                        const SelectionContext& context,
+                                        std::vector<PeerId>& out) {
+  out.clear();
   struct Offer {
     const PeerSnapshot* peer = nullptr;
     Seconds completion = 0.0;
     double cost = 0.0;
     bool feasible = true;
   };
-  std::vector<Offer> offers;
-  offers.reserve(candidates.size());
+  arena().reset();
+  auto offers = mem::make_scratch<Offer>(arena(), candidates.size());
 
   const bool has_excludes = !context.exclude.empty();
   bool any_idle = false;
@@ -104,7 +106,7 @@ std::vector<PeerId> EconomicSchedulingModel::rank(std::span<const PeerSnapshot> 
     }
     offers.push_back(offer);
   }
-  if (offers.empty()) return {};
+  if (offers.empty()) return;
 
   const bool any_feasible =
       std::any_of(offers.begin(), offers.end(), [](const Offer& o) { return o.feasible; });
@@ -129,8 +131,7 @@ std::vector<PeerId> EconomicSchedulingModel::rank(std::span<const PeerSnapshot> 
   const auto [clo, chi] = span_of([](const Offer& o) { return o.cost; });
   const double wsum = config_.time_weight + config_.cost_weight;
 
-  std::vector<ScoredPeer> scored;
-  scored.reserve(offers.size());
+  auto scored = mem::make_scratch<ScoredPeer>(arena(), offers.size());
   for (const auto& o : offers) {
     const double tnorm = thi > tlo ? (o.completion - tlo) / (thi - tlo) : 0.0;
     const double cnorm = chi > clo ? (o.cost - clo) / (chi - clo) : 0.0;
@@ -139,7 +140,8 @@ std::vector<PeerId> EconomicSchedulingModel::rank(std::span<const PeerSnapshot> 
     utility -= 1e-9 * o.peer->cpu_ghz;
     scored.push_back(ScoredPeer{o.peer->peer, utility});
   }
-  return ranked_by_cost(std::move(scored));
+  out.reserve(scored.size());
+  append_ranked({scored.data(), scored.size()}, out);
 }
 
 }  // namespace peerlab::core

@@ -21,16 +21,17 @@ HybridModel::HybridModel(HybridConfig config)
   PEERLAB_CHECK_MSG(alpha_ >= 0.0 && alpha_ <= 1.0, "alpha must be in [0, 1]");
 }
 
-std::vector<PeerId> HybridModel::rank(std::span<const PeerSnapshot> candidates,
-                                      const SelectionContext& context) {
+void HybridModel::rank_into(std::span<const PeerSnapshot> candidates,
+                            const SelectionContext& context, std::vector<PeerId>& out) {
+  out.clear();
   // Economic term: completion + cost estimate, min-max normalized.
   struct Term {
     const PeerSnapshot* peer = nullptr;
     double economic = 0.0;
     double evaluator = 0.0;
   };
-  std::vector<Term> terms;
-  terms.reserve(candidates.size());
+  arena().reset();
+  auto terms = mem::make_scratch<Term>(arena(), candidates.size());
   const bool has_excludes = !context.exclude.empty();
   for (const auto& c : candidates) {
     if (!c.online || (has_excludes && context.excluded(c.peer))) continue;
@@ -41,7 +42,7 @@ std::vector<PeerId> HybridModel::rank(std::span<const PeerSnapshot> candidates,
     t.evaluator = evaluator_.cost(c, context);
     terms.push_back(t);
   }
-  if (terms.empty()) return {};
+  if (terms.empty()) return;
 
   auto normalize = [&terms](auto get, auto set) {
     double lo = std::numeric_limits<double>::infinity();
@@ -59,13 +60,13 @@ std::vector<PeerId> HybridModel::rank(std::span<const PeerSnapshot> candidates,
   normalize([](const Term& t) { return t.evaluator; },
             [](Term& t, double v) { t.evaluator = v; });
 
-  std::vector<ScoredPeer> scored;
-  scored.reserve(terms.size());
+  auto scored = mem::make_scratch<ScoredPeer>(arena(), terms.size());
   for (const auto& t : terms) {
     scored.push_back(
         ScoredPeer{t.peer->peer, alpha_ * t.economic + (1.0 - alpha_) * t.evaluator});
   }
-  return ranked_by_cost(std::move(scored));
+  out.reserve(scored.size());
+  append_ranked({scored.data(), scored.size()}, out);
 }
 
 }  // namespace peerlab::core

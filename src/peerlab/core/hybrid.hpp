@@ -33,8 +33,8 @@ class HybridModel final : public SelectionModel {
 
   [[nodiscard]] std::string name() const override { return "hybrid"; }
 
-  [[nodiscard]] std::vector<PeerId> rank(std::span<const PeerSnapshot> candidates,
-                                         const SelectionContext& context) override;
+  void rank_into(std::span<const PeerSnapshot> candidates, const SelectionContext& context,
+                 std::vector<PeerId>& out) override;
 
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
 

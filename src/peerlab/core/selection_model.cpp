@@ -6,25 +6,30 @@ namespace peerlab::core {
 
 PeerId SelectionModel::select(std::span<const PeerSnapshot> candidates,
                               const SelectionContext& context) {
-  const auto ranking = rank(candidates, context);
-  return ranking.empty() ? PeerId{} : ranking.front();
+  rank_into(candidates, context, ranking_);
+  return ranking_.empty() ? PeerId{} : ranking_.front();
 }
 
 std::vector<PeerId> SelectionModel::select_k(std::span<const PeerSnapshot> candidates,
                                              const SelectionContext& context, std::size_t k) {
-  auto ranking = rank(candidates, context);
-  if (ranking.size() > k) ranking.resize(k);
-  return ranking;
+  rank_into(candidates, context, ranking_);
+  const std::size_t n = std::min(k, ranking_.size());
+  return std::vector<PeerId>(ranking_.begin(),
+                             ranking_.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
-std::vector<PeerId> ranked_by_cost(std::vector<ScoredPeer> scored) {
-  std::stable_sort(scored.begin(), scored.end(), [](const ScoredPeer& a, const ScoredPeer& b) {
+void append_ranked(std::span<ScoredPeer> scored, std::vector<PeerId>& out) {
+  std::sort(scored.begin(), scored.end(), [](const ScoredPeer& a, const ScoredPeer& b) {
     if (a.cost != b.cost) return a.cost < b.cost;
     return a.peer < b.peer;
   });
+  for (const auto& s : scored) out.push_back(s.peer);
+}
+
+std::vector<PeerId> ranked_by_cost(std::vector<ScoredPeer> scored) {
   std::vector<PeerId> out;
   out.reserve(scored.size());
-  for (const auto& s : scored) out.push_back(s.peer);
+  append_ranked(scored, out);
   return out;
 }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
 
 #include "peerlab/common/check.hpp"
 
@@ -13,6 +12,19 @@ UserPreferenceModel::UserPreferenceModel(std::vector<PeerId> preference_order)
   for (const auto id : preference_) {
     PEERLAB_CHECK_MSG(id.valid(), "preference order contains an invalid peer");
   }
+  // Freeze the peer → rank index now: the preference list never changes
+  // after construction, so rank_into() can binary-search instead of
+  // rebuilding a hash map per petition. Sorting by (peer, rank) and
+  // keeping the first entry per peer preserves the old emplace()
+  // semantics — the earliest occurrence of a duplicated peer wins.
+  position_.reserve(preference_.size());
+  for (std::size_t i = 0; i < preference_.size(); ++i) {
+    position_.emplace_back(preference_[i], i);
+  }
+  std::sort(position_.begin(), position_.end());
+  position_.erase(std::unique(position_.begin(), position_.end(),
+                              [](const auto& a, const auto& b) { return a.first == b.first; }),
+                  position_.end());
 }
 
 UserPreferenceModel UserPreferenceModel::quick_peer(const stats::HistoryStore& history,
@@ -49,25 +61,26 @@ UserPreferenceModel UserPreferenceModel::quick_peer(const stats::HistoryStore& h
   return UserPreferenceModel(std::move(order));
 }
 
-std::vector<PeerId> UserPreferenceModel::rank(std::span<const PeerSnapshot> candidates,
-                                              const SelectionContext& context) {
-  std::unordered_map<PeerId, std::size_t> position;
-  for (std::size_t i = 0; i < preference_.size(); ++i) {
-    position.emplace(preference_[i], i);
-  }
-  std::vector<ScoredPeer> scored;
-  scored.reserve(candidates.size());
+void UserPreferenceModel::rank_into(std::span<const PeerSnapshot> candidates,
+                                    const SelectionContext& context,
+                                    std::vector<PeerId>& out) {
+  out.clear();
+  arena().reset();
+  auto scored = mem::make_scratch<ScoredPeer>(arena(), candidates.size());
   const bool has_excludes = !context.exclude.empty();
   for (const auto& c : candidates) {
     if (!c.online || (has_excludes && context.excluded(c.peer))) continue;
-    const auto it = position.find(c.peer);
-    const double cost = it != position.end()
+    const auto it = std::lower_bound(
+        position_.begin(), position_.end(), c.peer,
+        [](const auto& entry, PeerId peer) { return entry.first < peer; });
+    const double cost = it != position_.end() && it->first == c.peer
                             ? static_cast<double>(it->second)
                             : static_cast<double>(preference_.size()) +
                                   static_cast<double>(c.peer.value());
     scored.push_back(ScoredPeer{c.peer, cost});
   }
-  return ranked_by_cost(std::move(scored));
+  out.reserve(scored.size());
+  append_ranked({scored.data(), scored.size()}, out);
 }
 
 }  // namespace peerlab::core

@@ -29,8 +29,8 @@ class UserPreferenceModel final : public SelectionModel {
 
   [[nodiscard]] std::string name() const override { return "user-preference"; }
 
-  [[nodiscard]] std::vector<PeerId> rank(std::span<const PeerSnapshot> candidates,
-                                         const SelectionContext& context) override;
+  void rank_into(std::span<const PeerSnapshot> candidates, const SelectionContext& context,
+                 std::vector<PeerId>& out) override;
 
   [[nodiscard]] const std::vector<PeerId>& preference_order() const noexcept {
     return preference_;
@@ -38,6 +38,11 @@ class UserPreferenceModel final : public SelectionModel {
 
  private:
   std::vector<PeerId> preference_;
+  /// Peer → preference rank, sorted by peer for binary search. Built
+  /// once at construction (first occurrence wins on duplicates); the
+  /// ranking is static, so rank_into() must not rebuild a lookup table
+  /// per petition.
+  std::vector<std::pair<PeerId, std::size_t>> position_;
 };
 
 }  // namespace peerlab::core

@@ -68,7 +68,7 @@ ChurnRun churn_run(const RunOptions& options, std::uint64_t seed, Model model,
   dep_options.standby_brokers = 1;
   Deployment dep(sim, dep_options);
   obs::MetricRegistry registry;
-  if (options.metrics != nullptr) dep.attach_metrics(registry);
+  if (options.metrics != nullptr) dep.attach_metrics(registry, options.profile);
   dep.boot();
 
   // Warm-up: one small transfer + chat per SC, serially, so the
@@ -85,7 +85,10 @@ ChurnRun churn_run(const RunOptions& options, std::uint64_t seed, Model model,
     });
     at += 300.0;
   }
-  sim.run_until(at + 300.0);
+  {
+    const obs::WallProfiler::Span run_span(dep.profiler(), "run");
+    sim.run_until(at + 300.0);
+  }
 
   // Both brokers get the model: the standby's copy binds to its own
   // (replicated) history, so a post-failover selection judges peers on
@@ -144,7 +147,10 @@ ChurnRun churn_run(const RunOptions& options, std::uint64_t seed, Model model,
       selected = std::move(peers);
       got = true;
     });
-    sim.run_until(sim.now() + 300.0);
+    {
+      const obs::WallProfiler::Span run_span(dep.profiler(), "run");
+      sim.run_until(sim.now() + 300.0);
+    }
     PEERLAB_CHECK_MSG(got && selected.size() >= 1, "churn selection failed");
     if (selected.size() > kChurnFanout) selected.resize(kChurnFanout);
   }
@@ -160,7 +166,10 @@ ChurnRun churn_run(const RunOptions& options, std::uint64_t seed, Model model,
         done = true;
       },
       churn_failover());
-  sim.run();
+  {
+    const obs::WallProfiler::Span run_span(dep.profiler(), "run");
+    sim.run();
+  }
   PEERLAB_CHECK_MSG(done, "churn distribution never resolved");
   if (crash_broker) {
     // A fast distribution can outrun the crash+detection window; keep

@@ -45,7 +45,7 @@ std::array<double, 8> per_peer_transfer_metric(const RunOptions& options,
   sim::Simulator sim(seed);
   Deployment dep(sim);
   obs::MetricRegistry registry;
-  if (options.metrics != nullptr) dep.attach_metrics(registry);
+  if (options.metrics != nullptr) dep.attach_metrics(registry, options.profile);
   std::array<double, 8> values{};
   std::array<bool, 8> done{};
   for (int i = 1; i <= 8; ++i) {
@@ -61,7 +61,10 @@ std::array<double, 8> per_peer_transfer_metric(const RunOptions& options,
                                       });
     });
   }
-  sim.run();
+  {
+    const obs::WallProfiler::Span run_span(dep.profiler(), "run");
+    sim.run();
+  }
   for (const bool d : done) PEERLAB_CHECK_MSG(d, "transfer never completed");
   merge_metrics(options, registry);
   return values;
@@ -246,7 +249,7 @@ double fig6_overhead(const RunOptions& options, std::uint64_t seed, Model model,
   Deployment& dep = world.dep;
   sim::Simulator& sim = world.sim;
   obs::MetricRegistry registry;
-  if (options.metrics != nullptr) dep.attach_metrics(registry);
+  if (options.metrics != nullptr) dep.attach_metrics(registry, options.profile);
 
   switch (model) {
     case Model::kEconomic:
@@ -279,7 +282,10 @@ double fig6_overhead(const RunOptions& options, std::uint64_t seed, Model model,
                                       selection_elapsed = sim.now() - asked;
                                       got = true;
                                     });
-    sim.run_until(sim.now() + 120.0);
+    {
+      const obs::WallProfiler::Span run_span(dep.profiler(), "run");
+      sim.run_until(sim.now() + 120.0);
+    }
     PEERLAB_CHECK_MSG(got && !selected.empty(), "selection failed");
   }
 
@@ -303,7 +309,10 @@ double fig6_overhead(const RunOptions& options, std::uint64_t seed, Model model,
           --outstanding;
         });
   }
-  sim.run();
+  {
+    const obs::WallProfiler::Span run_span(dep.profiler(), "run");
+    sim.run();
+  }
   PEERLAB_CHECK_MSG(outstanding == 0, "fig6 transfers did not drain");
   merge_metrics(options, registry,
                 std::string(".") + kModelNames[static_cast<int>(model)]);
@@ -348,7 +357,7 @@ Fig7Result run_fig7_execution(const RunOptions& options) {
     sim::Simulator sim(seed);
     Deployment dep(sim);
     obs::MetricRegistry registry;
-    if (options.metrics != nullptr) dep.attach_metrics(registry);
+    if (options.metrics != nullptr) dep.attach_metrics(registry, options.profile);
     dep.boot();
     std::array<bool, 8> done_a{}, done_b{};
 
@@ -387,7 +396,10 @@ Fig7Result run_fig7_execution(const RunOptions& options) {
       });
       at += 6000.0;
     }
-    sim.run();
+    {
+      const obs::WallProfiler::Span run_span(dep.profiler(), "run");
+      sim.run();
+    }
     for (int i = 0; i < 8; ++i) {
       PEERLAB_CHECK_MSG(done_a[static_cast<std::size_t>(i)] && done_b[static_cast<std::size_t>(i)],
                         "fig7 task never finished");

@@ -29,6 +29,11 @@ struct RunOptions {
   /// merge_metrics); instruments aggregate across repetitions. Must
   /// outlive the run. Null = observability off (the default).
   obs::MetricRegistry* metrics = nullptr;
+  /// Wall-clock profiling: attach deployments with wall_profiling on,
+  /// so re-level histograms and the obs::WallProfiler span sites
+  /// (profile.*) populate. Requires `metrics`; bench runners expose it
+  /// as --profile and dump the span table (see bench_common.hpp).
+  bool profile = false;
 };
 
 /// Seed for repetition `rep` under `options`.

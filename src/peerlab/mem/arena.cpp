@@ -1,0 +1,57 @@
+#include "peerlab/mem/arena.hpp"
+
+#include <algorithm>
+
+namespace peerlab::mem {
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Move past the exhausted slab (if any) to the next retained one; a
+  // retained slab big enough for the request is reused as-is.
+  while (current_ + 1 < slabs_.size()) {
+    ++current_;
+    cursor_ = 0;
+    const std::size_t aligned = align_up(cursor_, align);
+    if (align <= kAlign && aligned + bytes <= slabs_[current_].bytes) {
+      cursor_ = aligned + bytes;
+      return slabs_[current_].base + aligned;
+    }
+  }
+  // Grow: geometric doubling, but never smaller than the request (plus
+  // alignment slack for over-aligned asks, which bump from offset 0 of
+  // a fresh slab and therefore only need the slab base aligned).
+  std::size_t want = bytes + (align > kAlign ? align : 0);
+  std::size_t size = next_slab_bytes_;
+  while (size < want) size *= 2;
+  next_slab_bytes_ = size * 2;
+
+  Slab slab;
+  slab.bytes = size;
+  slab.base = static_cast<std::byte*>(::operator new(size, std::align_val_t(kAlign)));
+  slabs_.push_back(slab);
+  current_ = slabs_.size() - 1;
+
+  std::size_t offset = 0;
+  if (align > kAlign) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(slab.base);
+    offset = align_up(addr, align) - addr;
+  }
+  cursor_ = offset + bytes;
+  return slab.base + offset;
+}
+
+void Arena::consolidate() noexcept {
+  // Keep only the biggest slab: the workload outgrew the others, and a
+  // single right-sized slab is what makes every later cycle a pure
+  // cursor rewind.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < slabs_.size(); ++i) {
+    if (slabs_[i].bytes > slabs_[best].bytes) best = i;
+  }
+  for (std::size_t i = 0; i < slabs_.size(); ++i) {
+    if (i != best) ::operator delete(slabs_[i].base, std::align_val_t(kAlign));
+  }
+  slabs_[0] = slabs_[best];
+  slabs_.resize(1);
+}
+
+}  // namespace peerlab::mem

@@ -1,0 +1,204 @@
+#pragma once
+
+// small_vector<T, N>: a vector with N elements of inline storage.
+//
+// Sized for bookkeeping that is almost always tiny — a distribution's
+// shares (the paper's scatter uses 8 peers), the peers a failed share
+// has burned through, a petition's exclusion list — so the common case
+// never touches the heap. Past N it spills to a heap buffer and
+// behaves like a plain vector (growth factor 2); it never shrinks back
+// to inline storage, so pointers returned by data() are invalidated
+// only by growth, exactly like std::vector.
+//
+// Deliberately minimal: the subset the overlay needs (push_back,
+// emplace_back, iteration, indexing, clear, pop_back, resize, sort
+// via data()/size()), value semantics with moves, and a conversion to
+// std::span for call sites that take a view. Not a drop-in for the
+// full std::vector API.
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+
+namespace peerlab::mem {
+
+template <typename T, std::size_t N>
+class small_vector {
+  static_assert(N > 0, "small_vector needs at least one inline slot");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  small_vector() noexcept = default;
+
+  small_vector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  small_vector(const small_vector& other) {
+    reserve(other.size_);
+    for (const T& v : other) push_back(v);
+  }
+
+  small_vector(small_vector&& other) noexcept(std::is_nothrow_move_constructible_v<T>) {
+    steal(std::move(other));
+  }
+
+  small_vector& operator=(const small_vector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (const T& v : other) push_back(v);
+    }
+    return *this;
+  }
+
+  small_vector& operator=(small_vector&& other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    if (this != &other) {
+      destroy_all();
+      release_heap();
+      steal(std::move(other));
+    }
+    return *this;
+  }
+
+  ~small_vector() {
+    destroy_all();
+    release_heap();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// True while elements still live in the inline buffer (tests).
+  [[nodiscard]] bool inline_storage() const noexcept { return data_ == inline_data(); }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] T& front() noexcept { return data_[0]; }
+  [[nodiscard]] const T& front() const noexcept { return data_[0]; }
+  [[nodiscard]] T& back() noexcept { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const noexcept { return data_[size_ - 1]; }
+
+  [[nodiscard]] iterator begin() noexcept { return data_; }
+  [[nodiscard]] iterator end() noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_; }
+  [[nodiscard]] const_iterator end() const noexcept { return data_ + size_; }
+
+  operator std::span<T>() noexcept { return {data_, size_}; }                // NOLINT
+  operator std::span<const T>() const noexcept { return {data_, size_}; }    // NOLINT
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow_to(n);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow_to(capacity_ * 2);
+    T* p = std::construct_at(data_ + size_, std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() noexcept {
+    PEERLAB_CHECK(size_ > 0);
+    --size_;
+    std::destroy_at(data_ + size_);
+  }
+
+  void clear() noexcept {
+    destroy_all();
+    size_ = 0;
+  }
+
+  /// Grows with value-initialised elements or shrinks by destroying the
+  /// tail (no capacity change on shrink).
+  void resize(std::size_t n) {
+    if (n < size_) {
+      std::destroy(data_ + n, data_ + size_);
+      size_ = n;
+      return;
+    }
+    reserve(n);
+    while (size_ < n) {
+      std::construct_at(data_ + size_);
+      ++size_;
+    }
+  }
+
+ private:
+  [[nodiscard]] T* inline_data() noexcept { return std::launder(reinterpret_cast<T*>(inline_)); }
+  [[nodiscard]] const T* inline_data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  void destroy_all() noexcept { std::destroy(data_, data_ + size_); }
+
+  void release_heap() noexcept {
+    if (data_ != inline_data()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = inline_data();
+    capacity_ = N;
+  }
+
+  void grow_to(std::size_t n) {
+    const std::size_t cap = std::max(n, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T), std::align_val_t(alignof(T))));
+    for (std::size_t i = 0; i < size_; ++i) {
+      std::construct_at(fresh + i, std::move_if_noexcept(data_[i]));
+      std::destroy_at(data_ + i);
+    }
+    if (data_ != inline_data()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  void steal(small_vector&& other) noexcept(std::is_nothrow_move_constructible_v<T>) {
+    if (other.data_ != other.inline_data()) {
+      // Adopt the heap buffer wholesale.
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    data_ = inline_data();
+    capacity_ = N;
+    size_ = 0;
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      std::construct_at(data_ + i, std::move_if_noexcept(other.data_[i]));
+    }
+    size_ = other.size_;
+    other.clear();
+  }
+
+  alignas(T) std::byte inline_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace peerlab::mem

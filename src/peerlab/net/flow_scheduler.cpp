@@ -25,9 +25,39 @@ FlowScheduler::FlowScheduler(sim::Simulator& sim, const Topology& topo,
   // later are picked up lazily. Doing it here keeps the first start()
   // on the same allocation-free path as every later one.
   ensure_node_arrays();
+  // The SoA layout splits what used to be one slot vector across many
+  // parallel slabs; seed them together so a cold scheduler's first
+  // flows don't pay one growth allocation per slab per doubling.
+  reserve_flows(64);
 }
 
-void FlowScheduler::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling) {
+void FlowScheduler::reserve_flows(std::size_t flows) {
+  f_remaining_.reserve(flows);
+  f_rate_.reserve(flows);
+  f_cap_.reserve(flows);
+  f_started_.reserve(flows);
+  f_id_.reserve(flows);
+  callbacks_.reserve(flows);
+  links_.reserve(flows);
+  free_slots_.reserve(flows);
+  active_.reserve(flows);
+  comp_flows_.reserve(flows);
+  res_stack_.reserve(flows * 2);
+  dirty_res_.reserve(flows * 2);
+  wf_slot_.reserve(flows);
+  wf_up_.reserve(flows);
+  wf_down_.reserve(flows);
+  wf_flow_cap_.reserve(flows);
+  wf_level_.reserve(flows);
+  fr_slot_.reserve(flows);
+  fr_up_.reserve(flows);
+  fr_down_.reserve(flows);
+  fr_cap_.reserve(flows);
+  done_.reserve(flows);
+}
+
+void FlowScheduler::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling,
+                                   obs::WallProfiler* profiler) {
   m_.flows_started = &registry.counter("net.flows.started", "flows");
   m_.flows_completed = &registry.counter("net.flows.completed", "flows");
   m_.flows_aborted = &registry.counter("net.flows.aborted", "flows");
@@ -43,6 +73,14 @@ void FlowScheduler::attach_metrics(obs::MetricRegistry& registry, bool wall_prof
   } else {
     m_.relevel_wall_s = nullptr;
   }
+  m_.profiler = profiler;
+  if (profiler != nullptr) {
+    m_.relevel_site = &profiler->site("flows.relevel");
+    m_.waterfill_site = &profiler->site("flows.waterfill");
+  } else {
+    m_.relevel_site = nullptr;
+    m_.waterfill_site = nullptr;
+  }
 }
 
 FlowId FlowScheduler::start(FlowSpec spec) {
@@ -52,26 +90,25 @@ FlowId FlowScheduler::start(FlowSpec spec) {
   advance_to_now();
   const FlowId id = ids_.next();
   const std::uint32_t slot = acquire_slot();
-  Flow& flow = slots_[slot];
-  flow.src = spec.src;
-  flow.dst = spec.dst;
-  flow.remaining_bits = static_cast<double>(spec.size) * 8.0;
-  flow.rate = 0.0;
-  flow.rate_cap = spec.rate_cap;
-  flow.started = sim_.now();
-  flow.id = id.value();
+  f_remaining_[slot] = static_cast<double>(spec.size) * 8.0;
+  f_rate_[slot] = 0.0;
+  // Canonicalise "uncapped" to +inf here so the water-fill compares the
+  // stored value directly instead of re-testing the sentinel per round.
+  f_cap_[slot] = spec.rate_cap > 0.0 ? spec.rate_cap : kInf;
+  f_started_[slot] = sim_.now();
+  f_id_[slot] = id.value();
   callbacks_[slot].on_complete = std::move(spec.on_complete);
   callbacks_[slot].on_abort = std::move(spec.on_abort);
 
   ensure_node_arrays();
-  ++uploads_[flow.src.value()];
-  ++downloads_[flow.dst.value()];
+  ++uploads_[spec.src.value()];
+  ++downloads_[spec.dst.value()];
   // Fresh ids are strictly increasing, so appending keeps `active_`
   // FlowId-sorted (removal is order-preserving).
   active_.push_back(slot);
   index_.insert(id.value(), slot);
-  const auto up_key = static_cast<std::uint32_t>(flow.src.value() * 2);
-  const auto down_key = static_cast<std::uint32_t>(flow.dst.value() * 2 + 1);
+  const auto up_key = static_cast<std::uint32_t>(spec.src.value() * 2);
+  const auto down_key = static_cast<std::uint32_t>(spec.dst.value() * 2 + 1);
   const bool attaches =
       res_head_[up_key] != kNilSlot || res_head_[down_key] != kNilSlot;
   link_into(slot, 0, up_key);
@@ -129,10 +166,9 @@ std::size_t FlowScheduler::abort_where(Pred pred) {
   std::vector<Completion> aborted;
   for (std::size_t i = 0; i < active_.size();) {
     const std::uint32_t slot = active_[i];
-    Flow& f = slots_[slot];
-    if (pred(f)) {
-      aborted.push_back(
-          Completion{sim_.now() - f.started, std::move(callbacks_[slot].on_abort)});
+    if (pred(slot)) {
+      aborted.push_back(Completion{sim_.now() - f_started_[slot],
+                                   std::move(callbacks_[slot].on_abort)});
       remove_flow(i);
     } else {
       ++i;
@@ -149,12 +185,18 @@ std::size_t FlowScheduler::abort_where(Pred pred) {
 }
 
 std::size_t FlowScheduler::abort_touching(NodeId node) {
-  return abort_where([node](const Flow& f) { return f.src == node || f.dst == node; });
+  const std::uint64_t id = node.value();
+  return abort_where(
+      [this, id](std::uint32_t slot) { return src_of(slot) == id || dst_of(slot) == id; });
 }
 
 std::size_t FlowScheduler::abort_between(NodeId a, NodeId b) {
-  return abort_where([a, b](const Flow& f) {
-    return (f.src == a && f.dst == b) || (f.src == b && f.dst == a);
+  const std::uint64_t ia = a.value();
+  const std::uint64_t ib = b.value();
+  return abort_where([this, ia, ib](std::uint32_t slot) {
+    const std::uint64_t src = src_of(slot);
+    const std::uint64_t dst = dst_of(slot);
+    return (src == ia && dst == ib) || (src == ib && dst == ia);
   });
 }
 
@@ -182,12 +224,12 @@ double FlowScheduler::capacity_factor(NodeId node) const noexcept {
 
 MbitPerSec FlowScheduler::current_rate(FlowId id) const noexcept {
   const std::uint32_t* slot = index_.find(id.value());
-  return slot == nullptr ? 0.0 : slots_[*slot].rate;
+  return slot == nullptr ? 0.0 : f_rate_[*slot];
 }
 
 Bytes FlowScheduler::remaining_bytes(FlowId id) const noexcept {
   const std::uint32_t* slot = index_.find(id.value());
-  return slot == nullptr ? 0 : static_cast<Bytes>(slots_[*slot].remaining_bits / 8.0);
+  return slot == nullptr ? 0 : static_cast<Bytes>(f_remaining_[*slot] / 8.0);
 }
 
 int FlowScheduler::uploads_at(NodeId node) const noexcept {
@@ -205,9 +247,19 @@ void FlowScheduler::advance_to_now() {
   const Seconds dt = now - last_advance_;
   last_advance_ = now;
   if (dt <= 0.0) return;
-  for (const std::uint32_t slot : active_) {
-    Flow& f = slots_[slot];
-    f.remaining_bits = std::max(0.0, f.remaining_bits - f.rate * 1e6 * dt);
+  // Streams exactly two double slabs (16 bytes per flow); the cold
+  // callback/link state never enters the cache here. The sweep is
+  // dense over the whole slab rather than gathered through `active_`:
+  // free slots hold rate 0 / remaining 0 (zeroed on release), so they
+  // fold to max(0, 0) and the contiguous loop vectorizes. Each live
+  // flow sees exactly the arithmetic the gathered loop did, and the
+  // expression must stay (rate * 1e6) * dt — hoisting 1e6 * dt changes
+  // the rounding and breaks bit-identity with the reference oracle.
+  const std::size_t n = f_remaining_.size();
+  double* const remaining = f_remaining_.data();
+  const double* const rate = f_rate_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    remaining[i] = std::max(0.0, remaining[i] - rate[i] * 1e6 * dt);
   }
 }
 
@@ -249,6 +301,7 @@ void FlowScheduler::relevel_dirty() {
   if (dirty_res_.empty()) return;
   ensure_node_arrays();
   const obs::WallSpan wall_span(m_.relevel_wall_s);
+  const obs::WallProfiler::Span span(m_.profiler, m_.relevel_site);
   if (m_.relevels != nullptr) m_.relevels->add(1);
   // Single known component: it necessarily contains every dirty
   // resource that has flows at all, so the flood fill below would just
@@ -322,7 +375,7 @@ void FlowScheduler::relevel_dirty() {
       continue;
     }
     const auto id_less = [this](std::uint32_t a, std::uint32_t b) {
-      return slots_[a].id < slots_[b].id;
+      return f_id_[a] < f_id_[b];
     };
     if (!std::is_sorted(comp_flows_.begin(), comp_flows_.end(), id_less)) {
       std::sort(comp_flows_.begin(), comp_flows_.end(), id_less);
@@ -336,38 +389,64 @@ void FlowScheduler::relevel_dirty() {
 }
 
 void FlowScheduler::waterfill(const std::vector<std::uint32_t>& flows) {
-  // Seed per-resource capacities and the unfrozen set. Iteration is in
-  // FlowId order throughout, so every floating-point accumulation below
-  // happens in the same order as the reference implementation.
-  wf_unfrozen_.clear();
+  const obs::WallProfiler::Span span(m_.profiler, m_.waterfill_site);
+  // Seed per-resource capacities and the pending set into the SoA
+  // slabs. Iteration is in FlowId order throughout, so every
+  // floating-point accumulation below happens in the same order as the
+  // reference implementation.
+  wf_slot_.clear();
+  wf_up_.clear();
+  wf_down_.clear();
+  wf_flow_cap_.clear();
+  // Stamp-reset counting folds the zero-then-increment pair into one
+  // pass: a resource's first touch under the current stamp resets its
+  // count to 1, later touches increment. Counts are integers, so the
+  // fold cannot perturb any floating-point result.
+  const auto count_user = [&](std::uint32_t key, std::uint64_t stamp) {
+    if (wf_user_round_[key] != stamp) {
+      wf_user_round_[key] = stamp;
+      wf_users_[key] = 1;
+    } else {
+      ++wf_users_[key];
+    }
+  };
+  const std::uint64_t seed_stamp = ++wf_round_;
   for (const std::uint32_t slot : flows) {
-    const Flow& f = slots_[slot];
-    const auto up_key = static_cast<std::uint32_t>(f.src.value() * 2);
-    const auto down_key = static_cast<std::uint32_t>(f.dst.value() * 2 + 1);
+    const std::uint32_t up_key = links_[slot].key[0];
+    const std::uint32_t down_key = links_[slot].key[1];
     wf_capacity_[up_key] = link_capacity_[up_key];
     wf_capacity_[down_key] = link_capacity_[down_key];
-    wf_unfrozen_.push_back(
-        Pending{slot, up_key, down_key, f.rate_cap > 0.0 ? f.rate_cap : kInf});
+    count_user(up_key, seed_stamp);
+    count_user(down_key, seed_stamp);
+    wf_slot_.push_back(slot);
+    wf_up_.push_back(up_key);
+    wf_down_.push_back(down_key);
+    wf_flow_cap_.push_back(f_cap_[slot]);
   }
+  wf_level_.resize(wf_slot_.size());
 
   // Progressive water-filling: each round freezes at least one flow,
   // either at its own cap or at a bottleneck resource's fair share.
   // The freeze set is decided entirely from the round-start snapshot;
   // capacities are only reduced afterwards — mutating them mid-round
   // would freeze flows against stale user counts and strand capacity.
-  while (!wf_unfrozen_.empty()) {
-    for (const Pending& p : wf_unfrozen_) {
-      wf_users_[p.up_key] = 0;
-      wf_users_[p.down_key] = 0;
+  std::size_t n = wf_slot_.size();
+  bool counted = true;  // seeding already counted users for round 1
+  while (n > 0) {
+    if (!counted) {
+      const std::uint64_t stamp = ++wf_round_;
+      for (std::size_t i = 0; i < n; ++i) {
+        count_user(wf_up_[i], stamp);
+        count_user(wf_down_[i], stamp);
+      }
     }
-    for (const Pending& p : wf_unfrozen_) {
-      ++wf_users_[p.up_key];
-      ++wf_users_[p.down_key];
-    }
+    counted = false;
     // Capacities are stable for the whole round (deductions happen only
     // after the freeze set is fixed), so each resource's fair share is
     // computed once and reused — the same divide, evaluated once, keeps
-    // every consumer bit-identical to recomputing it.
+    // every consumer bit-identical to recomputing it. The per-flow
+    // minimum of its two shares is cached in `wf_level_` so the freeze
+    // partition below re-reads one dense double slab.
     ++wf_round_;
     const auto fair = [&](std::uint32_t key) {
       if (wf_fair_round_[key] != wf_round_) {
@@ -379,46 +458,100 @@ void FlowScheduler::waterfill(const std::vector<std::uint32_t>& flows) {
     };
     double share = kInf;
     double min_cap = kInf;
-    for (const Pending& p : wf_unfrozen_) {
-      share = std::min(share, std::min(fair(p.up_key), fair(p.down_key)));
-      min_cap = std::min(min_cap, p.cap);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double bound = std::min(fair(wf_up_[i]), fair(wf_down_[i]));
+      wf_level_[i] = bound;
+      share = std::min(share, bound);
+      min_cap = std::min(min_cap, wf_flow_cap_[i]);
     }
     const double level = std::min(share, min_cap);
 
-    wf_still_.clear();
-    wf_frozen_.clear();
-    for (const Pending& p : wf_unfrozen_) {
-      const bool at_cap = p.cap <= level + kEpsRate;
-      const bool at_bottleneck = fair(p.up_key) <= level + kEpsRate ||
-                                 fair(p.down_key) <= level + kEpsRate;
-      if (at_cap || at_bottleneck) {
-        wf_frozen_.push_back(p);
+    // Fast path: a single-bottleneck component (the dominant churn
+    // shape — one shared uplink fanning out) freezes *every* pending
+    // flow in this round. Probe for that with a prefix scan that
+    // assigns final rates as it goes; the rates are the same
+    // min(level, cap) the staged path would assign, and the capacity
+    // deductions it skips are only ever read by later rounds, which
+    // don't happen. Bails to the staged partition on the first
+    // still-pending entry (the prefix's assignments are then
+    // re-assigned identically by the staged pass).
+    std::size_t probe = 0;
+    for (; probe < n; ++probe) {
+      if (wf_flow_cap_[probe] > level + kEpsRate && wf_level_[probe] > level + kEpsRate) {
+        break;
+      }
+      f_rate_[wf_slot_[probe]] = std::min(level, wf_flow_cap_[probe]);
+    }
+    if (probe == n) break;
+
+    // Partition in place: still-pending entries compact to the slab
+    // prefix, frozen ones stage into fr_*. Both keep FlowId-ascending
+    // order, so the capacity deductions below run in reference order.
+    // A flow freezes at its own cap or at a bottleneck resource; the
+    // cached `wf_level_` is min(fair_up, fair_down), and min <= x
+    // exactly when either share is <= x (fair values are never NaN:
+    // max(0, cap) / users with users >= 1).
+    fr_slot_.clear();
+    fr_up_.clear();
+    fr_down_.clear();
+    fr_cap_.clear();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (wf_flow_cap_[i] <= level + kEpsRate || wf_level_[i] <= level + kEpsRate) {
+        fr_slot_.push_back(wf_slot_[i]);
+        fr_up_.push_back(wf_up_[i]);
+        fr_down_.push_back(wf_down_[i]);
+        fr_cap_.push_back(wf_flow_cap_[i]);
       } else {
-        wf_still_.push_back(p);
+        wf_slot_[kept] = wf_slot_[i];
+        wf_up_[kept] = wf_up_[i];
+        wf_down_[kept] = wf_down_[i];
+        wf_flow_cap_[kept] = wf_flow_cap_[i];
+        ++kept;
       }
     }
-    PEERLAB_CHECK_MSG(!wf_frozen_.empty(), "water-filling failed to make progress");
-    for (const Pending& p : wf_frozen_) {
-      const double rate = std::min(level, p.cap);
-      slots_[p.slot].rate = rate;
-      wf_capacity_[p.up_key] -= rate;
-      wf_capacity_[p.down_key] -= rate;
+    PEERLAB_CHECK_MSG(!fr_slot_.empty(), "water-filling failed to make progress");
+    for (std::size_t k = 0; k < fr_slot_.size(); ++k) {
+      const double rate = std::min(level, fr_cap_[k]);
+      f_rate_[fr_slot_[k]] = rate;
+      wf_capacity_[fr_up_[k]] -= rate;
+      wf_capacity_[fr_down_[k]] -= rate;
     }
-    wf_unfrozen_.swap(wf_still_);
+    n = kept;
   }
 }
 
 void FlowScheduler::reschedule() {
-  timer_.cancel();
-  if (active_.empty()) return;
+  if (active_.empty()) {
+    timer_.cancel();
+    return;
+  }
+  // Dense sweep over the whole slab, mirroring advance_to_now(): free
+  // and stalled slots carry rate == 0, fold to kInf and drop out of the
+  // min. A live slot's divide has exactly the operands the old gathered
+  // loop used, and min is order-independent, so eta is bit-identical to
+  // the gathered version. (A two-pass divide-then-blend formulation
+  // does vectorize under -fno-trapping-math, but its scratch traffic
+  // measured slower than this branchy single pass on the target.)
+  const std::size_t n = f_remaining_.size();
+  const double* __restrict const remaining = f_remaining_.data();
+  const double* __restrict const rate = f_rate_.data();
   double eta = kInf;
-  for (const std::uint32_t slot : active_) {
-    const Flow& f = slots_[slot];
-    if (f.rate <= kEpsRate) continue;
-    eta = std::min(eta, f.remaining_bits / (f.rate * 1e6));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double denom = rate[i] > kEpsRate ? rate[i] * 1e6 : 1.0;
+    const double q = remaining[i] / denom;
+    eta = std::min(eta, rate[i] > kEpsRate ? q : kInf);
   }
   PEERLAB_CHECK_MSG(std::isfinite(eta), "active flows but no finite completion time");
-  timer_ = sim_.schedule(std::max(0.0, eta), [this] { on_timer(); });
+  if (timer_.pending()) {
+    // Settling re-arms the standing timer in place: same slot and
+    // action, fresh sequence number, so firing order is exactly what
+    // cancel + schedule would give — minus the slot recycling and
+    // closure churn (see EventQueue::rearm).
+    sim_.reschedule(timer_, std::max(0.0, eta));
+  } else {
+    timer_ = sim_.schedule(std::max(0.0, eta), [this] { on_timer(); });
+  }
 }
 
 void FlowScheduler::on_timer() {
@@ -429,10 +562,9 @@ void FlowScheduler::on_timer() {
   done_.clear();
   for (std::size_t i = 0; i < active_.size();) {
     const std::uint32_t slot = active_[i];
-    Flow& f = slots_[slot];
-    if (f.remaining_bits <= kEpsBits) {
-      done_.push_back(
-          Completion{sim_.now() - f.started, std::move(callbacks_[slot].on_complete)});
+    if (f_remaining_[slot] <= kEpsBits) {
+      done_.push_back(Completion{sim_.now() - f_started_[slot],
+                                 std::move(callbacks_[slot].on_complete)});
       remove_flow(i);
     } else {
       ++i;
@@ -452,24 +584,27 @@ std::uint32_t FlowScheduler::acquire_slot() {
     free_slots_.pop_back();
     return slot;
   }
-  const auto slot = static_cast<std::uint32_t>(slots_.size());
-  slots_.emplace_back();
+  const auto slot = static_cast<std::uint32_t>(f_id_.size());
+  f_remaining_.push_back(0.0);
+  f_rate_.push_back(0.0);
+  f_cap_.push_back(kInf);
+  f_started_.push_back(0.0);
+  f_id_.push_back(0);
   callbacks_.emplace_back();
   links_.emplace_back();
   // Keep the free list's capacity ahead of the slot count so releasing
   // a slot on the noexcept removal path never allocates. Track the slot
   // vector's *capacity*, not its size, so growth stays amortized.
-  if (free_slots_.capacity() < slots_.size()) {
-    free_slots_.reserve(slots_.capacity());
+  if (free_slots_.capacity() < f_id_.size()) {
+    free_slots_.reserve(f_id_.capacity());
   }
   return slot;
 }
 
 void FlowScheduler::remove_flow(std::size_t active_pos) {
   const std::uint32_t slot = active_[active_pos];
-  Flow& f = slots_[slot];
-  --uploads_[f.src.value()];
-  --downloads_[f.dst.value()];
+  --uploads_[src_of(slot)];
+  --downloads_[dst_of(slot)];
   const std::uint32_t up_key = links_[slot].key[0];
   const std::uint32_t down_key = links_[slot].key[1];
   unlink_from(slot, 0, up_key);
@@ -482,19 +617,23 @@ void FlowScheduler::remove_flow(std::size_t active_pos) {
   // reaches every part from these two seeds).
   mark_dirty(up_key);
   mark_dirty(down_key);
-  index_.erase(f.id);
+  index_.erase(f_id_[slot]);
   active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(active_pos));
   callbacks_[slot].on_complete = nullptr;  // release captured resources
   callbacks_[slot].on_abort = nullptr;
-  f.id = 0;
+  f_id_[slot] = 0;
+  // Dense slab sweeps (advance_to_now, reschedule) visit free slots;
+  // zeroed rate/remaining make those visits identity operations.
+  f_rate_[slot] = 0.0;
+  f_remaining_[slot] = 0.0;
   free_slots_.push_back(slot);
 }
 
 std::size_t FlowScheduler::active_position(std::uint32_t slot) const noexcept {
-  const std::uint64_t id = slots_[slot].id;
+  const std::uint64_t id = f_id_[slot];
   const auto it = std::lower_bound(
       active_.begin(), active_.end(), id,
-      [this](std::uint32_t s, std::uint64_t key) { return slots_[s].id < key; });
+      [this](std::uint32_t s, std::uint64_t key) { return f_id_[s] < key; });
   return static_cast<std::size_t>(it - active_.begin());
 }
 
@@ -517,6 +656,7 @@ void FlowScheduler::ensure_node_arrays() {
     res_mark_.resize(nodes * 2, 0);
     wf_fair_.resize(nodes * 2, 0.0);
     wf_fair_round_.resize(nodes * 2, 0);
+    wf_user_round_.resize(nodes * 2, 0);
     // Profiles are immutable once added, so the scaled link capacities
     // can be computed once per node instead of per recomputation (and
     // re-derived only when a brownout factor changes).

@@ -13,15 +13,19 @@
 // matters for peer selection — concurrent transfers share a peer's
 // access link — without packet-level cost.
 //
-// Performance layout (see DESIGN.md "Performance architecture"): flows
-// live in a slot-vector with a free list, looked up through a small
+// Performance layout (see DESIGN.md §13 "Memory & layout"): per-flow
+// state is structure-of-arrays. Each scan touches only the slabs it
+// reads — advance streams remaining+rate, reschedule streams
+// rate+remaining, the water-fill streams its own pending slabs — so
+// the hot-loop stride is 8 bytes per field instead of one fat record.
+// Slots are recycled through a free list and looked up through a small
 // open-addressed SlotIndex; `active_` lists occupied slots in FlowId
 // order so water-filling iteration (and therefore floating-point
 // accumulation order) is deterministic and matches the retained
 // reference implementation bit for bit. Node-link capacities and user
 // counts are dense arrays indexed by node-id × direction, per-node
 // upload/download counts are maintained incrementally (O(1) queries),
-// and every water-filling round runs over scratch buffers owned by the
+// and every water-filling round runs over scratch slabs owned by the
 // scheduler — steady-state recomputation performs zero heap
 // allocations.
 //
@@ -47,6 +51,7 @@
 #include "peerlab/common/units.hpp"
 #include "peerlab/net/topology.hpp"
 #include "peerlab/obs/metrics.hpp"
+#include "peerlab/obs/profile.hpp"
 #include "peerlab/sim/simulator.hpp"
 
 namespace peerlab::net {
@@ -145,48 +150,35 @@ class FlowScheduler {
   /// site is one null test, like Network::set_tracer). With
   /// `wall_profiling` the re-level path also times itself with the
   /// steady clock into `net.flows.relevel_wall_s` — re-levels run
-  /// within one sim instant, so only wall time can profile them.
-  void attach_metrics(obs::MetricRegistry& registry, bool wall_profiling = false);
+  /// within one sim instant, so only wall time can profile them. A
+  /// non-null `profiler` additionally opens nested self/total spans
+  /// (`flows.relevel` with child `flows.waterfill`) per pass.
+  void attach_metrics(obs::MetricRegistry& registry, bool wall_profiling = false,
+                      obs::WallProfiler* profiler = nullptr);
   void detach_metrics() noexcept { m_ = Metrics(); }
 
  private:
-  /// Hot per-flow state: everything the advance/recompute/reschedule
-  /// scans touch, and nothing else. Callbacks live in the parallel
-  /// `callbacks_` array so the scanned stride stays one cache line.
-  struct Flow {
-    NodeId src;
-    NodeId dst;
-    double remaining_bits = 0.0;
-    MbitPerSec rate = 0.0;
-    double rate_cap = 0.0;  // 0 = uncapped
-    Seconds started = 0.0;
-    std::uint64_t id = 0;  // 0 = slot free
-  };
-  /// Cold per-slot state, touched only at start/finish/abort.
-  struct Callbacks {
-    std::function<void(Seconds)> on_complete;
-    std::function<void(Seconds)> on_abort;
-  };
   /// Intrusive membership in the two per-resource flow lists (dir 0 =
   /// the source's uplink, dir 1 = the destination's downlink). Kept out
-  /// of the hot Flow stride: only settle-time flood fill walks these.
+  /// of the hot scan slabs: only settle-time flood fill walks these.
   /// `key` caches the flow's two resource keys and `mark` carries the
   /// flood-fill epoch stamp, so discovering a flow touches exactly one
   /// 32-byte record (two per cache line, never straddling) instead of
-  /// the fat Flow plus side arrays.
+  /// the flow's scan slabs plus side arrays. The keys double as the
+  /// flow's endpoints (node id = key >> 1), so no separate src/dst
+  /// array exists at all.
   struct Links {
     std::uint32_t next[2] = {kNilSlot, kNilSlot};
     std::uint32_t prev[2] = {kNilSlot, kNilSlot};
     std::uint32_t key[2] = {0, 0};
     std::uint64_t mark = 0;
   };
-  static_assert(sizeof(Links) == 32);
-  /// One not-yet-frozen flow inside a water-filling pass.
-  struct Pending {
-    std::uint32_t slot = 0;
-    std::uint32_t up_key = 0;    // node-id * 2
-    std::uint32_t down_key = 0;  // node-id * 2 + 1
-    double cap = 0.0;            // per-flow ceiling (+inf when uncapped)
+  static_assert(sizeof(Links) == 32, "Links must stay two-per-cache-line");
+  static_assert(alignof(Links) == 8);
+  /// Cold per-slot state, touched only at start/finish/abort.
+  struct Callbacks {
+    std::function<void(Seconds)> on_complete;
+    std::function<void(Seconds)> on_abort;
   };
   struct Completion {
     Seconds duration = 0.0;
@@ -218,6 +210,10 @@ class FlowScheduler {
   void unlink_from(std::uint32_t slot, int dir, std::uint32_t key) noexcept;
 
   std::uint32_t acquire_slot();
+  /// Pre-sizes every per-flow slab and water-fill scratch buffer for
+  /// `flows` concurrent flows in one pass, so a cold scheduler's first
+  /// transitions do not pay one geometric-growth allocation per slab.
+  void reserve_flows(std::size_t flows);
   /// Unlinks the flow in `slot` (index, active list, resource lists,
   /// per-node counts), marks its resources dirty and recycles the slot.
   /// `active_pos` is its position in `active_`.
@@ -226,14 +222,31 @@ class FlowScheduler {
   [[nodiscard]] std::size_t active_position(std::uint32_t slot) const noexcept;
   void ensure_node_arrays();
 
+  /// Source / destination node id of the flow in `slot`, decoded from
+  /// its cached resource keys (valid while the flow is linked).
+  [[nodiscard]] std::uint64_t src_of(std::uint32_t slot) const noexcept {
+    return links_[slot].key[0] >> 1;
+  }
+  [[nodiscard]] std::uint64_t dst_of(std::uint32_t slot) const noexcept {
+    return links_[slot].key[1] >> 1;
+  }
+
   sim::Simulator& sim_;
   const Topology& topo_;
   FlowSchedulerConfig config_;
 
-  std::vector<Flow> slots_;
-  std::vector<Callbacks> callbacks_;       // parallel to slots_
-  std::vector<Links> links_;               // parallel to slots_
-  std::vector<std::uint32_t> free_slots_;  // capacity kept >= slots_.size()
+  // ---- per-flow SoA slabs, parallel by slot ----
+  // Hot scans touch exactly the slabs they read: advance streams
+  // f_remaining_+f_rate_, reschedule the same two, the water-fill seed
+  // reads f_cap_ and writes f_rate_, sorting and lookup read f_id_.
+  std::vector<double> f_remaining_;       // bits left
+  std::vector<double> f_rate_;            // current fair share, Mbit/s
+  std::vector<double> f_cap_;             // per-flow ceiling, +inf = uncapped
+  std::vector<double> f_started_;         // start instant, s
+  std::vector<std::uint64_t> f_id_;       // flow id, 0 = slot free
+  std::vector<Callbacks> callbacks_;      // cold, parallel to the slabs
+  std::vector<Links> links_;              // parallel to the slabs
+  std::vector<std::uint32_t> free_slots_;  // capacity kept >= slot count
   std::vector<std::uint32_t> active_;      // occupied slots, FlowId-ascending
   SlotIndex index_;                        // flow id -> slot
 
@@ -281,10 +294,26 @@ class FlowScheduler {
   // stamp (`wf_round_`, monotonic) invalidates lazily.
   std::vector<double> wf_fair_;
   std::vector<std::uint64_t> wf_fair_round_;
+  // Stamp that folds the per-round user-count zeroing into the counting
+  // pass itself: a resource's first touch under a fresh stamp resets
+  // its count instead of a separate zeroing sweep.
+  std::vector<std::uint64_t> wf_user_round_;
   std::uint64_t wf_round_ = 0;
-  std::vector<Pending> wf_unfrozen_;
-  std::vector<Pending> wf_still_;
-  std::vector<Pending> wf_frozen_;
+  // Pending-flow SoA slabs for the water-fill (parallel by pending
+  // index): the not-yet-frozen set is compacted in place each round,
+  // frozen entries are staged into the fr_* slabs in discovery order.
+  // `wf_level_` caches each pending's min(fair(up), fair(down)) for the
+  // round so the freeze partition re-reads a dense double slab instead
+  // of chasing the per-resource cache again.
+  std::vector<std::uint32_t> wf_slot_;
+  std::vector<std::uint32_t> wf_up_;
+  std::vector<std::uint32_t> wf_down_;
+  std::vector<double> wf_flow_cap_;
+  std::vector<double> wf_level_;
+  std::vector<std::uint32_t> fr_slot_;
+  std::vector<std::uint32_t> fr_up_;
+  std::vector<std::uint32_t> fr_down_;
+  std::vector<double> fr_cap_;
   std::vector<Completion> done_;  // completion staging, reused
 
   /// Cached instrument handles; all null while detached.
@@ -297,6 +326,9 @@ class FlowScheduler {
     obs::Counter* components_releveled = nullptr;
     obs::Counter* flows_releveled = nullptr;
     obs::Histogram* relevel_wall_s = nullptr;
+    obs::WallProfiler* profiler = nullptr;
+    obs::WallProfiler::Site* relevel_site = nullptr;
+    obs::WallProfiler::Site* waterfill_site = nullptr;
   };
   Metrics m_;
 

@@ -18,7 +18,8 @@ Network::Network(sim::Simulator& sim, Topology topology, NetworkConfig config)
                     "datagram_loss must be in [0, 1)");
 }
 
-void Network::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling) {
+void Network::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling,
+                             obs::WallProfiler* profiler) {
   m_.datagrams_sent = &registry.counter("net.datagrams.sent", "datagrams");
   m_.datagrams_lost = &registry.counter("net.datagrams.lost", "datagrams");
   m_.datagrams_blocked = &registry.counter("net.datagrams.blocked", "datagrams");
@@ -31,7 +32,7 @@ void Network::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling)
   delay_opts.lo = 1e-4;  // control delays run 1 ms .. tens of seconds
   delay_opts.hi = 1e3;
   m_.datagram_delay_s = &registry.histogram("net.datagram_delay_s", "s", delay_opts);
-  flows_.attach_metrics(registry, wall_profiling);
+  flows_.attach_metrics(registry, wall_profiling, profiler);
 }
 
 void Network::account_brownout(NodeId node, double new_factor) {

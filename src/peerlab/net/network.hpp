@@ -117,8 +117,10 @@ class Network {
   /// control-delay histogram, accumulated brownout seconds) in
   /// `registry` and the flow scheduler's alongside; zero-cost when
   /// never called. `wall_profiling` forwards to the scheduler's
-  /// re-level wall-clock histogram.
-  void attach_metrics(obs::MetricRegistry& registry, bool wall_profiling = false);
+  /// re-level wall-clock histogram; a non-null `profiler` adds nested
+  /// re-level/water-fill spans (see obs::WallProfiler).
+  void attach_metrics(obs::MetricRegistry& registry, bool wall_profiling = false,
+                      obs::WallProfiler* profiler = nullptr);
   void detach_metrics() noexcept {
     m_ = Metrics();
     flows_.detach_metrics();

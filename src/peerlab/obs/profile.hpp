@@ -1,0 +1,102 @@
+#pragma once
+
+// Wall-clock span profiler over the metrics registry.
+//
+// A WallProfiler names a fixed set of *sites* (run, flows.relevel,
+// selection.rank, ...). Each site owns two registry instruments so
+// per-repetition registries merge like every other metric:
+//
+//   profile.<site>.wall_s  histogram  inclusive wall time per entry
+//   profile.<site>.self_s  gauge      exclusive time (children deducted)
+//
+// Spans nest: a Span pushes itself on the profiler's (single-threaded)
+// stack at construction and, at destruction, charges its inclusive
+// elapsed to its site's histogram, its exclusive elapsed (inclusive
+// minus the time spent in child spans) to the self gauge, and reports
+// its inclusive time up to the parent span. Self time is what a flat
+// profile ranks by — it answers "where do the cycles go" without
+// double-counting nested sites.
+//
+// Zero-cost when detached, like every obs hook: a Span built with a
+// null profiler reads no clock and touches no state, so hot paths gate
+// on one pointer test. Sites are registered at attach time (not lazily
+// on first entry), keeping the registry inventory — and therefore
+// docs/METRICS.md — independent of which paths a run happens to
+// exercise.
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "peerlab/obs/metrics.hpp"
+
+namespace peerlab::obs {
+
+class WallProfiler {
+ public:
+  struct Site {
+    Histogram* wall = nullptr;
+    Gauge* self = nullptr;
+  };
+
+  explicit WallProfiler(MetricRegistry& registry) noexcept : registry_(&registry) {}
+
+  WallProfiler(const WallProfiler&) = delete;
+  WallProfiler& operator=(const WallProfiler&) = delete;
+
+  /// Registers (idempotently) the site's two instruments and returns a
+  /// handle stable for the profiler's lifetime.
+  Site& site(std::string_view name);
+
+  /// RAII nested span. Null profiler → fully inert (no clock read).
+  class Span {
+   public:
+    Span(WallProfiler* profiler, Site* site) noexcept : profiler_(profiler), site_(site) {
+      if (profiler_ != nullptr) {
+        parent_ = profiler_->current_;
+        profiler_->current_ = this;
+        begin_ = std::chrono::steady_clock::now();
+      }
+    }
+
+    /// Resolves the site by name; inert when `profiler` is null.
+    Span(WallProfiler* profiler, std::string_view name)
+        : Span(profiler, profiler != nullptr ? &profiler->site(name) : nullptr) {}
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    ~Span() {
+      if (profiler_ == nullptr) return;
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - begin_;
+      const double inclusive = elapsed.count();
+      site_->wall->record(inclusive);
+      site_->self->add(inclusive - child_s_);
+      if (parent_ != nullptr) parent_->child_s_ += inclusive;
+      profiler_->current_ = parent_;
+    }
+
+   private:
+    WallProfiler* profiler_;
+    Site* site_;
+    Span* parent_ = nullptr;
+    double child_s_ = 0.0;  // inclusive time of direct children
+    std::chrono::steady_clock::time_point begin_;
+  };
+
+ private:
+  MetricRegistry* registry_;
+  std::map<std::string, Site, std::less<>> sites_;  // node addresses are stable
+  Span* current_ = nullptr;
+};
+
+/// Renders the flat profile recorded in `registry` (every
+/// profile.<site>.wall_s / .self_s pair) as an aligned text table —
+/// site, entry count, inclusive total, exclusive self, mean and p99
+/// per entry — sorted by self time descending. Empty string when the
+/// registry holds no profile instruments.
+[[nodiscard]] std::string profile_table(const MetricRegistry& registry);
+
+}  // namespace peerlab::obs

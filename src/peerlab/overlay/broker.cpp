@@ -103,21 +103,25 @@ std::vector<core::PeerSnapshot> BrokerPeer::snapshot_group() const {
 }
 
 PeerId BrokerPeer::select_peer(const core::SelectionContext& context) {
+  const obs::WallProfiler::Span span(m_.profiler, m_.rank_site);
   const auto snapshots = snapshot_group();
   return model_->select(snapshots, context);
 }
 
 std::vector<PeerId> BrokerPeer::select_peers(const core::SelectionContext& context,
                                              std::size_t k) {
+  const obs::WallProfiler::Span span(m_.profiler, m_.rank_site);
   const auto snapshots = snapshot_group();
   return model_->select_k(snapshots, context, k);
 }
 
-void BrokerPeer::attach_metrics(obs::MetricRegistry& registry) {
+void BrokerPeer::attach_metrics(obs::MetricRegistry& registry, obs::WallProfiler* profiler) {
   m_.heartbeats = &registry.counter("overlay.heartbeats", "heartbeats");
   m_.stats_reports = &registry.counter("overlay.stats_reports", "reports");
   m_.selections_served = &registry.counter("overlay.selections_served", "selections");
   m_.federated_queries = &registry.counter("overlay.federated_queries", "queries");
+  m_.profiler = profiler;
+  m_.rank_site = profiler != nullptr ? &profiler->site("selection.rank") : nullptr;
 }
 
 void BrokerPeer::apply_stats(const StatsDelta& delta) {

@@ -15,6 +15,7 @@
 #include "peerlab/core/blind.hpp"
 #include "peerlab/core/selection_model.hpp"
 #include "peerlab/obs/metrics.hpp"
+#include "peerlab/obs/profile.hpp"
 #include "peerlab/overlay/directories.hpp"
 #include "peerlab/transport/reliable_channel.hpp"
 
@@ -135,7 +136,9 @@ class BrokerPeer {
 
   /// Registers the broker's counters in `registry` (shared by name
   /// across all brokers of a deployment). Zero-cost when never called.
-  void attach_metrics(obs::MetricRegistry& registry);
+  /// A non-null `profiler` wall-times every selection decision under
+  /// the `selection.rank` span.
+  void attach_metrics(obs::MetricRegistry& registry, obs::WallProfiler* profiler = nullptr);
 
  private:
   /// Cached instrument handles; all null while detached.
@@ -144,6 +147,8 @@ class BrokerPeer {
     obs::Counter* stats_reports = nullptr;
     obs::Counter* selections_served = nullptr;
     obs::Counter* federated_queries = nullptr;
+    obs::WallProfiler* profiler = nullptr;
+    obs::WallProfiler::Site* rank_site = nullptr;
   };
 
   void on_heartbeat(const transport::Message& m);

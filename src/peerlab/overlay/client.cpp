@@ -38,13 +38,13 @@ ClientPeer::ClientPeer(transport::TransportFabric& fabric, NodeId node, NodeId b
   // touched (and ourselves). Selection requests ride the reliable
   // select channel, so a bounded broker outage only delays the answer.
   files_->set_replacement_provider(
-      [this](Bytes share_bytes, const std::vector<PeerId>& exclude,
+      [this](Bytes share_bytes, std::span<const PeerId> exclude,
              std::function<void(PeerId)> done) {
         core::SelectionContext context;
         context.now = sim().now();
         context.purpose = core::SelectionContext::Purpose::kFileTransfer;
         context.payload_size = share_bytes;
-        context.exclude = exclude;
+        context.exclude.assign(exclude.begin(), exclude.end());
         context.exclude.push_back(id());
         request_selection(context, 1,
                           [done = std::move(done)](std::vector<PeerId> peers) {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <utility>
 
 #include "peerlab/common/check.hpp"
@@ -97,11 +96,14 @@ struct FileService::DistributionState {
     Seconds petition_time = 0.0;
     Seconds transmission_time = 0.0;
   };
-  std::vector<Share> shares;
+  // Inline capacity 8: the paper's scatter fans out over SC1..SC8, so
+  // the bookkeeping of a typical distribution never leaves this state
+  // object's own allocation.
+  mem::small_vector<Share, 8> shares;
   /// Every peer ever assigned a share; replacement petitions exclude
   /// all of them so a share never lands on a peer that already failed
   /// (or currently holds) part of this file.
-  std::vector<PeerId> used;
+  mem::small_vector<PeerId, 8> used;
   int outstanding = 0;
 };
 
@@ -131,10 +133,18 @@ void FileService::distribute(Bytes file_size, int parts, const std::vector<PeerI
   state->result.started = std::numeric_limits<Seconds>::infinity();
 
   // Round-robin part assignment; the last share absorbs the remainder.
-  std::map<PeerId, int> share_parts;
-  for (int p = 0; p < parts; ++p) {
-    share_parts[peers[static_cast<std::size_t>(p) % peers.size()]] += 1;
+  // Peers are distinct (checked above), so each peer's count follows
+  // from its position: parts/n plus one for the first parts%n peers.
+  // Sorting by peer reproduces the id-ascending share order the
+  // std::map this replaces used to iterate in.
+  const std::size_t fanout = peers.size();
+  mem::small_vector<std::pair<PeerId, int>, 8> share_parts;
+  for (std::size_t j = 0; j < fanout && j < static_cast<std::size_t>(parts); ++j) {
+    const int count = parts / static_cast<int>(fanout) +
+                      (j < static_cast<std::size_t>(parts) % fanout ? 1 : 0);
+    share_parts.push_back({peers[j], count});
   }
+  std::sort(share_parts.begin(), share_parts.end());
   Bytes assigned = 0;
   for (const auto& [peer, n] : share_parts) {
     DistributionState::Share share;

@@ -16,7 +16,9 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
+#include "peerlab/mem/small_vector.hpp"
 #include "peerlab/overlay/directories.hpp"
 #include "peerlab/transport/file_transfer.hpp"
 
@@ -88,9 +90,11 @@ class FileService {
   /// Asks the overlay for a substitute peer able to take a failed
   /// share of `share_bytes`, never one of `exclude`; answers an
   /// invalid PeerId when nobody qualifies. ClientPeer installs a
-  /// broker-backed provider; without one, failover is disabled.
+  /// broker-backed provider; without one, failover is disabled. The
+  /// exclusion list is a view into the distribution's bookkeeping —
+  /// copy it if the provider needs it past the call.
   using ReplacementProvider = std::function<void(
-      Bytes share_bytes, const std::vector<PeerId>& exclude,
+      Bytes share_bytes, std::span<const PeerId> exclude,
       std::function<void(PeerId)> done)>;
   void set_replacement_provider(ReplacementProvider provider) {
     replacement_ = std::move(provider);

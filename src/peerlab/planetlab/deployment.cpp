@@ -167,9 +167,15 @@ net::FaultInjector& Deployment::install_faults(net::FaultPlan plan) {
 
 void Deployment::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling) {
   metrics_ = &registry;
-  network_->attach_metrics(registry, wall_profiling);
-  for (auto& broker : brokers_) broker->attach_metrics(registry);
-  for (auto& standby : standbys_) standby->attach_metrics(registry);
+  if (wall_profiling) {
+    profiler_ = std::make_unique<obs::WallProfiler>(registry);
+    // Pre-register the harness-level site so the instrument inventory
+    // is fixed at attach time (docs/METRICS.md is diffed against it).
+    profiler_->site("run");
+  }
+  network_->attach_metrics(registry, wall_profiling, profiler_.get());
+  for (auto& broker : brokers_) broker->attach_metrics(registry, profiler_.get());
+  for (auto& standby : standbys_) standby->attach_metrics(registry, profiler_.get());
   if (replicas_ != nullptr) replicas_->attach_metrics(registry);
   control_->attach_metrics(registry);
   for (auto& client : clients_) client->attach_metrics(registry);

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "peerlab/net/fault_plan.hpp"
+#include "peerlab/obs/profile.hpp"
 #include "peerlab/overlay/broker.hpp"
 #include "peerlab/overlay/client.hpp"
 #include "peerlab/overlay/primitives.hpp"
@@ -98,8 +99,16 @@ class Deployment {
   /// peers), and the fault injector — including one installed later.
   /// `registry` must outlive the deployment. Zero-cost when never
   /// called; `wall_profiling` additionally enables the wall-clock
-  /// re-level histogram (see FlowScheduler::attach_metrics).
+  /// re-level histogram (see FlowScheduler::attach_metrics) and stands
+  /// up a WallProfiler whose spans (run / flows.relevel /
+  /// flows.waterfill / selection.rank) are registered eagerly so the
+  /// instrument inventory does not depend on which paths execute.
   void attach_metrics(obs::MetricRegistry& registry, bool wall_profiling = false);
+
+  /// The deployment-wide span profiler; null unless attach_metrics ran
+  /// with wall_profiling. Harnesses wrap their sim run in its "run"
+  /// site so subsystem spans get a parent to charge against.
+  [[nodiscard]] obs::WallProfiler* profiler() noexcept { return profiler_.get(); }
 
  private:
   sim::Simulator& sim_;
@@ -117,6 +126,7 @@ class Deployment {
   std::unique_ptr<overlay::ClientPeer> control_;
   std::unique_ptr<net::FaultInjector> injector_;
   obs::MetricRegistry* metrics_ = nullptr;  // set by attach_metrics
+  std::unique_ptr<obs::WallProfiler> profiler_;  // set when wall_profiling
   std::array<NodeId, 8> sc_nodes_{};
 };
 

@@ -47,7 +47,53 @@ EventHandle EventQueue::push(Seconds when, Action action, bool daemon) {
   state.cancelled = false;
   state.daemon = daemon;
   const Entry entry{when, (next_seq_++ << kSeqShift) | (daemon ? kDaemonBit : 0) | slot};
-  if (when < bottom_limit_) {
+  state.armed_packed = entry.packed;
+  state.armed_time = when;
+  enqueue(entry);
+  ++pool_->live;
+  if (!daemon) ++pool_->regular_live;
+  return EventHandle(pool_, slot, state.generation);
+}
+
+void EventQueue::rearm(EventHandle& handle, Seconds when) {
+  PEERLAB_CHECK_MSG(std::isfinite(when) && when >= 0.0, "event time must be finite and >= 0");
+  PEERLAB_CHECK_MSG(handle.pool_ == pool_ && handle.pending(),
+                    "rearm requires a pending event of this queue");
+  if (when == 0.0) when = 0.0;  // -0.0 -> +0.0 so bit order == numeric order
+  const std::uint32_t slot = handle.slot_;
+  detail::EventSlot& state = pool_->slots[slot];
+  // Find the owning entry inside the sorted window by its exact key.
+  // Keys are unique (the sequence word), so this either lands on the
+  // entry or proves it lives in `far_`.
+  const Entry old{state.armed_time, state.armed_packed};
+  const auto it = std::lower_bound(
+      bottom_.begin(), bottom_.end(), old,
+      [](const Entry& a, const Entry& b) { return earlier(b, a); });
+  if (it != bottom_.end() && it->packed == old.packed) {
+    PEERLAB_CHECK_MSG(next_seq_ < (std::uint64_t{1} << (64 - kSeqShift)),
+                      "event sequence space exhausted");
+    // In-place replacement: same slot, same action, fresh sequence
+    // number. Entry count is conserved, so list capacities stay within
+    // the slot-count bound acquire_slot() maintains — no allocation.
+    bottom_.erase(it);
+    const Entry entry{when,
+                      (next_seq_++ << kSeqShift) | (state.daemon ? kDaemonBit : 0) | slot};
+    state.armed_packed = entry.packed;
+    state.armed_time = when;
+    enqueue(entry);
+    return;
+  }
+  // Old entry sits in `far_` (unsorted, so not cheaply erasable):
+  // degrade to literal cancel+push, which re-slots the event and leaves
+  // the usual cancelled residue for refill() to compact away.
+  const bool daemon = state.daemon;
+  Action action = std::move(state.action);
+  handle.cancel();  // nulls the (already moved-from) action, books the residue
+  handle = push(when, std::move(action), daemon);
+}
+
+void EventQueue::enqueue(const Entry& entry) {
+  if (entry.time < bottom_limit_) {
     // Inside the sorted window: ordered insert. Near-future events land
     // near the back, so the shifted tail is short in the common case.
     const auto it = std::lower_bound(
@@ -59,13 +105,10 @@ EventHandle EventQueue::push(Seconds when, Action action, bool daemon) {
     // so a pop-one/push-one cadence (event chains, single timers) never
     // routes through refill at all.
     bottom_.push_back(entry);
-    bottom_limit_ = when;
+    bottom_limit_ = entry.time;
   } else {
     far_.push_back(entry);
   }
-  ++pool_->live;
-  if (!daemon) ++pool_->regular_live;
-  return EventHandle(pool_, slot, state.generation);
 }
 
 Seconds EventQueue::next_time() const {

@@ -29,8 +29,10 @@
 // refcount needs no synchronisation. Handles that outlive the queue
 // keep the pool alive, which keeps their cancel()/pending() safe no-ops.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -45,12 +47,22 @@ namespace detail {
 /// One pooled event state. A slot is owned by exactly one heap entry
 /// from push until that entry drains (pop or drop_dead), then recycled
 /// with a bumped generation so stale handles can never observe it.
-struct EventSlot {
+/// Padded to exactly one cache line: neighbouring slots never share a
+/// line, so the move-in/move-out of one event's action and the
+/// generation checks of an unrelated handle cannot ping-pong the same
+/// line, and slot index << 6 is the line address.
+struct alignas(64) EventSlot {
   Action action;
   std::uint64_t generation = 0;
+  // Exact heap key {armed_time, armed_packed} of the entry that owns
+  // this slot — lets rearm() find and replace that entry in place.
+  std::uint64_t armed_packed = 0;
+  double armed_time = 0.0;
   bool cancelled = false;
   bool daemon = false;
 };
+static_assert(sizeof(EventSlot) == 64, "EventSlot must occupy exactly one cache line");
+static_assert(alignof(EventSlot) == 64);
 
 /// Slot storage shared between a queue and its handles (intrusive,
 /// non-atomic refcount — see file comment). The one allocation is per
@@ -153,6 +165,19 @@ class EventQueue {
   /// once only daemon events remain.
   EventHandle push(Seconds when, Action action, bool daemon = false);
 
+  /// Moves a pending event to fire at absolute time `when` instead,
+  /// keeping its action and daemon flag. Ordering is exactly what
+  /// cancel() + push(same action) would produce: the rearmed event
+  /// takes a fresh sequence number, so it fires after anything already
+  /// scheduled for the same instant. The common case (old entry inside
+  /// the sorted window) replaces the entry in place — no slot
+  /// recycling, no std::function churn, no cancelled residue — and
+  /// leaves `handle` untouched; otherwise the event is re-slotted via
+  /// cancel+push and `handle` is rebound to the new slot (other copies
+  /// of the handle then observe the event as cancelled).
+  /// Precondition: handle.pending() and the handle belongs to this queue.
+  void rearm(EventHandle& handle, Seconds when);
+
   /// True if no live (non-cancelled) event remains.
   [[nodiscard]] bool empty() const noexcept { return pool_->live == 0; }
 
@@ -189,9 +214,12 @@ class EventQueue {
   // bits. push() checks both width limits loudly (2^20 concurrent
   // events, 2^43 events per queue lifetime).
   struct Entry {
-    Seconds time = 0.0;
-    std::uint64_t packed = 0;
+    Seconds time = 0.0;        // comparator-hot field first: the radix
+    std::uint64_t packed = 0;  // sort keys off its raw bits at offset 0
   };
+  static_assert(std::is_trivially_copyable_v<Entry>);
+  static_assert(sizeof(Entry) == 16, "four entries per cache line");
+  static_assert(offsetof(Entry, time) == 0, "radix sort reads time at the entry base");
 
   static constexpr std::uint64_t kSlotBits = 20;
   static constexpr std::uint64_t kDaemonBit = std::uint64_t{1} << kSlotBits;
@@ -210,6 +238,10 @@ class EventQueue {
     return a.packed < b.packed;
   }
 
+  /// Routes a fresh entry into `bottom_` (ordered insert inside the
+  /// sorted window) or `far_` (push-ordered beyond it). Shared by
+  /// push() and rearm().
+  void enqueue(const Entry& entry);
   /// Drains `far_` into `bottom_` in pop order (descending storage),
   /// dropping cancelled entries on the way. May allocate only while the
   /// scratch/list capacities are still below their high-water marks.

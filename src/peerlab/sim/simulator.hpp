@@ -42,6 +42,15 @@ class Simulator {
     return queue_.push(when, std::move(action));
   }
 
+  /// Moves a pending event to fire `delay` seconds from now, keeping
+  /// its slot and action (see EventQueue::rearm). Firing order matches
+  /// what cancel() + schedule(same action) would produce, without the
+  /// slot recycling and std::function churn of that pair.
+  void reschedule(EventHandle& handle, Seconds delay) {
+    PEERLAB_CHECK_MSG(delay >= 0.0, "cannot schedule into the past");
+    queue_.rearm(handle, now_ + delay);
+  }
+
   /// Schedules a *daemon* event: periodic background work (heartbeats,
   /// republish timers) that must not keep run() alive. run() exits once
   /// only daemon events remain; a bounded run_until() still fires them.

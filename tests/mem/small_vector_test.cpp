@@ -1,0 +1,110 @@
+// small_vector contract tests: inline storage up to N, heap spill past
+// it, value semantics (copy, move, steal of a heap buffer), and the
+// destruction discipline for non-trivial element types.
+
+#include "peerlab/mem/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace peerlab::mem {
+namespace {
+
+TEST(SmallVector, StaysInlineUpToCapacity) {
+  small_vector<int, 4> v;
+  EXPECT_TRUE(v.inline_storage());
+  EXPECT_EQ(4u, v.capacity());
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.inline_storage());
+  EXPECT_EQ(4u, v.size());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(i, v[static_cast<std::size_t>(i)]);
+}
+
+TEST(SmallVector, SpillsToHeapPastInlineCapacity) {
+  small_vector<int, 4> v;
+  for (int i = 0; i < 9; ++i) v.push_back(i);
+  EXPECT_FALSE(v.inline_storage());
+  EXPECT_GE(v.capacity(), 9u);
+  EXPECT_EQ(9u, v.size());
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(i, v[static_cast<std::size_t>(i)]);
+  // Never shrinks back inline: clearing keeps the heap buffer.
+  v.clear();
+  EXPECT_FALSE(v.inline_storage());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, GrowthPreservesNonTrivialElements) {
+  small_vector<std::string, 2> v;
+  for (int i = 0; i < 20; ++i) v.push_back("value-" + std::to_string(i));
+  ASSERT_EQ(20u, v.size());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ("value-" + std::to_string(i), v[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SmallVector, MoveStealsHeapBuffer) {
+  small_vector<int, 2> v;
+  for (int i = 0; i < 8; ++i) v.push_back(i);
+  const int* buffer = v.data();
+  small_vector<int, 2> w(std::move(v));
+  EXPECT_EQ(buffer, w.data());  // adopted wholesale, no copy
+  EXPECT_EQ(8u, w.size());
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.inline_storage());
+  v.push_back(42);  // moved-from vector is reusable
+  EXPECT_EQ(42, v[0]);
+}
+
+TEST(SmallVector, MoveOfInlineContentsMovesElementwise) {
+  small_vector<std::unique_ptr<int>, 4> v;
+  v.push_back(std::make_unique<int>(7));
+  v.push_back(std::make_unique<int>(11));
+  small_vector<std::unique_ptr<int>, 4> w(std::move(v));
+  ASSERT_EQ(2u, w.size());
+  EXPECT_EQ(7, *w[0]);
+  EXPECT_EQ(11, *w[1]);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, CopyAndAssignment) {
+  small_vector<int, 3> v{1, 2, 3, 4, 5};
+  small_vector<int, 3> w(v);
+  EXPECT_EQ(5u, w.size());
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), w.begin()));
+  small_vector<int, 3> x;
+  x = v;
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), x.begin()));
+  v.clear();
+  EXPECT_EQ(5u, w.size());  // copies are independent
+}
+
+TEST(SmallVector, ResizePopBackAndSort) {
+  small_vector<int, 4> v{5, 1, 4, 2, 3};
+  std::sort(v.begin(), v.end());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(i + 1, v[static_cast<std::size_t>(i)]);
+  v.pop_back();
+  EXPECT_EQ(4u, v.size());
+  EXPECT_EQ(4, v.back());
+  v.resize(6);  // value-initialised growth
+  EXPECT_EQ(6u, v.size());
+  EXPECT_EQ(0, v[4]);
+  EXPECT_EQ(0, v[5]);
+  v.resize(2);
+  EXPECT_EQ(2u, v.size());
+  EXPECT_EQ(2, v.back());
+}
+
+TEST(SmallVector, SpanConversion) {
+  small_vector<int, 4> v{1, 2, 3};
+  const std::span<const int> view = v;
+  EXPECT_EQ(3u, view.size());
+  EXPECT_EQ(v.data(), view.data());
+}
+
+}  // namespace
+}  // namespace peerlab::mem

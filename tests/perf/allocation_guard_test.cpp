@@ -22,6 +22,11 @@
 #include <string>
 #include <vector>
 
+#include "peerlab/core/blind.hpp"
+#include "peerlab/core/data_evaluator.hpp"
+#include "peerlab/core/economic.hpp"
+#include "peerlab/core/hybrid.hpp"
+#include "peerlab/core/user_preference.hpp"
 #include "peerlab/net/flow_scheduler.hpp"
 #include "peerlab/net/topology.hpp"
 #include "peerlab/sim/simulator.hpp"
@@ -175,6 +180,71 @@ TEST(AllocationGuard, FlowSchedulerSteadyStateIsAllocationFree) {
   EXPECT_EQ(0u, allocations) << "FlowScheduler steady state allocated";
   EXPECT_GT(completed, 0u);
   EXPECT_EQ(0u, scheduler.active_flows());
+}
+
+TEST(AllocationGuard, SelectionModelsPetitionPathIsAllocationFree) {
+  // Synthetic candidate pool; everything that allocates (hostnames,
+  // the snapshot vector itself) is built before the guard arms.
+  std::vector<core::PeerSnapshot> pool;
+  std::vector<PeerId> preference;
+  for (int i = 0; i < 16; ++i) {
+    core::PeerSnapshot s;
+    s.peer = PeerId(static_cast<std::uint64_t>(i + 1));
+    s.node = NodeId(static_cast<std::uint64_t>(i + 100));
+    s.hostname = "peer-" + std::to_string(i);
+    s.cpu_ghz = 1.0 + (i % 5) * 0.6;
+    s.price_per_cpu_second = 0.5 + (i % 3) * 0.25;
+    s.idle = i % 4 != 0;
+    s.queued_tasks = i % 3;
+    s.active_transfers = i % 2;
+    pool.push_back(std::move(s));
+    preference.push_back(PeerId(static_cast<std::uint64_t>(i + 1)));
+  }
+
+  // All five models behind the common interface; each keeps its own
+  // arena and ranking buffer, so each must be warmed and soaked.
+  core::BlindModel blind;
+  core::EconomicSchedulingModel economic;
+  core::DataEvaluatorModel evaluator = core::DataEvaluatorModel::same_priority();
+  core::HybridModel hybrid;
+  core::UserPreferenceModel user_pref(preference);
+  core::SelectionModel* models[] = {&blind, &economic, &evaluator, &hybrid, &user_pref};
+
+  core::SelectionContext ctx;
+  ctx.purpose = core::SelectionContext::Purpose::kFileTransfer;
+  ctx.payload_size = megabytes(10.0);
+  ctx.exclude.reserve(4);
+
+  std::vector<PeerId> out;
+  std::uint64_t picks = 0;
+  const auto petition = [&](core::SelectionModel& model, int i) {
+    ctx.now = static_cast<Seconds>(i);
+    ctx.purpose = i % 2 == 0 ? core::SelectionContext::Purpose::kFileTransfer
+                             : core::SelectionContext::Purpose::kTaskExecution;
+    ctx.work = i % 2 == 0 ? 0.0 : 40.0;
+    ctx.exclude.clear();
+    ctx.exclude.push_back(pool[static_cast<std::size_t>(i) % pool.size()].peer);
+    model.rank_into(pool, ctx, out);
+    // select() exercises the internal ranking buffer too. Both calls
+    // count as petitions (the blind model's round-robin cursor moves
+    // per call, so their winners are not compared).
+    picks += model.select(pool, ctx).value();
+    picks += out.size();
+  };
+
+  // Warm: arenas grow to the petition's high-water mark, `out` and the
+  // models' internal ranking buffers reach capacity.
+  for (auto* model : models) {
+    for (int i = 0; i < 8; ++i) petition(*model, i);
+  }
+
+  AllocationGuard guard;
+  for (auto* model : models) {
+    for (int i = 0; i < 1000; ++i) petition(*model, i);
+  }
+  const std::size_t allocations = guard.count();
+  EXPECT_EQ(0u, allocations) << "selection petition path allocated";
+  EXPECT_GT(picks, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,61 @@
+// Layout guards for the hot-path structs. The perf work in DESIGN.md
+// §13 depends on concrete sizes and alignments — one EventSlot per
+// cache line, two FlowScheduler::Links per line, SoA slabs of plain
+// doubles — and a quiet regression (a well-meaning new field, a
+// compiler padding surprise) would silently halve the cache density
+// the benchmarks were tuned against. Everything here is a compile-time
+// fact; the TESTs exist so a violation shows up as a named tier-1
+// failure instead of a scattered static_assert error.
+//
+// FlowScheduler::Links and EventQueue::Entry are private, so their
+// guards live as static_asserts next to the definitions
+// (flow_scheduler.hpp, event_queue.hpp); this file covers the types
+// that are reachable from the outside.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <type_traits>
+
+#include "peerlab/core/selection_model.hpp"
+#include "peerlab/mem/small_vector.hpp"
+#include "peerlab/sim/event_queue.hpp"
+
+namespace peerlab {
+namespace {
+
+// One pooled event per cache line: neighbouring slots must never share
+// a line (see EventSlot's comment), and slot index << 6 is the line
+// address arithmetic the pool relies on.
+static_assert(sizeof(sim::detail::EventSlot) == 64);
+static_assert(alignof(sim::detail::EventSlot) == 64);
+
+// The selection models sort slabs of ScoredPeer in the petition hot
+// loop; 16 bytes keeps four entries per cache line and the pair swap
+// branch-free in std::sort.
+static_assert(sizeof(core::ScoredPeer) == 16);
+static_assert(std::is_trivially_copyable_v<core::ScoredPeer>);
+
+// small_vector must not pad its inline buffer: N inline elements, the
+// pointer/size/capacity header, and nothing else.
+static_assert(sizeof(mem::small_vector<std::uint64_t, 8>) ==
+              8 * sizeof(std::uint64_t) + 3 * sizeof(void*));
+static_assert(alignof(mem::small_vector<double, 4>) >= alignof(double));
+
+TEST(Layout, EventSlotIsOneCacheLine) {
+  EXPECT_EQ(64u, sizeof(sim::detail::EventSlot));
+  EXPECT_EQ(64u, alignof(sim::detail::EventSlot));
+}
+
+TEST(Layout, ScoredPeerPacksFourPerLine) {
+  EXPECT_EQ(16u, sizeof(core::ScoredPeer));
+  EXPECT_EQ(0u, offsetof(core::ScoredPeer, peer));
+}
+
+TEST(Layout, SmallVectorInlineBufferIsTight) {
+  using V = mem::small_vector<std::uint64_t, 8>;
+  EXPECT_EQ(8 * sizeof(std::uint64_t) + 3 * sizeof(void*), sizeof(V));
+}
+
+}  // namespace
+}  // namespace peerlab

@@ -2,12 +2,15 @@
 //
 // The oracle keeps every live event as (time, push-order, handle) and
 // answers "what must pop next" by linear scan. The real queue is driven
-// through long random interleavings of push / cancel / pop — including
-// pushes earlier than everything pending (which exercises the sorted
-// window's ordered-insert path), duplicate times (FIFO ties), daemon
-// accounting, bulk bursts big enough to force the radix refill path,
-// and slot pool reuse. Handles are checked for the stale-after-fire
-// guarantees.
+// through long random interleavings of push / rearm / cancel / pop —
+// including pushes earlier than everything pending (which exercises the
+// sorted window's ordered-insert path), duplicate times (FIFO ties),
+// daemon accounting, bulk bursts big enough to force the radix refill
+// path, and slot pool reuse. Rearms hit both the in-place replacement
+// (old entry in the sorted window) and the re-slotting fallback (old
+// entry deep in the unsorted batch); the oracle models a rearm as a
+// fresh push order, which is the documented cancel+push equivalence.
+// Handles are checked for the stale-after-fire guarantees.
 
 #include "peerlab/sim/event_queue.hpp"
 
@@ -24,6 +27,7 @@ namespace {
 struct ModelEvent {
   double time = 0.0;
   std::uint64_t order = 0;  // global push counter: FIFO tie-break oracle
+  std::uint64_t id = 0;     // fired payload; stable across rearms
   bool daemon = false;
 };
 
@@ -50,7 +54,7 @@ TEST(EventQueueStress, RandomInterleavingsMatchOracle) {
       const std::uint64_t order = next_order++;
       EventHandle handle = queue.push(time, [&fired, order] { fired.push_back(order); }, daemon);
       EXPECT_TRUE(handle.pending());
-      live.push_back(Tracked{std::move(handle), ModelEvent{time, order, daemon}});
+      live.push_back(Tracked{std::move(handle), ModelEvent{time, order, order, daemon}});
     };
     const auto oracle_min = [&] {
       std::size_t best = 0;
@@ -69,7 +73,7 @@ TEST(EventQueueStress, RandomInterleavingsMatchOracle) {
       ASSERT_TRUE(static_cast<bool>(popped.action));
       popped.action();
       ASSERT_FALSE(fired.empty());
-      ASSERT_EQ(live[best].event.order, fired.back());
+      ASSERT_EQ(live[best].event.id, fired.back());
       // A fired event's handle must go stale: pending() false and
       // cancel() a harmless no-op that does not disturb counters.
       EXPECT_FALSE(live[best].handle.pending());
@@ -88,6 +92,17 @@ TEST(EventQueueStress, RandomInterleavingsMatchOracle) {
         // the radix path, with plenty of duplicate times.
         const int n = pick(100, 400);
         for (int i = 0; i < n; ++i) push(pick_time(), false);
+      } else if (what == 5 && !live.empty()) {
+        // Rearm a uniformly random live event to a fresh time. The
+        // model takes a new push order: FIFO among equal times must
+        // behave exactly as if the event were cancelled and re-pushed.
+        const std::size_t i =
+            static_cast<std::size_t>(pick(0, static_cast<int>(live.size()) - 1));
+        const double time = pick_time();
+        queue.rearm(live[i].handle, time);
+        EXPECT_TRUE(live[i].handle.pending());
+        live[i].event.time = time;
+        live[i].event.order = next_order++;
       } else if (what <= 7 && !live.empty()) {
         // Cancel a uniformly random live event: ones deep in the
         // unsorted batch, ones at the queue head, double-cancels.
