@@ -15,14 +15,22 @@ ctest --test-dir build -j "$(nproc)" --timeout 180 --output-on-failure
 
 cmake -B build-asan -S . -DPEERLAB_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$(nproc)" \
-  --target test_net test_overlay test_property test_flow_differential bench_churn
+  --target test_net test_overlay test_adversary test_property test_flow_differential \
+  bench_churn bench_adversarial
 build-asan/tests/test_net \
   --gtest_filter='FaultPlan.*:FaultInjector.*:Network.*:FlowScheduler.*'
 build-asan/tests/test_overlay --gtest_filter='Failover.*:Distribution.*'
+# Adversarial actuation paths sanitized: scripted refusals, flapper
+# aborts and doctored heartbeats all tear down transfer state from
+# inside callbacks, exactly where use-after-frees would hide.
+build-asan/tests/test_adversary
 # The whole property-labelled tier runs under the sanitizers: the
 # randomized differential fuzz is where lifetime bugs in the
-# incremental re-levelling (stale slots, reentrant aborts) would hide.
+# incremental re-levelling (stale slots, reentrant aborts) would hide,
+# and the adversarial-distribution property drives leech/flapper/churn
+# mixes through the failover machinery with defenses off and on.
 ctest --test-dir build-asan -L property -j "$(nproc)" --timeout 600 --output-on-failure
 build-asan/bench/bench_churn --reps 1
+build-asan/bench/bench_adversarial --reps 1
 
 echo "peerlab: check.sh passed"

@@ -1,0 +1,189 @@
+#include "peerlab/adversary/behavior_plan.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/common/log.hpp"
+#include "peerlab/overlay/file_service.hpp"
+
+namespace peerlab::adversary {
+
+const char* to_string(BehaviorKind kind) noexcept {
+  switch (kind) {
+    case BehaviorKind::kFreeRider: return "free-rider";
+    case BehaviorKind::kUnderReporter: return "under-reporter";
+    case BehaviorKind::kStatsLiar: return "stats-liar";
+    case BehaviorKind::kFlapper: return "flapper";
+  }
+  return "?";
+}
+
+void BehaviorPlan::free_rider(PeerId peer, Seconds from, double intensity) {
+  BehaviorSpec spec;
+  spec.peer = peer;
+  spec.kind = BehaviorKind::kFreeRider;
+  spec.from = from;
+  spec.intensity = intensity;
+  add(spec);
+}
+
+void BehaviorPlan::throttler(PeerId peer, Seconds delay, Seconds from) {
+  PEERLAB_CHECK_MSG(delay > 0.0, "a throttler needs a positive delay");
+  BehaviorSpec spec;
+  spec.peer = peer;
+  spec.kind = BehaviorKind::kFreeRider;
+  spec.from = from;
+  spec.throttle_delay = delay;
+  add(spec);
+}
+
+void BehaviorPlan::flapper(PeerId peer, int accept_parts, Seconds from, double intensity) {
+  PEERLAB_CHECK_MSG(accept_parts >= 0, "accept_parts must be non-negative");
+  BehaviorSpec spec;
+  spec.peer = peer;
+  spec.kind = BehaviorKind::kFlapper;
+  spec.from = from;
+  spec.intensity = intensity;
+  spec.accept_parts = accept_parts;
+  add(spec);
+}
+
+void BehaviorPlan::under_reporter(PeerId peer, double load_factor, Seconds from) {
+  PEERLAB_CHECK_MSG(load_factor >= 0.0 && load_factor < 1.0,
+                    "an under-reporter reports less than the truth");
+  BehaviorSpec spec;
+  spec.peer = peer;
+  spec.kind = BehaviorKind::kUnderReporter;
+  spec.from = from;
+  spec.load_factor = load_factor;
+  add(spec);
+}
+
+void BehaviorPlan::stats_liar(PeerId peer, int praise, MbitPerSec rate, Seconds from) {
+  PEERLAB_CHECK_MSG(praise > 0, "a stats liar needs something to brag about");
+  BehaviorSpec spec;
+  spec.peer = peer;
+  spec.kind = BehaviorKind::kStatsLiar;
+  spec.from = from;
+  spec.praise_per_heartbeat = praise;
+  spec.fabricated_rate = rate;
+  add(spec);
+}
+
+void BehaviorPlan::add(BehaviorSpec spec) {
+  PEERLAB_CHECK_MSG(spec.peer.valid(), "behavior spec needs a target peer");
+  PEERLAB_CHECK_MSG(spec.intensity >= 0.0 && spec.intensity <= 1.0,
+                    "intensity is a probability");
+  specs_.push_back(spec);
+}
+
+void BehaviorPlan::merge(const BehaviorPlan& other) {
+  specs_.insert(specs_.end(), other.specs_.begin(), other.specs_.end());
+}
+
+BehaviorPlan BehaviorPlan::random_adversaries(sim::Rng& rng, const std::vector<PeerId>& peers,
+                                              double fraction, BehaviorKind kind,
+                                              Seconds from) {
+  PEERLAB_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0, "fraction must be in [0, 1]");
+  BehaviorPlan plan;
+  const auto count = static_cast<std::size_t>(
+      fraction * static_cast<double>(peers.size()) + 0.5);
+  if (count == 0) return plan;
+  // Partial Fisher-Yates: the first `count` slots end up holding a
+  // uniform sample without replacement, in a draw order deterministic
+  // in (rng state, peer order).
+  std::vector<PeerId> pool = peers;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(i),
+                        static_cast<std::int64_t>(pool.size()) - 1));
+    std::swap(pool[i], pool[j]);
+    BehaviorSpec spec;
+    spec.peer = pool[i];
+    spec.kind = kind;
+    spec.from = from;
+    plan.add(spec);
+  }
+  return plan;
+}
+
+BehaviorEngine::BehaviorEngine(sim::Simulator& sim, BehaviorPlan plan, sim::Rng rng)
+    : sim_(sim), plan_(std::move(plan)), base_rng_(rng) {}
+
+sim::Rng& BehaviorEngine::rng_for(PeerId peer) {
+  auto it = rngs_.find(peer);
+  if (it == rngs_.end()) {
+    it = rngs_.emplace(peer, base_rng_.fork(peer.value())).first;
+  }
+  return it->second;
+}
+
+void BehaviorEngine::bind(overlay::ClientPeer& client) {
+  for (const BehaviorSpec& spec : plan_.specs()) {
+    if (spec.peer != client.id()) continue;
+    const Seconds delay = std::max(0.0, spec.from - sim_.now());
+    // The engine outlives the run (like FaultInjector), so capturing
+    // the client reference is safe: clients live on the deployment.
+    sim_.schedule(delay, [this, &client, spec] { activate(client, spec); });
+  }
+}
+
+void BehaviorEngine::activate(overlay::ClientPeer& client, const BehaviorSpec& spec) {
+  ++activations_;
+  if (m_.activations != nullptr) m_.activations->add(1);
+  PEERLAB_LOG(kInfo, "adversary") << to_string(spec.peer) << " turns "
+                                  << to_string(spec.kind);
+  switch (spec.kind) {
+    case BehaviorKind::kUnderReporter: {
+      overlay::MisreportProfile profile;
+      profile.load_factor = spec.load_factor;
+      profile.always_idle = spec.load_factor <= 0.0;
+      client.set_misreport_profile(profile);
+      return;
+    }
+    case BehaviorKind::kStatsLiar: {
+      overlay::MisreportProfile profile;
+      profile.fabricate_praise = spec.praise_per_heartbeat;
+      profile.fabricated_rate = spec.fabricated_rate;
+      client.set_misreport_profile(profile);
+      return;
+    }
+    case BehaviorKind::kFreeRider:
+    case BehaviorKind::kFlapper: {
+      sim::Rng* rng = &rng_for(spec.peer);
+      client.files().transfer_peer().set_inbound_policy(
+          [this, spec, rng](NodeId /*sender*/, std::uint64_t /*correlation*/) {
+            transport::InboundDecision d;
+            // intensity == 1 short-circuits so the all-in adversary
+            // consumes no draws (fully scripted determinism).
+            const bool act = spec.intensity >= 1.0 || rng->bernoulli(spec.intensity);
+            if (!act) return d;
+            if (spec.kind == BehaviorKind::kFlapper) {
+              d.confirm_at_most = spec.accept_parts;
+              ++aborts_;
+              if (m_.aborts != nullptr) m_.aborts->add(1);
+            } else if (spec.throttle_delay > 0.0) {
+              d.confirm_delay = spec.throttle_delay;
+              ++throttles_;
+              if (m_.throttles != nullptr) m_.throttles->add(1);
+            } else {
+              d.refuse_petition = true;
+              ++refusals_;
+              if (m_.refusals != nullptr) m_.refusals->add(1);
+            }
+            return d;
+          });
+      return;
+    }
+  }
+}
+
+void BehaviorEngine::attach_metrics(obs::MetricRegistry& registry) {
+  m_.activations = &registry.counter("adversary.activations", "behaviors");
+  m_.refusals = &registry.counter("adversary.refusals", "transfers");
+  m_.aborts = &registry.counter("adversary.aborts", "transfers");
+  m_.throttles = &registry.counter("adversary.throttles", "transfers");
+}
+
+}  // namespace peerlab::adversary

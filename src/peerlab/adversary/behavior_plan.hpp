@@ -1,0 +1,151 @@
+#pragma once
+
+// Adversarial peer behaviour: deterministic schedules of scripted
+// misbehaviour, applied to a deployment's clients — the byzantine
+// sibling of net::FaultPlan/FaultInjector (which only models *honest*
+// failures).
+//
+// A BehaviorPlan is pure data — scripted directly (free_rider /
+// throttler / flapper / under_reporter / stats_liar) or generated from
+// a seeded RNG (random_adversaries: a fixed fraction of the peer
+// population, sampled by partial Fisher-Yates). A BehaviorEngine arms
+// the plan against live clients: upload misbehaviour actuates through
+// transport::FileTransferPeer's inbound policy (refusals, withheld and
+// delayed confirmations), reporting misbehaviour through
+// overlay::ClientPeer's misreport profile (scaled-down load echoes,
+// fabricated self-praise history). Per-peer decisions draw from
+// per-peer forked RNG streams, so a seeded adversarial run replays
+// bit-for-bit and adding an adversary never perturbs another's
+// sequence.
+
+#include <unordered_map>
+#include <vector>
+
+#include "peerlab/obs/metrics.hpp"
+#include "peerlab/overlay/client.hpp"
+#include "peerlab/sim/rng.hpp"
+#include "peerlab/sim/simulator.hpp"
+
+namespace peerlab::adversary {
+
+enum class BehaviorKind : std::uint8_t {
+  /// Refuses uploads outright (petition silence) or throttles them
+  /// (delayed confirmations) — Christin & Chuang's cost-dodger.
+  kFreeRider,
+  /// Statistics echoes report a fraction of the true load.
+  kUnderReporter,
+  /// Fabricates inflated self-history (fast fake transfers, instant
+  /// responses) with every heartbeat.
+  kStatsLiar,
+  /// Accepts a share, confirms a few parts, then goes silent.
+  kFlapper,
+};
+
+[[nodiscard]] const char* to_string(BehaviorKind kind) noexcept;
+
+struct BehaviorSpec {
+  PeerId peer;
+  BehaviorKind kind = BehaviorKind::kFreeRider;
+  /// Behaviour activates at this instant (0 = before the run starts).
+  Seconds from = 0.0;
+  /// kFreeRider/kFlapper: probability an inbound transfer is targeted;
+  /// 1 targets every transfer without consuming an RNG draw.
+  double intensity = 1.0;
+  /// kFlapper: parts confirmed before going silent.
+  int accept_parts = 1;
+  /// kFreeRider: >0 switches from hard refusal to throttling — every
+  /// confirmation limps back this late.
+  Seconds throttle_delay = 0.0;
+  /// kUnderReporter: multiplier on reported load (0 = "always empty").
+  double load_factor = 0.25;
+  /// kStatsLiar: fabricated completions per heartbeat and their
+  /// claimed throughput.
+  int praise_per_heartbeat = 2;
+  MbitPerSec fabricated_rate = 800.0;
+};
+
+class BehaviorPlan {
+ public:
+  /// Peer goes silent on inbound petitions from `from` on; `intensity`
+  /// < 1 refuses only that fraction of transfers.
+  void free_rider(PeerId peer, Seconds from = 0.0, double intensity = 1.0);
+  /// Free-rider variant that accepts but throttles: every part
+  /// confirmation is delayed by `delay`.
+  void throttler(PeerId peer, Seconds delay, Seconds from = 0.0);
+  /// Accept-then-abort: confirms `accept_parts` parts then stonewalls.
+  void flapper(PeerId peer, int accept_parts = 1, Seconds from = 0.0, double intensity = 1.0);
+  /// Load echoes report `load_factor` of the truth (0 = always idle).
+  void under_reporter(PeerId peer, double load_factor = 0.25, Seconds from = 0.0);
+  /// Ships `praise` fabricated completions per heartbeat at `rate`.
+  void stats_liar(PeerId peer, int praise = 2, MbitPerSec rate = 800.0, Seconds from = 0.0);
+  /// Raw append for custom schedules.
+  void add(BehaviorSpec spec);
+  /// Appends every spec of `other` (composes scripted populations).
+  void merge(const BehaviorPlan& other);
+
+  /// Samples floor(fraction * peers + 0.5) distinct peers by partial
+  /// Fisher-Yates and scripts `kind` on each from `from`. Deterministic
+  /// in the RNG state and peer order.
+  [[nodiscard]] static BehaviorPlan random_adversaries(sim::Rng& rng,
+                                                       const std::vector<PeerId>& peers,
+                                                       double fraction, BehaviorKind kind,
+                                                       Seconds from = 0.0);
+
+  [[nodiscard]] const std::vector<BehaviorSpec>& specs() const noexcept { return specs_; }
+  [[nodiscard]] bool empty() const noexcept { return specs_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+
+ private:
+  std::vector<BehaviorSpec> specs_;
+};
+
+class BehaviorEngine {
+ public:
+  /// `rng` seeds the per-peer decision streams (forked by peer id, so
+  /// adversaries never perturb each other). The engine must outlive
+  /// the run; bind() arms the plan's specs against a live client.
+  BehaviorEngine(sim::Simulator& sim, BehaviorPlan plan, sim::Rng rng);
+
+  BehaviorEngine(const BehaviorEngine&) = delete;
+  BehaviorEngine& operator=(const BehaviorEngine&) = delete;
+
+  /// Schedules every spec targeting `client`'s peer id (activation at
+  /// spec.from, or immediately when already past). Specs for other
+  /// peers are ignored; call once per client.
+  void bind(overlay::ClientPeer& client);
+
+  [[nodiscard]] const BehaviorPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] std::uint64_t activations() const noexcept { return activations_; }
+  [[nodiscard]] std::uint64_t refusals_decided() const noexcept { return refusals_; }
+  [[nodiscard]] std::uint64_t aborts_decided() const noexcept { return aborts_; }
+  [[nodiscard]] std::uint64_t throttles_decided() const noexcept { return throttles_; }
+
+  /// Registers the per-act decision counters in `registry`; every
+  /// activation and inbound-transfer decision then also bumps its
+  /// counter. Zero-cost when never called.
+  void attach_metrics(obs::MetricRegistry& registry);
+
+ private:
+  /// Cached instrument handles; all null while detached.
+  struct Metrics {
+    obs::Counter* activations = nullptr;
+    obs::Counter* refusals = nullptr;
+    obs::Counter* aborts = nullptr;
+    obs::Counter* throttles = nullptr;
+  };
+
+  void activate(overlay::ClientPeer& client, const BehaviorSpec& spec);
+  [[nodiscard]] sim::Rng& rng_for(PeerId peer);
+
+  sim::Simulator& sim_;
+  BehaviorPlan plan_;
+  sim::Rng base_rng_;
+  Metrics m_;
+  std::unordered_map<PeerId, sim::Rng> rngs_;
+  std::uint64_t activations_ = 0;
+  std::uint64_t refusals_ = 0;
+  std::uint64_t aborts_ = 0;
+  std::uint64_t throttles_ = 0;
+};
+
+}  // namespace peerlab::adversary

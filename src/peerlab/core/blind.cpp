@@ -21,6 +21,31 @@ void BlindModel::rank_into(std::span<const PeerSnapshot> candidates,
   }
   if (out.empty()) return;
   std::sort(out.begin(), out.end());
+  if (context.reputation_weight != 0.0) {
+    // Blind stays blind to statistics, but a reputation-defended broker
+    // still sinks distrusted peers: stable-partition the id-sorted list
+    // by ascending penalty and confine round-robin rotation to the
+    // leading minimal-penalty group. At weight 0 that group is the
+    // whole list and behaviour is bit-identical to the plain path.
+    auto penalty_of = [&](PeerId peer) {
+      for (const auto& c : candidates) {
+        if (c.peer == peer) return context.reputation_penalty(c);
+      }
+      return 0.0;
+    };
+    std::stable_sort(out.begin(), out.end(), [&](PeerId a, PeerId b) {
+      return penalty_of(a) < penalty_of(b);
+    });
+    auto group_end = out.begin();
+    const double best = penalty_of(out.front());
+    while (group_end != out.end() && penalty_of(*group_end) == best) ++group_end;
+    if (mode_ == Mode::kRoundRobin) {
+      const auto group = static_cast<std::size_t>(group_end - out.begin());
+      const std::size_t start = static_cast<std::size_t>(next_++ % group);
+      std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(start), group_end);
+    }
+    return;
+  }
   if (mode_ == Mode::kRoundRobin) {
     const std::size_t start = static_cast<std::size_t>(next_++ % out.size());
     std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(start), out.end());

@@ -64,7 +64,7 @@ void DataEvaluatorModel::rank_into(std::span<const PeerSnapshot> candidates,
   const bool has_excludes = !context.exclude.empty();
   for (const auto& c : candidates) {
     if (!c.online || (has_excludes && context.excluded(c.peer))) continue;
-    scored.push_back(ScoredPeer{c.peer, cost(c, context)});
+    scored.push_back(ScoredPeer{c.peer, cost(c, context) + context.reputation_penalty(c)});
   }
   out.reserve(scored.size());
   append_ranked({scored.data(), scored.size()}, out);

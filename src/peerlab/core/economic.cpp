@@ -138,6 +138,8 @@ void EconomicSchedulingModel::rank_into(std::span<const PeerSnapshot> candidates
     double utility = (config_.time_weight * tnorm + config_.cost_weight * cnorm) / wsum;
     // CPU-speed tiebreak: nudge faster peers ahead within equal utility.
     utility -= 1e-9 * o.peer->cpu_ghz;
+    // Reputation defense: exact zero when the context carries no weight.
+    utility += context.reputation_penalty(*o.peer);
     scored.push_back(ScoredPeer{o.peer->peer, utility});
   }
   out.reserve(scored.size());

@@ -62,8 +62,9 @@ void HybridModel::rank_into(std::span<const PeerSnapshot> candidates,
 
   auto scored = mem::make_scratch<ScoredPeer>(arena(), terms.size());
   for (const auto& t : terms) {
-    scored.push_back(
-        ScoredPeer{t.peer->peer, alpha_ * t.economic + (1.0 - alpha_) * t.evaluator});
+    scored.push_back(ScoredPeer{t.peer->peer, alpha_ * t.economic +
+                                                 (1.0 - alpha_) * t.evaluator +
+                                                 context.reputation_penalty(*t.peer)});
   }
   out.reserve(scored.size());
   append_ranked({scored.data(), scored.size()}, out);

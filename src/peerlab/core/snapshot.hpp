@@ -34,6 +34,13 @@ struct PeerSnapshot {
   /// File transfers currently inbound to the peer.
   int active_transfers = 0;
 
+  /// Broker-observed outcome reputation in [0, 1]; 1 is a peer whose
+  /// observed behaviour matches its advertisements, lower means
+  /// attributed failures (aborted shares, unanswered petitions,
+  /// throughput shortfall vs its own track record). Neutral (1.0) when
+  /// reputation tracking is disabled, so models see no signal.
+  double reputation = 1.0;
+
   // Read-only views of broker-kept data. May be null (models must
   // degrade gracefully — a brand-new peergroup has no history).
   const stats::PeerStatistics* statistics = nullptr;
@@ -59,9 +66,21 @@ struct SelectionContext {
   /// itself, or peers that already failed this workload (failover
   /// re-petitions exclude the peer whose share just died).
   std::vector<PeerId> exclude;
+  /// Strength of the reputation penalty every model adds to its cost:
+  /// `reputation_weight * (1 - snapshot.reputation)`. 0 (the default)
+  /// disables the term exactly — the multiplication yields 0.0 for any
+  /// finite reputation, so rankings are bit-identical to a build that
+  /// never heard of reputation.
+  double reputation_weight = 0.0;
 
   [[nodiscard]] bool excluded(PeerId peer) const noexcept {
     return std::find(exclude.begin(), exclude.end(), peer) != exclude.end();
+  }
+
+  /// The additive cost penalty for a candidate's reputation; exactly
+  /// 0.0 when reputation_weight is 0 (defenses off / idle subsystem).
+  [[nodiscard]] double reputation_penalty(const PeerSnapshot& c) const noexcept {
+    return reputation_weight * (1.0 - c.reputation);
   }
 };
 

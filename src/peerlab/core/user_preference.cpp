@@ -73,10 +73,15 @@ void UserPreferenceModel::rank_into(std::span<const PeerSnapshot> candidates,
     const auto it = std::lower_bound(
         position_.begin(), position_.end(), c.peer,
         [](const auto& entry, PeerId peer) { return entry.first < peer; });
-    const double cost = it != position_.end() && it->first == c.peer
-                            ? static_cast<double>(it->second)
-                            : static_cast<double>(preference_.size()) +
-                                  static_cast<double>(c.peer.value());
+    double cost = it != position_.end() && it->first == c.peer
+                      ? static_cast<double>(it->second)
+                      : static_cast<double>(preference_.size()) +
+                            static_cast<double>(c.peer.value());
+    // Costs here are rank indices, so the reputation term is scaled by
+    // the candidate count: a fully distrusted peer (reputation 0) at
+    // weight 1 drops below every trusted candidate. Exact zero at
+    // weight 0.
+    cost += context.reputation_penalty(c) * static_cast<double>(candidates.size());
     scored.push_back(ScoredPeer{c.peer, cost});
   }
   out.reserve(scored.size());

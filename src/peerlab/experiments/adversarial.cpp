@@ -1,0 +1,235 @@
+#include "peerlab/experiments/adversarial.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "peerlab/adversary/behavior_plan.hpp"
+#include "peerlab/common/check.hpp"
+#include "peerlab/core/data_evaluator.hpp"
+#include "peerlab/core/economic.hpp"
+#include "peerlab/core/hybrid.hpp"
+#include "peerlab/core/user_preference.hpp"
+
+namespace peerlab::experiments {
+
+namespace {
+
+using overlay::DistributionOptions;
+using overlay::FileService;
+using planetlab::Deployment;
+using transport::FileTransferConfig;
+using transport::TransferResult;
+
+/// Transfer knobs tuned like bench_churn's: a refusing peer should
+/// trigger failover after ~two minutes of petition retries, not a
+/// quarter hour.
+FileTransferConfig adv_transfer() {
+  FileTransferConfig cfg;
+  cfg.petition_retry.initial_timeout = 15.0;
+  cfg.petition_retry.backoff = 1.5;
+  cfg.petition_retry.max_attempts = 4;
+  cfg.confirm_timeout = 30.0;
+  cfg.max_confirm_queries = 6;
+  cfg.max_part_attempts = 6;
+  return cfg;
+}
+
+DistributionOptions adv_failover() {
+  DistributionOptions options;
+  options.max_failovers_per_share = 4;
+  options.backoff_initial = 10.0;
+  options.backoff_factor = 2.0;
+  options.backoff_cap = 120.0;
+  return options;
+}
+
+struct AdvRun {
+  double makespan = 0.0;
+  double failovers = 0.0;
+  double refusals = 0.0;
+  double lies = 0.0;
+  double quarantines = 0.0;
+  bool complete = false;
+};
+
+/// One seeded world, one model, one adversary count, one defense
+/// posture. Adversaries are armed *before* boot: the leech refuses
+/// (and lies) from the first heartbeat, so the warm-up phase below is
+/// also the evidence window the defended broker learns from. The
+/// adversary subset is drawn from a forked stream, so the same seed
+/// scripts the same peers in both arms and the cells differ only in
+/// the broker's defense posture.
+AdvRun adversarial_run(const RunOptions& options, std::uint64_t seed, int model,
+                       int adversaries, bool defended) {
+  sim::Simulator sim(seed);
+  planetlab::DeploymentOptions dep_options;
+  if (defended) dep_options.broker.reputation = adversarial_defense_config();
+  Deployment dep(sim, dep_options);
+  obs::MetricRegistry registry;
+  if (options.metrics != nullptr) dep.attach_metrics(registry, options.profile);
+
+  if (adversaries > 0) {
+    std::vector<PeerId> pool;
+    for (int i = 1; i <= 8; ++i) pool.push_back(dep.sc_peer(i));
+    sim::Rng pick = sim.rng().fork(0x5E1EC7ull);
+    pick.shuffle(pool);
+    adversary::BehaviorPlan plan;
+    for (int i = 0; i < adversaries; ++i) {
+      plan.free_rider(pool[static_cast<std::size_t>(i)]);
+      plan.stats_liar(pool[static_cast<std::size_t>(i)], kAdvPraisePerHeartbeat,
+                      kAdvFabricatedRate);
+    }
+    dep.install_adversaries(std::move(plan));
+  }
+  dep.boot();
+
+  // Warm-up: one small transfer + chat per SC, serially, so the broker
+  // has a record for every peer. Transfers towards leeches fail here
+  // ("petition unanswered"), which is exactly the attributed evidence
+  // the defended broker ranks on later.
+  Seconds at = sim.now() + 10.0;
+  for (int i = 1; i <= 8; ++i) {
+    sim.schedule_at(at, [&dep, i] {
+      FileTransferConfig cfg = adv_transfer();
+      cfg.file_size = megabytes(2.0);
+      cfg.parts = 2;
+      dep.control().files().send_file(dep.sc_peer(i), cfg, [](const TransferResult&) {});
+      dep.control().messaging().send(dep.sc_peer(i), 0, [](bool, Seconds) {});
+    });
+    at += 300.0;
+  }
+  {
+    const obs::WallProfiler::Span run_span(dep.profiler(), "run");
+    sim.run_until(at + 300.0);
+  }
+
+  switch (model) {
+    case 0:
+      dep.broker().set_selection_model(std::make_unique<core::EconomicSchedulingModel>());
+      break;
+    case 1:
+      dep.broker().set_selection_model(std::make_unique<core::DataEvaluatorModel>(
+          core::DataEvaluatorModel::same_priority()));
+      break;
+    case 2: {
+      std::vector<PeerId> known;
+      for (int i = 1; i <= 8; ++i) known.push_back(dep.sc_peer(i));
+      dep.broker().set_selection_model(std::make_unique<core::UserPreferenceModel>(
+          core::UserPreferenceModel::quick_peer(dep.broker().history(), known)));
+      break;
+    }
+    default:
+      dep.broker().set_selection_model(std::make_unique<core::HybridModel>());
+      break;
+  }
+
+  // Broker-mediated selection of the initial share holders.
+  std::vector<PeerId> selected;
+  {
+    core::SelectionContext ctx;
+    ctx.purpose = core::SelectionContext::Purpose::kFileTransfer;
+    ctx.payload_size = kAdvFileSize;
+    ctx.now = sim.now();
+    bool got = false;
+    dep.control().request_selection(ctx, kAdvFanout, [&](std::vector<PeerId> peers) {
+      selected = std::move(peers);
+      got = true;
+    });
+    {
+      const obs::WallProfiler::Span run_span(dep.profiler(), "run");
+      sim.run_until(sim.now() + 300.0);
+    }
+    PEERLAB_CHECK_MSG(got && selected.size() >= 1, "adversarial selection failed");
+    if (selected.size() > kAdvFanout) selected.resize(kAdvFanout);
+  }
+
+  AdvRun run;
+  bool done = false;
+  dep.control().files().distribute(
+      kAdvFileSize, kAdvParts, selected, adv_transfer(),
+      [&](const FileService::DistributionResult& result) {
+        run.makespan = result.makespan();
+        run.failovers = static_cast<double>(result.failovers);
+        run.complete = result.complete;
+        done = true;
+      },
+      adv_failover());
+  {
+    const obs::WallProfiler::Span run_span(dep.profiler(), "run");
+    sim.run();
+  }
+  PEERLAB_CHECK_MSG(done, "adversarial distribution never resolved");
+  if (dep.adversaries() != nullptr) {
+    run.refusals = static_cast<double>(dep.adversaries()->refusals_decided());
+  }
+  if (dep.broker().defenses_enabled()) {
+    run.lies = static_cast<double>(dep.broker().reputation().lies_recorded());
+    run.quarantines = static_cast<double>(dep.broker().reputation().quarantines_imposed());
+  }
+  merge_metrics(options, registry,
+                std::string(".") + kAdvModelNames[model] + (defended ? ".defended" : ""));
+  return run;
+}
+
+}  // namespace
+
+overlay::ReputationConfig adversarial_defense_config() {
+  overlay::ReputationConfig config;
+  config.enabled = true;
+  // Warm-up evidence is gathered ~40 simulated minutes before the
+  // distribution's selection; a slow decay keeps it ranking, and the
+  // quarantine window outlasts the whole run (a leech that lies every
+  // heartbeat re-arms it anyway).
+  config.decay_half_life = 4.0 * 3600.0;
+  config.quarantine_duration = 4.0 * 3600.0;
+  return config;
+}
+
+AdversarialResult run_bench_adversarial(const RunOptions& options) {
+  struct CellRuns {
+    AdvRun off;
+    AdvRun on;
+  };
+  using Rep = std::array<std::array<CellRuns, kAdvLevels>, kAdvModels>;
+  const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int) {
+    Rep rep;
+    for (int m = 0; m < kAdvModels; ++m) {
+      for (int level = 0; level < kAdvLevels; ++level) {
+        // Same seed across models, levels and arms: identical worlds
+        // and identical adversary subsets, so each pair isolates the
+        // defense posture and each column the adversary pressure.
+        auto& cell = rep[static_cast<std::size_t>(m)][static_cast<std::size_t>(level)];
+        cell.off = adversarial_run(options, seed, m, kAdvCounts[level],
+                                   /*defended=*/false);
+        cell.on = adversarial_run(options, seed, m, kAdvCounts[level],
+                                  /*defended=*/true);
+      }
+    }
+    return rep;
+  });
+
+  AdversarialResult result;
+  for (const auto& rep : reps) {
+    for (std::size_t m = 0; m < kAdvModels; ++m) {
+      for (std::size_t level = 0; level < kAdvLevels; ++level) {
+        AdversarialCell& cell = result.cells[m][level];
+        const CellRuns& runs = rep[m][level];
+        const auto fold = [](AdversarialArm& arm, const AdvRun& run) {
+          arm.makespan.add(run.makespan);
+          arm.failovers.add(run.failovers);
+          arm.refusals.add(run.refusals);
+          arm.lies_caught.add(run.lies);
+          arm.quarantines.add(run.quarantines);
+          arm.complete_runs += run.complete ? 1 : 0;
+          ++arm.runs;
+        };
+        fold(cell.undefended, runs.off);
+        fold(cell.defended, runs.on);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace peerlab::experiments

@@ -1,0 +1,83 @@
+#pragma once
+
+// bench_adversarial — scatter distribution against byzantine clients.
+// Sweeps the number of SimpleClients running the compound "leech"
+// script (refuse every inbound transfer petition while fabricating
+// self-praise history each heartbeat) for four selection models, each
+// cell measured twice from the same seed: defenses OFF (the broker
+// trusts every report and ranks on merit alone) and defenses ON (the
+// observed-outcome reputation book vets reports, penalizes ranked
+// candidates and quarantines repeat offenders; see
+// overlay/reputation.hpp and DESIGN.md §14).
+//
+// The failover machinery keeps completion at 100% in both arms — a
+// refused share backs off and re-petitions the broker for a substitute
+// — so the cost of adversaries is makespan: every share that lands on
+// a leech burns the petition retry budget before failing over. The
+// defended broker learns from the warm-up phase (the leech's refusals
+// are attributed failures, its praise is a detected protocol
+// violation) and steers the scatter around the adversaries up front.
+
+#include <array>
+
+#include "peerlab/experiments/figures.hpp"
+#include "peerlab/overlay/reputation.hpp"
+
+namespace peerlab::experiments {
+
+/// Adversary severities: how many of the 8 SimpleClients run the leech
+/// script (~0/10/30/50% of the experiment group).
+inline constexpr int kAdvLevels = 4;
+inline constexpr int kAdvCounts[kAdvLevels] = {0, 1, 2, 4};
+inline constexpr const char* kAdvLabels[kAdvLevels] = {"none", "1-of-8", "2-of-8",
+                                                       "4-of-8"};
+
+/// Model sweep: the paper's informed models plus the hybrid blend.
+/// (Blind is omitted: it cannot react to evidence by construction, so
+/// an adversarial sweep over it only measures the failover machinery.)
+inline constexpr int kAdvModels = 4;
+inline constexpr const char* kAdvModelNames[kAdvModels] = {"economic", "same-priority",
+                                                           "quick-peer", "hybrid"};
+
+/// Workload: the same scatter as bench_churn.
+inline constexpr Bytes kAdvFileSize = 32 * kMegabyte;
+inline constexpr int kAdvParts = 6;
+inline constexpr std::size_t kAdvFanout = 3;
+
+/// What the leech claims per heartbeat (see ClientPeer::MisreportProfile).
+inline constexpr int kAdvPraisePerHeartbeat = 2;
+inline constexpr MbitPerSec kAdvFabricatedRate = 800.0;
+
+/// The defended arm's reputation knobs: defaults except a slower decay
+/// (warm-up evidence must still rank at distribution time, ~40 min
+/// later) and a quarantine long enough to cover the whole run. Exposed
+/// so tests can assert against exactly what the bench runs.
+[[nodiscard]] overlay::ReputationConfig adversarial_defense_config();
+
+struct AdversarialArm {
+  sim::Summary makespan;     // distribution makespan (seconds)
+  sim::Summary failovers;    // replacement petitions consumed per run
+  sim::Summary refusals;     // petitions the adversaries refused
+  sim::Summary lies_caught;  // fabricated self-praise deltas detected (0 when off)
+  sim::Summary quarantines;  // quarantines imposed by the broker (0 when off)
+  int complete_runs = 0;     // runs where every share completed
+  int runs = 0;
+
+  [[nodiscard]] double completion_rate() const noexcept {
+    return runs == 0 ? 0.0 : static_cast<double>(complete_runs) / runs;
+  }
+};
+
+struct AdversarialCell {
+  AdversarialArm undefended;
+  AdversarialArm defended;  // same seeds, same adversaries, defenses on
+};
+
+struct AdversarialResult {
+  /// [model][adversary level]; models as in kAdvModelNames.
+  std::array<std::array<AdversarialCell, kAdvLevels>, kAdvModels> cells;
+};
+
+[[nodiscard]] AdversarialResult run_bench_adversarial(const RunOptions& options);
+
+}  // namespace peerlab::experiments

@@ -16,6 +16,9 @@ Network::Network(sim::Simulator& sim, Topology topology, NetworkConfig config)
       loss_rng_(sim.rng().fork(0x10055ull)) {
   PEERLAB_CHECK_MSG(config_.datagram_loss >= 0.0 && config_.datagram_loss < 1.0,
                     "datagram_loss must be in [0, 1)");
+  PEERLAB_CHECK_MSG(
+      config_.datagram_duplication >= 0.0 && config_.datagram_duplication < 1.0,
+      "datagram_duplication must be in [0, 1)");
 }
 
 void Network::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling,
@@ -23,6 +26,7 @@ void Network::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling,
   m_.datagrams_sent = &registry.counter("net.datagrams.sent", "datagrams");
   m_.datagrams_lost = &registry.counter("net.datagrams.lost", "datagrams");
   m_.datagrams_blocked = &registry.counter("net.datagrams.blocked", "datagrams");
+  m_.datagrams_duplicated = &registry.counter("net.datagrams.duplicated", "datagrams");
   m_.messages_started = &registry.counter("net.messages.started", "messages");
   m_.messages_lost = &registry.counter("net.messages.lost", "messages");
   m_.messages_blocked = &registry.counter("net.messages.blocked", "messages");
@@ -165,7 +169,7 @@ void Network::send_datagram(NodeId src, NodeId dst, Bytes size,
   // A crash between send and arrival kills the destination's software
   // before the datagram lands, so deliverability is re-checked at the
   // arrival instant.
-  sim_.schedule(delay, [this, dst, cb = std::move(on_delivered)] {
+  auto arrival = [this, dst, cb = std::move(on_delivered)] {
     if (!node_up(dst)) {
       ++datagrams_lost_;
       ++datagrams_blocked_;
@@ -176,7 +180,22 @@ void Network::send_datagram(NodeId src, NodeId dst, Bytes size,
       return;
     }
     if (cb) cb();
-  });
+  };
+  // The duplication decision draws only when the knob is armed, so the
+  // default configuration consumes an identical RNG sequence.
+  if (config_.datagram_duplication > 0.0 &&
+      loss_rng_.bernoulli(config_.datagram_duplication)) {
+    ++datagrams_duplicated_;
+    if (m_.datagrams_duplicated != nullptr) m_.datagrams_duplicated->add(1);
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "datagram-duplicated",
+                      to_string(src) + "->" + to_string(dst), src.value(), dst.value());
+    }
+    // The copy rides an independently sampled delay: it may land before
+    // or after the original, exercising responder idempotency both ways.
+    sim_.schedule(sample_control_delay(src, dst), arrival);
+  }
+  sim_.schedule(delay, std::move(arrival));
 }
 
 FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,

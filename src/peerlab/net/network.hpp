@@ -37,6 +37,14 @@ struct NetworkConfig {
   /// Floor loss probability for any datagram, on top of size-dependent
   /// loss (models UDP-ish advisory traffic over the wide area).
   double datagram_loss = 0.001;
+  /// Probability that a delivered datagram arrives twice (the mirror
+  /// knob of datagram_loss: wide-area paths and retransmitting relays
+  /// duplicate as well as drop). The copy takes an independently
+  /// sampled control delay, so duplicates can arrive out of order.
+  /// Responders must be idempotent (see ReliableChannel); this knob
+  /// exists to regression-test that property. 0 (the default) draws
+  /// nothing from the loss RNG, leaving seeded runs bit-identical.
+  double datagram_duplication = 0.0;
   /// Serialization allowance per control datagram.
   Seconds datagram_serialization = 0.001;
   /// How long a bulk send towards a crashed or partitioned endpoint
@@ -129,6 +137,10 @@ class Network {
   /// Statistics for tests and reporting.
   [[nodiscard]] std::uint64_t datagrams_sent() const noexcept { return datagrams_sent_; }
   [[nodiscard]] std::uint64_t datagrams_lost() const noexcept { return datagrams_lost_; }
+  /// Datagrams delivered a second time by the duplication knob.
+  [[nodiscard]] std::uint64_t datagrams_duplicated() const noexcept {
+    return datagrams_duplicated_;
+  }
   [[nodiscard]] std::uint64_t messages_started() const noexcept { return messages_started_; }
   [[nodiscard]] std::uint64_t messages_lost() const noexcept { return messages_lost_; }
   /// Datagrams dropped and bulk messages failed because an endpoint was
@@ -144,6 +156,7 @@ class Network {
     obs::Counter* datagrams_sent = nullptr;
     obs::Counter* datagrams_lost = nullptr;
     obs::Counter* datagrams_blocked = nullptr;
+    obs::Counter* datagrams_duplicated = nullptr;
     obs::Counter* messages_started = nullptr;
     obs::Counter* messages_lost = nullptr;
     obs::Counter* messages_blocked = nullptr;
@@ -169,6 +182,7 @@ class Network {
   std::set<std::pair<std::uint64_t, std::uint64_t>> partitions_;  // (min, max) node ids
   std::uint64_t datagrams_sent_ = 0;
   std::uint64_t datagrams_lost_ = 0;
+  std::uint64_t datagrams_duplicated_ = 0;
   std::uint64_t messages_started_ = 0;
   std::uint64_t messages_lost_ = 0;
   std::uint64_t datagrams_blocked_ = 0;

@@ -19,6 +19,7 @@ BrokerPeer::BrokerPeer(transport::TransportFabric& fabric, NodeId node,
       discovery_(endpoint_, directories.rendezvous, peer_of(node), node),
       membership_(endpoint_, directories.groups, peer_of(node), node),
       history_(config.history_capacity),
+      reputation_(config.reputation),
       model_(std::make_unique<core::BlindModel>()),
       select_channel_(endpoint_, transport::MessageType::kSelectRequest,
                       transport::MessageType::kSelectResponse) {
@@ -97,6 +98,9 @@ std::vector<core::PeerSnapshot> BrokerPeer::snapshot_group() const {
     const auto stats_it = statistics_.find(peer);
     snap.statistics = stats_it == statistics_.end() ? nullptr : &stats_it->second;
     snap.history = &history_;
+    if (config_.reputation.enabled) {
+      snap.reputation = reputation_.score(peer, sim().now());
+    }
     snapshots.push_back(std::move(snap));
   }
   return snapshots;
@@ -105,14 +109,36 @@ std::vector<core::PeerSnapshot> BrokerPeer::snapshot_group() const {
 PeerId BrokerPeer::select_peer(const core::SelectionContext& context) {
   const obs::WallProfiler::Span span(m_.profiler, m_.rank_site);
   const auto snapshots = snapshot_group();
-  return model_->select(snapshots, context);
+  if (!config_.reputation.enabled) return model_->select(snapshots, context);
+  core::SelectionContext defended = context;
+  defended.reputation_weight = config_.reputation.rank_penalty_weight;
+  const std::size_t base_excludes = defended.exclude.size();
+  reputation_.append_quarantined(sim().now(), defended.exclude);
+  PeerId best = model_->select(snapshots, defended);
+  if (!best.valid() && defended.exclude.size() > base_excludes) {
+    // Graceful degradation: a quarantine that empties the candidate set
+    // is lifted for this decision — a distrusted peer beats none.
+    defended.exclude.resize(base_excludes);
+    best = model_->select(snapshots, defended);
+  }
+  return best;
 }
 
 std::vector<PeerId> BrokerPeer::select_peers(const core::SelectionContext& context,
                                              std::size_t k) {
   const obs::WallProfiler::Span span(m_.profiler, m_.rank_site);
   const auto snapshots = snapshot_group();
-  return model_->select_k(snapshots, context, k);
+  if (!config_.reputation.enabled) return model_->select_k(snapshots, context, k);
+  core::SelectionContext defended = context;
+  defended.reputation_weight = config_.reputation.rank_penalty_weight;
+  const std::size_t base_excludes = defended.exclude.size();
+  reputation_.append_quarantined(sim().now(), defended.exclude);
+  auto selected = model_->select_k(snapshots, defended, k);
+  if (selected.empty() && defended.exclude.size() > base_excludes) {
+    defended.exclude.resize(base_excludes);
+    selected = model_->select_k(snapshots, defended, k);
+  }
+  return selected;
 }
 
 void BrokerPeer::attach_metrics(obs::MetricRegistry& registry, obs::WallProfiler* profiler) {
@@ -122,14 +148,48 @@ void BrokerPeer::attach_metrics(obs::MetricRegistry& registry, obs::WallProfiler
   m_.federated_queries = &registry.counter("overlay.federated_queries", "queries");
   m_.profiler = profiler;
   m_.rank_site = profiler != nullptr ? &profiler->site("selection.rank") : nullptr;
+  reputation_.attach_metrics(registry);
 }
 
-void BrokerPeer::apply_stats(const StatsDelta& delta) {
+void BrokerPeer::apply_stats(const StatsDelta& delta) { apply_stats(delta, PeerId()); }
+
+void BrokerPeer::apply_stats(const StatsDelta& delta, PeerId reporter) {
   if (!delta.subject.valid()) return;
   ++reports_;
   if (m_.stats_reports != nullptr) m_.stats_reports->add(1);
-  apply_replicated(delta);
-  if (delta_observer_) delta_observer_(delta);
+  if (!config_.reputation.enabled) {
+    apply_replicated(delta);
+    if (delta_observer_) delta_observer_(delta);
+    return;
+  }
+  const Seconds now = sim().now();
+  StatsDelta vetted = delta;
+  const bool self_report = reporter.valid() && reporter == delta.subject;
+  if (self_report && (!delta.transfer_records.empty() || !delta.response_times.empty() ||
+                      delta.file_done > 0 || delta.exec_ok > 0 || delta.msg_ok > 0)) {
+    // Honest clients self-report only queue samples (outbox/inbox/
+    // pending); outcome history about a peer comes from counterparties.
+    // A self-report carrying outcome records is fabricated praise:
+    // score the lie, drop those fields, keep the queue samples.
+    reputation_.record_lie(reporter, now);
+    vetted.transfer_records.clear();
+    vetted.response_times.clear();
+    vetted.file_done = 0;
+    vetted.exec_ok = 0;
+    vetted.msg_ok = 0;
+  }
+  if (!self_report) {
+    // Counterparty-attributed outcomes feed the reputation score.
+    for (int i = 0; i < vetted.file_fail; ++i) reputation_.record_failure(delta.subject, now);
+    for (int i = 0; i < vetted.exec_fail; ++i) reputation_.record_failure(delta.subject, now);
+    for (int i = 0; i < vetted.msg_fail; ++i) reputation_.record_failure(delta.subject, now);
+    for (int i = 0; i < vetted.exec_ok; ++i) reputation_.record_success(delta.subject, now);
+    for (const auto& record : vetted.transfer_records) {
+      reputation_.record_transfer(delta.subject, record, now);
+    }
+  }
+  apply_replicated(vetted);
+  if (delta_observer_) delta_observer_(vetted);
 }
 
 void BrokerPeer::apply_replicated(const StatsDelta& delta) {
@@ -195,7 +255,7 @@ void BrokerPeer::on_heartbeat(const transport::Message& m) {
 void BrokerPeer::on_stats_report(const transport::Message& m) {
   const StatsDelta delta =
       directories_.stats_reports.claim(static_cast<std::uint64_t>(m.arg));
-  apply_stats(delta);
+  apply_stats(delta, peer_of(m.src));
 }
 
 void BrokerPeer::federate_with(NodeId peer_broker) {

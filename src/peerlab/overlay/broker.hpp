@@ -17,6 +17,7 @@
 #include "peerlab/obs/metrics.hpp"
 #include "peerlab/obs/profile.hpp"
 #include "peerlab/overlay/directories.hpp"
+#include "peerlab/overlay/reputation.hpp"
 #include "peerlab/transport/reliable_channel.hpp"
 
 namespace peerlab::overlay {
@@ -30,6 +31,9 @@ struct BrokerConfig {
   Seconds stats_window = 4.0 * 3600.0;
   /// History records kept per peer.
   std::size_t history_capacity = 256;
+  /// Observed-outcome reputation defenses (off by default; when off the
+  /// broker behaves bit-identically to a build without the subsystem).
+  ReputationConfig reputation;
 };
 
 class BrokerPeer {
@@ -87,8 +91,18 @@ class BrokerPeer {
                                                  std::size_t k);
 
   /// Applies one batch of client observations (also invoked directly
-  /// by in-process tests).
+  /// by in-process tests). The reporter-attributed overload is the wire
+  /// path: with defenses enabled it feeds the reputation book and
+  /// discards counterparty-only history fields a peer reports about
+  /// itself (self-praise). The reporterless overload trusts the delta
+  /// wholesale (in-process tests, pre-defense callers).
   void apply_stats(const StatsDelta& delta);
+  void apply_stats(const StatsDelta& delta, PeerId reporter);
+
+  /// The observed-outcome reputation defense state (see reputation.hpp).
+  [[nodiscard]] ReputationBook& reputation() noexcept { return reputation_; }
+  [[nodiscard]] const ReputationBook& reputation() const noexcept { return reputation_; }
+  [[nodiscard]] bool defenses_enabled() const noexcept { return config_.reputation.enabled; }
 
   /// Starts a fresh statistics session for every known peer.
   void begin_session();
@@ -170,6 +184,7 @@ class BrokerPeer {
   jxta::DiscoveryService discovery_;
   jxta::GroupMembership membership_;
   stats::HistoryStore history_;
+  ReputationBook reputation_;
   std::unique_ptr<core::SelectionModel> model_;
   transport::ReliableChannel select_channel_;
   DeltaObserver delta_observer_;

@@ -1,5 +1,6 @@
 #include "peerlab/overlay/client.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "peerlab/common/check.hpp"
@@ -72,22 +73,74 @@ void ClientPeer::heartbeat() {
   const auto& flows = endpoint_.fabric().network().flows();
   const int pending = flows.downloads_at(node_);
   const bool idle = executor_.idle();
+  int backlog = executor_.backlog();
+  double outbox = flows.uploads_at(node_);
+  double inbox = pending;
+  int pending_report = pending;
+  bool idle_report = idle;
+  if (misreport_active_) {
+    // Under-reporter: the wire carries a scaled-down picture of the
+    // true load; the executor and flows underneath stay honest.
+    backlog = static_cast<int>(static_cast<double>(backlog) * misreport_.load_factor);
+    outbox *= misreport_.load_factor;
+    inbox *= misreport_.load_factor;
+    pending_report =
+        static_cast<int>(static_cast<double>(pending_report) * misreport_.load_factor);
+    if (misreport_.always_idle) {
+      idle_report = true;
+      backlog = 0;
+      pending_report = 0;
+      outbox = 0.0;
+      inbox = 0.0;
+    }
+    ++misreports_sent_;
+    if (m_.misreports != nullptr) m_.misreports->add(1);
+  }
   endpoint_.send(broker_node_, transport::MessageType::kHeartbeat,
                  /*correlation=*/id().value(),
-                 /*seq=*/static_cast<std::uint64_t>(executor_.backlog()),
-                 /*arg=*/static_cast<std::int64_t>(pending) * 2 + (idle ? 1 : 0));
+                 /*seq=*/static_cast<std::uint64_t>(backlog),
+                 /*arg=*/static_cast<std::int64_t>(pending_report) * 2 + (idle_report ? 1 : 0));
 
   // Self-observed queue pressure rides a stats report.
   StatsDelta self;
   self.subject = id();
-  self.outbox_sample = flows.uploads_at(node_);
-  self.inbox_sample = pending;
-  self.pending_transfers = pending;
+  self.outbox_sample = outbox;
+  self.inbox_sample = inbox;
+  self.pending_transfers = pending_report;
   report(std::move(self));
+
+  if (misreport_active_ && misreport_.fabricate_praise > 0) {
+    // Stats liar: a self-praise delta claiming fast completed
+    // transfers and instant responses. An undefended broker swallows
+    // it into history; a defended one scores it as a protocol
+    // violation (honest clients never self-report outcome fields).
+    StatsDelta praise;
+    praise.subject = id();
+    praise.file_done = misreport_.fabricate_praise;
+    for (int i = 0; i < misreport_.fabricate_praise; ++i) {
+      stats::TransferRecord rec;
+      rec.peer = id();
+      rec.size = static_cast<Bytes>(kMegabyte);
+      rec.duration = 8.0 / std::max(misreport_.fabricated_rate, 1e-6);
+      rec.petition_time = 0.01;
+      rec.ok = true;
+      praise.transfer_records.push_back(rec);
+      praise.response_times.push_back(0.01);
+    }
+    ++misreports_sent_;
+    if (m_.misreports != nullptr) m_.misreports->add(1);
+    report(std::move(praise));
+  }
 
   publish_advert();
   heartbeat_timer_ =
       sim().schedule_daemon(config_.heartbeat_interval, [this] { heartbeat(); });
+}
+
+void ClientPeer::set_misreport_profile(const MisreportProfile& profile) {
+  misreport_ = profile;
+  misreport_active_ = profile.load_factor != 1.0 || profile.always_idle ||
+                      profile.fabricate_praise > 0;
 }
 
 void ClientPeer::publish_advert() {
@@ -129,6 +182,7 @@ void ClientPeer::attach_metrics(obs::MetricRegistry& registry) {
   m_.selections_requested = &registry.counter("overlay.selections_requested", "requests");
   m_.selection_failures = &registry.counter("overlay.selection_failures", "requests");
   m_.selection_reissues = &registry.counter("overlay.selection_reissues", "requests");
+  m_.misreports = &registry.counter("overlay.misreports", "reports");
   obs::Histogram::Options latency_opts;
   latency_opts.lo = 1e-3;  // a selection round trip runs ms .. minutes
   latency_opts.hi = 1e4;

@@ -32,6 +32,23 @@ struct ClientConfig {
   tasks::ExecutorConfig executor{};
 };
 
+/// Scripted self-reporting misbehaviour (installed by the adversary
+/// layer; see peerlab::adversary). Defaults describe an honest client;
+/// while no profile is installed the reporting path is bit-identical
+/// to a build without the knobs.
+struct MisreportProfile {
+  /// Multiplier on self-reported load (heartbeat backlog, queue
+  /// samples, pending transfers): 0 claims empty queues, 1 is honest.
+  double load_factor = 1.0;
+  /// Heartbeats always claim the executor is idle.
+  bool always_idle = false;
+  /// Fabricated self-praise shipped with each heartbeat: this many
+  /// fake completed transfers at `fabricated_rate` plus near-zero
+  /// response times (the stats-liar behaviour). 0 disables.
+  int fabricate_praise = 0;
+  MbitPerSec fabricated_rate = 1000.0;
+};
+
 class ClientPeer {
  public:
   ClientPeer(transport::TransportFabric& fabric, NodeId node, NodeId broker_node,
@@ -79,6 +96,11 @@ class ClientPeer {
   /// public so applications can report domain-specific observations).
   void report(StatsDelta delta);
 
+  /// Installs (or, with a default-constructed profile, clears) the
+  /// scripted misreporting behaviour applied to every future heartbeat.
+  void set_misreport_profile(const MisreportProfile& profile);
+  [[nodiscard]] std::uint64_t misreports_sent() const noexcept { return misreports_sent_; }
+
   [[nodiscard]] std::uint64_t heartbeats_sent() const noexcept { return heartbeats_sent_; }
   /// Selection petitions re-issued against a new broker after rehome.
   [[nodiscard]] std::uint64_t selection_reissues() const noexcept {
@@ -99,6 +121,7 @@ class ClientPeer {
     obs::Counter* selections_requested = nullptr;
     obs::Counter* selection_failures = nullptr;
     obs::Counter* selection_reissues = nullptr;
+    obs::Counter* misreports = nullptr;
     obs::Histogram* selection_latency_s = nullptr;
   };
 
@@ -123,8 +146,13 @@ class ClientPeer {
   Metrics m_;
   sim::EventHandle heartbeat_timer_;
   bool started_ = false;
+  MisreportProfile misreport_;
+  /// True only while a non-honest profile is installed, so the honest
+  /// path never even reads the profile.
+  bool misreport_active_ = false;
   std::uint64_t heartbeats_sent_ = 0;
   std::uint64_t selection_reissues_ = 0;
+  std::uint64_t misreports_sent_ = 0;
 };
 
 }  // namespace peerlab::overlay

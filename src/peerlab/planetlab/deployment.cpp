@@ -165,6 +165,15 @@ net::FaultInjector& Deployment::install_faults(net::FaultPlan plan) {
   return *injector_;
 }
 
+adversary::BehaviorEngine& Deployment::install_adversaries(adversary::BehaviorPlan plan) {
+  PEERLAB_CHECK_MSG(behaviors_ == nullptr, "behavior plan already installed");
+  behaviors_ = std::make_unique<adversary::BehaviorEngine>(
+      sim_, std::move(plan), sim_.rng().fork(0xADBEA7ull));
+  if (metrics_ != nullptr) behaviors_->attach_metrics(*metrics_);
+  for (auto& client : clients_) behaviors_->bind(*client);
+  return *behaviors_;
+}
+
 void Deployment::attach_metrics(obs::MetricRegistry& registry, bool wall_profiling) {
   metrics_ = &registry;
   if (wall_profiling) {
@@ -180,6 +189,7 @@ void Deployment::attach_metrics(obs::MetricRegistry& registry, bool wall_profili
   control_->attach_metrics(registry);
   for (auto& client : clients_) client->attach_metrics(registry);
   if (injector_ != nullptr) injector_->attach_metrics(registry);
+  if (behaviors_ != nullptr) behaviors_->attach_metrics(registry);
 }
 
 void Deployment::on_broker_failover(const overlay::ReplicaSet::FailoverEvent& event) {

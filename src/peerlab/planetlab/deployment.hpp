@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 
+#include "peerlab/adversary/behavior_plan.hpp"
 #include "peerlab/net/fault_plan.hpp"
 #include "peerlab/obs/profile.hpp"
 #include "peerlab/overlay/broker.hpp"
@@ -93,6 +94,15 @@ class Deployment {
   net::FaultInjector& install_faults(net::FaultPlan plan);
   [[nodiscard]] net::FaultInjector* faults() noexcept { return injector_.get(); }
 
+  /// Arms an adversarial-behaviour plan against this deployment's
+  /// clients (the byzantine sibling of install_faults): each spec
+  /// activates on its target client at its scheduled instant,
+  /// actuating through the client's transfer peer and reporting path.
+  /// Per-peer decision RNGs fork from the simulator's 0xADBEA7 stream.
+  /// One plan per deployment; call before running the hostile window.
+  adversary::BehaviorEngine& install_adversaries(adversary::BehaviorPlan plan);
+  [[nodiscard]] adversary::BehaviorEngine* adversaries() noexcept { return behaviors_.get(); }
+
   /// Attaches the whole deployment to `registry`: network + flow
   /// scheduler, every broker and client (the overlay instruments are
   /// shared by name, so e.g. overlay.heartbeats aggregates across all
@@ -125,6 +135,7 @@ class Deployment {
   std::vector<std::unique_ptr<overlay::ClientPeer>> clients_;
   std::unique_ptr<overlay::ClientPeer> control_;
   std::unique_ptr<net::FaultInjector> injector_;
+  std::unique_ptr<adversary::BehaviorEngine> behaviors_;
   obs::MetricRegistry* metrics_ = nullptr;  // set by attach_metrics
   std::unique_ptr<obs::WallProfiler> profiler_;  // set when wall_profiling
   std::array<NodeId, 8> sc_nodes_{};

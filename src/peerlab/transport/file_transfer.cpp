@@ -51,6 +51,18 @@ void FileTransferPeer::attach_metrics(obs::MetricRegistry& registry) {
   m_.parts_confirmed = &registry.counter("transport.parts.confirmed", "parts");
   m_.bytes_confirmed = &registry.counter("transport.bytes.confirmed", "bytes");
   m_.petitions_served = &registry.counter("transport.petitions.served", "petitions");
+  m_.petitions_refused = &registry.counter("transport.petitions.refused", "petitions");
+  m_.confirms_withheld = &registry.counter("transport.confirms.withheld", "confirms");
+  m_.confirms_delayed = &registry.counter("transport.confirms.delayed", "confirms");
+}
+
+const InboundDecision& FileTransferPeer::decide(Receiving& r, NodeId sender,
+                                                std::uint64_t correlation) {
+  if (!r.decided && inbound_policy_) {
+    r.decision = inbound_policy_(sender, correlation);
+    r.decided = true;
+  }
+  return r.decision;
 }
 
 TransferId FileTransferPeer::send_file(NodeId dst, const FileTransferConfig& config,
@@ -241,6 +253,14 @@ void FileTransferPeer::serve_petition(const Message& message) {
     ++petitions_received_;
     if (m_.petitions_served != nullptr) m_.petitions_served->add(1);
   }
+  if (decide(it->second, message.src, message.correlation).refuse_petition) {
+    // Free-rider: pretend the petition never arrived (every retry of
+    // this correlation hits the cached decision, so the silence is
+    // total and the sender fails with "petition unanswered").
+    ++petitions_refused_;
+    if (m_.petitions_refused != nullptr) m_.petitions_refused->add(1);
+    return;
+  }
   // Idempotent ack carrying the (first) arrival time in microseconds.
   endpoint_.reply(message, MessageType::kTransferPetitionAck,
                   static_cast<std::int64_t>(it->second.petition_received * 1e6));
@@ -258,13 +278,42 @@ void FileTransferPeer::on_part_delivered(std::uint64_t correlation, int part_ind
   if (it->second.parts.insert(part_index).second) {
     ++parts_received_;
   }
+  const InboundDecision& d = decide(it->second, sender, correlation);
+  if (d.confirm_at_most >= 0 && part_index >= d.confirm_at_most) {
+    // Accept-then-abort: the part was received, the confirmation never
+    // comes. The sender's confirm-queries stonewall the same way
+    // (serve_confirm_query), so the share dies as "confirmation lost".
+    ++confirms_withheld_;
+    if (m_.confirms_withheld != nullptr) m_.confirms_withheld->add(1);
+    return;
+  }
+  if (d.confirm_delay > 0.0) {
+    // Throttle: confirmations limp back late, stretching the per-part
+    // loop without tripping the sender's failure detector outright.
+    if (m_.confirms_delayed != nullptr) m_.confirms_delayed->add(1);
+    sim().schedule(d.confirm_delay, [this, sender, correlation, part_index] {
+      endpoint_.send(sender, MessageType::kPartConfirm, correlation, 0, part_index);
+    });
+    return;
+  }
   endpoint_.send(sender, MessageType::kPartConfirm, correlation, 0, part_index);
 }
 
 void FileTransferPeer::serve_confirm_query(const Message& message) {
   const auto it = receiving_.find(message.correlation);
   if (it == receiving_.end()) return;
-  if (it->second.parts.count(static_cast<int>(message.arg)) > 0) {
+  const int part = static_cast<int>(message.arg);
+  const InboundDecision& d = it->second.decision;
+  if (d.confirm_at_most >= 0 && part >= d.confirm_at_most) {
+    // The withholding decision covers recovery queries too; replying
+    // here would un-abort the transfer.
+    ++confirms_withheld_;
+    if (m_.confirms_withheld != nullptr) m_.confirms_withheld->add(1);
+    return;
+  }
+  if (it->second.parts.count(part) > 0) {
+    // Query replies go out immediately even under confirm_delay: the
+    // query round itself already cost the sender a full timeout.
     endpoint_.send(message.src, MessageType::kPartConfirm, message.correlation, 0, message.arg);
   }
 }

@@ -107,6 +107,24 @@ class FileTransferDirectory {
   std::unordered_map<NodeId, FileTransferPeer*> peers_;
 };
 
+/// Receiver-side policy decision for one inbound transfer. Defaults
+/// describe an honest peer; the adversary layer scripts deviations.
+/// A decision is taken once per correlation and cached, so every
+/// retransmission of the same transfer sees the same behaviour
+/// (deterministic misbehaviour, idempotent under duplicates).
+struct InboundDecision {
+  /// Pretend the petition never arrived: no ack, ever. The sender's
+  /// retry channel burns its attempts and fails the share
+  /// ("petition unanswered").
+  bool refuse_petition = false;
+  /// Confirm at most this many leading parts, then go silent — parts
+  /// are still received, never acknowledged ("confirmation lost").
+  /// 0 = accept-then-abort (free-rider), >0 = flapper; -1 = no cap.
+  int confirm_at_most = -1;
+  /// Delay each part confirmation by this much (throttle); 0 = honest.
+  Seconds confirm_delay = 0.0;
+};
+
 class FileTransferPeer {
  public:
   FileTransferPeer(Endpoint& endpoint, FileTransferDirectory& directory);
@@ -141,6 +159,15 @@ class FileTransferPeer {
   /// called.
   void attach_metrics(obs::MetricRegistry& registry);
 
+  /// Installs the receiver-side behaviour policy, consulted once per
+  /// inbound correlation (then cached). nullptr restores honesty for
+  /// transfers not yet decided; already-cached decisions stand.
+  using InboundPolicy = std::function<InboundDecision(NodeId sender, std::uint64_t correlation)>;
+  void set_inbound_policy(InboundPolicy policy) { inbound_policy_ = std::move(policy); }
+
+  [[nodiscard]] std::uint64_t petitions_refused() const noexcept { return petitions_refused_; }
+  [[nodiscard]] std::uint64_t confirms_withheld() const noexcept { return confirms_withheld_; }
+
   /// Internal: data plane hands an arrived part to the receiving peer.
   void on_part_delivered(std::uint64_t correlation, int part_index, NodeId sender);
 
@@ -154,6 +181,9 @@ class FileTransferPeer {
     obs::Counter* parts_confirmed = nullptr;
     obs::Counter* bytes_confirmed = nullptr;
     obs::Counter* petitions_served = nullptr;
+    obs::Counter* petitions_refused = nullptr;
+    obs::Counter* confirms_withheld = nullptr;
+    obs::Counter* confirms_delayed = nullptr;
   };
 
   struct Sending {
@@ -172,7 +202,14 @@ class FileTransferPeer {
     Seconds petition_received = 0.0;
     NodeId sender;
     std::set<int> parts;
+    /// Cached behaviour for this correlation (see InboundDecision).
+    InboundDecision decision;
+    bool decided = false;
   };
+
+  /// Takes (and caches) the inbound decision for a transfer.
+  [[nodiscard]] const InboundDecision& decide(Receiving& r, NodeId sender,
+                                              std::uint64_t correlation);
 
   void start_parts(std::uint64_t correlation);
   void send_part(std::uint64_t correlation);
@@ -194,8 +231,11 @@ class FileTransferPeer {
   IdAllocator<TransferId> transfer_ids_;
   std::map<std::uint64_t, Sending> sending_;      // key: correlation
   std::map<std::uint64_t, Receiving> receiving_;  // key: correlation
+  InboundPolicy inbound_policy_;
   std::uint64_t parts_received_ = 0;
   std::uint64_t petitions_received_ = 0;
+  std::uint64_t petitions_refused_ = 0;
+  std::uint64_t confirms_withheld_ = 0;
 };
 
 /// Correlation encoding: unique across nodes.

@@ -7,6 +7,26 @@
 
 namespace peerlab::transport {
 
+namespace {
+
+/// Stateless full-jitter factor in [1 - jitter, 1 + jitter): a
+/// splitmix64 finalizer over (channel salt, seq, attempt). No shared
+/// RNG stream is consumed, so enabling jitter on one channel cannot
+/// perturb any other component's random sequence.
+double jitter_factor(std::uint64_t salt, std::uint64_t seq, int attempt,
+                     double jitter) noexcept {
+  std::uint64_t x = salt ^ (seq * 0x9E3779B97F4A7C15ull) ^
+                    (static_cast<std::uint64_t>(attempt) << 48);
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  const double unit = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0, 1)
+  return 1.0 - jitter + 2.0 * jitter * unit;
+}
+
+}  // namespace
+
 ReliableChannel::ReliableChannel(Endpoint& endpoint, MessageType request_type,
                                  MessageType response_type, RetryPolicy policy)
     : endpoint_(endpoint),
@@ -16,6 +36,8 @@ ReliableChannel::ReliableChannel(Endpoint& endpoint, MessageType request_type,
   PEERLAB_CHECK_MSG(policy_.initial_timeout > 0.0, "timeout must be positive");
   PEERLAB_CHECK_MSG(policy_.backoff >= 1.0, "backoff must be >= 1");
   PEERLAB_CHECK_MSG(policy_.max_attempts >= 1, "need at least one attempt");
+  PEERLAB_CHECK_MSG(policy_.jitter >= 0.0 && policy_.jitter < 1.0,
+                    "jitter must be in [0, 1)");
   endpoint_.set_handler(response_type_, [this](const Message& m) { on_response(m); });
 }
 
@@ -45,7 +67,8 @@ void ReliableChannel::request(NodeId dst, std::uint64_t correlation, std::int64_
                               std::function<void(const RequestOutcome&)> done) {
   PEERLAB_CHECK_MSG(static_cast<bool>(done), "completion callback required");
   PEERLAB_CHECK_MSG(policy.initial_timeout > 0.0 && policy.backoff >= 1.0 &&
-                        policy.max_attempts >= 1,
+                        policy.max_attempts >= 1 && policy.jitter >= 0.0 &&
+                        policy.jitter < 1.0,
                     "degenerate per-request retry policy");
   const std::uint64_t seq = ++next_seq_;
   Pending p;
@@ -93,7 +116,14 @@ void ReliableChannel::transmit(std::uint64_t seq) {
     ++retransmissions_;
   }
   endpoint_.send(p.dst, request_type_, p.correlation, seq, p.arg);
-  p.timer = endpoint_.fabric().simulator().schedule(p.timeout,
+  Seconds wait = p.timeout;
+  if (p.policy.jitter > 0.0) {
+    const std::uint64_t salt = (endpoint_.node().value() << 16) ^
+                               (static_cast<std::uint64_t>(request_type_) << 8) ^
+                               static_cast<std::uint64_t>(response_type_);
+    wait *= jitter_factor(salt, seq, p.attempts, p.policy.jitter);
+  }
+  p.timer = endpoint_.fabric().simulator().schedule(wait,
                                                     [this, seq] { on_timeout(seq); });
   p.timeout *= p.policy.backoff;
 }

@@ -25,6 +25,14 @@ struct RetryPolicy {
   Seconds initial_timeout = 45.0;
   double backoff = 1.5;
   int max_attempts = 5;
+  /// Full-jitter fraction in [0, 1): each armed wait is scaled by a
+  /// deterministic factor in [1 - jitter, 1 + jitter) — a stateless
+  /// hash of (channel, seq, attempt), so it draws nothing from any
+  /// shared RNG stream and a seeded run replays bit-for-bit. Spreads
+  /// otherwise-synchronized retries from many clients so they don't
+  /// stampede a recovering broker. 0 (the default) leaves the timer
+  /// arithmetic untouched.
+  double jitter = 0.0;
 };
 
 struct RequestOutcome {

@@ -1,0 +1,211 @@
+// BehaviorPlan/BehaviorEngine: pure-data builders, the seeded
+// random-adversaries sampler, and scripted misbehaviour actuating
+// end-to-end through a live PlanetLab deployment (refusals, throttles,
+// accept-then-abort, fabricated praise).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "peerlab/adversary/behavior_plan.hpp"
+#include "peerlab/common/check.hpp"
+#include "peerlab/planetlab/deployment.hpp"
+
+namespace peerlab::adversary {
+namespace {
+
+TEST(BehaviorPlan, BuildersFillTheSpecs) {
+  BehaviorPlan plan;
+  plan.free_rider(PeerId(2), 10.0, 0.5);
+  plan.throttler(PeerId(3), 7.5);
+  plan.flapper(PeerId(4), 3);
+  plan.under_reporter(PeerId(5), 0.0);
+  plan.stats_liar(PeerId(6), 4, 500.0);
+  ASSERT_EQ(plan.size(), 5u);
+  EXPECT_FALSE(plan.empty());
+
+  const auto& s = plan.specs();
+  EXPECT_EQ(s[0].kind, BehaviorKind::kFreeRider);
+  EXPECT_DOUBLE_EQ(s[0].from, 10.0);
+  EXPECT_DOUBLE_EQ(s[0].intensity, 0.5);
+  EXPECT_EQ(s[1].kind, BehaviorKind::kFreeRider);
+  EXPECT_DOUBLE_EQ(s[1].throttle_delay, 7.5);
+  EXPECT_EQ(s[2].kind, BehaviorKind::kFlapper);
+  EXPECT_EQ(s[2].accept_parts, 3);
+  EXPECT_EQ(s[3].kind, BehaviorKind::kUnderReporter);
+  EXPECT_DOUBLE_EQ(s[3].load_factor, 0.0);
+  EXPECT_EQ(s[4].kind, BehaviorKind::kStatsLiar);
+  EXPECT_EQ(s[4].praise_per_heartbeat, 4);
+  EXPECT_DOUBLE_EQ(s[4].fabricated_rate, 500.0);
+}
+
+TEST(BehaviorPlan, MergeComposesPopulations) {
+  BehaviorPlan leeches;
+  leeches.free_rider(PeerId(2));
+  BehaviorPlan liars;
+  liars.stats_liar(PeerId(2));
+  liars.stats_liar(PeerId(3));
+  leeches.merge(liars);
+  EXPECT_EQ(leeches.size(), 3u);  // compound adversaries are two specs
+}
+
+TEST(BehaviorPlan, RandomAdversariesAreSeededDistinctAndSized) {
+  std::vector<PeerId> peers;
+  for (std::uint64_t i = 1; i <= 10; ++i) peers.emplace_back(i);
+
+  sim::Rng a(42);
+  sim::Rng b(42);
+  const auto plan = BehaviorPlan::random_adversaries(a, peers, 0.3, BehaviorKind::kFreeRider);
+  const auto replay =
+      BehaviorPlan::random_adversaries(b, peers, 0.3, BehaviorKind::kFreeRider);
+  ASSERT_EQ(plan.size(), 3u);  // floor(0.3 * 10 + 0.5)
+  ASSERT_EQ(replay.size(), 3u);
+
+  std::vector<PeerId> chosen;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const auto& spec = plan.specs()[i];
+    EXPECT_EQ(spec.kind, BehaviorKind::kFreeRider);
+    EXPECT_EQ(spec.peer, replay.specs()[i].peer);  // same seed, same sample
+    EXPECT_NE(std::find(peers.begin(), peers.end(), spec.peer), peers.end());
+    chosen.push_back(spec.peer);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  EXPECT_EQ(std::adjacent_find(chosen.begin(), chosen.end()), chosen.end());  // distinct
+
+  sim::Rng c(42);
+  EXPECT_TRUE(
+      BehaviorPlan::random_adversaries(c, peers, 0.0, BehaviorKind::kStatsLiar).empty());
+  sim::Rng d(42);
+  EXPECT_EQ(
+      BehaviorPlan::random_adversaries(d, peers, 1.0, BehaviorKind::kStatsLiar).size(), 10u);
+}
+
+// ---- engine end-to-end against a live deployment ----
+
+struct ScriptedOutcome {
+  transport::TransferResult result;
+  Seconds elapsed = 0.0;
+  std::uint64_t activations = 0;
+  std::uint64_t refusals = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t throttles = 0;
+};
+
+/// Boots the paper testbed with `script` armed against SC1, then sends
+/// it one 2 MB / 2-part file from the control peer.
+ScriptedOutcome run_scripted(std::uint64_t seed,
+                             const std::function<void(BehaviorPlan&, PeerId)>& script) {
+  sim::Simulator sim(seed);
+  planetlab::Deployment dep(sim);
+  BehaviorPlan plan;
+  const PeerId target = dep.sc_peer(1);
+  script(plan, target);
+  dep.install_adversaries(std::move(plan));
+  dep.boot();
+
+  transport::FileTransferConfig cfg;
+  cfg.file_size = megabytes(2.0);
+  cfg.parts = 2;
+  cfg.petition_retry.initial_timeout = 15.0;
+  cfg.petition_retry.max_attempts = 3;
+  // Patient enough for the slowest honest PlanetLab profile, tight
+  // enough that a stonewalling flapper fails in seconds, not hours.
+  cfg.confirm_timeout = 30.0;
+  cfg.max_confirm_queries = 4;
+  cfg.max_part_attempts = 3;
+
+  ScriptedOutcome out;
+  const Seconds start = sim.now();
+  bool done = false;
+  dep.control().files().send_file(target, cfg, [&](const transport::TransferResult& r) {
+    out.result = r;
+    out.elapsed = sim.now() - start;
+    done = true;
+  });
+  sim.run();
+  PEERLAB_CHECK_MSG(done, "transfer never resolved");
+  const auto* engine = dep.adversaries();
+  PEERLAB_CHECK_MSG(engine != nullptr, "engine not installed");
+  out.activations = engine->activations();
+  out.refusals = engine->refusals_decided();
+  out.aborts = engine->aborts_decided();
+  out.throttles = engine->throttles_decided();
+  return out;
+}
+
+TEST(BehaviorEngine, FreeRiderStonewallsThePetition) {
+  const auto out =
+      run_scripted(7, [](BehaviorPlan& plan, PeerId target) { plan.free_rider(target); });
+  EXPECT_FALSE(out.result.complete);
+  EXPECT_STREQ(out.result.failure, "petition unanswered");
+  EXPECT_EQ(out.activations, 1u);
+  EXPECT_GE(out.refusals, 1u);
+  EXPECT_EQ(out.aborts, 0u);
+}
+
+TEST(BehaviorEngine, ThrottlerCompletesLateButCompletes) {
+  const auto honest = run_scripted(7, [](BehaviorPlan&, PeerId) {});
+  ASSERT_TRUE(honest.result.complete);
+  const auto throttled = run_scripted(
+      7, [](BehaviorPlan& plan, PeerId target) { plan.throttler(target, 4.0); });
+  ASSERT_TRUE(throttled.result.complete);
+  EXPECT_GE(throttled.throttles, 1u);
+  EXPECT_GT(throttled.elapsed, honest.elapsed + 4.0);  // every confirm limps
+}
+
+TEST(BehaviorEngine, FlapperAcceptsThenGoesSilent) {
+  const auto out = run_scripted(
+      7, [](BehaviorPlan& plan, PeerId target) { plan.flapper(target, /*accept_parts=*/1); });
+  EXPECT_FALSE(out.result.complete);
+  EXPECT_GE(out.aborts, 1u);
+  EXPECT_EQ(out.refusals, 0u);  // the petition itself was accepted
+}
+
+TEST(BehaviorEngine, ScriptedRunsReplayBitForBitPerSeed) {
+  const auto a =
+      run_scripted(11, [](BehaviorPlan& plan, PeerId target) { plan.free_rider(target); });
+  const auto b =
+      run_scripted(11, [](BehaviorPlan& plan, PeerId target) { plan.free_rider(target); });
+  EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.refusals, b.refusals);
+  EXPECT_EQ(a.activations, b.activations);
+}
+
+TEST(BehaviorEngine, StatsLiarPollutesAnUndefendedBrokersHistory) {
+  sim::Simulator sim(13);
+  planetlab::Deployment dep(sim);  // defenses off by default
+  BehaviorPlan plan;
+  const PeerId liar = dep.sc_peer(2);
+  plan.stats_liar(liar, /*praise=*/2, /*rate=*/800.0);
+  dep.install_adversaries(std::move(plan));
+  dep.boot();
+  sim.run_until(sim.now() + 120.0);  // a few heartbeats of fabricated praise
+  // Without defenses the broker swallows the fake records wholesale:
+  // the liar now owns a glowing transfer history it never earned.
+  EXPECT_FALSE(dep.broker().history().transfers_for(liar).empty());
+  ASSERT_TRUE(dep.broker().history().mean_transfer_rate(liar).has_value());
+  EXPECT_GT(*dep.broker().history().mean_transfer_rate(liar), 100.0);
+  EXPECT_EQ(dep.broker().reputation().lies_recorded(), 0u);
+}
+
+TEST(BehaviorEngine, UnderReporterActivatesWithoutBreakingRegistration) {
+  sim::Simulator sim(17);
+  planetlab::Deployment dep(sim);
+  BehaviorPlan plan;
+  const PeerId shirker = dep.sc_peer(3);
+  plan.under_reporter(shirker, /*load_factor=*/0.0);
+  dep.install_adversaries(std::move(plan));
+  dep.boot();
+  EXPECT_EQ(dep.adversaries()->activations(), 1u);
+  // Misreporting load must not cost the peer its liveness: it still
+  // heartbeats, still registers, and always looks idle.
+  ASSERT_NE(dep.broker().client(shirker), nullptr);
+  EXPECT_TRUE(dep.broker().online(shirker));
+  EXPECT_TRUE(dep.broker().client(shirker)->idle);
+}
+
+}  // namespace
+}  // namespace peerlab::adversary

@@ -1,8 +1,9 @@
 // docs/METRICS.md is the operator-facing instrument catalogue; this
 // test keeps it honest. It builds a fully-instrumented deployment
 // (network + flow scheduler with wall profiling, primary + standby
-// brokers with the replica set, clients, and an installed fault
-// injector), dumps the registry inventory with describe(), and diffs
+// brokers with the replica set, clients, an installed fault injector
+// and an installed adversary engine), dumps the registry inventory
+// with describe(), and diffs
 // it against the doc's tables in both directions: an instrument added
 // to the code must be documented, and a documented instrument must
 // still exist with the same kind and unit.
@@ -67,6 +68,9 @@ TEST(MetricsDoc, CatalogueMatchesRegisteredInstruments) {
   net::FaultPlan plan;  // a late no-op event: registers the faults.* counters
   plan.crash(1e9, dep.client_nodes().front(), 1.0);
   dep.install_faults(std::move(plan));
+  adversary::BehaviorPlan hostile;  // likewise for the adversary.* counters
+  hostile.free_rider(dep.sc_peer(1), /*from=*/1e9);
+  dep.install_adversaries(std::move(hostile));
 
   std::set<std::string> registered;
   {

@@ -1,0 +1,128 @@
+// RetryPolicy jitter: full-jitter backoff desynchronizes retry storms
+// without giving up determinism — the factor is a pure hash of
+// (endpoint, channel, seq, attempt), so a seeded run replays exactly
+// and jitter 0 keeps the historical schedule bit-for-bit.
+
+#include "peerlab/transport/reliable_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace peerlab::transport {
+namespace {
+
+struct World {
+  explicit World(std::uint64_t seed = 1) : sim(seed) {
+    net::Topology topo(sim.rng().fork(1));
+    for (const char* name : {"client", "server", "second"}) {
+      net::NodeProfile p;
+      p.hostname = name;
+      p.control_delay_mean = 0.05;
+      p.control_delay_sigma = 0.0;
+      p.loss_per_megabyte = 0.0;
+      topo.add_node(p);
+    }
+    network.emplace(sim, std::move(topo), net::NetworkConfig{});
+    fabric.emplace(*network);
+  }
+  sim::Simulator sim;
+  std::optional<net::Network> network;
+  std::optional<TransportFabric> fabric;
+};
+
+RetryPolicy jittered_retry(double jitter) {
+  RetryPolicy p;
+  p.initial_timeout = 1.0;
+  p.backoff = 1.5;
+  p.max_attempts = 4;
+  p.jitter = jitter;
+  return p;
+}
+
+/// Exhausts all four attempts against a dead node and reports the
+/// total elapsed time (the sum of the four, possibly jittered, waits).
+Seconds exhaust_retries(World& w, NodeId from, double jitter) {
+  Endpoint& client = w.fabric->attach(from);
+  ReliableChannel req(client, MessageType::kChat, MessageType::kChatAck,
+                      jittered_retry(jitter));
+  std::optional<RequestOutcome> outcome;
+  req.request(NodeId(2), 1, 0, [&](const RequestOutcome& o) { outcome = o; });
+  w.sim.run();
+  EXPECT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_EQ(outcome->attempts, 4);
+  return outcome->elapsed;
+}
+
+TEST(RetryJitter, ZeroJitterKeepsTheExactHistoricalSchedule) {
+  World w;
+  // 1 + 1.5 + 2.25 + 3.375: the schedule the whole repo calibrates to.
+  EXPECT_NEAR(exhaust_retries(w, NodeId(1), 0.0), 8.125, 1e-9);
+}
+
+TEST(RetryJitter, JitteredWaitsStayWithinTheConfiguredBand) {
+  World w;
+  const Seconds elapsed = exhaust_retries(w, NodeId(1), 0.25);
+  // Every wait scales by a factor in [0.75, 1.25).
+  EXPECT_GE(elapsed, 0.75 * 8.125);
+  EXPECT_LT(elapsed, 1.25 * 8.125);
+}
+
+TEST(RetryJitter, JitterIsDeterministicPerSeed) {
+  World a(3);
+  World b(3);
+  EXPECT_DOUBLE_EQ(exhaust_retries(a, NodeId(1), 0.25),
+                   exhaust_retries(b, NodeId(1), 0.25));
+}
+
+TEST(RetryJitter, DifferentEndpointsDesynchronize) {
+  // Two clients hammering the same dead server with identical policies:
+  // without jitter they retry in lock-step; with jitter the per-node
+  // salt spreads their schedules apart.
+  World lockstep;
+  const Seconds t1 = exhaust_retries(lockstep, NodeId(1), 0.0);
+  World lockstep2;
+  const Seconds t2 = exhaust_retries(lockstep2, NodeId(3), 0.0);
+  EXPECT_DOUBLE_EQ(t1, t2);
+
+  World spread;
+  const Seconds j1 = exhaust_retries(spread, NodeId(1), 0.25);
+  World spread2;
+  const Seconds j2 = exhaust_retries(spread2, NodeId(3), 0.25);
+  EXPECT_NE(j1, j2);
+}
+
+TEST(RetryJitter, JitteredRequestsStillCompleteAgainstALiveServer) {
+  World w;
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  Endpoint& server = w.fabric->attach(NodeId(2));
+  ReliableChannel req(client, MessageType::kChat, MessageType::kChatAck,
+                      jittered_retry(0.25));
+  ReliableChannel resp(server, MessageType::kChat, MessageType::kChatAck,
+                       jittered_retry(0.25));
+  resp.serve([&](const Message& m) { server.reply(m, MessageType::kChatAck, m.arg); });
+  int completions = 0;
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    req.request(NodeId(2), i, 0, [&](const RequestOutcome& o) {
+      EXPECT_TRUE(o.ok);
+      ++completions;
+    });
+  }
+  w.sim.run();
+  EXPECT_EQ(completions, 10);
+}
+
+TEST(RetryJitter, RejectsOutOfRangeJitter) {
+  World w;
+  Endpoint& client = w.fabric->attach(NodeId(1));
+  RetryPolicy bad = jittered_retry(1.0);  // factor could hit 0: never legal
+  EXPECT_THROW(ReliableChannel(client, MessageType::kChat, MessageType::kChatAck, bad),
+               InvariantError);
+  bad = jittered_retry(-0.1);
+  EXPECT_THROW(ReliableChannel(client, MessageType::kChat, MessageType::kChatAck, bad),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace peerlab::transport
