@@ -223,11 +223,21 @@ def main() -> int:
 
     # A baseline metric the candidate run never produced is a silently
     # deleted benchmark (renamed binary, filtered-out suite), which would
-    # otherwise read as "no regression" forever.
+    # otherwise read as "no regression" forever. Collect the FULL list —
+    # both distilled headline metrics and individual benchmark names from
+    # the snapshot's "benchmarks" map — before failing, so one run shows
+    # everything that vanished instead of revealing it one fix at a time.
     missing = sorted(set((previous or {}).get("metrics", {})) - set(metrics))
-    if missing:
-        print(f"FAIL: baseline metrics missing from candidate run: {', '.join(missing)}",
-              file=sys.stderr)
+    current_names = {r["name"] for r in records}
+    missing_benchmarks = sorted(set((previous or {}).get("benchmarks", {})) - current_names)
+    if missing or missing_benchmarks:
+        for metric in missing:
+            print(f"MISSING: headline metric '{metric}' absent from candidate run",
+                  file=sys.stderr)
+        for name in missing_benchmarks:
+            print(f"MISSING: benchmark '{name}' absent from candidate run", file=sys.stderr)
+        print(f"FAIL: {len(missing) + len(missing_benchmarks)} baseline entries missing "
+              f"from candidate run", file=sys.stderr)
 
     if args.emit:
         number = snapshots[-1][0] + 1 if snapshots else 0
@@ -247,7 +257,7 @@ def main() -> int:
         print(f"FAIL: regression beyond {args.threshold:.0%} in: {', '.join(failed)}",
               file=sys.stderr)
         return 1
-    if missing:
+    if missing or missing_benchmarks:
         return 2
     return 0
 

@@ -16,7 +16,7 @@ ctest --test-dir build -j "$(nproc)" --timeout 180 --output-on-failure
 cmake -B build-asan -S . -DPEERLAB_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$(nproc)" \
   --target test_net test_overlay test_adversary test_property test_flow_differential \
-  bench_churn bench_adversarial
+  test_selection_differential bench_churn bench_adversarial
 build-asan/tests/test_net \
   --gtest_filter='FaultPlan.*:FaultInjector.*:Network.*:FlowScheduler.*'
 build-asan/tests/test_overlay --gtest_filter='Failover.*:Distribution.*'
@@ -27,7 +27,10 @@ build-asan/tests/test_adversary
 # The whole property-labelled tier runs under the sanitizers: the
 # randomized differential fuzz is where lifetime bugs in the
 # incremental re-levelling (stale slots, reentrant aborts) would hide,
-# and the adversarial-distribution property drives leech/flapper/churn
+# the selection-equivalence fuzz drives the candidate index's lazy
+# tree/heap maintenance through churn and adversarial stats deltas
+# (stale slot pointers and heap stamps are exactly ASan's prey), and
+# the adversarial-distribution property drives leech/flapper/churn
 # mixes through the failover machinery with defenses off and on.
 ctest --test-dir build-asan -L property -j "$(nproc)" --timeout 600 --output-on-failure
 build-asan/bench/bench_churn --reps 1

@@ -41,13 +41,13 @@ void BlindModel::rank_into(std::span<const PeerSnapshot> candidates,
     while (group_end != out.end() && penalty_of(*group_end) == best) ++group_end;
     if (mode_ == Mode::kRoundRobin) {
       const auto group = static_cast<std::size_t>(group_end - out.begin());
-      const std::size_t start = static_cast<std::size_t>(next_++ % group);
+      const std::size_t start = take_turn(group);
       std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(start), group_end);
     }
     return;
   }
   if (mode_ == Mode::kRoundRobin) {
-    const std::size_t start = static_cast<std::size_t>(next_++ % out.size());
+    const std::size_t start = take_turn(out.size());
     std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
   }
 }

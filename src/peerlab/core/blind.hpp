@@ -24,6 +24,15 @@ class BlindModel final : public SelectionModel {
 
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
 
+  /// Advances the round-robin cursor exactly as one rank_into() call
+  /// over a `group`-sized eligible list would, returning the rotation
+  /// start. The broker's candidate index uses this so the fast path
+  /// and the scan share one cursor — interleaving them stays
+  /// bit-identical to an all-scan run.
+  [[nodiscard]] std::size_t take_turn(std::size_t group) noexcept {
+    return static_cast<std::size_t>(next_++ % group);
+  }
+
  private:
   Mode mode_;
   std::uint64_t next_ = 0;  // round-robin cursor

@@ -38,6 +38,14 @@ class HybridModel final : public SelectionModel {
 
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
 
+  /// The blended term models — read-only; the candidate index calls
+  /// their estimators so its fast path reproduces this model's exact
+  /// arithmetic.
+  [[nodiscard]] const EconomicSchedulingModel& economic_term() const noexcept {
+    return economic_;
+  }
+  [[nodiscard]] const DataEvaluatorModel& evaluator_term() const noexcept { return evaluator_; }
+
  private:
   double alpha_;
   EconomicSchedulingModel economic_;

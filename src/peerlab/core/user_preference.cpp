@@ -61,6 +61,15 @@ UserPreferenceModel UserPreferenceModel::quick_peer(const stats::HistoryStore& h
   return UserPreferenceModel(std::move(order));
 }
 
+double UserPreferenceModel::base_cost(PeerId peer) const {
+  const auto it =
+      std::lower_bound(position_.begin(), position_.end(), peer,
+                       [](const auto& entry, PeerId p) { return entry.first < p; });
+  return it != position_.end() && it->first == peer
+             ? static_cast<double>(it->second)
+             : static_cast<double>(preference_.size()) + static_cast<double>(peer.value());
+}
+
 void UserPreferenceModel::rank_into(std::span<const PeerSnapshot> candidates,
                                     const SelectionContext& context,
                                     std::vector<PeerId>& out) {
@@ -70,13 +79,7 @@ void UserPreferenceModel::rank_into(std::span<const PeerSnapshot> candidates,
   const bool has_excludes = !context.exclude.empty();
   for (const auto& c : candidates) {
     if (!c.online || (has_excludes && context.excluded(c.peer))) continue;
-    const auto it = std::lower_bound(
-        position_.begin(), position_.end(), c.peer,
-        [](const auto& entry, PeerId peer) { return entry.first < peer; });
-    double cost = it != position_.end() && it->first == c.peer
-                      ? static_cast<double>(it->second)
-                      : static_cast<double>(preference_.size()) +
-                            static_cast<double>(c.peer.value());
+    double cost = base_cost(c.peer);
     // Costs here are rank indices, so the reputation term is scaled by
     // the candidate count: a fully distrusted peer (reputation 0) at
     // weight 1 drops below every trusted candidate. Exact zero at

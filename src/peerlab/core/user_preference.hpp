@@ -36,6 +36,12 @@ class UserPreferenceModel final : public SelectionModel {
     return preference_;
   }
 
+  /// The static per-peer cost before the reputation term: the frozen
+  /// preference rank, or `preference_order().size() + peer.value()`
+  /// for unlisted peers. Exposed so the candidate index can key its
+  /// order-statistics tree with the exact ranking expression.
+  [[nodiscard]] double base_cost(PeerId peer) const;
+
  private:
   std::vector<PeerId> preference_;
   /// Peer → preference rank, sorted by peer for binary search. Built

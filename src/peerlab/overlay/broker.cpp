@@ -21,9 +21,21 @@ BrokerPeer::BrokerPeer(transport::TransportFabric& fabric, NodeId node,
       history_(config.history_capacity),
       reputation_(config.reputation),
       model_(std::make_unique<core::BlindModel>()),
+      index_(core::CandidateIndex::Config{config.heartbeat_interval,
+                                          config.offline_after_missed,
+                                          /*max_inline_excludes=*/64}),
       select_channel_(endpoint_, transport::MessageType::kSelectRequest,
                       transport::MessageType::kSelectResponse) {
   PEERLAB_CHECK_MSG(config_.heartbeat_interval > 0.0, "heartbeat interval must be positive");
+  // The index only serves undefended rankings: reputation penalties and
+  // quarantine excludes re-order candidates petition by petition, so a
+  // defended broker keeps the plain scan (and pays zero index upkeep).
+  index_active_ = config_.selection_index && !config_.reputation.enabled;
+  if (index_active_) {
+    index_.set_history(&history_);
+    history_.set_observer([this](PeerId peer) { index_.mark_dirty(peer); });
+    index_.bind_model(model_.get());
+  }
   directories_.rendezvous.enroll(node_, rendezvous_);
   directories_.groups.enroll(node_, groups_);
   discovery_.serve_rendezvous_queries();
@@ -47,6 +59,9 @@ stats::PeerStatistics& BrokerPeer::statistics_for(PeerId peer) {
   if (it == statistics_.end()) {
     it = statistics_.emplace(peer, stats::PeerStatistics(config_.stats_window)).first;
   }
+  // Every statistics mutation funnels through here; telling the index
+  // keeps its cached evaluator keys coherent (O(1), re-key is lazy).
+  if (index_active_) index_.note_statistics(peer, &it->second);
   return it->second;
 }
 
@@ -77,6 +92,7 @@ bool BrokerPeer::online(PeerId peer) const {
 void BrokerPeer::set_selection_model(std::unique_ptr<core::SelectionModel> model) {
   PEERLAB_CHECK_MSG(model != nullptr, "selection model must not be null");
   model_ = std::move(model);
+  if (index_active_) index_.bind_model(model_.get());
 }
 
 std::vector<core::PeerSnapshot> BrokerPeer::snapshot_group() const {
@@ -108,6 +124,9 @@ std::vector<core::PeerSnapshot> BrokerPeer::snapshot_group() const {
 
 PeerId BrokerPeer::select_peer(const core::SelectionContext& context) {
   const obs::WallProfiler::Span span(m_.profiler, m_.rank_site);
+  if (index_active_ && index_.try_select(context, sim().now(), 1, index_out_)) {
+    return index_out_.empty() ? PeerId() : index_out_.front();
+  }
   const auto snapshots = snapshot_group();
   if (!config_.reputation.enabled) return model_->select(snapshots, context);
   core::SelectionContext defended = context;
@@ -127,6 +146,9 @@ PeerId BrokerPeer::select_peer(const core::SelectionContext& context) {
 std::vector<PeerId> BrokerPeer::select_peers(const core::SelectionContext& context,
                                              std::size_t k) {
   const obs::WallProfiler::Span span(m_.profiler, m_.rank_site);
+  if (index_active_ && index_.try_select(context, sim().now(), k, index_out_)) {
+    return index_out_;
+  }
   const auto snapshots = snapshot_group();
   if (!config_.reputation.enabled) return model_->select_k(snapshots, context, k);
   core::SelectionContext defended = context;
@@ -149,6 +171,7 @@ void BrokerPeer::attach_metrics(obs::MetricRegistry& registry, obs::WallProfiler
   m_.profiler = profiler;
   m_.rank_site = profiler != nullptr ? &profiler->site("selection.rank") : nullptr;
   reputation_.attach_metrics(registry);
+  index_.attach_metrics(registry);
 }
 
 void BrokerPeer::apply_stats(const StatsDelta& delta) { apply_stats(delta, PeerId()); }
@@ -217,6 +240,7 @@ void BrokerPeer::apply_replicated(const StatsDelta& delta) {
 
 void BrokerPeer::begin_session() {
   for (auto& [peer, s] : statistics_) s.begin_session();
+  if (index_active_) index_.mark_all_dirty();
 }
 
 BrokerPeer::ReplicatedState BrokerPeer::export_state() const {
@@ -231,6 +255,26 @@ void BrokerPeer::adopt_state(ReplicatedState state) {
   clients_ = std::move(state.clients);
   statistics_ = std::move(state.statistics);
   history_ = std::move(state.history);
+  // HistoryStore assignment moves data only — this broker's mutation
+  // observer stays installed — but every cached statistics pointer and
+  // key is now stale: rebuild the index from the adopted registry.
+  if (index_active_) rebuild_index();
+}
+
+void BrokerPeer::rebuild_index() {
+  index_.clear();
+  index_.set_history(&history_);
+  history_.set_observer([this](PeerId peer) { index_.mark_dirty(peer); });
+  index_.bind_model(model_.get());
+  const auto& topology = endpoint_.fabric().network().topology();
+  for (const auto& [peer, record] : clients_) {
+    const auto& profile = topology.node(record.node).profile();
+    const auto stats_it = statistics_.find(peer);
+    index_.upsert_peer(peer, record.node, profile.hostname, profile.cpu_ghz,
+                       profile.price_per_cpu_second,
+                       stats_it == statistics_.end() ? nullptr : &stats_it->second,
+                       record.last_seen, record.idle, record.backlog, record.pending_transfers);
+  }
 }
 
 void BrokerPeer::on_heartbeat(const transport::Message& m) {
@@ -250,6 +294,15 @@ void BrokerPeer::on_heartbeat(const transport::Message& m) {
   record.backlog = static_cast<int>(m.seq);
   record.pending_transfers = static_cast<int>(m.arg / 2);
   record.idle = (m.arg % 2) == 1;
+  if (index_active_) {
+    const auto& profile =
+        endpoint_.fabric().network().topology().node(record.node).profile();
+    const auto stats_it = statistics_.find(peer);
+    index_.upsert_peer(peer, record.node, profile.hostname, profile.cpu_ghz,
+                       profile.price_per_cpu_second,
+                       stats_it == statistics_.end() ? nullptr : &stats_it->second,
+                       record.last_seen, record.idle, record.backlog, record.pending_transfers);
+  }
 }
 
 void BrokerPeer::on_stats_report(const transport::Message& m) {

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "peerlab/core/blind.hpp"
+#include "peerlab/core/candidate_index.hpp"
 #include "peerlab/core/selection_model.hpp"
 #include "peerlab/obs/metrics.hpp"
 #include "peerlab/obs/profile.hpp"
@@ -34,6 +35,11 @@ struct BrokerConfig {
   /// Observed-outcome reputation defenses (off by default; when off the
   /// broker behaves bit-identically to a build without the subsystem).
   ReputationConfig reputation;
+  /// O(log n) top-k candidate indexes for the selection fast path
+  /// (DESIGN.md §15). Selections stay bit-identical to the scan; the
+  /// index deactivates itself while reputation defenses are enabled
+  /// (penalties re-order rankings petition by petition).
+  bool selection_index = true;
 };
 
 class BrokerPeer {
@@ -83,6 +89,11 @@ class BrokerPeer {
 
   /// Materializes the current view of every registered client.
   [[nodiscard]] std::vector<core::PeerSnapshot> snapshot_group() const;
+
+  /// The selection fast-path index (counters are live even when the
+  /// index is inactive; they just never move).
+  [[nodiscard]] const core::CandidateIndex& candidate_index() const noexcept { return index_; }
+  [[nodiscard]] bool index_active() const noexcept { return index_active_; }
 
   /// Local (zero-latency) selection; the wire path goes through the
   /// kSelectRequest handler.
@@ -167,6 +178,8 @@ class BrokerPeer {
 
   void on_heartbeat(const transport::Message& m);
   void on_stats_report(const transport::Message& m);
+  /// Re-registers every client with the index (adopted state).
+  void rebuild_index();
   void serve_selection(const transport::Message& m);
   void forward_query(const jxta::AdvertisementQuery& query, std::size_t peer_index,
                      std::shared_ptr<std::vector<jxta::Advertisement>> accumulated,
@@ -186,6 +199,9 @@ class BrokerPeer {
   stats::HistoryStore history_;
   ReputationBook reputation_;
   std::unique_ptr<core::SelectionModel> model_;
+  core::CandidateIndex index_;
+  bool index_active_ = false;
+  std::vector<PeerId> index_out_;
   transport::ReliableChannel select_channel_;
   DeltaObserver delta_observer_;
   std::map<PeerId, ClientRecord> clients_;

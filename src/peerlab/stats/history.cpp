@@ -1,6 +1,7 @@
 #include "peerlab/stats/history.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "peerlab/common/check.hpp"
 
@@ -14,6 +15,34 @@ HistoryStore::HistoryStore(std::size_t per_peer_capacity) : capacity_(per_peer_c
   PEERLAB_CHECK_MSG(capacity_ > 0, "history needs capacity");
 }
 
+HistoryStore::HistoryStore(const HistoryStore& other)
+    : capacity_(other.capacity_),
+      tasks_(other.tasks_),
+      transfers_(other.transfers_),
+      responses_(other.responses_) {}
+
+HistoryStore& HistoryStore::operator=(const HistoryStore& other) {
+  capacity_ = other.capacity_;
+  tasks_ = other.tasks_;
+  transfers_ = other.transfers_;
+  responses_ = other.responses_;
+  return *this;  // observer_ untouched: bound to this instance
+}
+
+HistoryStore::HistoryStore(HistoryStore&& other) noexcept
+    : capacity_(other.capacity_),
+      tasks_(std::move(other.tasks_)),
+      transfers_(std::move(other.transfers_)),
+      responses_(std::move(other.responses_)) {}
+
+HistoryStore& HistoryStore::operator=(HistoryStore&& other) noexcept {
+  capacity_ = other.capacity_;
+  tasks_ = std::move(other.tasks_);
+  transfers_ = std::move(other.transfers_);
+  responses_ = std::move(other.responses_);
+  return *this;  // observer_ untouched: bound to this instance
+}
+
 void HistoryStore::record_task(const TaskRecord& record) {
   PEERLAB_CHECK_MSG(record.peer.valid(), "task record needs a peer");
   PEERLAB_CHECK_MSG(record.finished >= record.started && record.started >= record.submitted,
@@ -21,6 +50,7 @@ void HistoryStore::record_task(const TaskRecord& record) {
   auto& records = tasks_[record.peer];
   records.push_back(record);
   bound(records);
+  notify(record.peer);
 }
 
 void HistoryStore::record_transfer(const TransferRecord& record) {
@@ -28,6 +58,7 @@ void HistoryStore::record_transfer(const TransferRecord& record) {
   auto& records = transfers_[record.peer];
   records.push_back(record);
   bound(records);
+  notify(record.peer);
 }
 
 void HistoryStore::record_response_time(PeerId peer, Seconds elapsed) {
@@ -35,6 +66,7 @@ void HistoryStore::record_response_time(PeerId peer, Seconds elapsed) {
   auto& records = responses_[peer];
   records.push_back(elapsed);
   bound(records);
+  notify(peer);
 }
 
 namespace {

@@ -7,6 +7,7 @@
 // which peers were quick in past submissions.
 
 #include <deque>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -43,7 +44,24 @@ struct TransferRecord {
 class HistoryStore {
  public:
   /// Bounds the per-peer record deques (oldest evicted first).
-  explicit HistoryStore(std::size_t per_peer_capacity = 256);
+  HistoryStore() : HistoryStore(256) {}
+  explicit HistoryStore(std::size_t per_peer_capacity);
+
+  // Copies and moves transfer *data only*: the mutation observer is
+  // bound to the store instance, never to its contents. A replicated
+  // snapshot copy must not ship the primary's observer to a standby
+  // (it would dangle once the primary dies), and adopting replicated
+  // state must not silently disconnect the adopter's own index hook.
+  HistoryStore(const HistoryStore& other);
+  HistoryStore& operator=(const HistoryStore& other);
+  HistoryStore(HistoryStore&& other) noexcept;
+  HistoryStore& operator=(HistoryStore&& other) noexcept;
+
+  /// Called after every record_* mutation with the peer touched. One
+  /// observer at most (the owning broker's candidate index); pass an
+  /// empty function to detach.
+  using MutationObserver = std::function<void(PeerId)>;
+  void set_observer(MutationObserver observer) { observer_ = std::move(observer); }
 
   void record_task(const TaskRecord& record);
   void record_transfer(const TransferRecord& record);
@@ -82,10 +100,15 @@ class HistoryStore {
     while (records.size() > capacity_) records.pop_front();
   }
 
+  void notify(PeerId peer) const {
+    if (observer_) observer_(peer);
+  }
+
   std::size_t capacity_;
   std::unordered_map<PeerId, std::deque<TaskRecord>> tasks_;
   std::unordered_map<PeerId, std::deque<TransferRecord>> transfers_;
   std::unordered_map<PeerId, std::deque<Seconds>> responses_;
+  MutationObserver observer_;
 };
 
 }  // namespace peerlab::stats

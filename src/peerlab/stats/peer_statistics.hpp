@@ -87,6 +87,9 @@ class PeerStatistics {
   [[nodiscard]] const RatioCounter& tasks_exec_total() const noexcept { return exec_total_; }
   [[nodiscard]] const RatioCounter& files_total() const noexcept { return file_total_; }
   [[nodiscard]] int pending_transfers() const noexcept { return pending_transfers_; }
+  /// The sliding message-success window — read-only; the candidate
+  /// index uses oldest_event()/span() to schedule cached-cost expiry.
+  [[nodiscard]] const OutcomeWindow& message_window() const noexcept { return msg_window_; }
 
  private:
   RatioCounter msg_session_, msg_total_;

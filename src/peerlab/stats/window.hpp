@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 
 #include "peerlab/common/units.hpp"
 
@@ -23,6 +24,14 @@ class OutcomeWindow {
 
   [[nodiscard]] std::size_t count(Seconds now) const;
   [[nodiscard]] Seconds span() const noexcept { return span_; }
+
+  /// Timestamp of the oldest retained event, without evicting. Lets a
+  /// caller schedule the next moment percent() can change value (the
+  /// broker's candidate index arms its expiry heap with front + span).
+  [[nodiscard]] std::optional<Seconds> oldest_event() const {
+    if (events_.empty()) return std::nullopt;
+    return events_.front().first;
+  }
 
  private:
   void evict(Seconds now) const;

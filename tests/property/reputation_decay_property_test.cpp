@@ -1,0 +1,166 @@
+// ReputationBook decay properties: between observations a score only
+// moves toward neutral (never past it, never away), a disabled
+// half-life freezes it, and quarantine is served in full — no
+// interleaved success, failure, or score query lifts it early, and
+// expiry re-enters at probation, not full trust.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "peerlab/overlay/reputation.hpp"
+#include "support/test_seed.hpp"
+
+namespace peerlab::overlay {
+namespace {
+
+constexpr int kScenarios = 100;
+
+stats::TransferRecord make_transfer(std::mt19937_64& rng, PeerId peer, Seconds now) {
+  stats::TransferRecord record;
+  record.transfer = TransferId(rng() % 512 + 1);
+  record.peer = peer;
+  record.size = static_cast<Bytes>(rng() % 4096 + 64) * 1024;
+  record.duration = 0.5 + 0.1 * static_cast<double>(rng() % 100);
+  record.petition_time = now;
+  record.ok = (rng() % 4) != 0;
+  return record;
+}
+
+void observe(ReputationBook& book, std::mt19937_64& rng, PeerId peer, Seconds now) {
+  switch (rng() % 4) {
+    case 0:
+      book.record_success(peer, now);
+      break;
+    case 1:
+      book.record_failure(peer, now);
+      break;
+    case 2:
+      book.record_lie(peer, now);
+      break;
+    default:
+      book.record_transfer(peer, make_transfer(rng, peer, now), now);
+      break;
+  }
+}
+
+// With quarantine disabled (threshold 0 can never trip: scores clamp
+// at 0 and the trigger is strict) the projection is pure decay: the
+// distance to neutral is non-increasing in time, the score stays in
+// [0, 1], and after many half-lives it converges to neutral.
+TEST(ReputationDecay, ScoreMovesMonotonicallyTowardNeutral) {
+  const std::uint64_t base = peerlab::testing::test_seed();
+  const double half_lives[] = {60.0, 600.0, 3600.0};
+  for (int scenario = 0; scenario < kScenarios; ++scenario) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(scenario) * 2654435761ull;
+    std::mt19937_64 rng(seed);
+    ReputationConfig config;
+    config.enabled = true;
+    config.quarantine_below = 0.0;
+    config.decay_half_life = half_lives[rng() % 3];
+    ReputationBook book(config);
+    const PeerId peer(rng() % 8 + 1);
+
+    Seconds now = 1.0;
+    for (int step = 0; step < 30; ++step) {
+      observe(book, rng, peer, now);
+      // Sample the projection at increasing offsets; the gap to
+      // neutral may only shrink.
+      Seconds t = now;
+      double last_gap = 1.0 - book.score(peer, t);
+      ASSERT_GE(last_gap, -1e-12) << "seed=" << seed << " step=" << step;
+      for (int sample = 0; sample < 8; ++sample) {
+        t += 1.0 + static_cast<double>(rng() % 2000);
+        const double score = book.score(peer, t);
+        ASSERT_GE(score, 0.0) << "seed=" << seed << " step=" << step;
+        ASSERT_LE(score, 1.0) << "seed=" << seed << " step=" << step;
+        const double gap = 1.0 - score;
+        ASSERT_LE(gap, last_gap + 1e-12)
+            << "seed=" << seed << " step=" << step << " t=" << t;
+        last_gap = gap;
+      }
+      ASSERT_NEAR(book.score(peer, now + 50.0 * config.decay_half_life), 1.0, 1e-9)
+          << "seed=" << seed << " step=" << step;
+      now += 1.0 + static_cast<double>(rng() % 600);
+    }
+  }
+}
+
+TEST(ReputationDecay, ZeroHalfLifeFreezesScoreBetweenObservations) {
+  const std::uint64_t seed = peerlab::testing::test_seed();
+  std::mt19937_64 rng(seed);
+  ReputationConfig config;
+  config.enabled = true;
+  config.quarantine_below = 0.0;
+  config.decay_half_life = 0.0;
+  ReputationBook book(config);
+  const PeerId peer(7);
+  Seconds now = 1.0;
+  for (int step = 0; step < 50; ++step) {
+    observe(book, rng, peer, now);
+    const double here = book.score(peer, now);
+    for (int sample = 0; sample < 4; ++sample) {
+      const Seconds t = now + 1.0 + static_cast<double>(rng() % 100000);
+      ASSERT_EQ(book.score(peer, t), here) << "seed=" << seed << " step=" << step;
+    }
+    now += 1.0 + static_cast<double>(rng() % 600);
+  }
+}
+
+// Once quarantine arms, nothing said or done during the term lifts it
+// early — not successes, not further failures, not repeated queries —
+// and the full term is exactly `quarantine_duration` from the arming
+// observation. Expiry re-enters at probation_score, not full trust.
+TEST(ReputationDecay, QuarantineServedInFullDespiteInterleavedObservations) {
+  const std::uint64_t base = peerlab::testing::test_seed();
+  for (int scenario = 0; scenario < kScenarios; ++scenario) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(scenario) * 40503ull + 17;
+    std::mt19937_64 rng(seed);
+    ReputationConfig config;
+    config.enabled = true;
+    ReputationBook book(config);
+    const PeerId peer(rng() % 8 + 1);
+
+    // Hammer failures until the score crosses the trigger.
+    Seconds now = 1.0;
+    Seconds armed_at = -1.0;
+    for (int i = 0; i < 64 && armed_at < 0.0; ++i) {
+      book.record_failure(peer, now);
+      if (book.quarantined(peer, now)) armed_at = now;
+      now += 0.5 + static_cast<double>(rng() % 20);
+    }
+    ASSERT_GE(armed_at, 0.0) << "seed=" << seed;
+    const Seconds until = armed_at + config.quarantine_duration;
+
+    // Interleave observations and queries strictly inside the term.
+    Seconds t = armed_at;
+    while (t < until) {
+      ASSERT_TRUE(book.quarantined(peer, t)) << "seed=" << seed << " t=" << t;
+      switch (rng() % 4) {
+        case 0:
+          book.record_success(peer, t);
+          break;
+        case 1:
+          book.record_failure(peer, t);
+          break;
+        case 2:
+          (void)book.score(peer, t);
+          break;
+        default:
+          break;  // silence
+      }
+      ASSERT_TRUE(book.quarantined(peer, t)) << "seed=" << seed << " t=" << t;
+      t += 1.0 + static_cast<double>(rng() % 120);
+    }
+
+    // The term ends exactly on schedule, and the peer re-enters on
+    // probation: no better than earned, no worse than probation_score.
+    EXPECT_FALSE(book.quarantined(peer, until)) << "seed=" << seed;
+    EXPECT_GE(book.score(peer, until), config.probation_score - 1e-12) << "seed=" << seed;
+    EXPECT_EQ(book.quarantines_imposed(), 1u) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace peerlab::overlay
