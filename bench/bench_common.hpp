@@ -5,6 +5,9 @@
 //   --seed S    base seed (default 2007)
 //   --threads T worker threads (default: hardware)
 //   --profile   wall-clock span profiling (writes <name>.profile.txt)
+//   --trace P   causal tracing: per-repetition JSONL dumps under the
+//               path prefix P (see RunOptions::trace_path), with an
+//               invariant watchdog online and postmortems armed
 // and prints a paper-style table plus shape verdicts. Exit code 0 only
 // if every shape check passes.
 
@@ -35,6 +38,8 @@ inline experiments::RunOptions parse_options(int argc, char** argv) {
       options.threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--profile") {
       options.profile = true;
+    } else if (arg == "--trace") {
+      options.trace_path = next();
     }
   }
   if (options.repetitions <= 0) options.repetitions = 5;

@@ -82,11 +82,29 @@ def geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+OBS_SCHEMA = "peerlab.metrics/1"
+
+
 def load_obs_metrics(paths: list[pathlib.Path]) -> dict[str, float]:
-    """Merges the flat "metrics" maps of peerlab::obs JSON exports."""
+    """Merges the flat "metrics" maps of peerlab::obs JSON exports.
+
+    Validates the export's schema tag first: a missing or mismatched
+    tag fails with a clear message (the export predates the tag, or
+    was produced by an incompatible build) instead of surfacing later
+    as a confusing KeyError / empty diff.
+    """
     merged: dict[str, float] = {}
     for path in paths:
-        merged.update(json.loads(path.read_text()).get("metrics", {}))
+        export = json.loads(path.read_text())
+        schema = export.get("schema")
+        if schema != OBS_SCHEMA:
+            sys.exit(f"bench_compare: {path}: unsupported metrics schema "
+                     f"{schema!r} (this script reads {OBS_SCHEMA!r}); "
+                     f"re-generate the export with a matching build")
+        if "metrics" not in export:
+            sys.exit(f"bench_compare: {path}: schema tag present but no "
+                     f"'metrics' map — truncated or hand-edited export?")
+        merged.update(export["metrics"])
     return merged
 
 

@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""Reconstruct and pretty-print causal petition chains from a peerlab
+trace dump (the JSONL written by TraceRecorder::write_jsonl, e.g. via a
+bench binary's --trace flag).
+
+Usage:
+  trace_analyze.py DUMP                 # per-trace summary table
+  trace_analyze.py DUMP --trace ID      # full causal chain of one trace
+  trace_analyze.py DUMP --all           # full chains of every trace
+  trace_analyze.py --postmortem FILE    # pretty-print a postmortem JSON
+
+The chain view groups events by span (indented under the span that
+opened them), flags failover legs (select-reissue, share-failover,
+share-gave-up), and closes with a per-stage latency breakdown per
+petition: selection, petition handshake, data phase, confirmation and
+total. Exit code 0 on success, 1 on malformed input, 2 on usage errors
+(unknown trace id, missing file).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "peerlab.trace/1"
+POSTMORTEM_SCHEMA = "peerlab.postmortem/1"
+
+# Events that open a child span carry the parent span id in "parent".
+SPAN_OPENERS = {"select-request", "share-launch"}
+# Failure / failover markers worth flagging in the chain view.
+FAILOVER_KINDS = {"select-fail", "select-reissue", "share-failover", "share-gave-up"}
+TERMINALS = {"transfer-done", "transfer-fail", "transfer-cancel"}
+
+
+def fail(message, code=1):
+    print("trace_analyze: error: %s" % message, file=sys.stderr)
+    sys.exit(code)
+
+
+def load_dump(path):
+    """Returns (header, records); validates the schema header line."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [line for line in f.read().splitlines() if line.strip()]
+    except OSError as e:
+        fail(str(e), code=2)
+    if not lines:
+        fail("%s: empty dump" % path)
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        fail("%s:1: not JSON (%s)" % (path, e))
+    schema = header.get("schema")
+    if schema != SCHEMA:
+        fail(
+            "%s: unsupported trace schema %r (this tool reads %r); "
+            "re-run the bench with a matching build" % (path, schema, SCHEMA)
+        )
+    records = []
+    for n, line in enumerate(lines[1:], start=2):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail("%s:%d: not JSON (%s)" % (path, n, e))
+    records.sort(key=lambda r: r["seq"])
+    return header, records
+
+
+def by_trace(records):
+    chains = {}
+    for r in records:
+        chains.setdefault(r["trace"], []).append(r)
+    chains.pop(0, None)  # ambient events live outside any chain
+    return chains
+
+
+def fmt_t(t):
+    return "%12.3f" % t
+
+
+def fmt_dt(dt):
+    if dt is None:
+        return "       -"
+    return "%8.3fs" % dt
+
+
+def span_tree(chain):
+    """parent-of mapping for every span seen in the chain."""
+    parents = {}
+    for r in chain:
+        if r["kind"] in SPAN_OPENERS and r["parent"]:
+            parents[r["span"]] = r["parent"]
+        parents.setdefault(r["span"], None)
+    return parents
+
+
+def span_depth(parents, span, _seen=None):
+    depth, seen = 0, set()
+    while parents.get(span) and span not in seen:
+        seen.add(span)
+        span = parents[span]
+        depth += 1
+    return depth
+
+
+def summarize_traces(header, chains):
+    print(
+        "dump: %d recorded, %d dropped, %d traces minted, %d traces retained"
+        % (header["recorded"], header["dropped"], header["traces"], len(chains))
+    )
+    print("%8s %8s %6s %12s %12s  %s" % ("trace", "events", "spans", "start", "end", "outcome"))
+    for trace_id in sorted(chains):
+        chain = chains[trace_id]
+        spans = {r["span"] for r in chain}
+        outcome = []
+        terminals = [r for r in chain if r["kind"] in TERMINALS]
+        for kind in sorted({r["kind"] for r in terminals}):
+            outcome.append("%s x%d" % (kind, sum(1 for r in terminals if r["kind"] == kind)))
+        failovers = sum(1 for r in chain if r["kind"] in FAILOVER_KINDS)
+        if failovers:
+            outcome.append("%d failover event(s)" % failovers)
+        violations = sum(1 for r in chain if r["kind"] == "violation")
+        if violations:
+            outcome.append("%d VIOLATION(S)" % violations)
+        print(
+            "%8d %8d %6d %s %s  %s"
+            % (
+                trace_id,
+                len(chain),
+                len(spans),
+                fmt_t(chain[0]["t"]),
+                fmt_t(chain[-1]["t"]),
+                ", ".join(outcome) or "open",
+            )
+        )
+
+
+def petition_stages(chain):
+    """Per-petition (correlation) stage latencies within one trace."""
+    petitions = {}
+    for r in chain:
+        k, corr = r["kind"], r["a"]
+        if k == "petition-send":
+            p = petitions.setdefault(corr, {})
+            p.setdefault("petition_send", r["t"])
+        elif corr in petitions:
+            p = petitions[corr]
+            if k == "petition-ack":
+                p.setdefault("petition_ack", r["t"])
+            elif k == "part-send":
+                p.setdefault("first_part", r["t"])
+                p["parts_sent"] = p.get("parts_sent", 0) + 1
+            elif k == "part-lost":
+                p["parts_lost"] = p.get("parts_lost", 0) + 1
+            elif k == "part-delivered":
+                p["last_part"] = r["t"]
+            elif k == "confirm-send":
+                p.setdefault("confirm_send", r["t"])
+            elif k == "confirm-recv":
+                p["confirm_recv"] = r["t"]
+            elif k in TERMINALS:
+                p["terminal"] = r["t"]
+                p["terminal_kind"] = k
+    return petitions
+
+
+def selection_stages(chain):
+    """Per-selection-span request → deliver/fail latencies."""
+    selections = {}
+    for r in chain:
+        if r["kind"] == "select-request":
+            selections.setdefault(r["span"], {"request": r["t"], "reissues": 0})
+        elif r["span"] in selections:
+            s = selections[r["span"]]
+            if r["kind"] == "select-deliver":
+                s["deliver"] = r["t"]
+            elif r["kind"] == "select-fail":
+                s["fail"] = r["t"]
+            elif r["kind"] == "select-reissue":
+                s["reissues"] += 1
+    return selections
+
+
+def delta(p, a, b):
+    if a in p and b in p:
+        return p[b] - p[a]
+    return None
+
+
+def print_chain(trace_id, chain):
+    print("== trace %d: %d events, %s .. %s ==" % (trace_id, len(chain), fmt_t(chain[0]["t"]).strip(), fmt_t(chain[-1]["t"]).strip()))
+    parents = span_tree(chain)
+    for r in chain:
+        indent = "  " * (1 + span_depth(parents, r["span"]))
+        flag = ""
+        if r["kind"] in FAILOVER_KINDS:
+            flag = "  <-- failover leg"
+        elif r["kind"] == "violation":
+            flag = "  <-- WATCHDOG VIOLATION"
+        print(
+            "%s %s%-18s span=%-5d node=%-4d a=%-8d b=%-8d%s"
+            % (fmt_t(r["t"]), indent, r["kind"], r["span"], r["node"], r["a"], r["b"], flag)
+        )
+
+    selections = selection_stages(chain)
+    if selections:
+        print("  -- selection stages --")
+        for span in sorted(selections):
+            s = selections[span]
+            end = s.get("deliver", s.get("fail"))
+            latency = None if end is None else end - s["request"]
+            verdict = "delivered" if "deliver" in s else ("failed" if "fail" in s else "open")
+            extra = ", %d reissue(s)" % s["reissues"] if s["reissues"] else ""
+            print(
+                "    span %-5d %-9s latency=%s%s" % (span, verdict, fmt_dt(latency), extra)
+            )
+
+    petitions = petition_stages(chain)
+    if petitions:
+        print("  -- petition stage latencies --")
+        print(
+            "    %-10s %9s %9s %9s %9s  %s"
+            % ("petition", "handshake", "data", "confirm", "total", "outcome")
+        )
+        for corr in sorted(petitions):
+            p = petitions[corr]
+            handshake = delta(p, "petition_send", "petition_ack")
+            data = delta(p, "first_part", "last_part")
+            confirm = delta(p, "confirm_send", "confirm_recv")
+            total = delta(p, "petition_send", "terminal")
+            outcome = p.get("terminal_kind", "open")
+            lost = p.get("parts_lost", 0)
+            if lost:
+                outcome += " (%d part(s) lost)" % lost
+            print(
+                "    %-10d %s %s %s %s  %s"
+                % (corr, fmt_dt(handshake), fmt_dt(data), fmt_dt(confirm), fmt_dt(total), outcome)
+            )
+    print()
+
+
+def print_postmortem(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            pm = json.load(f)
+    except OSError as e:
+        fail(str(e), code=2)
+    except json.JSONDecodeError as e:
+        fail("%s: not JSON (%s)" % (path, e))
+    if pm.get("schema") != POSTMORTEM_SCHEMA:
+        fail("%s: unsupported postmortem schema %r (expected %r)" % (path, pm.get("schema"), POSTMORTEM_SCHEMA))
+    print("postmortem: %s" % path)
+    print("  reason: %s" % pm.get("reason"))
+    if pm.get("detail"):
+        print("  detail: %s" % pm.get("detail"))
+    print("  time:   %s" % pm.get("time"))
+    traces = pm.get("traces", [])
+    if traces:
+        print("  implicated traces: %s" % ", ".join(str(t) for t in traces))
+    events = pm.get("events", [])
+    print("  last %d events:" % len(events))
+    for r in events:
+        print(
+            "  %s  %-18s trace=%-6d span=%-5d node=%-4d a=%-8d b=%-8d"
+            % (fmt_t(r["t"]), r["kind"], r["trace"], r["span"], r["node"], r["a"], r["b"])
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("dump", nargs="?", help="trace JSONL dump")
+    ap.add_argument("--trace", type=int, help="print the causal chain of one trace id")
+    ap.add_argument("--all", action="store_true", help="print every chain")
+    ap.add_argument("--postmortem", help="pretty-print a postmortem JSON file")
+    args = ap.parse_args()
+
+    if args.postmortem:
+        print_postmortem(args.postmortem)
+        if not args.dump:
+            return
+
+    if not args.dump:
+        ap.error("a trace dump (or --postmortem FILE) is required")
+
+    header, records = load_dump(args.dump)
+    chains = by_trace(records)
+
+    if args.trace is not None:
+        if args.trace not in chains:
+            fail("trace %d not in dump (retained: %s)" % (args.trace, sorted(chains) or "none"), code=2)
+        print_chain(args.trace, chains[args.trace])
+    elif args.all:
+        for trace_id in sorted(chains):
+            print_chain(trace_id, chains[trace_id])
+    else:
+        summarize_traces(header, chains)
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,37 @@ class InvariantError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Observer invoked with the formatted message just before a failed
+/// PEERLAB_CHECK throws. The obs::trace flight recorder installs one so
+/// a fired assertion dumps its postmortem before the stack unwinds.
+/// Plain function pointer + state (no <functional>) keeps this header
+/// featherweight; the process-wide slot holds at most one observer.
+using CheckObserver = void (*)(void* state, const char* what);
+
+namespace detail {
+struct CheckHook {
+  CheckObserver fn = nullptr;
+  void* state = nullptr;
+  bool firing = false;  // reentrancy guard: a check inside the observer must not recurse
+};
+
+inline CheckHook& check_hook() {
+  static CheckHook hook;
+  return hook;
+}
+}  // namespace detail
+
+inline void set_check_observer(CheckObserver fn, void* state) noexcept {
+  detail::check_hook() = {fn, state, false};
+}
+
+/// Clears the observer only if `state` still owns the slot, so a
+/// long-dead installer cannot evict its successor.
+inline void clear_check_observer(void* state) noexcept {
+  auto& hook = detail::check_hook();
+  if (hook.state == state) hook = {};
+}
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& message) {
@@ -28,6 +59,12 @@ namespace detail {
     what += " (";
     what += message;
     what += ")";
+  }
+  auto& hook = check_hook();
+  if (hook.fn != nullptr && !hook.firing) {
+    hook.firing = true;
+    hook.fn(hook.state, what.c_str());
+    hook.firing = false;
   }
   throw InvariantError(what);
 }

@@ -11,6 +11,7 @@
 
 #include "peerlab/common/ids.hpp"
 #include "peerlab/common/units.hpp"
+#include "peerlab/obs/trace_context.hpp"
 #include "peerlab/stats/history.hpp"
 #include "peerlab/stats/peer_statistics.hpp"
 
@@ -72,6 +73,10 @@ struct SelectionContext {
   /// finite reputation, so rankings are bit-identical to a build that
   /// never heard of reputation.
   double reputation_weight = 0.0;
+  /// Causal chain of the distribution/petition this selection serves
+  /// (inactive = untraced). Models never read it; the broker stamps
+  /// ranking events with it.
+  obs::trace::TraceContext trace;
 
   [[nodiscard]] bool excluded(PeerId peer) const noexcept {
     return std::find(exclude.begin(), exclude.end(), peer) != exclude.end();

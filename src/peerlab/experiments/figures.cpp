@@ -37,21 +37,29 @@ FileTransferConfig figure_transfer(Bytes size, int parts) {
 }
 
 /// Runs one staggered transfer per SC in a fresh world and extracts a
-/// per-peer metric from the TransferResult.
+/// per-peer metric from the TransferResult. With options.trace_path
+/// set, every transfer rides its own causal chain and the repetition's
+/// dump lands under `tag`.
 template <typename Extract>
 std::array<double, 8> per_peer_transfer_metric(const RunOptions& options,
-                                               std::uint64_t seed, Bytes size, int parts,
-                                               Seconds stagger, Extract extract) {
+                                               std::uint64_t seed, int rep,
+                                               const std::string& tag, Bytes size,
+                                               int parts, Seconds stagger,
+                                               Extract extract) {
   sim::Simulator sim(seed);
   Deployment dep(sim);
   obs::MetricRegistry registry;
   if (options.metrics != nullptr) dep.attach_metrics(registry, options.profile);
+  TraceSession trace(options, sim, dep, rep, tag);
+  if (trace.active()) trace.attach_metrics(registry);
   std::array<double, 8> values{};
   std::array<bool, 8> done{};
   for (int i = 1; i <= 8; ++i) {
     const PeerId dst = dep.sc_peer(i);
     sim.schedule(static_cast<double>(i - 1) * stagger, [&, i, dst] {
-      dep.control().files().send_file(dst, figure_transfer(size, parts),
+      FileTransferConfig cfg = figure_transfer(size, parts);
+      if (trace.active()) cfg.trace = trace.root();
+      dep.control().files().send_file(dst, cfg,
                                       [&, i](const TransferResult& result) {
                                         PEERLAB_CHECK_MSG(result.complete,
                                                           "figure transfer failed");
@@ -66,6 +74,7 @@ std::array<double, 8> per_peer_transfer_metric(const RunOptions& options,
     sim.run();
   }
   for (const bool d : done) PEERLAB_CHECK_MSG(d, "transfer never completed");
+  trace.finish();
   merge_metrics(options, registry);
   return values;
 }
@@ -85,8 +94,8 @@ PerPeer run_fig2_petition(const RunOptions& options) {
   // for a file transmission. A small probe file keeps the data phase
   // out of the way.
   const auto reps = run_repetitions<std::array<double, 8>>(
-      options, [&options](std::uint64_t seed, int) {
-        return per_peer_transfer_metric(options, seed, megabytes(1.0), 1,
+      options, [&options](std::uint64_t seed, int rep) {
+        return per_peer_transfer_metric(options, seed, rep, "", megabytes(1.0), 1,
                                         /*stagger=*/600.0,
                                         [](const TransferResult& r) {
                                           return r.petition_time();
@@ -97,8 +106,8 @@ PerPeer run_fig2_petition(const RunOptions& options) {
 
 PerPeer run_fig3_transfer50(const RunOptions& options) {
   const auto reps = run_repetitions<std::array<double, 8>>(
-      options, [&options](std::uint64_t seed, int) {
-        return per_peer_transfer_metric(options, seed, kFig3FileSize, 1,
+      options, [&options](std::uint64_t seed, int rep) {
+        return per_peer_transfer_metric(options, seed, rep, "", kFig3FileSize, 1,
                                         /*stagger=*/30000.0,
                                         [](const TransferResult& r) {
                                           return r.transmission_time();
@@ -109,8 +118,8 @@ PerPeer run_fig3_transfer50(const RunOptions& options) {
 
 PerPeer run_fig4_last_mb(const RunOptions& options) {
   const auto reps = run_repetitions<std::array<double, 8>>(
-      options, [&options](std::uint64_t seed, int) {
-        return per_peer_transfer_metric(options, seed, kFig3FileSize, 1,
+      options, [&options](std::uint64_t seed, int rep) {
+        return per_peer_transfer_metric(options, seed, rep, "", kFig3FileSize, 1,
                                         /*stagger=*/30000.0,
                                         [](const TransferResult& r) {
                                           return r.last_mb_time();
@@ -125,22 +134,22 @@ Fig5Result run_fig5_granularity(const RunOptions& options) {
     std::array<double, 8> four;
     std::array<double, 8> sixteen;
   };
-  const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int) {
+  const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int n) {
     Rep rep;
     // Distinct sub-seeds per granularity: independent worlds, matching
     // the paper's independently-run configurations.
-    rep.whole = per_peer_transfer_metric(options, seed ^ 0x51ull, kFig5FileSize, 1,
-                                         40000.0,
+    rep.whole = per_peer_transfer_metric(options, seed ^ 0x51ull, n, "whole",
+                                         kFig5FileSize, 1, 40000.0,
                                          [](const TransferResult& r) {
                                            return r.transmission_time();
                                          });
-    rep.four = per_peer_transfer_metric(options, seed ^ 0x52ull, kFig5FileSize, 4,
-                                        40000.0,
+    rep.four = per_peer_transfer_metric(options, seed ^ 0x52ull, n, "p4",
+                                        kFig5FileSize, 4, 40000.0,
                                         [](const TransferResult& r) {
                                           return r.transmission_time();
                                         });
-    rep.sixteen = per_peer_transfer_metric(options, seed ^ 0x53ull, kFig5FileSize, 16,
-                                           40000.0,
+    rep.sixteen = per_peer_transfer_metric(options, seed ^ 0x53ull, n, "p16",
+                                           kFig5FileSize, 16, 40000.0,
                                            [](const TransferResult& r) {
                                              return r.transmission_time();
                                            });
@@ -243,13 +252,19 @@ Seconds ideal_parts_time(Deployment& dep, NodeId node, Bytes part_size, int n_pa
 /// failovers, transfer counters, ...) are folded into the shared
 /// registry under a per-model suffix — attached *after* warmup, so
 /// the series cover only the measured workload.
-double fig6_overhead(const RunOptions& options, std::uint64_t seed, Model model,
+double fig6_overhead(const RunOptions& options, std::uint64_t seed, int rep, Model model,
                      int parts) {
   Fig6World world(seed);
   Deployment& dep = world.dep;
   sim::Simulator& sim = world.sim;
   obs::MetricRegistry registry;
   if (options.metrics != nullptr) dep.attach_metrics(registry, options.profile);
+  // Attached after warmup, like the metrics: the traced window is the
+  // measured selection + dispatch workload only.
+  TraceSession trace(options, sim, dep, rep,
+                     std::string(kModelNames[static_cast<int>(model)]) + ".p" +
+                         std::to_string(parts));
+  if (trace.active()) trace.attach_metrics(registry);
 
   switch (model) {
     case Model::kEconomic:
@@ -269,11 +284,13 @@ double fig6_overhead(const RunOptions& options, std::uint64_t seed, Model model,
   // 1. Broker-mediated selection over the wire.
   std::vector<PeerId> selected;
   Seconds selection_elapsed = 0.0;
+  const obs::trace::TraceContext workload = trace.root();
   {
     core::SelectionContext ctx;
     ctx.purpose = core::SelectionContext::Purpose::kFileTransfer;
     ctx.payload_size = kFig5FileSize;
     ctx.now = sim.now();
+    ctx.trace = workload;
     const Seconds asked = sim.now();
     bool got = false;
     dep.control().request_selection(ctx, static_cast<std::size_t>(parts),
@@ -301,8 +318,10 @@ double fig6_overhead(const RunOptions& options, std::uint64_t seed, Model model,
     ++outstanding;
     const NodeId node = node_of(peer);
     const Seconds ideal = ideal_parts_time(dep, node, part_size, n);
+    FileTransferConfig cfg = figure_transfer(part_size * n, n);
+    cfg.trace = workload;  // inactive while untraced
     dep.control().files().send_file(
-        peer, figure_transfer(part_size * n, n), [&, ideal](const TransferResult& result) {
+        peer, cfg, [&, ideal](const TransferResult& result) {
           PEERLAB_CHECK_MSG(result.complete, "fig6 transfer failed");
           overhead_sum += result.petition_time();
           overhead_sum += std::max(0.0, result.transmission_time() - ideal);
@@ -314,6 +333,7 @@ double fig6_overhead(const RunOptions& options, std::uint64_t seed, Model model,
     sim.run();
   }
   PEERLAB_CHECK_MSG(outstanding == 0, "fig6 transfers did not drain");
+  trace.finish();
   merge_metrics(options, registry,
                 std::string(".") + kModelNames[static_cast<int>(model)]);
   return overhead_sum / static_cast<double>(parts);
@@ -326,14 +346,14 @@ Fig6Result run_fig6_models(const RunOptions& options) {
     std::array<double, 3> four;
     std::array<double, 3> sixteen;
   };
-  const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int) {
+  const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int n) {
     Rep rep;
     for (int m = 0; m < 3; ++m) {
       // Identical world per model (same seed): apples-to-apples.
       rep.four[static_cast<std::size_t>(m)] =
-          fig6_overhead(options, seed, static_cast<Model>(m), 4);
+          fig6_overhead(options, seed, n, static_cast<Model>(m), 4);
       rep.sixteen[static_cast<std::size_t>(m)] =
-          fig6_overhead(options, seed, static_cast<Model>(m), 16);
+          fig6_overhead(options, seed, n, static_cast<Model>(m), 16);
     }
     return rep;
   });
@@ -352,12 +372,14 @@ Fig7Result run_fig7_execution(const RunOptions& options) {
     std::array<double, 8> just_exec;
     std::array<double, 8> trans_exec;
   };
-  const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int) {
+  const auto reps = run_repetitions<Rep>(options, [&options](std::uint64_t seed, int n) {
     Rep rep{};
     sim::Simulator sim(seed);
     Deployment dep(sim);
     obs::MetricRegistry registry;
     if (options.metrics != nullptr) dep.attach_metrics(registry, options.profile);
+    TraceSession trace(options, sim, dep, n);
+    if (trace.active()) trace.attach_metrics(registry);
     dep.boot();
     std::array<bool, 8> done_a{}, done_b{};
 
@@ -404,6 +426,7 @@ Fig7Result run_fig7_execution(const RunOptions& options) {
       PEERLAB_CHECK_MSG(done_a[static_cast<std::size_t>(i)] && done_b[static_cast<std::size_t>(i)],
                         "fig7 task never finished");
     }
+    trace.finish();
     merge_metrics(options, registry);
     return rep;
   });

@@ -2,12 +2,51 @@
 
 #include <mutex>
 
+#include "peerlab/planetlab/deployment.hpp"
+
 namespace peerlab::experiments {
 
 std::uint64_t repetition_seed(const RunOptions& options, int rep) {
   // Wide spacing so forked per-component streams of adjacent
   // repetitions never collide.
   return options.base_seed + 0x9E3779B9ull * static_cast<std::uint64_t>(rep + 1);
+}
+
+TraceSession::TraceSession(const RunOptions& options, sim::Simulator& sim,
+                           planetlab::Deployment& dep, int rep, const std::string& tag) {
+  if (options.trace_path.empty()) return;
+  dep_ = &dep;
+  path_ = options.trace_path;
+  if (!tag.empty()) path_ += "." + tag;
+  if (options.repetitions > 1) path_ += ".rep" + std::to_string(rep);
+  recorder_ = std::make_unique<obs::trace::TraceRecorder>(sim);
+  watchdog_ = std::make_unique<obs::Watchdog>(*recorder_);
+  recorder_->arm_postmortem(path_ + ".postmortem.json");
+  dep.attach_tracing(recorder_.get());
+}
+
+TraceSession::~TraceSession() {
+  if (!finished_) finish();
+}
+
+obs::trace::TraceContext TraceSession::root() {
+  return recorder_ != nullptr ? recorder_->root() : obs::trace::TraceContext{};
+}
+
+void TraceSession::attach_metrics(obs::MetricRegistry& registry) {
+  if (recorder_ == nullptr) return;
+  recorder_->set_metrics_snapshot(&registry);
+  recorder_->attach_metrics(registry);
+  watchdog_->attach_metrics(registry);
+}
+
+std::uint64_t TraceSession::finish() {
+  finished_ = true;
+  if (recorder_ == nullptr) return 0;
+  watchdog_->finalize();
+  recorder_->write_jsonl(path_);
+  dep_->attach_tracing(nullptr);
+  return watchdog_->violations().size();
 }
 
 void merge_metrics(const RunOptions& options, const obs::MetricRegistry& rep_registry,

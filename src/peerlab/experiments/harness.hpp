@@ -9,13 +9,20 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "peerlab/common/check.hpp"
 #include "peerlab/obs/metrics.hpp"
+#include "peerlab/obs/trace.hpp"
+#include "peerlab/obs/watchdog.hpp"
 #include "peerlab/sim/histogram.hpp"
+
+namespace peerlab::planetlab {
+class Deployment;
+}  // namespace peerlab::planetlab
 
 namespace peerlab::experiments {
 
@@ -34,10 +41,59 @@ struct RunOptions {
   /// (profile.*) populate. Requires `metrics`; bench runners expose it
   /// as --profile and dump the span table (see bench_common.hpp).
   bool profile = false;
+  /// When non-empty, each repetition stands up a TraceSession: a
+  /// TraceRecorder + invariant Watchdog attached to the deployment,
+  /// workload roots minted per transfer, and a byte-stable JSONL dump
+  /// written to `<trace_path>[.<tag>][.rep<N>]` (the rep suffix only
+  /// when repetitions > 1) with a postmortem armed at `<dump path>
+  /// .postmortem.json`. Empty = tracing off (the default; every emit
+  /// site then costs one null test and the figures are byte-identical
+  /// to a build without tracing).
+  std::string trace_path;
 };
 
 /// Seed for repetition `rep` under `options`.
 [[nodiscard]] std::uint64_t repetition_seed(const RunOptions& options, int rep);
+
+/// Per-repetition causal tracing bundle (see RunOptions::trace_path).
+/// Inert — no recorder, no watchdog, no files — when trace_path is
+/// empty, so figure drivers construct one unconditionally. Destroy (or
+/// finish()) before the deployment: finish() finalizes the watchdog's
+/// liveness sweep, writes the JSONL dump, and detaches the recorder.
+class TraceSession {
+ public:
+  /// `tag` disambiguates several traced worlds within one repetition
+  /// (e.g. fig6's model x granularity grid); empty for one-world runs.
+  TraceSession(const RunOptions& options, sim::Simulator& sim, planetlab::Deployment& dep,
+               int rep, const std::string& tag = "");
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return recorder_ != nullptr; }
+  [[nodiscard]] obs::trace::TraceRecorder* recorder() noexcept { return recorder_.get(); }
+  [[nodiscard]] obs::Watchdog* watchdog() noexcept { return watchdog_.get(); }
+  /// Mints a fresh workload root; inactive context while detached.
+  [[nodiscard]] obs::trace::TraceContext root();
+  /// Registers the trace.* / watchdog.* counters in `registry` and
+  /// embeds its snapshot in any postmortem. No-op while detached, so
+  /// detached metrics exports stay byte-identical.
+  void attach_metrics(obs::MetricRegistry& registry);
+  /// Where the dump lands (empty while inactive).
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Finalizes the watchdog, writes the dump, detaches tracing from
+  /// the deployment. Returns the violation count. Idempotent.
+  std::uint64_t finish();
+
+ private:
+  planetlab::Deployment* dep_ = nullptr;
+  std::string path_;
+  std::unique_ptr<obs::trace::TraceRecorder> recorder_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  bool finished_ = false;
+};
 
 /// Folds one repetition's registry into options.metrics — thread-safe
 /// across concurrent repetitions, a no-op when metrics is null. A

@@ -124,12 +124,18 @@ void DiscoveryService::query_remote(const AdvertisementQuery& query, QueryCallba
 
 void DiscoveryService::query_remote(const AdvertisementQuery& query, std::int64_t hop,
                                     QueryCallback done) {
+  query_remote(query, hop, obs::trace::TraceContext{}, std::move(done));
+}
+
+void DiscoveryService::query_remote(const AdvertisementQuery& query, std::int64_t hop,
+                                    const obs::trace::TraceContext& trace,
+                                    QueryCallback done) {
   PEERLAB_CHECK_MSG(static_cast<bool>(done), "query callback required");
   // The control plane carries no structured payloads; the query body
   // travels via a parked ticket the rendezvous peeks at.
   const std::uint64_t query_ticket = directory_.park_query(query);
   query_channel_.request(
-      rendezvous_, query_ticket, hop,
+      rendezvous_, query_ticket, hop, trace,
       [this, query_ticket, done = std::move(done)](const transport::RequestOutcome& outcome) {
         directory_.release_query(query_ticket);
         if (!outcome.ok) {

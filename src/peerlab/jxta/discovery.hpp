@@ -98,6 +98,12 @@ class DiscoveryService {
   /// (hop != 0 tells a federated responder not to forward again).
   void query_remote(const AdvertisementQuery& query, std::int64_t hop, QueryCallback done);
 
+  /// Traced variant: `trace` is stamped onto the query datagram and
+  /// every retransmission, keeping the whole discovery round trip on
+  /// the caller's causal chain (the rendezvous reply echoes it back).
+  void query_remote(const AdvertisementQuery& query, std::int64_t hop,
+                    const obs::trace::TraceContext& trace, QueryCallback done);
+
  private:
   transport::Endpoint& endpoint_;
   RendezvousDirectory& directory_;

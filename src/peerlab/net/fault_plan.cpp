@@ -4,8 +4,11 @@
 #include <utility>
 
 #include "peerlab/common/check.hpp"
+#include "peerlab/obs/trace.hpp"
 
 namespace peerlab::net {
+
+using obs::trace::TraceKind;
 
 const char* to_string(FaultKind kind) noexcept {
   switch (kind) {
@@ -94,27 +97,40 @@ void FaultInjector::apply(const FaultEvent& event) {
     case FaultKind::kCrash:
       ++crashes_;
       if (m_.crashes != nullptr) m_.crashes->add(1);
+      if (trace_ != nullptr) trace_->emit_ambient(event.node, TraceKind::kCrash);
       network_.crash_node(event.node);
       if (hooks_.on_crash) hooks_.on_crash(event.node);
       break;
     case FaultKind::kRestart:
       ++restarts_;
       if (m_.restarts != nullptr) m_.restarts->add(1);
+      if (trace_ != nullptr) trace_->emit_ambient(event.node, TraceKind::kRestart);
       network_.restore_node(event.node);
       if (hooks_.on_restart) hooks_.on_restart(event.node);
       break;
     case FaultKind::kPartition:
       ++partitions_;
       if (m_.partitions != nullptr) m_.partitions->add(1);
+      if (trace_ != nullptr) {
+        trace_->emit_ambient(event.node, TraceKind::kPartitionCut, event.peer.value());
+      }
       network_.partition(event.node, event.peer);
       break;
     case FaultKind::kHeal:
       if (m_.heals != nullptr) m_.heals->add(1);
+      if (trace_ != nullptr) {
+        trace_->emit_ambient(event.node, TraceKind::kPartitionHeal, event.peer.value());
+      }
       network_.heal(event.node, event.peer);
       break;
     case FaultKind::kBrownout:
       ++brownouts_;
       if (m_.brownouts != nullptr) m_.brownouts->add(1);
+      if (trace_ != nullptr) {
+        // Factor carried as per-mille so the record stays integral.
+        trace_->emit_ambient(event.node, TraceKind::kBrownout,
+                             static_cast<std::uint64_t>(event.factor * 1000.0 + 0.5));
+      }
       network_.set_capacity_factor(event.node, event.factor);
       break;
   }

@@ -97,6 +97,12 @@ class FaultInjector {
   /// event then also bumps its counter. Zero-cost when never called.
   void attach_metrics(obs::MetricRegistry& registry);
 
+  /// Attaches (or detaches with nullptr) the causal-trace recorder;
+  /// applied faults then land as ambient kCrash/kRestart/
+  /// kPartitionCut/kPartitionHeal/kBrownout events, giving chains
+  /// their environmental context.
+  void set_trace(obs::trace::TraceRecorder* recorder) noexcept { trace_ = recorder; }
+
  private:
   /// Cached instrument handles; all null while detached.
   struct Metrics {
@@ -113,6 +119,7 @@ class FaultInjector {
   FaultPlan plan_;
   Hooks hooks_;
   Metrics m_;
+  obs::trace::TraceRecorder* trace_ = nullptr;
   std::uint64_t crashes_ = 0;
   std::uint64_t restarts_ = 0;
   std::uint64_t partitions_ = 0;

@@ -7,6 +7,7 @@
 
 #include "peerlab/common/check.hpp"
 #include "peerlab/obs/span.hpp"
+#include "peerlab/obs/trace.hpp"
 
 namespace peerlab::net {
 
@@ -311,6 +312,9 @@ void FlowScheduler::relevel_dirty() {
       m_.components_releveled->add(1);
       m_.flows_releveled->add(active_.size());
     }
+    if (trace_ != nullptr) {
+      trace_->emit_ambient(NodeId(), obs::trace::TraceKind::kRelevel, 1, active_.size());
+    }
     waterfill(active_);
     dirty_res_.clear();
     return;
@@ -325,6 +329,7 @@ void FlowScheduler::relevel_dirty() {
   // on which components happen to re-level together.
   ++epoch_;
   std::size_t comps = 0;
+  std::size_t flows_touched = 0;
   bool spans_all = false;
   for (std::size_t d = 0; d < dirty_res_.size(); ++d) {
     const std::uint32_t seed = dirty_res_[d];
@@ -358,6 +363,7 @@ void FlowScheduler::relevel_dirty() {
     }
     if (comp_flows_.empty()) continue;
     ++comps;
+    flows_touched += comp_flows_.size();
     if (m_.components_releveled != nullptr) {
       m_.components_releveled->add(1);
       m_.flows_releveled->add(comp_flows_.size());
@@ -381,6 +387,9 @@ void FlowScheduler::relevel_dirty() {
       std::sort(comp_flows_.begin(), comp_flows_.end(), id_less);
     }
     waterfill(comp_flows_);
+  }
+  if (trace_ != nullptr && comps != 0) {
+    trace_->emit_ambient(NodeId(), obs::trace::TraceKind::kRelevel, comps, flows_touched);
   }
   // The fill just proved single-component-ness (or not) for the dirty
   // region; remember it so the next relevel can skip discovery.

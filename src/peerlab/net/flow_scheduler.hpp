@@ -54,6 +54,10 @@
 #include "peerlab/obs/profile.hpp"
 #include "peerlab/sim/simulator.hpp"
 
+namespace peerlab::obs::trace {
+class TraceRecorder;
+}  // namespace peerlab::obs::trace
+
 namespace peerlab::net {
 
 struct FlowSpec {
@@ -156,6 +160,12 @@ class FlowScheduler {
   void attach_metrics(obs::MetricRegistry& registry, bool wall_profiling = false,
                       obs::WallProfiler* profiler = nullptr);
   void detach_metrics() noexcept { m_ = Metrics(); }
+
+  /// Attaches (or detaches with nullptr) the causal-trace recorder;
+  /// every re-level pass then records an ambient kRelevel event
+  /// (a = components releveled, b = flows releveled). One null test
+  /// per pass when detached.
+  void set_trace(obs::trace::TraceRecorder* recorder) noexcept { trace_ = recorder; }
 
  private:
   /// Intrusive membership in the two per-resource flow lists (dir 0 =
@@ -331,6 +341,7 @@ class FlowScheduler {
     obs::WallProfiler::Site* waterfill_site = nullptr;
   };
   Metrics m_;
+  obs::trace::TraceRecorder* trace_ = nullptr;
 
   IdAllocator<FlowId> ids_;
   sim::EventHandle timer_;

@@ -5,8 +5,11 @@
 #include <limits>
 
 #include "peerlab/common/check.hpp"
+#include "peerlab/obs/trace.hpp"
 
 namespace peerlab::net {
+
+using obs::trace::TraceKind;
 
 Network::Network(sim::Simulator& sim, Topology topology, NetworkConfig config)
     : sim_(sim),
@@ -200,6 +203,12 @@ void Network::send_datagram(NodeId src, NodeId dst, Bytes size,
 
 FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
                               std::function<void(bool, Seconds)> on_done) {
+  return start_message(src, dst, size, obs::trace::TraceContext{}, std::move(on_done));
+}
+
+FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
+                              const obs::trace::TraceContext& trace,
+                              std::function<void(bool, Seconds)> on_done) {
   PEERLAB_CHECK_MSG(size > 0, "bulk message size must be positive");
   ++messages_started_;
   if (m_.messages_started != nullptr) m_.messages_started->add(1);
@@ -218,6 +227,10 @@ FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
       tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "message-blocked",
                       to_string(src) + "->" + to_string(dst),
                       static_cast<std::uint64_t>(size), 0);
+    }
+    if (trace_ != nullptr && trace.active()) {
+      // No flow ever starts; the chain records the immediate abort.
+      trace_->emit(src, TraceKind::kFlowAbort, trace, 0, static_cast<std::uint64_t>(size));
     }
     sim_.schedule(config_.fault_stall, [this, begun, cb = std::move(on_done)] {
       if (cb) cb(false, sim_.now() - begun);
@@ -256,7 +269,7 @@ FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
   // of the two paths ever fires (the scheduler drops both closures when
   // the flow leaves).
   auto shared_cb = std::make_shared<std::function<void(bool, Seconds)>>(std::move(on_done));
-  spec.on_complete = [this, begun, survives, src, dst, size,
+  spec.on_complete = [this, begun, survives, src, dst, size, trace,
                       shared_cb](Seconds /*flow_duration*/) {
     const Seconds elapsed = sim_.now() - begun + topology_.propagation(src, dst);
     if (tracer_ != nullptr) {
@@ -265,17 +278,28 @@ FlowId Network::start_message(NodeId src, NodeId dst, Bytes size,
                       to_string(src) + "->" + to_string(dst),
                       static_cast<std::uint64_t>(size), 0);
     }
+    if (trace_ != nullptr && trace.active()) {
+      trace_->emit(dst, TraceKind::kFlowFinish, trace, static_cast<std::uint64_t>(size),
+                   survives ? 1 : 0);
+    }
     if (*shared_cb) (*shared_cb)(survives, elapsed);
   };
-  spec.on_abort = [this, begun, src, dst, size, shared_cb](Seconds /*elapsed*/) {
+  spec.on_abort = [this, begun, src, dst, size, trace, shared_cb](Seconds /*elapsed*/) {
     if (tracer_ != nullptr) {
       tracer_->record(sim_.now(), sim::TraceCategory::kNetwork, "message-aborted",
                       to_string(src) + "->" + to_string(dst),
                       static_cast<std::uint64_t>(size), 0);
     }
+    if (trace_ != nullptr && trace.active()) {
+      trace_->emit(src, TraceKind::kFlowAbort, trace, 0, static_cast<std::uint64_t>(size));
+    }
     if (*shared_cb) (*shared_cb)(false, sim_.now() - begun);
   };
-  return flows_.start(std::move(spec));
+  const FlowId id = flows_.start(std::move(spec));
+  if (trace_ != nullptr && trace.active()) {
+    trace_->emit(src, TraceKind::kFlowStart, trace, id.value(), static_cast<std::uint64_t>(size));
+  }
+  return id;
 }
 
 }  // namespace peerlab::net

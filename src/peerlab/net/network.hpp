@@ -26,8 +26,13 @@
 #include "peerlab/net/degradation.hpp"
 #include "peerlab/net/flow_scheduler.hpp"
 #include "peerlab/net/topology.hpp"
+#include "peerlab/obs/trace_context.hpp"
 #include "peerlab/sim/simulator.hpp"
 #include "peerlab/sim/trace.hpp"
+
+namespace peerlab::obs::trace {
+class TraceRecorder;
+}  // namespace peerlab::obs::trace
 
 namespace peerlab::net {
 
@@ -82,6 +87,13 @@ class Network {
   FlowId start_message(NodeId src, NodeId dst, Bytes size,
                        std::function<void(bool ok, Seconds elapsed)> on_done);
 
+  /// As above, but the bulk message rides `trace`'s causal chain: with
+  /// a trace recorder attached and an active context, the flow's
+  /// start/finish/abort land on the chain as kFlowStart/kFlowFinish/
+  /// kFlowAbort events.
+  FlowId start_message(NodeId src, NodeId dst, Bytes size, const obs::trace::TraceContext& trace,
+                       std::function<void(bool ok, Seconds elapsed)> on_done);
+
   /// Cancels an in-flight message; its callback never fires.
   void cancel_message(FlowId id) { flows_.cancel(id); }
 
@@ -120,6 +132,16 @@ class Network {
   /// records datagram and bulk-message milestones while one is set.
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] sim::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// Attaches (or detaches with nullptr) the causal-trace recorder.
+  /// Traced bulk messages then emit flow lifecycle events and the flow
+  /// scheduler records ambient re-levels. One pointer test per site
+  /// when detached (the sim::Tracer attachment rule).
+  void set_trace(obs::trace::TraceRecorder* recorder) noexcept {
+    trace_ = recorder;
+    flows_.set_trace(recorder);
+  }
+  [[nodiscard]] obs::trace::TraceRecorder* trace() const noexcept { return trace_; }
 
   /// Registers the network's instruments (datagram/message counters,
   /// control-delay histogram, accumulated brownout seconds) in
@@ -175,6 +197,7 @@ class Network {
   FlowScheduler flows_;
   sim::Rng loss_rng_;
   sim::Tracer* tracer_ = nullptr;
+  obs::trace::TraceRecorder* trace_ = nullptr;
   Metrics m_;
   /// Start time of each node's ongoing brownout; NaN = not degraded.
   std::vector<Seconds> brownout_since_;

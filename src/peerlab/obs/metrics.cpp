@@ -277,7 +277,9 @@ std::string MetricRegistry::describe() const {
 
 std::string MetricRegistry::json(std::string_view label) const {
   std::ostringstream out;
-  out << "{\n  \"label\": \"";
+  // Versioned export: consumers (scripts/bench_compare.py) key on the
+  // schema string instead of guessing the layout from present fields.
+  out << "{\n  \"schema\": \"peerlab.metrics/1\",\n  \"label\": \"";
   json_escape(out, label);
   out << "\",\n  \"metrics\": {";
   bool first = true;

@@ -1,0 +1,42 @@
+#pragma once
+
+// TraceContext: the compact causal-tracing header carried by transport
+// datagrams and protocol state (DESIGN.md §16). A context names the
+// trace (one petition / distribution chain), the span under which new
+// work nests, and how many node hops the context has crossed. The
+// default-constructed context is inactive (trace id 0): untraced runs
+// carry all-zero contexts whose copies cost a few stores and change no
+// behaviour, which is what keeps the tracing layer zero-perturbation
+// when no obs::trace::TraceRecorder is attached.
+//
+// Contexts are minted by obs::trace::TraceRecorder (deterministic
+// sequential ids, so same-seed runs mint identical chains); this header
+// stays dependency-free so transport/message.hpp can embed the struct.
+
+#include <cstdint>
+
+namespace peerlab::obs::trace {
+
+struct TraceContext {
+  /// Trace id; 0 means "not traced". All events of one causal chain
+  /// (petition -> ranking -> transfer -> stats feedback) share it.
+  std::uint64_t id = 0;
+  /// Span the carrying operation runs under (0 = trace root).
+  std::uint32_t span = 0;
+  /// Node hops this context has crossed (incremented per delivery).
+  std::uint32_t hops = 0;
+
+  [[nodiscard]] constexpr bool active() const noexcept { return id != 0; }
+
+  /// The context as seen after one more network hop.
+  [[nodiscard]] constexpr TraceContext hop() const noexcept { return {id, span, hops + 1}; }
+
+  friend constexpr bool operator==(const TraceContext& a, const TraceContext& b) noexcept {
+    return a.id == b.id && a.span == b.span && a.hops == b.hops;
+  }
+  friend constexpr bool operator!=(const TraceContext& a, const TraceContext& b) noexcept {
+    return !(a == b);
+  }
+};
+
+}  // namespace peerlab::obs::trace

@@ -1,0 +1,131 @@
+#include "peerlab/obs/watchdog.hpp"
+
+#include "peerlab/obs/metrics.hpp"
+
+namespace peerlab::obs {
+
+const char* to_string(Watchdog::ViolationKind kind) noexcept {
+  switch (kind) {
+    case Watchdog::ViolationKind::kUnterminatedPetition: return "unterminated-petition";
+    case Watchdog::ViolationKind::kUnterminatedSelection: return "unterminated-selection";
+    case Watchdog::ViolationKind::kConfirmWithoutPetition: return "confirm-without-petition";
+    case Watchdog::ViolationKind::kDoubleReissue: return "double-reissue";
+    case Watchdog::ViolationKind::kIndexMismatch: return "index-mismatch";
+  }
+  return "unknown";
+}
+
+Watchdog::Watchdog(trace::TraceRecorder& recorder) : recorder_(recorder) {
+  recorder_.set_subscriber(this);
+}
+
+Watchdog::~Watchdog() { recorder_.set_subscriber(nullptr); }
+
+std::uint64_t Watchdog::count(ViolationKind kind) const noexcept {
+  std::uint64_t n = 0;
+  for (const Violation& v : violations_) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+void Watchdog::attach_metrics(MetricRegistry& registry) {
+  checks_counter_ = &registry.counter("watchdog.checks", "events");
+  violations_counter_ = &registry.counter("watchdog.violations", "violations");
+  traces_counter_ = &registry.counter("watchdog.traces", "traces");
+}
+
+void Watchdog::raise(ViolationKind kind, const trace::TraceRecord& at) {
+  violations_.push_back({kind, at.time, at.trace, at.a, at.b});
+  if (violations_counter_ != nullptr) violations_counter_->add();
+  if (raising_) return;
+  raising_ = true;
+  // Put the verdict on the chain itself (a = violation kind) and give
+  // the flight recorder its shot; both are no-ops beyond counters when
+  // nothing downstream is armed.
+  recorder_.emit(at.node, trace::TraceKind::kViolation, {at.trace, at.span, 0},
+                 static_cast<std::uint64_t>(kind), at.a);
+  std::vector<std::uint64_t> implicated;
+  if (at.trace != 0) implicated.push_back(at.trace);
+  recorder_.postmortem("watchdog", to_string(kind), implicated);
+  raising_ = false;
+}
+
+void Watchdog::on_trace(const trace::TraceRecord& record) {
+  using trace::TraceKind;
+  if (record.kind == TraceKind::kViolation) return;  // our own echo
+  if (record.trace == 0) return;                     // ambient events carry no chain state
+  ++checks_;
+  if (checks_counter_ != nullptr) checks_counter_->add();
+
+  auto [it, fresh] = traces_.try_emplace(record.trace);
+  if (fresh && traces_counter_ != nullptr) traces_counter_->add();
+  TraceState& state = it->second;
+
+  switch (record.kind) {
+    case TraceKind::kPetitionSend:
+      state.petitions.try_emplace(record.a);
+      break;
+    case TraceKind::kTransferDone:
+    case TraceKind::kTransferFail:
+    case TraceKind::kTransferCancel:
+      state.petitions[record.a].terminal = true;
+      break;
+    case TraceKind::kConfirmRecv:
+      if (state.petitions.find(record.a) == state.petitions.end()) {
+        raise(ViolationKind::kConfirmWithoutPetition, record);
+      }
+      break;
+    case TraceKind::kSelectRequest:
+      state.selections.try_emplace(record.span);
+      break;
+    case TraceKind::kSelectDeliver:
+    case TraceKind::kSelectFail:
+      state.selections[record.span].open = false;
+      break;
+    case TraceKind::kSelectReissue: {
+      SelectionState& sel = state.selections[record.span];
+      ++sel.reissues;
+      // A re-issue is legitimate exactly once, and only after the
+      // original request failed (ReplicaSet failover re-homing).
+      if (sel.open || sel.reissues > 1) raise(ViolationKind::kDoubleReissue, record);
+      break;
+    }
+    case TraceKind::kIndexAudit:
+      if (record.b == 0) raise(ViolationKind::kIndexMismatch, record);
+      break;
+    default:
+      break;
+  }
+}
+
+void Watchdog::finalize() {
+  const Seconds now = recorder_.now();
+  for (const auto& [trace, state] : traces_) {
+    for (const auto& [correlation, petition] : state.petitions) {
+      ++checks_;
+      if (checks_counter_ != nullptr) checks_counter_->add();
+      if (!petition.terminal) {
+        trace::TraceRecord record;
+        record.time = now;
+        record.trace = trace;
+        record.a = correlation;
+        raise(ViolationKind::kUnterminatedPetition, record);
+      }
+    }
+    for (const auto& [span, selection] : state.selections) {
+      ++checks_;
+      if (checks_counter_ != nullptr) checks_counter_->add();
+      if (selection.open) {
+        trace::TraceRecord record;
+        record.time = now;
+        record.trace = trace;
+        record.span = span;
+        record.a = span;
+        raise(ViolationKind::kUnterminatedSelection, record);
+      }
+    }
+  }
+}
+
+}  // namespace peerlab::obs

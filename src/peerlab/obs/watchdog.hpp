@@ -1,0 +1,96 @@
+#pragma once
+
+// Invariant watchdog (DESIGN.md §16): an online consumer of the causal
+// trace stream that checks cross-subsystem liveness/consistency
+// invariants while the run executes, raising structured violations
+// instead of letting corruption age into wrong figures:
+//
+//  * terminal-state liveness — every petition (kPetitionSend) and every
+//    selection request reaches a terminal event before finalize();
+//  * confirm-requires-petition — a kConfirmRecv for a (trace,
+//    correlation) pair that never emitted kPetitionSend is forged,
+//    misrouted, or duplicated across a restart;
+//  * re-issue exactly-once — a failed selection span is re-issued to
+//    the new primary at most once (ReplicaSet failover re-homing);
+//  * index-vs-scan agreement — sampled kIndexAudit events from the
+//    broker must report a match between the CandidateIndex fast path
+//    and the fallback dense scan.
+//
+// Violations bump watchdog.violations, are re-emitted onto the trace
+// stream as kViolation events, and trigger the recorder's flight
+// recorder (postmortem JSON) when one is armed.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "peerlab/obs/trace.hpp"
+
+namespace peerlab::obs {
+
+class Watchdog final : public trace::TraceRecorder::Subscriber {
+ public:
+  enum class ViolationKind : std::uint8_t {
+    kUnterminatedPetition,   // petition never reached a terminal event
+    kUnterminatedSelection,  // selection request still open at finalize
+    kConfirmWithoutPetition, // confirm received for an unknown petition
+    kDoubleReissue,          // failed selection span re-issued twice
+    kIndexMismatch,          // index fast path disagreed with the scan
+  };
+
+  struct Violation {
+    ViolationKind kind;
+    Seconds time = 0.0;
+    std::uint64_t trace = 0;
+    std::uint64_t a = 0;  // kind-specific: correlation / span / audit serial
+    std::uint64_t b = 0;
+  };
+
+  /// Subscribes to `recorder`; unsubscribes on destruction.
+  explicit Watchdog(trace::TraceRecorder& recorder);
+  ~Watchdog() override;
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void on_trace(const trace::TraceRecord& record) override;
+
+  /// End-of-run liveness sweep: every still-open petition or selection
+  /// becomes a violation. Call once the run has drained.
+  void finalize();
+
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept { return violations_; }
+  [[nodiscard]] std::uint64_t checks() const noexcept { return checks_; }
+  [[nodiscard]] std::uint64_t count(ViolationKind kind) const noexcept;
+
+  /// Registers watchdog.* instruments.
+  void attach_metrics(MetricRegistry& registry);
+
+ private:
+  struct PetitionState {
+    bool terminal = false;
+  };
+  struct SelectionState {
+    bool open = true;
+    std::uint32_t reissues = 0;
+  };
+  struct TraceState {
+    std::map<std::uint64_t, PetitionState> petitions;   // by correlation
+    std::map<std::uint32_t, SelectionState> selections; // by request span
+  };
+
+  void raise(ViolationKind kind, const trace::TraceRecord& at);
+
+  trace::TraceRecorder& recorder_;
+  std::map<std::uint64_t, TraceState> traces_;
+  std::vector<Violation> violations_;
+  std::uint64_t checks_ = 0;
+  bool raising_ = false;  // kViolation re-emission must not recurse
+  Counter* checks_counter_ = nullptr;
+  Counter* violations_counter_ = nullptr;
+  Counter* traces_counter_ = nullptr;
+};
+
+[[nodiscard]] const char* to_string(Watchdog::ViolationKind kind) noexcept;
+
+}  // namespace peerlab::obs

@@ -6,8 +6,11 @@
 
 #include "peerlab/common/check.hpp"
 #include "peerlab/common/log.hpp"
+#include "peerlab/obs/trace.hpp"
 
 namespace peerlab::overlay {
+
+using obs::trace::TraceKind;
 
 BrokerPeer::BrokerPeer(transport::TransportFabric& fabric, NodeId node,
                        OverlayDirectories& directories, BrokerConfig config)
@@ -124,11 +127,20 @@ std::vector<core::PeerSnapshot> BrokerPeer::snapshot_group() const {
 
 PeerId BrokerPeer::select_peer(const core::SelectionContext& context) {
   const obs::WallProfiler::Span span(m_.profiler, m_.rank_site);
+  const bool traced = trace_ != nullptr && context.trace.active();
   if (index_active_ && index_.try_select(context, sim().now(), 1, index_out_)) {
+    if (traced) trace_->emit(node_, TraceKind::kIndexPull, context.trace, 1, index_out_.size());
     return index_out_.empty() ? PeerId() : index_out_.front();
   }
   const auto snapshots = snapshot_group();
-  if (!config_.reputation.enabled) return model_->select(snapshots, context);
+  if (!config_.reputation.enabled) {
+    const PeerId best = model_->select(snapshots, context);
+    if (traced) {
+      trace_->emit(node_, TraceKind::kSelectRank, context.trace, snapshots.size(),
+                   best.valid() ? 1 : 0);
+    }
+    return best;
+  }
   core::SelectionContext defended = context;
   defended.reputation_weight = config_.reputation.rank_penalty_weight;
   const std::size_t base_excludes = defended.exclude.size();
@@ -140,27 +152,64 @@ PeerId BrokerPeer::select_peer(const core::SelectionContext& context) {
     defended.exclude.resize(base_excludes);
     best = model_->select(snapshots, defended);
   }
+  if (traced) {
+    trace_->emit(node_, TraceKind::kSelectRank, context.trace, snapshots.size(),
+                 best.valid() ? 1 : 0);
+  }
   return best;
 }
 
 std::vector<PeerId> BrokerPeer::select_peers(const core::SelectionContext& context,
                                              std::size_t k) {
   const obs::WallProfiler::Span span(m_.profiler, m_.rank_site);
+  const bool traced = trace_ != nullptr && context.trace.active();
   if (index_active_ && index_.try_select(context, sim().now(), k, index_out_)) {
+    if (traced) {
+      trace_->emit(node_, TraceKind::kIndexPull, context.trace, k, index_out_.size());
+      audit_index_selection(context, k, index_out_);
+    }
     return index_out_;
   }
   const auto snapshots = snapshot_group();
-  if (!config_.reputation.enabled) return model_->select_k(snapshots, context, k);
+  if (!config_.reputation.enabled) {
+    auto selected = model_->select_k(snapshots, context, k);
+    if (traced) {
+      trace_->emit(node_, TraceKind::kSelectRank, context.trace, snapshots.size(),
+                   selected.size());
+    }
+    return selected;
+  }
   core::SelectionContext defended = context;
   defended.reputation_weight = config_.reputation.rank_penalty_weight;
   const std::size_t base_excludes = defended.exclude.size();
   reputation_.append_quarantined(sim().now(), defended.exclude);
+  if (traced && defended.exclude.size() > base_excludes) {
+    trace_->emit(node_, TraceKind::kReputationExclude, context.trace,
+                 defended.exclude.size() - base_excludes, 0);
+  }
   auto selected = model_->select_k(snapshots, defended, k);
   if (selected.empty() && defended.exclude.size() > base_excludes) {
     defended.exclude.resize(base_excludes);
     selected = model_->select_k(snapshots, defended, k);
   }
+  if (traced) {
+    trace_->emit(node_, TraceKind::kSelectRank, context.trace, snapshots.size(),
+                 selected.size());
+  }
   return selected;
+}
+
+void BrokerPeer::audit_index_selection(const core::SelectionContext& context, std::size_t k,
+                                       const std::vector<PeerId>& picked) {
+  if (config_.selection_audit_period == 0) return;
+  // The blind model's shared rotation cursor advances on every ranking;
+  // re-running the scan would perturb the very selections under audit.
+  // Blind index/scan equivalence is pinned by the differential harness
+  // instead (tests/candidate_index_test.cpp).
+  if (model_->name() == "blind") return;
+  if (++audit_clock_ % config_.selection_audit_period != 0) return;
+  const auto scanned = model_->select_k(snapshot_group(), context, k);
+  trace_->emit(node_, TraceKind::kIndexAudit, context.trace, k, scanned == picked ? 1 : 0);
 }
 
 void BrokerPeer::attach_metrics(obs::MetricRegistry& registry, obs::WallProfiler* profiler) {
@@ -174,12 +223,31 @@ void BrokerPeer::attach_metrics(obs::MetricRegistry& registry, obs::WallProfiler
   index_.attach_metrics(registry);
 }
 
+void BrokerPeer::attach_trace(obs::trace::TraceRecorder* recorder) {
+  trace_ = recorder;
+  if (recorder == nullptr) {
+    reputation_.set_quarantine_observer(nullptr);
+    return;
+  }
+  reputation_.set_quarantine_observer([this](PeerId peer, Seconds until) {
+    trace_->emit_ambient(node_, TraceKind::kQuarantine, peer.value(),
+                         static_cast<std::uint64_t>(until));
+    // A quarantine is the reputation defenses concluding a peer
+    // misbehaved — exactly the moment the flight recorder is for.
+    trace_->postmortem("quarantine", to_string(peer).c_str());
+  });
+}
+
 void BrokerPeer::apply_stats(const StatsDelta& delta) { apply_stats(delta, PeerId()); }
 
 void BrokerPeer::apply_stats(const StatsDelta& delta, PeerId reporter) {
   if (!delta.subject.valid()) return;
   ++reports_;
   if (m_.stats_reports != nullptr) m_.stats_reports->add(1);
+  if (trace_ != nullptr && delta.trace.active()) {
+    trace_->emit(node_, TraceKind::kStatsApply, delta.trace, delta.subject.value(),
+                 reporter.value());
+  }
   if (!config_.reputation.enabled) {
     apply_replicated(delta);
     if (delta_observer_) delta_observer_(delta);
@@ -369,6 +437,11 @@ void BrokerPeer::serve_selection(const transport::Message& m) {
     context = *parked;
   }
   const auto k = static_cast<std::size_t>(std::max<std::int64_t>(1, m.arg));
+  if (trace_ != nullptr && m.trace.active()) {
+    // The broker-side view of the request, one hop downstream of the
+    // client's kSelectRequest span (retransmissions repeat this event).
+    trace_->emit(node_, TraceKind::kSelectServe, m.trace.hop(), k, m.src.value());
+  }
   const auto selected = select_peers(context, k);
   if (auto* tracer = endpoint_.fabric().network().tracer()) {
     tracer->record(sim().now(), sim::TraceCategory::kSelection, "selection-served",

@@ -40,6 +40,14 @@ struct BrokerConfig {
   /// index deactivates itself while reputation defenses are enabled
   /// (penalties re-order rankings petition by petition).
   bool selection_index = true;
+  /// Online index-vs-scan audit: every Nth traced index-served
+  /// selection is re-ranked by the fallback scan and compared, with
+  /// the verdict emitted as a kIndexAudit trace event the watchdog
+  /// checks. Only runs when a trace recorder is attached AND the
+  /// request carries an active context AND the model is stateless
+  /// (the blind model's rotation cursor would be perturbed by the
+  /// second ranking), so detached runs are byte-identical. 0 = off.
+  std::uint32_t selection_audit_period = 16;
 };
 
 class BrokerPeer {
@@ -165,6 +173,13 @@ class BrokerPeer {
   /// the `selection.rank` span.
   void attach_metrics(obs::MetricRegistry& registry, obs::WallProfiler* profiler = nullptr);
 
+  /// Attaches (or detaches with nullptr) the causal-trace recorder.
+  /// Traced selection requests then emit kSelectServe/kSelectRank/
+  /// kIndexPull (plus sampled kIndexAudit verdicts), traced stats
+  /// deltas emit kStatsApply, and imposed quarantines land as ambient
+  /// kQuarantine events that trigger the flight recorder.
+  void attach_trace(obs::trace::TraceRecorder* recorder);
+
  private:
   /// Cached instrument handles; all null while detached.
   struct Metrics {
@@ -178,6 +193,9 @@ class BrokerPeer {
 
   void on_heartbeat(const transport::Message& m);
   void on_stats_report(const transport::Message& m);
+  /// Sampled index-vs-scan equivalence check (traced selections only).
+  void audit_index_selection(const core::SelectionContext& context, std::size_t k,
+                             const std::vector<PeerId>& picked);
   /// Re-registers every client with the index (adopted state).
   void rebuild_index();
   void serve_selection(const transport::Message& m);
@@ -203,6 +221,8 @@ class BrokerPeer {
   bool index_active_ = false;
   std::vector<PeerId> index_out_;
   transport::ReliableChannel select_channel_;
+  obs::trace::TraceRecorder* trace_ = nullptr;
+  std::uint64_t audit_clock_ = 0;
   DeltaObserver delta_observer_;
   std::map<PeerId, ClientRecord> clients_;
   std::map<PeerId, stats::PeerStatistics> statistics_;

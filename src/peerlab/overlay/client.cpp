@@ -4,8 +4,11 @@
 #include <utility>
 
 #include "peerlab/common/check.hpp"
+#include "peerlab/obs/trace.hpp"
 
 namespace peerlab::overlay {
+
+using obs::trace::TraceKind;
 
 const char* to_string(ClientKind kind) noexcept {
   switch (kind) {
@@ -40,13 +43,16 @@ ClientPeer::ClientPeer(transport::TransportFabric& fabric, NodeId node, NodeId b
   // select channel, so a bounded broker outage only delays the answer.
   files_->set_replacement_provider(
       [this](Bytes share_bytes, std::span<const PeerId> exclude,
-             std::function<void(PeerId)> done) {
+             const obs::trace::TraceContext& trace, std::function<void(PeerId)> done) {
         core::SelectionContext context;
         context.now = sim().now();
         context.purpose = core::SelectionContext::Purpose::kFileTransfer;
         context.payload_size = share_bytes;
         context.exclude.assign(exclude.begin(), exclude.end());
         context.exclude.push_back(id());
+        // The replacement petition rides the failed share's chain, so
+        // one trace id covers the death AND the re-homing.
+        context.trace = trace;
         request_selection(context, 1,
                           [done = std::move(done)](std::vector<PeerId> peers) {
                             done(peers.empty() ? PeerId() : peers.front());
@@ -174,8 +180,16 @@ void ClientPeer::rehome(NodeId new_broker) {
   // them now — request_selection's outcome handler re-issues each one
   // against the new broker (broker_node_ is already updated above).
   if (old_broker != new_broker) {
+    if (trace_ != nullptr) {
+      trace_->emit_ambient(node_, TraceKind::kRehome, new_broker.value(), old_broker.value());
+    }
     select_channel_.fail_pending_to(old_broker);
   }
+}
+
+void ClientPeer::attach_trace(obs::trace::TraceRecorder* recorder) noexcept {
+  trace_ = recorder;
+  files_->attach_trace(recorder);
 }
 
 void ClientPeer::attach_metrics(obs::MetricRegistry& registry) {
@@ -197,19 +211,37 @@ void ClientPeer::request_selection(const core::SelectionContext& context, std::s
   if (m_.selections_requested != nullptr) m_.selections_requested->add(1);
   const Seconds begun = sim().now();
   const NodeId issued_to = broker_node_;
-  const std::uint64_t context_ticket = directories_.selection_contexts.park(context);
+  // Each issue (and each re-issue after failover) opens its own span on
+  // the workload's chain; the broker and the watchdog key on it.
+  obs::trace::TraceContext req;
+  if (trace_ != nullptr && context.trace.active()) {
+    req = trace_->child_of(context.trace);
+    trace_->emit(node_, TraceKind::kSelectRequest, req, k, broker_node_.value(),
+                 context.trace.span);
+  }
+  core::SelectionContext parked = context;
+  if (req.active()) parked.trace = req;
+  const std::uint64_t context_ticket = directories_.selection_contexts.park(std::move(parked));
   select_channel_.request(
-      broker_node_, context_ticket, static_cast<std::int64_t>(k),
-      [this, begun, issued_to, context, k, context_ticket,
+      broker_node_, context_ticket, static_cast<std::int64_t>(k), req,
+      [this, begun, issued_to, context, k, context_ticket, req,
        done = std::move(done)](const transport::RequestOutcome& outcome) mutable {
         directories_.selection_contexts.release(context_ticket);
+        const bool traced = trace_ != nullptr && req.active();
         if (!outcome.ok) {
+          if (traced) {
+            trace_->emit(node_, TraceKind::kSelectFail, req,
+                         static_cast<std::uint64_t>(outcome.attempts), issued_to.value());
+          }
           // Broker failover: the petition died against a broker we have
           // since re-homed away from — re-issue it against the current
           // one (selection is served there from replicated history).
           if (broker_node_ != issued_to) {
             ++selection_reissues_;
             if (m_.selection_reissues != nullptr) m_.selection_reissues->add(1);
+            if (traced) {
+              trace_->emit(node_, TraceKind::kSelectReissue, req, k, broker_node_.value());
+            }
             request_selection(context, k, std::move(done));
             return;
           }
@@ -220,15 +252,25 @@ void ClientPeer::request_selection(const core::SelectionContext& context, std::s
         if (m_.selection_latency_s != nullptr) {
           m_.selection_latency_s->record(sim().now() - begun);
         }
-        done(directories_.selections.claim(
-            static_cast<std::uint64_t>(outcome.response.arg)));
+        auto peers = directories_.selections.claim(
+            static_cast<std::uint64_t>(outcome.response.arg));
+        if (traced) {
+          trace_->emit(node_, TraceKind::kSelectDeliver, req, peers.size(),
+                       static_cast<std::uint64_t>(outcome.attempts));
+        }
+        done(std::move(peers));
       });
 }
 
 void ClientPeer::report(StatsDelta delta) {
+  const obs::trace::TraceContext ctx = delta.trace;
+  const PeerId subject = delta.subject;
   const std::uint64_t ticket = directories_.stats_reports.park(std::move(delta));
+  if (trace_ != nullptr && ctx.active()) {
+    trace_->emit(node_, TraceKind::kStatsReport, ctx, subject.value(), ticket);
+  }
   endpoint_.send(broker_node_, transport::MessageType::kStatsReport, /*correlation=*/0, 0,
-                 static_cast<std::int64_t>(ticket));
+                 static_cast<std::int64_t>(ticket), ctx);
 }
 
 }  // namespace peerlab::overlay

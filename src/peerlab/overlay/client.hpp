@@ -115,6 +115,13 @@ class ClientPeer {
   /// Zero-cost when never called.
   void attach_metrics(obs::MetricRegistry& registry);
 
+  /// Attaches (or detaches with nullptr) the causal-trace recorder and
+  /// forwards it to the file service (and its transfer peer). Traced
+  /// selection requests then emit kSelectRequest/kSelectDeliver/
+  /// kSelectFail/kSelectReissue spans, traced stats reports emit
+  /// kStatsReport, and re-homing lands as an ambient kRehome event.
+  void attach_trace(obs::trace::TraceRecorder* recorder) noexcept;
+
  private:
   /// Cached instrument handles; all null while detached.
   struct Metrics {
@@ -144,6 +151,7 @@ class ClientPeer {
   std::unique_ptr<MessagingService> messaging_;
   transport::ReliableChannel select_channel_;
   Metrics m_;
+  obs::trace::TraceRecorder* trace_ = nullptr;
   sim::EventHandle heartbeat_timer_;
   bool started_ = false;
   MisreportProfile misreport_;

@@ -43,6 +43,9 @@ struct StatsDelta {
   double outbox_sample = -1.0;
   double inbox_sample = -1.0;
   int pending_transfers = -1;
+  /// Causal chain of the workload these observations came from
+  /// (inactive = untraced); stamps the broker's kStatsApply event.
+  obs::trace::TraceContext trace;
 };
 
 /// FIFO-bounded ticket store for one payload type.

@@ -5,8 +5,11 @@
 #include <utility>
 
 #include "peerlab/common/check.hpp"
+#include "peerlab/obs/trace.hpp"
 
 namespace peerlab::overlay {
+
+using obs::trace::TraceKind;
 
 FileService::FileService(transport::Endpoint& endpoint, OverlayDirectories& directories,
                          Reporter reporter)
@@ -38,13 +41,14 @@ TransferId FileService::send_file(PeerId dst, const transport::FileTransferConfi
                                   Completion done) {
   ++started_;
   return peer_.send_file(
-      node_of(dst), config, [this, dst, done = std::move(done)](
+      node_of(dst), config, [this, dst, ctx = config.trace, done = std::move(done)](
                                 const transport::TransferResult& result) {
         // Erase unconditionally: whatever the outcome, the marker must
         // not outlive the transfer (see cancel()).
         const bool was_cancelled = cancelled_.erase(result.id.value()) > 0;
         StatsDelta delta;
         delta.subject = dst;
+        delta.trace = ctx;  // the broker's kStatsApply joins the chain
         if (result.complete) {
           ++completed_;
           delta.file_done = 1;
@@ -89,6 +93,8 @@ struct FileService::DistributionState {
     int parts = 0;
     Bytes bytes = 0;
     int failovers = 0;
+    /// Share span under the distribution's chain (inactive = untraced).
+    obs::trace::TraceContext ctx;
     // Outcome of the latest attempt, copied from its TransferResult so
     // a failed replacement petition can still report the share.
     bool complete = false;
@@ -105,6 +111,8 @@ struct FileService::DistributionState {
   /// (or currently holds) part of this file.
   mem::small_vector<PeerId, 8> used;
   int outstanding = 0;
+  /// Root of the distribution's causal chain (inactive = untraced).
+  obs::trace::TraceContext ctx;
 };
 
 void FileService::distribute(Bytes file_size, int parts, const std::vector<PeerId>& peers,
@@ -159,6 +167,14 @@ void FileService::distribute(Bytes file_size, int parts, const std::vector<PeerI
   state->shares.back().bytes += file_size - assigned;  // rounding remainder
   state->outstanding = static_cast<int>(state->shares.size());
   if (m_.distributions != nullptr) m_.distributions->add(1);
+  if (trace_ != nullptr) {
+    // Every distribution mints a fresh TraceId; the whole fan-out —
+    // selections, petitions, parts, confirms, failovers, stats — rides
+    // this one chain.
+    state->ctx = trace_->root();
+    trace_->emit(endpoint_.node(), TraceKind::kDistStart, state->ctx,
+                 static_cast<std::uint64_t>(file_size), static_cast<std::uint64_t>(parts));
+  }
 
   // One rate recomputation for the whole fan-out, not one per share.
   const auto batch = flows().start_batch();
@@ -171,6 +187,14 @@ void FileService::launch_share(const std::shared_ptr<DistributionState>& state,
   transport::FileTransferConfig cfg = state->base;
   cfg.file_size = share.bytes;
   cfg.parts = share.parts;
+  if (trace_ != nullptr && state->ctx.active()) {
+    // Fresh span per launch attempt: a failover re-launch is visibly a
+    // different leg of the same chain.
+    share.ctx = trace_->child_of(state->ctx);
+    trace_->emit(endpoint_.node(), TraceKind::kShareLaunch, share.ctx, share.current.value(),
+                 static_cast<std::uint64_t>(share.bytes), state->ctx.span);
+    cfg.trace = share.ctx;
+  }
   send_file(share.current, cfg,
             [this, state, index](const transport::TransferResult& result) {
               share_finished(state, index, result);
@@ -206,12 +230,22 @@ void FileService::share_finished(const std::shared_ptr<DistributionState>& state
   ++state->result.failovers;
   ++failovers_;
   if (m_.backoff_retries != nullptr) m_.backoff_retries->add(1);
+  if (trace_ != nullptr && share.ctx.active()) {
+    trace_->emit(endpoint_.node(), TraceKind::kShareFailover, share.ctx, share.current.value(),
+                 static_cast<std::uint64_t>(share.failovers));
+  }
 
   sim().schedule(delay, [this, state, index] {
-    replacement_(state->shares[index].bytes, state->used,
+    replacement_(state->shares[index].bytes, state->used, state->shares[index].ctx,
                  [this, state, index](PeerId replacement) {
                    if (!replacement.valid()) {
                      // Nobody left to take the share: report it as-is.
+                     if (trace_ != nullptr && state->shares[index].ctx.active()) {
+                       trace_->emit(endpoint_.node(), TraceKind::kShareGaveUp,
+                                    state->shares[index].ctx,
+                                    state->shares[index].current.value(),
+                                    static_cast<std::uint64_t>(state->shares[index].failovers));
+                     }
                      finalize_share(state, index);
                      return;
                    }
@@ -240,6 +274,11 @@ void FileService::finalize_share(const std::shared_ptr<DistributionState>& state
   if (--state->outstanding != 0) return;
   state->result.complete = true;
   for (const auto& s : state->result.shares) state->result.complete &= s.complete;
+  if (trace_ != nullptr && state->ctx.active()) {
+    trace_->emit(endpoint_.node(), TraceKind::kDistDone, state->ctx,
+                 state->result.complete ? 1 : 0,
+                 static_cast<std::uint64_t>(state->result.failovers));
+  }
   // Deterministic share order for consumers (peers are distinct by the
   // exclusion discipline, so the order is total).
   std::sort(state->result.shares.begin(), state->result.shares.end(),

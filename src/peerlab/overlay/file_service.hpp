@@ -92,10 +92,13 @@ class FileService {
   /// invalid PeerId when nobody qualifies. ClientPeer installs a
   /// broker-backed provider; without one, failover is disabled. The
   /// exclusion list is a view into the distribution's bookkeeping —
-  /// copy it if the provider needs it past the call.
+  /// copy it if the provider needs it past the call. `trace` is the
+  /// failed share's causal context (inactive = untraced): the
+  /// replacement petition rides the same chain, so a postmortem shows
+  /// the failed share AND the selection that re-homed it.
   using ReplacementProvider = std::function<void(
       Bytes share_bytes, std::span<const PeerId> exclude,
-      std::function<void(PeerId)> done)>;
+      const obs::trace::TraceContext& trace, std::function<void(PeerId)> done)>;
   void set_replacement_provider(ReplacementProvider provider) {
     replacement_ = std::move(provider);
   }
@@ -121,6 +124,15 @@ class FileService {
   /// transfer peer's counters alongside. Zero-cost when never called.
   void attach_metrics(obs::MetricRegistry& registry);
 
+  /// Attaches (or detaches with nullptr) the causal-trace recorder and
+  /// forwards it to the wrapped transfer peer. Every subsequent
+  /// distribute() then mints a fresh TraceId and the whole fan-out —
+  /// shares, failovers, transfers, stats feedback — rides that chain.
+  void attach_trace(obs::trace::TraceRecorder* recorder) noexcept {
+    trace_ = recorder;
+    peer_.attach_trace(recorder);
+  }
+
  private:
   /// Cached instrument handles; all null while detached.
   struct Metrics {
@@ -144,6 +156,7 @@ class FileService {
   transport::Endpoint& endpoint_;
   transport::FileTransferPeer peer_;
   Metrics m_;
+  obs::trace::TraceRecorder* trace_ = nullptr;
   Reporter reporter_;
   ReplacementProvider replacement_;
   std::set<std::uint64_t> cancelled_;  // TransferId values we cancelled

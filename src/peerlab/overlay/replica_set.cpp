@@ -5,6 +5,7 @@
 
 #include "peerlab/common/check.hpp"
 #include "peerlab/common/log.hpp"
+#include "peerlab/obs/trace.hpp"
 
 namespace peerlab::overlay {
 
@@ -260,6 +261,10 @@ void ReplicaSet::elect(Member& trigger, Seconds silence) {
   }
   ++elections_;
   if (m_.elections != nullptr) m_.elections->add(1);
+  if (trace_ != nullptr) {
+    trace_->emit_ambient(winner->broker->node(), obs::trace::TraceKind::kFailover,
+                         old_node.value(), staleness);
+  }
   if (m_.failover_time_s != nullptr) m_.failover_time_s->record(silence);
   if (m_.staleness_at_election != nullptr) {
     m_.staleness_at_election->record(static_cast<double>(staleness));

@@ -125,6 +125,11 @@ class ReplicaSet {
   /// `registry`. Zero-cost when never called.
   void attach_metrics(obs::MetricRegistry& registry);
 
+  /// Attaches (or detaches with nullptr) the causal-trace recorder;
+  /// every election then lands as an ambient kFailover event
+  /// (node = new primary, a = old primary, b = staleness).
+  void set_trace(obs::trace::TraceRecorder* recorder) noexcept { trace_ = recorder; }
+
  private:
   struct DeltaFrame {
     std::uint64_t seq = 0;  // 0 marks an unknown/duplicate ticket claim
@@ -188,6 +193,7 @@ class ReplicaSet {
   transport::TransportFabric& fabric_;
   ReplicaConfig config_;
   Metrics m_;
+  obs::trace::TraceRecorder* trace_ = nullptr;
   std::vector<std::unique_ptr<Member>> members_;
   std::size_t primary_index_ = 0;
   FailoverCallback failover_;

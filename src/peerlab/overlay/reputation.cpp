@@ -55,6 +55,7 @@ void ReputationBook::adjust(PeerId peer, Seconds now, double delta) {
     entry.quarantine_until = now + config_.quarantine_duration;
     ++quarantines_;
     if (m_.quarantines != nullptr) m_.quarantines->add(1);
+    if (quarantine_observer_) quarantine_observer_(peer, entry.quarantine_until);
   }
 }
 

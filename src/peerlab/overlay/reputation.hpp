@@ -23,6 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include <functional>
+
 #include "peerlab/common/ids.hpp"
 #include "peerlab/common/units.hpp"
 #include "peerlab/obs/metrics.hpp"
@@ -95,6 +97,14 @@ class ReputationBook {
   /// brokers of a deployment). Zero-cost when never called.
   void attach_metrics(obs::MetricRegistry& registry);
 
+  /// Observer fired the instant a quarantine is imposed (peer, expiry).
+  /// The broker's trace attachment uses this to put the decision on
+  /// record and trigger the flight recorder; nullptr detaches.
+  using QuarantineObserver = std::function<void(PeerId peer, Seconds until)>;
+  void set_quarantine_observer(QuarantineObserver observer) {
+    quarantine_observer_ = std::move(observer);
+  }
+
  private:
   struct Entry {
     double value = 1.0;
@@ -123,6 +133,7 @@ class ReputationBook {
 
   ReputationConfig config_;
   Metrics m_;
+  QuarantineObserver quarantine_observer_;
   std::unordered_map<PeerId, Entry> entries_;
   std::uint64_t failures_ = 0;
   std::uint64_t successes_ = 0;

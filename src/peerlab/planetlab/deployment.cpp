@@ -162,6 +162,7 @@ net::FaultInjector& Deployment::install_faults(net::FaultPlan plan) {
   injector_ = std::make_unique<net::FaultInjector>(*network_, std::move(plan),
                                                    std::move(hooks));
   if (metrics_ != nullptr) injector_->attach_metrics(*metrics_);
+  if (trace_ != nullptr) injector_->set_trace(trace_);
   return *injector_;
 }
 
@@ -190,6 +191,18 @@ void Deployment::attach_metrics(obs::MetricRegistry& registry, bool wall_profili
   for (auto& client : clients_) client->attach_metrics(registry);
   if (injector_ != nullptr) injector_->attach_metrics(registry);
   if (behaviors_ != nullptr) behaviors_->attach_metrics(registry);
+}
+
+void Deployment::attach_tracing(obs::trace::TraceRecorder* recorder) {
+  trace_ = recorder;
+  fabric_->set_trace(recorder);
+  network_->set_trace(recorder);
+  for (auto& broker : brokers_) broker->attach_trace(recorder);
+  for (auto& standby : standbys_) standby->attach_trace(recorder);
+  if (replicas_ != nullptr) replicas_->set_trace(recorder);
+  control_->attach_trace(recorder);
+  for (auto& client : clients_) client->attach_trace(recorder);
+  if (injector_ != nullptr) injector_->set_trace(recorder);
 }
 
 void Deployment::on_broker_failover(const overlay::ReplicaSet::FailoverEvent& event) {

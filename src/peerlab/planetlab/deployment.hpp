@@ -115,6 +115,16 @@ class Deployment {
   /// instrument inventory does not depend on which paths execute.
   void attach_metrics(obs::MetricRegistry& registry, bool wall_profiling = false);
 
+  /// Attaches (or detaches with nullptr) the causal-trace recorder
+  /// across the whole deployment: transport fabric (message hops),
+  /// network + flow scheduler (flow lifecycle, re-levels), every
+  /// broker and client (selection/petition/stats chains), the replica
+  /// set (failover elections) and the fault injector (churn ambients)
+  /// — including one installed later. `recorder` must outlive the
+  /// deployment. Zero-cost when never called: every emit site is one
+  /// null test away from the untraced path.
+  void attach_tracing(obs::trace::TraceRecorder* recorder);
+
   /// The deployment-wide span profiler; null unless attach_metrics ran
   /// with wall_profiling. Harnesses wrap their sim run in its "run"
   /// site so subsystem spans get a parent to charge against.
@@ -137,6 +147,7 @@ class Deployment {
   std::unique_ptr<net::FaultInjector> injector_;
   std::unique_ptr<adversary::BehaviorEngine> behaviors_;
   obs::MetricRegistry* metrics_ = nullptr;  // set by attach_metrics
+  obs::trace::TraceRecorder* trace_ = nullptr;  // set by attach_tracing
   std::unique_ptr<obs::WallProfiler> profiler_;  // set when wall_profiling
   std::array<NodeId, 8> sc_nodes_{};
 };

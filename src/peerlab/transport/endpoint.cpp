@@ -2,6 +2,7 @@
 
 #include "peerlab/common/check.hpp"
 #include "peerlab/common/log.hpp"
+#include "peerlab/obs/trace.hpp"
 
 namespace peerlab::transport {
 
@@ -15,7 +16,8 @@ void Endpoint::set_handler(MessageType type, Handler handler) {
 void Endpoint::clear_handler(MessageType type) { handlers_.erase(type); }
 
 MessageId Endpoint::send(NodeId dst, MessageType type, std::uint64_t correlation,
-                         std::uint64_t seq, std::int64_t arg) {
+                         std::uint64_t seq, std::int64_t arg,
+                         const obs::trace::TraceContext& trace) {
   Message m;
   m.src = node_;
   m.dst = dst;
@@ -24,11 +26,12 @@ MessageId Endpoint::send(NodeId dst, MessageType type, std::uint64_t correlation
   m.correlation = correlation;
   m.seq = seq;
   m.arg = arg;
+  m.trace = trace;
   return fabric_.route(std::move(m));
 }
 
 MessageId Endpoint::reply(const Message& to, MessageType type, std::int64_t arg) {
-  return send(to.src, type, to.correlation, to.seq, arg);
+  return send(to.src, type, to.correlation, to.seq, arg, to.trace);
 }
 
 void Endpoint::deliver(const Message& message) {
@@ -65,10 +68,21 @@ Endpoint& TransportFabric::endpoint(NodeId node) {
 MessageId TransportFabric::route(Message message) {
   message.id = message_ids_.next();
   const Message copy = message;
+  // Traced datagrams bracket the wire leg: a send with no matching
+  // deliver is a loss (or a dead destination) made visible on the
+  // chain. Untraced traffic (heartbeats, idle chatter) stays silent.
+  if (trace_ != nullptr && copy.trace.active()) {
+    trace_->emit(copy.src, obs::trace::TraceKind::kMsgSend, copy.trace,
+                 static_cast<std::uint64_t>(copy.type), copy.dst.value());
+  }
   network_.send_datagram(copy.src, copy.dst, copy.size, [this, copy] {
     const auto it = endpoints_.find(copy.dst);
     if (it == endpoints_.end()) {
       return;  // destination software not running; datagram evaporates
+    }
+    if (trace_ != nullptr && copy.trace.active()) {
+      trace_->emit(copy.dst, obs::trace::TraceKind::kMsgDeliver, copy.trace,
+                   static_cast<std::uint64_t>(copy.type), copy.src.value());
     }
     it->second->deliver(copy);
   });

@@ -16,6 +16,10 @@
 #include "peerlab/net/network.hpp"
 #include "peerlab/transport/message.hpp"
 
+namespace peerlab::obs::trace {
+class TraceRecorder;
+}  // namespace peerlab::obs::trace
+
 namespace peerlab::transport {
 
 class TransportFabric;
@@ -39,11 +43,15 @@ class Endpoint {
   /// Removes a handler.
   void clear_handler(MessageType type);
 
-  /// Sends one control datagram (may be lost; returns its id).
+  /// Sends one control datagram (may be lost; returns its id). `trace`
+  /// stamps the causal-tracing header; the default inactive context
+  /// marks the datagram untraced.
   MessageId send(NodeId dst, MessageType type, std::uint64_t correlation = 0,
-                 std::uint64_t seq = 0, std::int64_t arg = 0);
+                 std::uint64_t seq = 0, std::int64_t arg = 0,
+                 const obs::trace::TraceContext& trace = {});
 
-  /// Convenience reply: echoes correlation/seq back to the sender.
+  /// Convenience reply: echoes correlation/seq — and the causal-trace
+  /// header — back to the sender.
   MessageId reply(const Message& to, MessageType type, std::int64_t arg = 0);
 
   /// Delivery entry point (called by the fabric at the arrival instant).
@@ -77,6 +85,12 @@ class TransportFabric {
   [[nodiscard]] net::Network& network() noexcept { return network_; }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return network_.simulator(); }
 
+  /// Attaches the causal-trace recorder (nullptr detaches). Datagrams
+  /// carrying an active context then emit msg-send/msg-deliver events;
+  /// detached, the cost is one pointer test per routed message.
+  void set_trace(obs::trace::TraceRecorder* recorder) noexcept { trace_ = recorder; }
+  [[nodiscard]] obs::trace::TraceRecorder* trace() const noexcept { return trace_; }
+
   /// Routes one message; loss and delay are the network's business.
   MessageId route(Message message);
 
@@ -84,6 +98,7 @@ class TransportFabric {
   net::Network& network_;
   std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
   IdAllocator<MessageId> message_ids_;
+  obs::trace::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace peerlab::transport

@@ -5,8 +5,11 @@
 
 #include "peerlab/common/check.hpp"
 #include "peerlab/common/log.hpp"
+#include "peerlab/obs/trace.hpp"
 
 namespace peerlab::transport {
+
+using obs::trace::TraceKind;
 
 void FileTransferDirectory::enroll(NodeId node, FileTransferPeer& peer) {
   peers_[node] = &peer;
@@ -87,11 +90,18 @@ TransferId FileTransferPeer::send_file(NodeId dst, const FileTransferConfig& con
   s.last_part_size = config.file_size - s.part_size * (config.parts - 1);
   PEERLAB_CHECK_MSG(s.part_size > 0, "more parts than bytes");
   s.done = std::move(done);
-  sending_.emplace(corr, std::move(s));
+  const auto sit = sending_.emplace(corr, std::move(s)).first;
   if (m_.transfers_started != nullptr) m_.transfers_started->add(1);
+  if (trace_ != nullptr && config.trace.active()) {
+    // Open the transfer span under the caller's chain; the petition
+    // request (and every retransmission) rides on it.
+    sit->second.ctx = trace_->child_of(config.trace);
+    trace_->emit(node(), TraceKind::kPetitionSend, sit->second.ctx, corr,
+                 static_cast<std::uint64_t>(config.parts), config.trace.span);
+  }
 
   petition_channel_.request(
-      dst, corr, /*arg=*/config.parts, config.petition_retry,
+      dst, corr, /*arg=*/config.parts, config.petition_retry, sit->second.ctx,
       [this, corr](const RequestOutcome& outcome) {
         auto it = sending_.find(corr);
         if (it == sending_.end()) {
@@ -107,6 +117,10 @@ TransferId FileTransferPeer::send_file(NodeId dst, const FileTransferConfig& con
         // The ack's arg carries the receiver's recorded arrival time in
         // microseconds (the peer reports when it saw the petition).
         snd.result.petition_received = static_cast<double>(outcome.response.arg) * 1e-6;
+        if (trace_ != nullptr && snd.ctx.active()) {
+          trace_->emit(node(), TraceKind::kPetitionAck, snd.ctx, corr,
+                       static_cast<std::uint64_t>(outcome.attempts));
+        }
         start_parts(corr);
       });
   return id;
@@ -156,9 +170,14 @@ void FileTransferPeer::send_part(std::uint64_t correlation) {
     return;
   }
   ++rec.attempts;
+  if (trace_ != nullptr && s.ctx.active()) {
+    trace_->emit(node(), TraceKind::kPartSend, s.ctx, correlation,
+                 static_cast<std::uint64_t>(index));
+  }
 
   s.active_flow = network().start_message(
-      node(), s.result.dst, size, [this, correlation, index](bool ok, Seconds elapsed) {
+      node(), s.result.dst, size, s.ctx,
+      [this, correlation, index](bool ok, Seconds elapsed) {
         on_part_sent(correlation, index, ok, elapsed);
       });
 }
@@ -174,6 +193,10 @@ void FileTransferPeer::on_part_sent(std::uint64_t correlation, int part_index, b
   if (!ok) {
     PEERLAB_LOG(kDebug, "transfer") << to_string(s.result.id) << " lost part " << part_index
                                     << " after " << elapsed << "s; retransmitting";
+    if (trace_ != nullptr && s.ctx.active()) {
+      trace_->emit(node(), TraceKind::kPartLost, s.ctx, correlation,
+                   static_cast<std::uint64_t>(part_index));
+    }
     send_part(correlation);
     return;
   }
@@ -195,6 +218,12 @@ void FileTransferPeer::on_part_sent(std::uint64_t correlation, int part_index, b
 }
 
 void FileTransferPeer::on_confirm(const Message& message) {
+  // Emitted before any matching so the watchdog sees forged, stale, or
+  // misrouted confirms too (confirm-requires-petition invariant).
+  if (trace_ != nullptr && message.trace.active()) {
+    trace_->emit(node(), TraceKind::kConfirmRecv, message.trace.hop(), message.correlation,
+                 static_cast<std::uint64_t>(message.arg));
+  }
   auto it = sending_.find(message.correlation);
   if (it == sending_.end()) return;  // stale confirm
   Sending& s = it->second;
@@ -224,7 +253,12 @@ void FileTransferPeer::on_confirm_timeout(std::uint64_t correlation) {
     finish(correlation, false, "confirmation lost");
     return;
   }
-  endpoint_.send(s.result.dst, MessageType::kConfirmQuery, correlation, 0, s.current_part);
+  if (trace_ != nullptr && s.ctx.active()) {
+    trace_->emit(node(), TraceKind::kConfirmQuery, s.ctx, correlation,
+                 static_cast<std::uint64_t>(s.current_part));
+  }
+  endpoint_.send(s.result.dst, MessageType::kConfirmQuery, correlation, 0, s.current_part,
+                 s.ctx);
   s.confirm_timer = sim().schedule(s.config.confirm_timeout,
                                    [this, correlation] { on_confirm_timeout(correlation); });
 }
@@ -233,6 +267,14 @@ void FileTransferPeer::finish(std::uint64_t correlation, bool complete, const ch
   auto it = sending_.find(correlation);
   PEERLAB_CHECK(it != sending_.end());
   it->second.confirm_timer.cancel();
+  if (trace_ != nullptr && it->second.ctx.active()) {
+    const obs::trace::TransferFailure code = obs::trace::transfer_failure_code(failure);
+    const TraceKind kind = complete ? TraceKind::kTransferDone
+                           : code == obs::trace::TransferFailure::kCancelled
+                               ? TraceKind::kTransferCancel
+                               : TraceKind::kTransferFail;
+    trace_->emit(node(), kind, it->second.ctx, correlation, static_cast<std::uint64_t>(code));
+  }
   TransferResult result = std::move(it->second.result);
   Completion done = std::move(it->second.done);
   sending_.erase(it);
@@ -250,8 +292,13 @@ void FileTransferPeer::serve_petition(const Message& message) {
   if (inserted) {
     it->second.petition_received = sim().now();
     it->second.sender = message.src;
+    it->second.ctx = message.trace.hop();
     ++petitions_received_;
     if (m_.petitions_served != nullptr) m_.petitions_served->add(1);
+    if (trace_ != nullptr && it->second.ctx.active()) {
+      trace_->emit(node(), TraceKind::kPetitionRecv, it->second.ctx, message.correlation,
+                   message.src.value());
+    }
   }
   if (decide(it->second, message.src, message.correlation).refuse_petition) {
     // Free-rider: pretend the petition never arrived (every retry of
@@ -259,6 +306,10 @@ void FileTransferPeer::serve_petition(const Message& message) {
     // total and the sender fails with "petition unanswered").
     ++petitions_refused_;
     if (m_.petitions_refused != nullptr) m_.petitions_refused->add(1);
+    if (trace_ != nullptr && it->second.ctx.active()) {
+      trace_->emit(node(), TraceKind::kPetitionRefuse, it->second.ctx, message.correlation,
+                   message.src.value());
+    }
     return;
   }
   // Idempotent ack carrying the (first) arrival time in microseconds.
@@ -278,6 +329,11 @@ void FileTransferPeer::on_part_delivered(std::uint64_t correlation, int part_ind
   if (it->second.parts.insert(part_index).second) {
     ++parts_received_;
   }
+  const obs::trace::TraceContext ctx = it->second.ctx;
+  if (trace_ != nullptr && ctx.active()) {
+    trace_->emit(node(), TraceKind::kPartDelivered, ctx, correlation,
+                 static_cast<std::uint64_t>(part_index));
+  }
   const InboundDecision& d = decide(it->second, sender, correlation);
   if (d.confirm_at_most >= 0 && part_index >= d.confirm_at_most) {
     // Accept-then-abort: the part was received, the confirmation never
@@ -285,18 +341,30 @@ void FileTransferPeer::on_part_delivered(std::uint64_t correlation, int part_ind
     // (serve_confirm_query), so the share dies as "confirmation lost".
     ++confirms_withheld_;
     if (m_.confirms_withheld != nullptr) m_.confirms_withheld->add(1);
+    if (trace_ != nullptr && ctx.active()) {
+      trace_->emit(node(), TraceKind::kConfirmWithheld, ctx, correlation,
+                   static_cast<std::uint64_t>(part_index));
+    }
     return;
   }
   if (d.confirm_delay > 0.0) {
     // Throttle: confirmations limp back late, stretching the per-part
     // loop without tripping the sender's failure detector outright.
     if (m_.confirms_delayed != nullptr) m_.confirms_delayed->add(1);
-    sim().schedule(d.confirm_delay, [this, sender, correlation, part_index] {
-      endpoint_.send(sender, MessageType::kPartConfirm, correlation, 0, part_index);
+    if (trace_ != nullptr && ctx.active()) {
+      trace_->emit(node(), TraceKind::kConfirmDelayed, ctx, correlation,
+                   static_cast<std::uint64_t>(part_index));
+    }
+    sim().schedule(d.confirm_delay, [this, sender, correlation, part_index, ctx] {
+      endpoint_.send(sender, MessageType::kPartConfirm, correlation, 0, part_index, ctx);
     });
     return;
   }
-  endpoint_.send(sender, MessageType::kPartConfirm, correlation, 0, part_index);
+  if (trace_ != nullptr && ctx.active()) {
+    trace_->emit(node(), TraceKind::kConfirmSend, ctx, correlation,
+                 static_cast<std::uint64_t>(part_index));
+  }
+  endpoint_.send(sender, MessageType::kPartConfirm, correlation, 0, part_index, ctx);
 }
 
 void FileTransferPeer::serve_confirm_query(const Message& message) {
@@ -314,7 +382,12 @@ void FileTransferPeer::serve_confirm_query(const Message& message) {
   if (it->second.parts.count(part) > 0) {
     // Query replies go out immediately even under confirm_delay: the
     // query round itself already cost the sender a full timeout.
-    endpoint_.send(message.src, MessageType::kPartConfirm, message.correlation, 0, message.arg);
+    if (trace_ != nullptr && it->second.ctx.active()) {
+      trace_->emit(node(), TraceKind::kConfirmSend, it->second.ctx, message.correlation,
+                   static_cast<std::uint64_t>(part));
+    }
+    endpoint_.send(message.src, MessageType::kPartConfirm, message.correlation, 0, message.arg,
+                   it->second.ctx);
   }
 }
 

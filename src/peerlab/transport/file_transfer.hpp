@@ -39,6 +39,10 @@ struct FileTransferConfig {
   int max_confirm_queries = 5;
   /// Bulk retransmissions allowed per part before the transfer fails.
   int max_part_attempts = 8;
+  /// Causal chain this transfer belongs to (inactive = untraced). The
+  /// sender opens a child span under it; every protocol message of the
+  /// transfer then carries that span.
+  obs::trace::TraceContext trace;
 };
 
 struct PartRecord {
@@ -159,6 +163,11 @@ class FileTransferPeer {
   /// called.
   void attach_metrics(obs::MetricRegistry& registry);
 
+  /// Attaches the causal-trace recorder (nullptr detaches). Transfers
+  /// whose config carries an active context then emit the protocol
+  /// milestones (petition/parts/confirms/terminal) onto their chain.
+  void attach_trace(obs::trace::TraceRecorder* recorder) noexcept { trace_ = recorder; }
+
   /// Installs the receiver-side behaviour policy, consulted once per
   /// inbound correlation (then cached). nullptr restores honesty for
   /// transfers not yet decided; already-cached decisions stand.
@@ -197,6 +206,8 @@ class FileTransferPeer {
     FlowId active_flow;
     sim::EventHandle confirm_timer;
     bool cancelled = false;
+    /// Transfer span on the distribution's chain (inactive = untraced).
+    obs::trace::TraceContext ctx;
   };
   struct Receiving {
     Seconds petition_received = 0.0;
@@ -205,6 +216,8 @@ class FileTransferPeer {
     /// Cached behaviour for this correlation (see InboundDecision).
     InboundDecision decision;
     bool decided = false;
+    /// Sender's transfer span as seen on this side (one hop away).
+    obs::trace::TraceContext ctx;
   };
 
   /// Takes (and caches) the inbound decision for a transfer.
@@ -227,6 +240,7 @@ class FileTransferPeer {
   Endpoint& endpoint_;
   FileTransferDirectory& directory_;
   Metrics m_;
+  obs::trace::TraceRecorder* trace_ = nullptr;
   ReliableChannel petition_channel_;
   IdAllocator<TransferId> transfer_ids_;
   std::map<std::uint64_t, Sending> sending_;      // key: correlation

@@ -13,6 +13,7 @@
 
 #include "peerlab/common/ids.hpp"
 #include "peerlab/common/units.hpp"
+#include "peerlab/obs/trace_context.hpp"
 
 namespace peerlab::transport {
 
@@ -72,6 +73,10 @@ struct Message {
   std::uint64_t seq = 0;
   /// Free slot for small protocol arguments (part index, status code).
   std::int64_t arg = 0;
+  /// Causal-tracing header (DESIGN.md §16). All-zero (inactive) unless
+  /// the sender runs under an obs::trace chain; Endpoint::reply echoes
+  /// it so responses stay on the requester's chain.
+  obs::trace::TraceContext trace;
 };
 
 }  // namespace peerlab::transport

@@ -59,11 +59,23 @@ void ReliableChannel::serve(std::function<void(const Message&)> on_request) {
 
 void ReliableChannel::request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
                               std::function<void(const RequestOutcome&)> done) {
-  request(dst, correlation, arg, policy_, std::move(done));
+  request(dst, correlation, arg, policy_, obs::trace::TraceContext{}, std::move(done));
 }
 
 void ReliableChannel::request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
                               const RetryPolicy& policy,
+                              std::function<void(const RequestOutcome&)> done) {
+  request(dst, correlation, arg, policy, obs::trace::TraceContext{}, std::move(done));
+}
+
+void ReliableChannel::request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
+                              const obs::trace::TraceContext& trace,
+                              std::function<void(const RequestOutcome&)> done) {
+  request(dst, correlation, arg, policy_, trace, std::move(done));
+}
+
+void ReliableChannel::request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
+                              const RetryPolicy& policy, const obs::trace::TraceContext& trace,
                               std::function<void(const RequestOutcome&)> done) {
   PEERLAB_CHECK_MSG(static_cast<bool>(done), "completion callback required");
   PEERLAB_CHECK_MSG(policy.initial_timeout > 0.0 && policy.backoff >= 1.0 &&
@@ -78,6 +90,7 @@ void ReliableChannel::request(NodeId dst, std::uint64_t correlation, std::int64_
   p.first_sent = endpoint_.fabric().simulator().now();
   p.timeout = policy.initial_timeout;
   p.policy = policy;
+  p.trace = trace;
   p.done = std::move(done);
   pending_.emplace(seq, std::move(p));
   transmit(seq);
@@ -115,7 +128,7 @@ void ReliableChannel::transmit(std::uint64_t seq) {
   if (p.attempts > 1) {
     ++retransmissions_;
   }
-  endpoint_.send(p.dst, request_type_, p.correlation, seq, p.arg);
+  endpoint_.send(p.dst, request_type_, p.correlation, seq, p.arg, p.trace);
   Seconds wait = p.timeout;
   if (p.policy.jitter > 0.0) {
     const std::uint64_t salt = (endpoint_.node().value() << 16) ^

@@ -71,6 +71,16 @@ class ReliableChannel {
   void request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
                const RetryPolicy& policy, std::function<void(const RequestOutcome&)> done);
 
+  /// Traced variants: `trace` is stamped onto the request datagram and
+  /// every retransmission of it, so the whole retry ladder stays on
+  /// the caller's causal chain (responses echo it back automatically).
+  void request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
+               const obs::trace::TraceContext& trace,
+               std::function<void(const RequestOutcome&)> done);
+  void request(NodeId dst, std::uint64_t correlation, std::int64_t arg,
+               const RetryPolicy& policy, const obs::trace::TraceContext& trace,
+               std::function<void(const RequestOutcome&)> done);
+
   /// Fails every pending request addressed to `dst` right now (its
   /// `done` fires with ok=false) instead of burning the remaining
   /// retry budget. Used when the caller learns the destination is
@@ -92,6 +102,7 @@ class ReliableChannel {
     int attempts = 0;
     Seconds timeout = 0.0;
     RetryPolicy policy;
+    obs::trace::TraceContext trace;
     sim::EventHandle timer;
     std::function<void(const RequestOutcome&)> done;
   };

@@ -4,6 +4,7 @@
 
 #include "peerlab/obs/span.hpp"
 #include "peerlab/sim/simulator.hpp"
+#include "peerlab/sim/trace.hpp"
 
 namespace peerlab::obs {
 namespace {
@@ -102,6 +103,26 @@ TEST(SnapshotExporter, PeriodicRowsAndCsv) {
   EXPECT_NE(csv.find("1,net.datagrams_sent,value,2"), std::string::npos);
   EXPECT_NE(csv.find("2,net.datagrams_sent,value,5"), std::string::npos);
   EXPECT_NE(csv.find("lat,p50"), std::string::npos);
+}
+
+TEST(SnapshotExporter, TrackedTracerDropsSurfaceAsCounterAndWarning) {
+  sim::Simulator sim;
+  MetricRegistry reg;
+  sim::Tracer tracer(/*capacity=*/2);
+  SnapshotExporter exporter(sim, reg);
+  exporter.track_tracer(tracer, reg);
+
+  // No drops yet: counter is zero and the JSON carries no warning.
+  EXPECT_EQ(reg.counter("trace.dropped", "events").value(), 0u);
+  EXPECT_EQ(exporter.json("t").find("\"warnings\""), std::string::npos);
+
+  for (int i = 0; i < 5; ++i) {
+    tracer.record(0.0, sim::TraceCategory::kNetwork, "m");
+  }
+  const std::string json = exporter.json("t");
+  EXPECT_EQ(reg.counter("trace.dropped", "events").value(), 3u);
+  EXPECT_NE(json.find("\"warnings\""), std::string::npos);
+  EXPECT_NE(json.find("3 events dropped"), std::string::npos);
 }
 
 TEST(SnapshotExporter, DestructionCancelsDaemon) {

@@ -17,8 +17,12 @@
 #include <vector>
 
 #include "peerlab/net/fault_plan.hpp"
+#include "peerlab/obs/exporter.hpp"
 #include "peerlab/obs/metrics.hpp"
+#include "peerlab/obs/trace.hpp"
+#include "peerlab/obs/watchdog.hpp"
 #include "peerlab/planetlab/deployment.hpp"
+#include "peerlab/sim/trace.hpp"
 
 namespace peerlab::obs {
 namespace {
@@ -71,6 +75,13 @@ TEST(MetricsDoc, CatalogueMatchesRegisteredInstruments) {
   adversary::BehaviorPlan hostile;  // likewise for the adversary.* counters
   hostile.free_rider(dep.sc_peer(1), /*from=*/1e9);
   dep.install_adversaries(std::move(hostile));
+  trace::TraceRecorder recorder(sim);  // trace.* + watchdog.* counters
+  Watchdog watchdog(recorder);
+  recorder.attach_metrics(registry);
+  watchdog.attach_metrics(registry);
+  sim::Tracer tracer;  // trace.dropped, via the exporter's tracker
+  SnapshotExporter exporter(sim, registry);
+  exporter.track_tracer(tracer, registry);
 
   std::set<std::string> registered;
   {

@@ -1,0 +1,248 @@
+// TraceRecorder mechanics: deterministic id minting, per-node rings
+// with oldest-first overwrite, byte-stable JSONL dumps, the flight
+// recorder (postmortem arming, first-trigger-wins, assertion hook) —
+// and the invariant Watchdog's verdict logic over synthetic chains.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "peerlab/common/check.hpp"
+#include "peerlab/obs/metrics.hpp"
+#include "peerlab/obs/trace.hpp"
+#include "peerlab/obs/watchdog.hpp"
+#include "peerlab/sim/simulator.hpp"
+
+namespace peerlab::obs::trace {
+namespace {
+
+using ViolationKind = Watchdog::ViolationKind;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(TraceRecorder, MintingIsSequentialAndDeterministic) {
+  sim::Simulator sim(1);
+  TraceRecorder rec(sim);
+  const TraceContext a = rec.root();
+  const TraceContext b = rec.root();
+  EXPECT_EQ(a.id, 1u);
+  EXPECT_EQ(b.id, 2u);
+  EXPECT_TRUE(a.active());
+  EXPECT_FALSE(TraceContext{}.active());
+  const TraceContext child = rec.child_of(a);
+  EXPECT_EQ(child.id, a.id);
+  EXPECT_NE(child.span, a.span);
+  const TraceContext hopped = a.hop();
+  EXPECT_EQ(hopped.id, a.id);
+  EXPECT_EQ(hopped.hops, a.hops + 1);
+}
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsDrops) {
+  sim::Simulator sim(1);
+  TraceRecorder::Options opts;
+  opts.ring_capacity = 4;
+  TraceRecorder rec(sim, opts);
+  const TraceContext ctx = rec.root();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.emit(NodeId(1), TraceKind::kPartSend, ctx, i);
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first overwrite: the retained window is the newest four.
+  EXPECT_EQ(events.front().a, 6u);
+  EXPECT_EQ(events.back().a, 9u);
+}
+
+TEST(TraceRecorder, RingsArePerNode) {
+  sim::Simulator sim(1);
+  TraceRecorder::Options opts;
+  opts.ring_capacity = 2;
+  TraceRecorder rec(sim, opts);
+  const TraceContext ctx = rec.root();
+  rec.emit(NodeId(1), TraceKind::kPartSend, ctx, 1);
+  rec.emit(NodeId(2), TraceKind::kPartSend, ctx, 2);
+  rec.emit(NodeId(1), TraceKind::kPartSend, ctx, 3);
+  EXPECT_EQ(rec.dropped(), 0u);  // each node has its own ring
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Merged stream is seq-ordered across rings.
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[1].a, 2u);
+  EXPECT_EQ(events[2].a, 3u);
+}
+
+TEST(TraceRecorder, ChainFiltersOneTrace) {
+  sim::Simulator sim(1);
+  TraceRecorder rec(sim);
+  const TraceContext a = rec.root();
+  const TraceContext b = rec.root();
+  rec.emit(NodeId(1), TraceKind::kPetitionSend, a, 7);
+  rec.emit(NodeId(1), TraceKind::kPetitionSend, b, 8);
+  rec.emit_ambient(NodeId(), TraceKind::kRelevel, 1, 1);
+  ASSERT_EQ(rec.chain(a.id).size(), 1u);
+  EXPECT_EQ(rec.chain(a.id).front().a, 7u);
+  EXPECT_EQ(rec.chain(b.id).front().a, 8u);
+}
+
+TEST(TraceRecorder, JsonlIsByteStableAcrossIdenticalRuns) {
+  const auto run = [] {
+    sim::Simulator sim(42);
+    TraceRecorder rec(sim);
+    const TraceContext ctx = rec.root();
+    rec.emit(NodeId(3), TraceKind::kPetitionSend, ctx, 1, 2);
+    rec.emit(NodeId(4), TraceKind::kPetitionRecv, ctx.hop(), 1, 0);
+    rec.emit_ambient(NodeId(), TraceKind::kRelevel, 2, 5);
+    return rec.jsonl();
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  // Header line carries the schema tag and accounting.
+  EXPECT_NE(first.find("\"schema\":\"peerlab.trace/1\""), std::string::npos);
+  EXPECT_NE(first.find("\"recorded\":3"), std::string::npos);
+  EXPECT_NE(first.find("\"kind\":\"petition-send\""), std::string::npos);
+}
+
+TEST(TraceRecorder, PostmortemFirstTriggerWins) {
+  const std::string path = "trace_recorder_test.postmortem.json";
+  std::remove(path.c_str());
+  sim::Simulator sim(1);
+  TraceRecorder rec(sim);
+  rec.arm_postmortem(path);
+  const TraceContext a = rec.root();
+  const TraceContext b = rec.root();
+  rec.emit(NodeId(1), TraceKind::kPetitionSend, a, 11);
+  rec.emit(NodeId(1), TraceKind::kPetitionSend, b, 22);
+  rec.postmortem("watchdog", "confirm-without-petition", {a.id});
+  rec.postmortem("watchdog", "double-reissue", {b.id});
+  EXPECT_EQ(rec.postmortems(), 2u);
+  const std::string dump = slurp(path);
+  // The earliest failure is preserved; later triggers only count.
+  EXPECT_NE(dump.find("\"schema\": \"peerlab.postmortem/1\""), std::string::npos);
+  EXPECT_NE(dump.find("confirm-without-petition"), std::string::npos);
+  EXPECT_EQ(dump.find("double-reissue"), std::string::npos);
+  // Implicated-trace filtering: trace b's petition is not in the dump.
+  EXPECT_NE(dump.find("\"a\":11"), std::string::npos);
+  EXPECT_EQ(dump.find("\"a\":22"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, FiredCheckDumpsPostmortem) {
+  const std::string path = "trace_recorder_check.postmortem.json";
+  std::remove(path.c_str());
+  sim::Simulator sim(1);
+  TraceRecorder rec(sim);
+  rec.arm_postmortem(path);
+  rec.emit(NodeId(1), TraceKind::kPetitionSend, rec.root(), 1);
+  EXPECT_THROW(
+      { PEERLAB_CHECK_MSG(false, "deliberate test failure"); }, InvariantError);
+  EXPECT_EQ(rec.postmortems(), 1u);
+  const std::string dump = slurp(path);
+  EXPECT_NE(dump.find("\"reason\": \"assertion\""), std::string::npos);
+  EXPECT_NE(dump.find("deliberate test failure"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---- watchdog verdicts over synthetic chains -----------------------
+
+struct WatchdogWorld {
+  sim::Simulator sim{1};
+  TraceRecorder rec{sim};
+  Watchdog dog{rec};
+};
+
+TEST(Watchdog, GreenChainStaysSilent) {
+  WatchdogWorld w;
+  const TraceContext root = w.rec.root();
+  const TraceContext sel = w.rec.child_of(root);
+  w.rec.emit(NodeId(1), TraceKind::kSelectRequest, sel, 2, 1, root.span);
+  w.rec.emit(NodeId(1), TraceKind::kSelectDeliver, sel, 2, 1);
+  w.rec.emit(NodeId(1), TraceKind::kPetitionSend, root, 100);
+  w.rec.emit(NodeId(2), TraceKind::kPetitionRecv, root.hop(), 100);
+  w.rec.emit(NodeId(1), TraceKind::kConfirmRecv, root, 100);
+  w.rec.emit(NodeId(1), TraceKind::kTransferDone, root, 100);
+  w.dog.finalize();
+  EXPECT_TRUE(w.dog.violations().empty());
+  EXPECT_GT(w.dog.checks(), 0u);
+}
+
+TEST(Watchdog, ConfirmWithoutPetitionIsRaised) {
+  WatchdogWorld w;
+  const TraceContext root = w.rec.root();
+  w.rec.emit(NodeId(1), TraceKind::kConfirmRecv, root, 999);
+  ASSERT_EQ(w.dog.violations().size(), 1u);
+  EXPECT_EQ(w.dog.count(ViolationKind::kConfirmWithoutPetition), 1u);
+  // The verdict itself lands on the chain as a kViolation event.
+  const auto chain = w.rec.chain(root.id);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain.back().kind, TraceKind::kViolation);
+}
+
+TEST(Watchdog, ReissueExactlyOnceIsLegal) {
+  WatchdogWorld w;
+  const TraceContext root = w.rec.root();
+  const TraceContext sel = w.rec.child_of(root);
+  w.rec.emit(NodeId(1), TraceKind::kSelectRequest, sel, 2, 1, root.span);
+  w.rec.emit(NodeId(1), TraceKind::kSelectFail, sel, 1, 1);
+  w.rec.emit(NodeId(1), TraceKind::kSelectReissue, sel, 2, 2);
+  EXPECT_TRUE(w.dog.violations().empty());
+  // A second re-issue of the same span is a double re-issue.
+  w.rec.emit(NodeId(1), TraceKind::kSelectReissue, sel, 2, 2);
+  EXPECT_EQ(w.dog.count(ViolationKind::kDoubleReissue), 1u);
+}
+
+TEST(Watchdog, ReissueOfAnOpenRequestIsRaised) {
+  WatchdogWorld w;
+  const TraceContext root = w.rec.root();
+  const TraceContext sel = w.rec.child_of(root);
+  w.rec.emit(NodeId(1), TraceKind::kSelectRequest, sel, 2, 1, root.span);
+  w.rec.emit(NodeId(1), TraceKind::kSelectReissue, sel, 2, 2);  // never failed
+  EXPECT_EQ(w.dog.count(ViolationKind::kDoubleReissue), 1u);
+}
+
+TEST(Watchdog, IndexAuditMismatchIsRaised) {
+  WatchdogWorld w;
+  const TraceContext root = w.rec.root();
+  w.rec.emit(NodeId(1), TraceKind::kIndexAudit, root, 3, 1);  // match
+  EXPECT_TRUE(w.dog.violations().empty());
+  w.rec.emit(NodeId(1), TraceKind::kIndexAudit, root, 3, 0);  // mismatch
+  EXPECT_EQ(w.dog.count(ViolationKind::kIndexMismatch), 1u);
+}
+
+TEST(Watchdog, FinalizeSweepsOpenPetitionsAndSelections) {
+  WatchdogWorld w;
+  const TraceContext root = w.rec.root();
+  const TraceContext sel = w.rec.child_of(root);
+  w.rec.emit(NodeId(1), TraceKind::kPetitionSend, root, 5);
+  w.rec.emit(NodeId(1), TraceKind::kSelectRequest, sel, 1, 1, root.span);
+  w.dog.finalize();
+  EXPECT_EQ(w.dog.count(ViolationKind::kUnterminatedPetition), 1u);
+  EXPECT_EQ(w.dog.count(ViolationKind::kUnterminatedSelection), 1u);
+}
+
+TEST(Watchdog, MetricsCountChecksAndViolations) {
+  sim::Simulator sim(1);
+  TraceRecorder rec(sim);
+  Watchdog dog(rec);
+  MetricRegistry registry;
+  rec.attach_metrics(registry);
+  dog.attach_metrics(registry);
+  const TraceContext root = rec.root();
+  rec.emit(NodeId(1), TraceKind::kConfirmRecv, root, 1);
+  EXPECT_EQ(registry.counter("watchdog.violations", "violations").value(), 1u);
+  EXPECT_GT(registry.counter("watchdog.checks", "events").value(), 0u);
+  EXPECT_EQ(registry.counter("watchdog.traces", "traces").value(), 1u);
+  EXPECT_EQ(registry.counter("trace.traces", "traces").value(), 1u);
+  EXPECT_GT(registry.counter("trace.events", "events").value(), 0u);
+}
+
+}  // namespace
+}  // namespace peerlab::obs::trace

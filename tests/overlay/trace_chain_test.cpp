@@ -1,0 +1,330 @@
+// Causal-chain acceptance over the live overlay: one TraceId must tie
+// a workload together end to end — petition handshake, data phase,
+// confirms, stats feedback — and keep doing so across broker failover
+// (share death, replacement petition, selection re-issue against the
+// elected standby). The invariant watchdog rides along: silent on the
+// green paths, loud on an injected lost-confirm and an unterminated
+// petition. The failover dump is also fed through
+// scripts/trace_analyze.py to pin the reconstruction tooling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "peerlab/core/economic.hpp"
+#include "peerlab/net/fault_plan.hpp"
+#include "peerlab/obs/trace.hpp"
+#include "peerlab/obs/watchdog.hpp"
+#include "peerlab/planetlab/deployment.hpp"
+
+namespace peerlab::overlay {
+namespace {
+
+using obs::Watchdog;
+using obs::trace::TraceContext;
+using obs::trace::TraceKind;
+using obs::trace::TraceRecorder;
+using planetlab::Deployment;
+using planetlab::DeploymentOptions;
+using transport::FileTransferConfig;
+using transport::TransferResult;
+
+FileTransferConfig churn_transfer() {
+  FileTransferConfig cfg;
+  cfg.petition_retry.initial_timeout = 15.0;
+  cfg.petition_retry.backoff = 1.5;
+  cfg.petition_retry.max_attempts = 4;
+  cfg.confirm_timeout = 30.0;
+  cfg.max_confirm_queries = 6;
+  cfg.max_part_attempts = 6;
+  return cfg;
+}
+
+DistributionOptions churn_failover() {
+  DistributionOptions options;
+  options.max_failovers_per_share = 4;
+  options.backoff_initial = 10.0;
+  options.backoff_factor = 2.0;
+  options.backoff_cap = 120.0;
+  return options;
+}
+
+void warm_up(Deployment& dep) {
+  sim::Simulator& sim = dep.simulator();
+  Seconds at = sim.now() + 10.0;
+  for (int i = 1; i <= 8; ++i) {
+    sim.schedule_at(at, [&dep, i] {
+      FileTransferConfig cfg = churn_transfer();
+      cfg.file_size = megabytes(2.0);
+      cfg.parts = 2;
+      dep.control().files().send_file(dep.sc_peer(i), cfg, [](const TransferResult&) {});
+    });
+    at += 300.0;
+  }
+  sim.run_until(at + 300.0);
+}
+
+std::set<TraceKind> kinds_of(const std::vector<obs::trace::TraceRecord>& records) {
+  std::set<TraceKind> kinds;
+  for (const auto& r : records) kinds.insert(r.kind);
+  return kinds;
+}
+
+TEST(TraceChain, GreenTransferChainIsCompleteAndWatchdogSilent) {
+  sim::Simulator sim(3);
+  Deployment dep(sim);
+  dep.boot();
+  TraceRecorder rec(sim);
+  Watchdog dog(rec);
+  dep.attach_tracing(&rec);
+
+  FileTransferConfig cfg = churn_transfer();
+  cfg.file_size = megabytes(4.0);
+  cfg.parts = 4;
+  cfg.trace = rec.root();
+  std::optional<TransferResult> result;
+  dep.control().files().send_file(dep.sc_peer(2), cfg,
+                                  [&](const TransferResult& r) { result = r; });
+  sim.run();
+
+  ASSERT_TRUE(result.has_value() && result->complete);
+  const auto chain = rec.chain(cfg.trace.id);
+  ASSERT_FALSE(chain.empty());
+  const auto kinds = kinds_of(chain);
+  // The full protocol lifecycle rides one chain, across both nodes.
+  for (const TraceKind k :
+       {TraceKind::kPetitionSend, TraceKind::kPetitionRecv, TraceKind::kPetitionAck,
+        TraceKind::kPartSend, TraceKind::kPartDelivered, TraceKind::kConfirmSend,
+        TraceKind::kConfirmRecv, TraceKind::kTransferDone, TraceKind::kStatsReport,
+        TraceKind::kStatsApply, TraceKind::kMsgSend, TraceKind::kMsgDeliver,
+        TraceKind::kFlowStart, TraceKind::kFlowFinish}) {
+    EXPECT_TRUE(kinds.count(k)) << "missing kind " << to_string(k);
+  }
+  std::set<std::uint64_t> nodes;
+  for (const auto& r : chain) nodes.insert(r.node.value());
+  EXPECT_GE(nodes.size(), 2u);  // sender and receiver both contribute
+
+  dog.finalize();
+  EXPECT_TRUE(dog.violations().empty());
+  dep.attach_tracing(nullptr);
+}
+
+TEST(TraceChain, SelectionReissueSpansBrokerFailover) {
+  sim::Simulator sim(7);
+  DeploymentOptions options;
+  options.standby_brokers = 1;
+  Deployment dep(sim, options);
+  dep.boot();
+  sim.run_until(sim.now() + 200.0);
+
+  TraceRecorder rec(sim);
+  Watchdog dog(rec);
+  dep.attach_tracing(&rec);
+
+  const NodeId old_primary = dep.broker().node();
+  net::FaultPlan plan;
+  plan.crash_forever(sim.now() + 1.0, old_primary);
+  dep.install_faults(std::move(plan));
+  sim.run_until(sim.now() + 2.0);
+
+  // Traced petition against the already-dead primary: the chain must
+  // cover the failed leg, the re-issue, and the standby's answer.
+  const TraceContext root = rec.root();
+  std::optional<std::vector<PeerId>> peers;
+  core::SelectionContext ctx;
+  ctx.purpose = core::SelectionContext::Purpose::kFileTransfer;
+  ctx.now = sim.now();
+  ctx.trace = root;
+  dep.control().request_selection(ctx, 2,
+                                  [&](std::vector<PeerId> p) { peers = std::move(p); });
+  sim.run();
+
+  ASSERT_TRUE(peers.has_value());
+  EXPECT_FALSE(peers->empty());
+  EXPECT_GE(dep.control().selection_reissues(), 1u);
+
+  const auto chain = rec.chain(root.id);
+  const auto kinds = kinds_of(chain);
+  for (const TraceKind k : {TraceKind::kSelectRequest, TraceKind::kSelectFail,
+                            TraceKind::kSelectReissue, TraceKind::kSelectServe,
+                            TraceKind::kSelectDeliver}) {
+    EXPECT_TRUE(kinds.count(k)) << "missing kind " << to_string(k);
+  }
+  // The re-issued request runs under a fresh span of the same trace.
+  std::set<std::uint32_t> request_spans;
+  for (const auto& r : chain) {
+    if (r.kind == TraceKind::kSelectRequest) request_spans.insert(r.span);
+  }
+  EXPECT_GE(request_spans.size(), 2u);
+
+  // The infrastructure events land as ambients alongside the chain.
+  const auto ambient = kinds_of(rec.chain(0));
+  EXPECT_TRUE(ambient.count(TraceKind::kCrash));
+  EXPECT_TRUE(ambient.count(TraceKind::kFailover));
+  EXPECT_TRUE(ambient.count(TraceKind::kRehome));
+
+  // Exactly-once re-issue is the legal failover path: no violations.
+  dog.finalize();
+  EXPECT_TRUE(dog.violations().empty());
+
+  // Pin the reconstruction tooling against this very dump.
+  if (std::system("python3 --version > /dev/null 2>&1") != 0) {
+    dep.attach_tracing(nullptr);
+    GTEST_SKIP() << "python3 unavailable";
+  }
+  const std::string dump = "trace_chain_failover.trace.jsonl";
+  rec.write_jsonl(dump);
+  const std::string cmd = std::string("python3 ") + PEERLAB_SOURCE_DIR
+                          "/scripts/trace_analyze.py " + dump + " --trace " +
+                          std::to_string(root.id) + " > trace_chain_failover.out 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::FILE* f = std::fopen("trace_chain_failover.out", "rb");
+  ASSERT_NE(f, nullptr);
+  std::string out;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) out.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(out.find("select-reissue"), std::string::npos) << out;
+  EXPECT_NE(out.find("failover leg"), std::string::npos) << out;
+  EXPECT_NE(out.find("selection stages"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 reissue(s)"), std::string::npos) << out;
+  std::remove(dump.c_str());
+  std::remove("trace_chain_failover.out");
+  dep.attach_tracing(nullptr);
+}
+
+TEST(TraceChain, DistributionChainSurvivesShareDeathAndBrokerCrash) {
+  sim::Simulator sim(11);
+  DeploymentOptions options;
+  options.standby_brokers = 1;
+  Deployment dep(sim, options);
+  dep.boot();
+  warm_up(dep);
+
+  dep.broker().set_selection_model(std::make_unique<core::EconomicSchedulingModel>());
+  dep.standby_at(0).set_selection_model(std::make_unique<core::EconomicSchedulingModel>());
+
+  std::vector<PeerId> selected;
+  {
+    core::SelectionContext ctx;
+    ctx.purpose = core::SelectionContext::Purpose::kFileTransfer;
+    ctx.payload_size = 32 * kMegabyte;
+    ctx.now = sim.now();
+    bool got = false;
+    dep.control().request_selection(ctx, 3, [&](std::vector<PeerId> peers) {
+      selected = std::move(peers);
+      got = true;
+    });
+    sim.run_until(sim.now() + 60.0);
+    ASSERT_TRUE(got);
+    ASSERT_GE(selected.size(), 2u);
+    if (selected.size() > 3) selected.resize(3);
+  }
+
+  TraceRecorder rec(sim);
+  Watchdog dog(rec);
+  dep.attach_tracing(&rec);
+
+  net::FaultPlan plan;
+  plan.crash_forever(sim.now() + 1.5, node_of(selected.front()));
+  plan.crash_forever(sim.now() + 1.5, dep.broker().node());
+  dep.install_faults(std::move(plan));
+
+  std::optional<FileService::DistributionResult> result;
+  dep.control().files().distribute(
+      32 * kMegabyte, 6, selected, churn_transfer(),
+      [&](const FileService::DistributionResult& r) { result = r; }, churn_failover());
+  sim.run();
+  sim.run_until(sim.now() + 60.0);
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->complete);
+  EXPECT_GE(result->failovers, 1);
+
+  // One TraceId covers the whole scatter: launches, the dead share,
+  // its replacement petition (answered post-election) and the re-run.
+  ASSERT_GE(rec.traces_minted(), 1u);
+  const auto chain = rec.chain(1);
+  const auto kinds = kinds_of(chain);
+  for (const TraceKind k :
+       {TraceKind::kDistStart, TraceKind::kShareLaunch, TraceKind::kPetitionSend,
+        TraceKind::kShareFailover, TraceKind::kSelectRequest, TraceKind::kSelectDeliver,
+        TraceKind::kTransferDone, TraceKind::kDistDone}) {
+    EXPECT_TRUE(kinds.count(k)) << "missing kind " << to_string(k);
+  }
+  const auto ambient = kinds_of(rec.chain(0));
+  EXPECT_TRUE(ambient.count(TraceKind::kCrash));
+  EXPECT_TRUE(ambient.count(TraceKind::kFailover));
+
+  dog.finalize();
+  EXPECT_TRUE(dog.violations().empty());
+  dep.attach_tracing(nullptr);
+}
+
+TEST(TraceChain, WatchdogFlagsForgedConfirm) {
+  sim::Simulator sim(5);
+  Deployment dep(sim);
+  dep.boot();
+  TraceRecorder rec(sim);
+  Watchdog dog(rec);
+  dep.attach_tracing(&rec);
+  const std::string pm_path = "trace_chain_forged.postmortem.json";
+  std::remove(pm_path.c_str());
+  rec.arm_postmortem(pm_path);
+
+  // A confirm for a petition that never existed (a lost/forged confirm
+  // scenario): inject kPartConfirm datagrams from SC1 towards the
+  // control peer under a fresh chain. Sent repeatedly because the
+  // control plane is lossy; each arrival is a violation.
+  const TraceContext forged = rec.root();
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule(static_cast<double>(i) * 5.0, [&] {
+      dep.sc(1).endpoint().send(dep.control().node(), transport::MessageType::kPartConfirm,
+                                /*correlation=*/424242, /*seq=*/0, /*arg=*/0, forged);
+    });
+  }
+  sim.run();
+
+  EXPECT_GE(dog.count(Watchdog::ViolationKind::kConfirmWithoutPetition), 1u);
+  // The flight recorder fired and the dump names the verdict.
+  EXPECT_GE(rec.postmortems(), 1u);
+  std::FILE* f = std::fopen(pm_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string out;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) out.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(out.find("confirm-without-petition"), std::string::npos);
+  std::remove(pm_path.c_str());
+  dep.attach_tracing(nullptr);
+}
+
+TEST(TraceChain, WatchdogFlagsPetitionThatNeverTerminates) {
+  sim::Simulator sim(9);
+  Deployment dep(sim);
+  dep.boot();
+  TraceRecorder rec(sim);
+  Watchdog dog(rec);
+  dep.attach_tracing(&rec);
+
+  // Petition in flight, then the world stops (an early finalize models
+  // a deadline blow-out / wedged run): the liveness sweep must flag it.
+  FileTransferConfig cfg = churn_transfer();
+  cfg.file_size = megabytes(4.0);
+  cfg.parts = 2;
+  cfg.trace = rec.root();
+  dep.control().files().send_file(dep.sc_peer(3), cfg, [](const TransferResult&) {});
+  sim.run_until(sim.now() + 0.5);
+
+  dog.finalize();
+  EXPECT_EQ(dog.count(Watchdog::ViolationKind::kUnterminatedPetition), 1u);
+  dep.attach_tracing(nullptr);
+}
+
+}  // namespace
+}  // namespace peerlab::overlay
