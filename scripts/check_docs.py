@@ -13,6 +13,15 @@ structural check, not a crawler — as are links inside fenced code
 blocks and inline code spans. Stdlib only; exit code 1 on any broken
 link.
 
+Two structural checks ride along:
+
+* orphan detection — every file under docs/ must be reachable by
+  following relative markdown links from README.md or DESIGN.md (a
+  handbook nobody links to is a handbook nobody finds);
+* anchor uniqueness — duplicate heading slugs within one file make
+  `#fragment` links ambiguous (GitHub silently renames the later ones
+  to `-1`, `-2`, ... and links land on the wrong section).
+
 Usage: python3 scripts/check_docs.py [repo_root]
 """
 
@@ -69,6 +78,57 @@ def anchors_of(path: str) -> set[str]:
     return anchors
 
 
+def duplicate_anchors(path: str) -> list[tuple[int, str, str]]:
+    """(lineno, slug, heading) for every heading whose slug already
+    appeared earlier in the same file."""
+    seen: dict[str, int] = {}
+    dupes: list[tuple[int, str, str]] = []
+    with open(path, encoding="utf-8") as fh:
+        text = strip_code(fh.read())
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        if slug in seen:
+            dupes.append((lineno, slug, m.group(1)))
+        else:
+            seen[slug] = lineno
+    return dupes
+
+
+def relative_targets(doc: str, text: str) -> set[str]:
+    """Normalized paths of every relative link target in `text`."""
+    targets: set[str] = set()
+    for line in text.splitlines():
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if SCHEME_RE.match(target) or target.startswith("//"):
+                continue
+            path_part, _, _ = target.partition("#")
+            if path_part:
+                targets.add(os.path.normpath(
+                    os.path.join(os.path.dirname(doc), path_part)))
+    return targets
+
+
+def reachable_docs(root: str) -> set[str]:
+    """BFS over relative markdown links from the entry pages."""
+    entries = [os.path.join(root, n) for n in ("README.md", "DESIGN.md")
+               if os.path.isfile(os.path.join(root, n))]
+    seen: set[str] = set(entries)
+    frontier = list(entries)
+    while frontier:
+        doc = frontier.pop()
+        with open(doc, encoding="utf-8") as fh:
+            text = strip_code(fh.read())
+        for dest in relative_targets(doc, text):
+            if dest.endswith(".md") and os.path.isfile(dest) and dest not in seen:
+                seen.add(dest)
+                frontier.append(dest)
+    return seen
+
+
 def main() -> int:
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
                            os.path.join(os.path.dirname(__file__), ".."))
@@ -105,10 +165,27 @@ def main() -> int:
                         errors.append(f"{rel_doc}:{lineno}: broken anchor "
                                       f"'#{fragment}' in '{target}'")
 
+    # Orphan detection: docs/ files nobody can reach from the entry
+    # pages. Top-level files (ROADMAP.md, CHANGES.md, ...) are exempt —
+    # they are entry points in their own right.
+    reachable = reachable_docs(root)
+    docs_dir = os.path.join(root, "docs")
+    for doc in sorted(glob.glob(os.path.join(docs_dir, "**", "*.md"), recursive=True)):
+        if doc not in reachable:
+            errors.append(f"{os.path.relpath(doc, root)}: orphaned — not "
+                          f"reachable via relative links from README.md or DESIGN.md")
+
+    # Anchor uniqueness: duplicate heading slugs within one file.
+    for doc in doc_files(root):
+        for lineno, slug, heading in duplicate_anchors(doc):
+            errors.append(f"{os.path.relpath(doc, root)}:{lineno}: duplicate "
+                          f"heading slug '#{slug}' ('{heading}') — fragment links "
+                          f"to this file are ambiguous")
+
     for err in errors:
         print(f"check_docs: {err}", file=sys.stderr)
     print(f"check_docs: {checked} relative links checked, "
-          f"{len(errors)} broken")
+          f"{len(errors)} problems")
     return 1 if errors else 0
 
 

@@ -851,9 +851,11 @@ bool CandidateIndex::try_select(const SelectionContext& context, Seconds sim_now
   if (context.reputation_weight != 0.0) return refuse();
   if (context.exclude.size() > config_.max_inline_excludes) return refuse();
   if (kind_ == ModelKind::kBlind && !context.exclude.empty()) return refuse();
-  if (kind_ == ModelKind::kEconomic && (context.deadline > 0.0 || context.budget > 0.0)) {
-    return refuse();
-  }
+  // Economically-constrained petitions (deadline, budget, or an explicit
+  // objective) go through the broker's econ engine, which needs the full
+  // model ranking — not just the top-k the threshold walk produces — to
+  // run admission. Refuse for every model, not only kEconomic.
+  if (context.econ_constrained()) return refuse();
 
   drain_liveness(sim_now);
   drain_expiry(context.now);

@@ -31,8 +31,11 @@
 //   * more than Config::max_inline_excludes excluded peers;
 //   * blind with a non-empty exclude list (the rotation modulus would
 //     change under the index's feet);
-//   * economic with a deadline or budget (feasibility filtering
-//     changes the normalization span in ways cursors cannot bound).
+//   * any economically-constrained context — deadline, budget, or an
+//     explicit EconObjective (the broker's econ engine needs the full
+//     model ranking for admission, and for kEconomic the feasibility
+//     filter changes the normalization span in ways cursors cannot
+//     bound; see DESIGN.md §17).
 //
 // Time must be non-decreasing across try_select() calls (simulated
 // time is), because windowed statistics evict destructively on read.

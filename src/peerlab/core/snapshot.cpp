@@ -11,4 +11,15 @@ const char* to_string(SelectionContext::Purpose purpose) noexcept {
   return "?";
 }
 
+const char* to_string(EconObjective objective) noexcept {
+  switch (objective) {
+    case EconObjective::kBrokerDefault: return "broker-default";
+    case EconObjective::kCostOptimise: return "cost-optimise";
+    case EconObjective::kTimeOptimise: return "time-optimise";
+    case EconObjective::kCostTime: return "cost-time";
+    case EconObjective::kEfficiency: return "efficiency";
+  }
+  return "?";
+}
+
 }  // namespace peerlab::core

@@ -48,6 +48,27 @@ struct PeerSnapshot {
   const stats::HistoryStore* history = nullptr;
 };
 
+/// DBC-style objective for economically-constrained petitions, after
+/// Buyya et al.'s deadline/budget-constrained scheduling (see
+/// peerlab::econ and DESIGN.md §17). A petition that carries an
+/// explicit objective overrides the broker's configured default;
+/// kBrokerDefault defers to it.
+enum class EconObjective : std::uint8_t {
+  kBrokerDefault = 0,
+  /// Cheapest candidate that still meets the deadline.
+  kCostOptimise,
+  /// Fastest candidate that still fits the budget.
+  kTimeOptimise,
+  /// Cost-optimise with completion time breaking cost ties (Buyya's
+  /// cost-time algorithm).
+  kCostTime,
+  /// Dubey–Tokekar real-time efficiency score (latency + capability +
+  /// availability), highest first.
+  kEfficiency,
+};
+
+[[nodiscard]] const char* to_string(EconObjective objective) noexcept;
+
 /// What the requester is about to do with the selected peer; models
 /// weigh signals differently for a 100 MB file push than for a task.
 struct SelectionContext {
@@ -63,6 +84,10 @@ struct SelectionContext {
   /// budget; 0 disables the respective constraint.
   Seconds deadline = 0.0;
   double budget = 0.0;
+  /// Ranking objective for constrained petitions (see peerlab::econ).
+  /// Rides the petition wire format with the rest of the context — the
+  /// client parks the whole SelectionContext and the broker peeks it.
+  EconObjective objective = EconObjective::kBrokerDefault;
   /// Peers every model must skip regardless of score — the requester
   /// itself, or peers that already failed this workload (failover
   /// re-petitions exclude the peer whose share just died).
@@ -80,6 +105,15 @@ struct SelectionContext {
 
   [[nodiscard]] bool excluded(PeerId peer) const noexcept {
     return std::find(exclude.begin(), exclude.end(), peer) != exclude.end();
+  }
+
+  /// True when the petition carries an economic constraint or an
+  /// explicit objective — the only petitions the broker's econ engine
+  /// (and the economic model's feasibility filter) ever act on. A
+  /// zero-budget / zero-deadline / default-objective context takes the
+  /// pristine selection path bit for bit.
+  [[nodiscard]] bool econ_constrained() const noexcept {
+    return deadline > 0.0 || budget > 0.0 || objective != EconObjective::kBrokerDefault;
   }
 
   /// The additive cost penalty for a candidate's reputation; exactly

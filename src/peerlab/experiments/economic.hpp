@@ -1,0 +1,71 @@
+#pragma once
+
+// bench_economic — deadline/budget-constrained workloads (DESIGN.md
+// §17). Every petition carries the same contract (payload, absolute
+// deadline, budget) and the bench sweeps selection arms against rising
+// load, measuring what the contract pressure does to each:
+//
+//   blind       econ engine OFF — the pristine round-robin baseline;
+//               deadlines and budgets ride the wire but nothing reads
+//               them, so this arm shows what contracts cost when the
+//               broker ignores economics entirely.
+//   economic    the paper's scheduling model under the engine's
+//               cost-time objective (Buyya DBC).
+//   quick-peer  the user-preference model under cost-time admission.
+//   hybrid      the blended model under cost-time admission.
+//   efficiency  blind ranking re-ordered purely by the Dubey–Tokekar
+//               real-time efficiency score (kEfficiency objective) —
+//               isolates what the score alone buys.
+//
+// Load rises by shrinking the stagger between job launches: at the
+// heavy level transfers overlap, shared links and busy peers stretch
+// completion times past the estimates, and deadline misses appear.
+// Costs are accounted uniformly by one bench-side quoter (the same
+// PriceBook + estimators every engine-enabled arm ranks with), so the
+// blind arm's ledger prices its round-robin picks on the exact same
+// schedule the informed arms shopped from.
+
+#include <array>
+
+#include "peerlab/econ/economy.hpp"
+#include "peerlab/experiments/figures.hpp"
+
+namespace peerlab::experiments {
+
+inline constexpr int kEconModels = 5;
+inline constexpr const char* kEconModelNames[kEconModels] = {"blind", "economic", "quick-peer",
+                                                             "hybrid", "efficiency"};
+
+/// Stagger between job launches per load level.
+inline constexpr int kEconLoads = 3;
+inline constexpr Seconds kEconSpacing[kEconLoads] = {180.0, 30.0, 0.5};
+inline constexpr const char* kEconLoadLabels[kEconLoads] = {"light", "medium", "heavy"};
+
+/// Workload: every job pushes the same file under the same contract.
+inline constexpr int kEconJobs = 16;
+inline constexpr Bytes kEconPayload = 16 * kMegabyte;
+/// Relative deadline (absolute deadline = launch time + slack).
+inline constexpr Seconds kEconDeadlineSlack = 45.0;
+/// Budget per job, in credits.
+inline constexpr double kEconBudget = 60.0;
+
+/// The engine configuration every engine-enabled arm runs (exposed so
+/// tests pin exactly what the bench measures). Pricing and estimator
+/// knobs are the defaults; only `enabled` is flipped.
+[[nodiscard]] econ::EconConfig economic_engine_config();
+
+struct EconArm {
+  econ::Ledger ledger;          // outcomes vs contracts, all runs folded
+  sim::Summary cost;            // quoted cost per job (credits)
+  sim::Summary completion_time; // launch -> finish per completed job (s)
+  int runs = 0;
+};
+
+struct EconResult {
+  /// [model][load]; models as in kEconModelNames.
+  std::array<std::array<EconArm, kEconLoads>, kEconModels> cells;
+};
+
+[[nodiscard]] EconResult run_bench_economic(const RunOptions& options);
+
+}  // namespace peerlab::experiments

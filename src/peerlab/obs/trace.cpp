@@ -25,6 +25,7 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kIndexPull: return "index-pull";
     case TraceKind::kIndexAudit: return "index-audit";
     case TraceKind::kReputationExclude: return "reputation-exclude";
+    case TraceKind::kEconRank: return "econ-rank";
     case TraceKind::kSelectDeliver: return "select-deliver";
     case TraceKind::kSelectFail: return "select-fail";
     case TraceKind::kSelectReissue: return "select-reissue";

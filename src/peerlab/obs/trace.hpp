@@ -61,6 +61,10 @@ enum class TraceKind : std::uint8_t {
   kIndexPull,
   kIndexAudit,
   kReputationExclude,
+  /// Econ engine admission verdict: value = feasible candidates, aux =
+  /// candidates appraised (0 when the petition was exhausted — every
+  /// candidate blew its deadline or budget).
+  kEconRank,
   kSelectDeliver,
   kSelectFail,
   kSelectReissue,

@@ -23,6 +23,7 @@ BrokerPeer::BrokerPeer(transport::TransportFabric& fabric, NodeId node,
       membership_(endpoint_, directories.groups, peer_of(node), node),
       history_(config.history_capacity),
       reputation_(config.reputation),
+      econ_(config.econ),
       model_(std::make_unique<core::BlindModel>()),
       index_(core::CandidateIndex::Config{config.heartbeat_interval,
                                           config.offline_after_missed,
@@ -128,6 +129,10 @@ std::vector<core::PeerSnapshot> BrokerPeer::snapshot_group() const {
 PeerId BrokerPeer::select_peer(const core::SelectionContext& context) {
   const obs::WallProfiler::Span span(m_.profiler, m_.rank_site);
   const bool traced = trace_ != nullptr && context.trace.active();
+  if (econ_.applies(context)) {
+    const auto selected = econ_select(context, 1);
+    return selected.empty() ? PeerId() : selected.front();
+  }
   if (index_active_ && index_.try_select(context, sim().now(), 1, index_out_)) {
     if (traced) trace_->emit(node_, TraceKind::kIndexPull, context.trace, 1, index_out_.size());
     return index_out_.empty() ? PeerId() : index_out_.front();
@@ -163,6 +168,7 @@ std::vector<PeerId> BrokerPeer::select_peers(const core::SelectionContext& conte
                                              std::size_t k) {
   const obs::WallProfiler::Span span(m_.profiler, m_.rank_site);
   const bool traced = trace_ != nullptr && context.trace.active();
+  if (econ_.applies(context)) return econ_select(context, k);
   if (index_active_ && index_.try_select(context, sim().now(), k, index_out_)) {
     if (traced) {
       trace_->emit(node_, TraceKind::kIndexPull, context.trace, k, index_out_.size());
@@ -199,6 +205,49 @@ std::vector<PeerId> BrokerPeer::select_peers(const core::SelectionContext& conte
   return selected;
 }
 
+std::vector<PeerId> BrokerPeer::econ_select(const core::SelectionContext& context,
+                                            std::size_t k) {
+  // Economically-constrained petitions never take the index fast path:
+  // admission needs the model's *full* ranking (the index's threshold
+  // walk stops at k), and the index refuses these contexts anyway. The
+  // reputation overlay is applied exactly as on the plain scan path so
+  // a defended broker defends constrained petitions too.
+  const bool traced = trace_ != nullptr && context.trace.active();
+  const auto snapshots = snapshot_group();
+  core::SelectionContext effective = context;
+  const std::size_t base_excludes = effective.exclude.size();
+  if (config_.reputation.enabled) {
+    effective.reputation_weight = config_.reputation.rank_penalty_weight;
+    reputation_.append_quarantined(sim().now(), effective.exclude);
+    if (traced && effective.exclude.size() > base_excludes) {
+      trace_->emit(node_, TraceKind::kReputationExclude, context.trace,
+                   effective.exclude.size() - base_excludes, 0);
+    }
+  }
+  std::vector<PeerId> ranking;
+  model_->rank_into(snapshots, effective, ranking);
+  if (ranking.empty() && effective.exclude.size() > base_excludes) {
+    // Same graceful degradation as the plain path: a quarantine that
+    // empties the candidate set is lifted for this decision.
+    effective.exclude.resize(base_excludes);
+    model_->rank_into(snapshots, effective, ranking);
+  }
+  const auto verdict = econ_.admit_and_rank(snapshots, effective, ranking);
+  if (ranking.size() > k) ranking.resize(k);
+  // Optimistic backlog: the answered peers are about to receive work
+  // the next heartbeat cannot know about yet. Hint the engine so a
+  // burst of constrained petitions spreads instead of piling onto the
+  // one peer whose stale snapshot still looks idle.
+  for (const PeerId peer : ranking) econ_.note_assignment(peer, sim().now());
+  if (traced) {
+    trace_->emit(node_, TraceKind::kEconRank, context.trace, verdict.feasible,
+                 verdict.exhausted ? 0 : verdict.appraised);
+    trace_->emit(node_, TraceKind::kSelectRank, context.trace, snapshots.size(),
+                 ranking.size());
+  }
+  return ranking;
+}
+
 void BrokerPeer::audit_index_selection(const core::SelectionContext& context, std::size_t k,
                                        const std::vector<PeerId>& picked) {
   if (config_.selection_audit_period == 0) return;
@@ -220,6 +269,7 @@ void BrokerPeer::attach_metrics(obs::MetricRegistry& registry, obs::WallProfiler
   m_.profiler = profiler;
   m_.rank_site = profiler != nullptr ? &profiler->site("selection.rank") : nullptr;
   reputation_.attach_metrics(registry);
+  econ_.attach_metrics(registry);
   index_.attach_metrics(registry);
 }
 

@@ -15,6 +15,7 @@
 #include "peerlab/core/blind.hpp"
 #include "peerlab/core/candidate_index.hpp"
 #include "peerlab/core/selection_model.hpp"
+#include "peerlab/econ/economy.hpp"
 #include "peerlab/obs/metrics.hpp"
 #include "peerlab/obs/profile.hpp"
 #include "peerlab/overlay/directories.hpp"
@@ -35,6 +36,11 @@ struct BrokerConfig {
   /// Observed-outcome reputation defenses (off by default; when off the
   /// broker behaves bit-identically to a build without the subsystem).
   ReputationConfig reputation;
+  /// Deadline/budget-constrained economic engine (off by default; when
+  /// off — or on but the petition carries no deadline, budget or
+  /// objective — selection is bit-identical to a build without the
+  /// subsystem). See econ/economy.hpp and DESIGN.md §17.
+  econ::EconConfig econ;
   /// O(log n) top-k candidate indexes for the selection fast path
   /// (DESIGN.md §15). Selections stay bit-identical to the scan; the
   /// index deactivates itself while reputation defenses are enabled
@@ -123,6 +129,12 @@ class BrokerPeer {
   [[nodiscard]] const ReputationBook& reputation() const noexcept { return reputation_; }
   [[nodiscard]] bool defenses_enabled() const noexcept { return config_.reputation.enabled; }
 
+  /// The deadline/budget-constrained economic engine (see
+  /// econ/economy.hpp); idle unless enabled AND the petition is
+  /// economically constrained.
+  [[nodiscard]] econ::EconEngine& econ_engine() noexcept { return econ_; }
+  [[nodiscard]] const econ::EconEngine& econ_engine() const noexcept { return econ_; }
+
   /// Starts a fresh statistics session for every known peer.
   void begin_session();
 
@@ -198,6 +210,11 @@ class BrokerPeer {
                              const std::vector<PeerId>& picked);
   /// Re-registers every client with the index (adopted state).
   void rebuild_index();
+  /// The economically-constrained selection path: full model ranking
+  /// (reputation overlay included), then engine admission/re-ranking,
+  /// truncated to k. Only reached when econ_.applies(context).
+  [[nodiscard]] std::vector<PeerId> econ_select(const core::SelectionContext& context,
+                                                std::size_t k);
   void serve_selection(const transport::Message& m);
   void forward_query(const jxta::AdvertisementQuery& query, std::size_t peer_index,
                      std::shared_ptr<std::vector<jxta::Advertisement>> accumulated,
@@ -216,6 +233,7 @@ class BrokerPeer {
   jxta::GroupMembership membership_;
   stats::HistoryStore history_;
   ReputationBook reputation_;
+  econ::EconEngine econ_;
   std::unique_ptr<core::SelectionModel> model_;
   core::CandidateIndex index_;
   bool index_active_ = false;
